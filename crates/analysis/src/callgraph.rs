@@ -1,0 +1,292 @@
+//! Call graph over bodies, with Tarjan SCC condensation.
+//!
+//! The interprocedural analysis of §5.1 (\[2\]) needs the call graph to
+//! propagate MOD/REF sets; the e-block construction of §5.4 needs it to
+//! find the "small subroutines that correspond to leaf nodes in the call
+//! graph" whose logging is inherited by their callers.
+
+use crate::usedef::ProgramEffects;
+use ppd_lang::ast::walk_stmts;
+use ppd_lang::{BodyId, FuncId, ResolvedProgram};
+use std::collections::{HashMap, HashSet};
+
+/// The program call graph: bodies (processes and functions) as nodes,
+/// static call sites as edges.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    bodies: Vec<BodyId>,
+    index_of: HashMap<BodyId, usize>,
+    /// callees[i] = bodies called from bodies[i] (deduplicated).
+    callees: Vec<Vec<usize>>,
+    /// callers[i] = bodies calling bodies[i].
+    callers: Vec<Vec<usize>>,
+    /// Strongly connected components, each a set of node indices, in
+    /// reverse topological order (callees before callers).
+    sccs: Vec<Vec<usize>>,
+    scc_of: Vec<usize>,
+}
+
+impl CallGraph {
+    /// Builds the call graph from per-statement effects.
+    pub fn build(rp: &ResolvedProgram, effects: &ProgramEffects) -> CallGraph {
+        let bodies = rp.bodies();
+        let index_of: HashMap<BodyId, usize> =
+            bodies.iter().enumerate().map(|(i, b)| (*b, i)).collect();
+        let mut callees: Vec<HashSet<usize>> = vec![HashSet::new(); bodies.len()];
+        for (i, &body) in bodies.iter().enumerate() {
+            walk_stmts(rp.body_block(body), &mut |stmt| {
+                for &callee in &effects.of(stmt.id).calls {
+                    let j = index_of[&BodyId::Func(callee)];
+                    callees[i].insert(j);
+                }
+            });
+        }
+        let callees: Vec<Vec<usize>> = callees
+            .into_iter()
+            .map(|s| {
+                let mut v: Vec<usize> = s.into_iter().collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        let mut callers: Vec<Vec<usize>> = vec![Vec::new(); bodies.len()];
+        for (i, cs) in callees.iter().enumerate() {
+            for &j in cs {
+                callers[j].push(i);
+            }
+        }
+        let (sccs, scc_of) = tarjan(&callees);
+        CallGraph { bodies, index_of, callees, callers, sccs, scc_of }
+    }
+
+    /// All bodies in the graph.
+    pub fn bodies(&self) -> &[BodyId] {
+        &self.bodies
+    }
+
+    /// Direct callees of `body`.
+    pub fn callees(&self, body: BodyId) -> impl Iterator<Item = BodyId> + '_ {
+        let i = self.index_of[&body];
+        self.callees[i].iter().map(move |&j| self.bodies[j])
+    }
+
+    /// Direct callers of `body`.
+    pub fn callers(&self, body: BodyId) -> impl Iterator<Item = BodyId> + '_ {
+        let i = self.index_of[&body];
+        self.callers[i].iter().map(move |&j| self.bodies[j])
+    }
+
+    /// Whether `func` participates in recursion (its SCC has more than
+    /// one member, or it calls itself).
+    pub fn is_recursive(&self, func: FuncId) -> bool {
+        let i = self.index_of[&BodyId::Func(func)];
+        let scc = &self.sccs[self.scc_of[i]];
+        scc.len() > 1 || self.callees[i].contains(&i)
+    }
+
+    /// Whether `func` is a call-graph leaf (calls nothing).
+    pub fn is_leaf(&self, func: FuncId) -> bool {
+        let i = self.index_of[&BodyId::Func(func)];
+        self.callees[i].is_empty()
+    }
+
+    /// Whether `func` is ever called (directly) from any body.
+    pub fn is_called(&self, func: FuncId) -> bool {
+        let i = self.index_of[&BodyId::Func(func)];
+        !self.callers[i].is_empty()
+    }
+
+    /// SCCs in reverse topological order: every callee's SCC appears
+    /// before any caller's — the order the MOD/REF fixpoint wants.
+    pub fn sccs_bottom_up(&self) -> Vec<Vec<BodyId>> {
+        self.sccs
+            .iter()
+            .map(|scc| scc.iter().map(|&i| self.bodies[i]).collect())
+            .collect()
+    }
+
+    /// All bodies transitively reachable from `from` (inclusive).
+    pub fn reachable_from(&self, from: BodyId) -> Vec<BodyId> {
+        let start = self.index_of[&from];
+        let mut seen = vec![false; self.bodies.len()];
+        let mut stack = vec![start];
+        seen[start] = true;
+        let mut out = Vec::new();
+        while let Some(i) = stack.pop() {
+            out.push(self.bodies[i]);
+            for &j in &self.callees[i] {
+                if !seen[j] {
+                    seen[j] = true;
+                    stack.push(j);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Tarjan's SCC algorithm (iterative). Returns the SCC list in reverse
+/// topological order and the SCC index of every node.
+fn tarjan(succs: &[Vec<usize>]) -> (Vec<Vec<usize>>, Vec<usize>) {
+    let n = succs.len();
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    let mut scc_of = vec![usize::MAX; n];
+    let mut counter = 0usize;
+
+    // Explicit DFS state machine: (node, next-succ-index).
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut call_stack: Vec<(usize, usize)> = vec![(root, 0)];
+        index[root] = counter;
+        lowlink[root] = counter;
+        counter += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut i)) = call_stack.last_mut() {
+            if *i < succs[v].len() {
+                let w = succs[v][*i];
+                *i += 1;
+                if index[w] == usize::MAX {
+                    index[w] = counter;
+                    lowlink[w] = counter;
+                    counter += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call_stack.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                call_stack.pop();
+                if let Some(&(parent, _)) = call_stack.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack non-empty");
+                        on_stack[w] = false;
+                        scc_of[w] = sccs.len();
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(scc);
+                }
+            }
+        }
+    }
+    (sccs, scc_of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppd_lang::compile;
+
+    fn graph(src: &str) -> (ResolvedProgram, CallGraph) {
+        let rp = compile(src).unwrap();
+        let fx = ProgramEffects::compute(&rp);
+        let cg = CallGraph::build(&rp, &fx);
+        (rp, cg)
+    }
+
+    #[test]
+    fn chain_is_topologically_ordered() {
+        let (rp, cg) = graph(
+            "int c() { return 1; } int b() { return c(); } int a() { return b(); } \
+             process M { print(a()); }",
+        );
+        let order = cg.sccs_bottom_up();
+        let pos = |name: &str| {
+            order
+                .iter()
+                .position(|scc| scc.iter().any(|b| rp.body_name(*b) == name))
+                .unwrap()
+        };
+        assert!(pos("c") < pos("b"));
+        assert!(pos("b") < pos("a"));
+        assert!(pos("a") < pos("M"));
+    }
+
+    #[test]
+    fn leaf_detection() {
+        let (rp, cg) = graph("int l() { return 1; } int m() { return l(); } process M { print(m()); }");
+        let l = rp.func_by_name("l").unwrap();
+        let m = rp.func_by_name("m").unwrap();
+        assert!(cg.is_leaf(l));
+        assert!(!cg.is_leaf(m));
+        assert!(cg.is_called(l));
+        assert!(cg.is_called(m));
+    }
+
+    #[test]
+    fn self_recursion_detected() {
+        let (rp, cg) = graph(
+            "int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); } \
+             process M { print(fact(5)); }",
+        );
+        let f = rp.func_by_name("fact").unwrap();
+        assert!(cg.is_recursive(f));
+        assert!(!cg.is_leaf(f));
+    }
+
+    #[test]
+    fn mutual_recursion_shares_scc() {
+        let (rp, cg) = graph(
+            "int is_odd(int n) { if (n == 0) { return 0; } return is_even(n - 1); } \
+             int is_even(int n) { if (n == 0) { return 1; } return is_odd(n - 1); } \
+             process M { print(is_even(4)); }",
+        );
+        let odd = rp.func_by_name("is_odd").unwrap();
+        let even = rp.func_by_name("is_even").unwrap();
+        assert!(cg.is_recursive(odd));
+        assert!(cg.is_recursive(even));
+        let sccs = cg.sccs_bottom_up();
+        let together = sccs.iter().any(|scc| {
+            scc.contains(&BodyId::Func(odd)) && scc.contains(&BodyId::Func(even))
+        });
+        assert!(together);
+    }
+
+    #[test]
+    fn non_recursive_function_not_flagged() {
+        let (rp, cg) = graph("int f() { return 1; } process M { print(f()); }");
+        assert!(!cg.is_recursive(rp.func_by_name("f").unwrap()));
+    }
+
+    #[test]
+    fn reachability_from_process() {
+        let (rp, cg) = graph(
+            "int used() { return 1; } int unused() { return 2; } \
+             process M { print(used()); }",
+        );
+        let m = BodyId::Proc(rp.proc_by_name("M").unwrap());
+        let reach = cg.reachable_from(m);
+        let names: Vec<&str> = reach.iter().map(|b| rp.body_name(*b)).collect();
+        assert!(names.contains(&"used"));
+        assert!(!names.contains(&"unused"));
+        assert!(!cg.is_called(rp.func_by_name("unused").unwrap()));
+    }
+
+    #[test]
+    fn callers_inverse_of_callees() {
+        let (rp, cg) = graph(
+            "int helper() { return 1; } process A { print(helper()); } process B { print(helper()); }",
+        );
+        let h = BodyId::Func(rp.func_by_name("helper").unwrap());
+        let callers: Vec<&str> = cg.callers(h).map(|b| rp.body_name(b)).collect();
+        assert_eq!(callers.len(), 2);
+        for c in cg.callers(h) {
+            assert!(cg.callees(c).any(|x| x == h));
+        }
+    }
+}

@@ -1,0 +1,451 @@
+//! Control-flow graphs, one per function or process body.
+//!
+//! The CFG is the substrate for the dataflow analyses of §5.1 (USED /
+//! DEFINED sets), for reaching definitions (static data-dependence edges)
+//! and for the postdominator-based control-dependence computation that
+//! the static program dependence graph needs (§4.1).
+//!
+//! Nodes are statements plus synthetic `Entry`/`Exit` nodes. Compound
+//! statements (`if`, `while`, `for`) contribute one node for their
+//! predicate; their bodies contribute their own nodes.
+
+use crate::AnalysisError;
+use ppd_lang::ast::{Block, Stmt, StmtKind, SyncStmt};
+use ppd_lang::{BodyId, ResolvedProgram, StmtId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense id of a CFG node within one [`Cfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Index form for side tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What a CFG node represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CfgNodeKind {
+    /// The unique entry node (the paper's ENTRY node, §4.2).
+    Entry,
+    /// The unique exit node (the paper's EXIT node).
+    Exit,
+    /// Execution of one statement (for compound statements: of their
+    /// predicate).
+    Stmt(StmtId),
+}
+
+/// Label on a CFG edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Ordinary fall-through.
+    Fallthrough,
+    /// Predicate evaluated to true.
+    True,
+    /// Predicate evaluated to false.
+    False,
+}
+
+/// One node with its adjacency.
+#[derive(Debug, Clone)]
+pub struct CfgNode {
+    /// What this node represents.
+    pub kind: CfgNodeKind,
+    /// Outgoing edges.
+    pub succs: Vec<(NodeId, EdgeKind)>,
+    /// Incoming edges (node only).
+    pub preds: Vec<NodeId>,
+}
+
+/// A control-flow graph for one body.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Which body this is the CFG of.
+    pub body: BodyId,
+    nodes: Vec<CfgNode>,
+    entry: NodeId,
+    exit: NodeId,
+    stmt_node: HashMap<StmtId, NodeId>,
+    stmt_order: Vec<StmtId>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `body`.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for programs that passed resolution, but
+    /// returns `Result` so later structural restrictions have a place to
+    /// surface.
+    pub fn build(rp: &ResolvedProgram, body: BodyId) -> Result<Cfg, AnalysisError> {
+        let block = rp.body_block(body);
+        let mut b = Builder {
+            cfg: Cfg {
+                body,
+                nodes: Vec::new(),
+                entry: NodeId(0),
+                exit: NodeId(0),
+                stmt_node: HashMap::new(),
+                stmt_order: Vec::new(),
+            },
+            pending_returns: Vec::new(),
+        };
+        let entry = b.add(CfgNodeKind::Entry);
+        b.cfg.entry = entry;
+        let frontier = b.lower_block(block, vec![(entry, EdgeKind::Fallthrough)]);
+        let exit = b.add(CfgNodeKind::Exit);
+        b.cfg.exit = exit;
+        b.connect(&frontier, exit);
+        // `return` statements park their outgoing edge until exit exists.
+        let returns = std::mem::take(&mut b.pending_returns);
+        b.connect(&returns, exit);
+        Ok(b.cfg)
+    }
+
+    /// The entry node.
+    pub fn entry(&self) -> NodeId {
+        self.entry
+    }
+
+    /// The exit node.
+    pub fn exit(&self) -> NodeId {
+        self.exit
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[CfgNode] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the CFG has only entry and exit.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 2
+    }
+
+    /// The node for a statement, if the statement belongs to this body.
+    pub fn node_of(&self, stmt: StmtId) -> Option<NodeId> {
+        self.stmt_node.get(&stmt).copied()
+    }
+
+    /// The statement of a node, if it is a statement node.
+    pub fn stmt_of(&self, node: NodeId) -> Option<StmtId> {
+        match self.nodes[node.index()].kind {
+            CfgNodeKind::Stmt(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Node lookup.
+    pub fn node(&self, id: NodeId) -> &CfgNode {
+        &self.nodes[id.index()]
+    }
+
+    /// All statements of the body in source order.
+    pub fn stmts(&self) -> &[StmtId] {
+        &self.stmt_order
+    }
+
+    /// Successor node ids of `id`.
+    pub fn succs(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes[id.index()].succs.iter().map(|(n, _)| *n)
+    }
+
+    /// Predecessor node ids of `id`.
+    pub fn preds(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes[id.index()].preds.iter().copied()
+    }
+
+    /// Reverse postorder over forward edges starting at entry.
+    pub fn reverse_postorder(&self) -> Vec<NodeId> {
+        let mut order = self.postorder();
+        order.reverse();
+        order
+    }
+
+    /// Postorder over forward edges starting at entry (iterative DFS).
+    pub fn postorder(&self) -> Vec<NodeId> {
+        let mut visited = vec![false; self.nodes.len()];
+        let mut order = Vec::with_capacity(self.nodes.len());
+        // (node, next successor index)
+        let mut stack = vec![(self.entry, 0usize)];
+        visited[self.entry.index()] = true;
+        while let Some((node, i)) = stack.pop() {
+            let succs = &self.nodes[node.index()].succs;
+            if i < succs.len() {
+                stack.push((node, i + 1));
+                let (next, _) = succs[i];
+                if !visited[next.index()] {
+                    visited[next.index()] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                order.push(node);
+            }
+        }
+        order
+    }
+
+    /// Nodes unreachable from entry (e.g. statements after `return`).
+    pub fn unreachable_nodes(&self) -> Vec<NodeId> {
+        let mut reach = vec![false; self.nodes.len()];
+        for n in self.postorder() {
+            reach[n.index()] = true;
+        }
+        (0..self.nodes.len() as u32).map(NodeId).filter(|n| !reach[n.index()]).collect()
+    }
+}
+
+struct Builder {
+    cfg: Cfg,
+    /// `return` edges waiting for the exit node to be allocated.
+    pending_returns: Vec<(NodeId, EdgeKind)>,
+}
+
+impl Builder {
+    fn add(&mut self, kind: CfgNodeKind) -> NodeId {
+        let id = NodeId(self.cfg.nodes.len() as u32);
+        if let CfgNodeKind::Stmt(s) = kind {
+            self.cfg.stmt_node.insert(s, id);
+            self.cfg.stmt_order.push(s);
+        }
+        self.cfg.nodes.push(CfgNode { kind, succs: Vec::new(), preds: Vec::new() });
+        id
+    }
+
+    fn connect(&mut self, frontier: &[(NodeId, EdgeKind)], to: NodeId) {
+        for &(from, kind) in frontier {
+            self.cfg.nodes[from.index()].succs.push((to, kind));
+            self.cfg.nodes[to.index()].preds.push(from);
+        }
+    }
+
+    fn lower_block(
+        &mut self,
+        block: &Block,
+        mut frontier: Vec<(NodeId, EdgeKind)>,
+    ) -> Vec<(NodeId, EdgeKind)> {
+        for stmt in &block.stmts {
+            frontier = self.lower_stmt(stmt, frontier);
+        }
+        frontier
+    }
+
+    fn lower_stmt(
+        &mut self,
+        stmt: &Stmt,
+        frontier: Vec<(NodeId, EdgeKind)>,
+    ) -> Vec<(NodeId, EdgeKind)> {
+        match &stmt.kind {
+            StmtKind::If { then_blk, else_blk, .. } => {
+                let cond = self.add(CfgNodeKind::Stmt(stmt.id));
+                self.connect(&frontier, cond);
+                let then_out =
+                    self.lower_block(then_blk, vec![(cond, EdgeKind::True)]);
+                match else_blk {
+                    Some(e) => {
+                        let mut else_out =
+                            self.lower_block(e, vec![(cond, EdgeKind::False)]);
+                        let mut out = then_out;
+                        out.append(&mut else_out);
+                        out
+                    }
+                    None => {
+                        let mut out = then_out;
+                        out.push((cond, EdgeKind::False));
+                        out
+                    }
+                }
+            }
+            StmtKind::While { body, .. } => {
+                let cond = self.add(CfgNodeKind::Stmt(stmt.id));
+                self.connect(&frontier, cond);
+                let body_out = self.lower_block(body, vec![(cond, EdgeKind::True)]);
+                self.connect(&body_out, cond); // back edge
+                vec![(cond, EdgeKind::False)]
+            }
+            StmtKind::For { init, cond, step, body } => {
+                let mut frontier = frontier;
+                if let Some(i) = init {
+                    frontier = self.lower_stmt(i, frontier);
+                }
+                // The For statement's own node is its condition check
+                // (an always-true no-op when `cond` is absent).
+                let check = self.add(CfgNodeKind::Stmt(stmt.id));
+                self.connect(&frontier, check);
+                let body_in = if cond.is_some() {
+                    vec![(check, EdgeKind::True)]
+                } else {
+                    vec![(check, EdgeKind::Fallthrough)]
+                };
+                let body_out = self.lower_block(body, body_in);
+                let back_src = if let Some(s) = step {
+                    self.lower_stmt(s, body_out)
+                } else {
+                    body_out
+                };
+                self.connect(&back_src, check);
+                if cond.is_some() {
+                    vec![(check, EdgeKind::False)]
+                } else {
+                    Vec::new() // `for (;;)` only exits via return
+                }
+            }
+            StmtKind::Return(_) => {
+                let node = self.add(CfgNodeKind::Stmt(stmt.id));
+                self.connect(&frontier, node);
+                self.pending_returns.push((node, EdgeKind::Fallthrough));
+                Vec::new()
+            }
+            StmtKind::Sync(SyncStmt::Accept { body, .. }) => {
+                let node = self.add(CfgNodeKind::Stmt(stmt.id));
+                self.connect(&frontier, node);
+                self.lower_block(body, vec![(node, EdgeKind::Fallthrough)])
+            }
+            _ => {
+                let node = self.add(CfgNodeKind::Stmt(stmt.id));
+                self.connect(&frontier, node);
+                vec![(node, EdgeKind::Fallthrough)]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppd_lang::compile;
+
+    fn cfg_of(src: &str, body_name: &str) -> (ResolvedProgram, Cfg) {
+        let rp = compile(src).expect("compile");
+        let body = rp
+            .bodies()
+            .into_iter()
+            .find(|b| rp.body_name(*b) == body_name)
+            .expect("body exists");
+        let cfg = Cfg::build(&rp, body).expect("cfg");
+        (rp, cfg)
+    }
+
+    #[test]
+    fn straight_line_chain() {
+        let (_, cfg) = cfg_of("process M { int a = 1; int b = a + 1; print(b); }", "M");
+        // entry -> 3 stmts -> exit
+        assert_eq!(cfg.len(), 5);
+        assert_eq!(cfg.succs(cfg.entry()).count(), 1);
+        assert_eq!(cfg.preds(cfg.exit()).count(), 1);
+        assert_eq!(cfg.stmts().len(), 3);
+    }
+
+    #[test]
+    fn if_without_else_merges() {
+        let (_, cfg) = cfg_of("process M { int x = 1; if (x > 0) { x = 2; } print(x); }", "M");
+        let if_node = cfg
+            .nodes()
+            .iter()
+            .position(|n| {
+                matches!(n.kind, CfgNodeKind::Stmt(_)) && n.succs.len() == 2
+            })
+            .map(|i| NodeId(i as u32))
+            .expect("branch node");
+        let kinds: Vec<EdgeKind> =
+            cfg.node(if_node).succs.iter().map(|(_, k)| *k).collect();
+        assert!(kinds.contains(&EdgeKind::True));
+        assert!(kinds.contains(&EdgeKind::False));
+    }
+
+    #[test]
+    fn while_has_back_edge() {
+        let (_, cfg) = cfg_of("process M { int i = 3; while (i > 0) { i = i - 1; } }", "M");
+        // The while-cond node must have two preds: the init and the body.
+        let cond = cfg
+            .nodes()
+            .iter()
+            .position(|n| n.succs.iter().any(|(_, k)| *k == EdgeKind::True))
+            .map(|i| NodeId(i as u32))
+            .unwrap();
+        assert_eq!(cfg.preds(cond).count(), 2);
+    }
+
+    #[test]
+    fn for_loop_structure() {
+        let (_, cfg) =
+            cfg_of("process M { int s = 0; int i; for (i = 0; i < 4; i = i + 1) { s = s + i; } print(s); }", "M");
+        // stmts: decl s, decl i, init assign, for-check, body assign, step, print
+        assert_eq!(cfg.stmts().len(), 7);
+        let check = cfg
+            .nodes()
+            .iter()
+            .position(|n| n.succs.iter().any(|(_, k)| *k == EdgeKind::False))
+            .map(|i| NodeId(i as u32))
+            .unwrap();
+        // check has preds: init, step
+        assert_eq!(cfg.preds(check).count(), 2);
+    }
+
+    #[test]
+    fn infinite_for_reaches_exit_only_via_return() {
+        let (_, cfg) = cfg_of(
+            "process M { int i = 0; for (;;) { i = i + 1; if (i > 3) { return; } } }",
+            "M",
+        );
+        assert_eq!(cfg.preds(cfg.exit()).count(), 1); // only the return
+    }
+
+    #[test]
+    fn return_jumps_to_exit() {
+        let (_, cfg) = cfg_of(
+            "int f(int x) { if (x > 0) { return 1; } return 0; } process M { print(f(2)); }",
+            "f",
+        );
+        assert_eq!(cfg.preds(cfg.exit()).count(), 2);
+    }
+
+    #[test]
+    fn statements_after_return_are_unreachable() {
+        let (_, cfg) = cfg_of("int f() { return 1; print(9); } process M { print(f()); }", "f");
+        assert_eq!(cfg.unreachable_nodes().len(), 1);
+    }
+
+    #[test]
+    fn reverse_postorder_starts_at_entry() {
+        let (_, cfg) = cfg_of("process M { int i = 5; while (i) { i = i - 1; } print(i); }", "M");
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo[0], cfg.entry());
+        // All reachable nodes appear exactly once.
+        assert_eq!(rpo.len(), cfg.len() - cfg.unreachable_nodes().len());
+    }
+
+    #[test]
+    fn accept_body_is_linked_through() {
+        let (_, cfg) = cfg_of(
+            "shared int s; process M { accept (x) { s = x; } print(s); } process C { rendezvous(M, 1); }",
+            "M",
+        );
+        // entry -> accept -> assign -> print -> exit
+        assert_eq!(cfg.len(), 5);
+        assert_eq!(cfg.preds(cfg.exit()).count(), 1);
+    }
+
+    #[test]
+    fn stmt_node_round_trip() {
+        let (_, cfg) = cfg_of("process M { int a = 1; print(a); }", "M");
+        for &s in cfg.stmts() {
+            let n = cfg.node_of(s).unwrap();
+            assert_eq!(cfg.stmt_of(n), Some(s));
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Control dependence (Ferrante–Ottenstein–Warren, used by the static
+//! program dependence graph of §4.1).
+//!
+//! A statement *Y* is control dependent on predicate *X* with polarity
+//! *k* iff *X* has a *k*-successor *S* such that *Y* postdominates *S*
+//! but *Y* does not strictly postdominate *X*. For this structured
+//! language the result coincides with the syntactic nesting (statements
+//! in a `then` block depend on the `if` with polarity true, loop bodies
+//! on the loop predicate, and loop predicates on themselves), which the
+//! tests exploit as an oracle.
+
+use crate::cfg::{Cfg, CfgNodeKind, EdgeKind, NodeId};
+use crate::dom::DomTree;
+use ppd_lang::StmtId;
+use std::collections::HashMap;
+
+/// Control-dependence relation for one body.
+#[derive(Debug, Clone, Default)]
+pub struct ControlDeps {
+    /// For each dependent statement: the controlling predicates and the
+    /// branch polarity that leads to the dependent statement executing.
+    deps: HashMap<StmtId, Vec<(StmtId, bool)>>,
+}
+
+impl ControlDeps {
+    /// Computes control dependences for `cfg` given its postdominator
+    /// tree.
+    pub fn compute(cfg: &Cfg, pdom: &DomTree) -> ControlDeps {
+        let mut deps: HashMap<StmtId, Vec<(StmtId, bool)>> = HashMap::new();
+        for (i, node) in cfg.nodes().iter().enumerate() {
+            let x = NodeId(i as u32);
+            if node.succs.len() < 2 {
+                continue; // only branch nodes generate control dependence
+            }
+            let Some(x_stmt) = cfg.stmt_of(x) else { continue };
+            let stop = pdom.idom(x);
+            for &(s, kind) in &node.succs {
+                let polarity = match kind {
+                    EdgeKind::True | EdgeKind::Fallthrough => true,
+                    EdgeKind::False => false,
+                };
+                // Walk S up the postdominator tree until ipdom(X).
+                let mut cur = Some(s);
+                while let Some(y) = cur {
+                    if Some(y) == stop {
+                        break;
+                    }
+                    if let CfgNodeKind::Stmt(y_stmt) = cfg.node(y).kind {
+                        let entry = deps.entry(y_stmt).or_default();
+                        if !entry.contains(&(x_stmt, polarity)) {
+                            entry.push((x_stmt, polarity));
+                        }
+                    }
+                    cur = pdom.idom(y);
+                }
+            }
+        }
+        ControlDeps { deps }
+    }
+
+    /// The predicates `stmt` is control dependent on (with polarity).
+    /// Empty means the statement is controlled only by body entry.
+    pub fn parents(&self, stmt: StmtId) -> &[(StmtId, bool)] {
+        self.deps.get(&stmt).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether `stmt` depends on any predicate at all.
+    pub fn is_entry_dependent(&self, stmt: StmtId) -> bool {
+        self.parents(stmt).is_empty()
+    }
+
+    /// All recorded dependences as `(dependent, predicate, polarity)`.
+    pub fn iter(&self) -> impl Iterator<Item = (StmtId, StmtId, bool)> + '_ {
+        self.deps
+            .iter()
+            .flat_map(|(&dep, parents)| parents.iter().map(move |&(p, k)| (dep, p, k)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppd_lang::ast::{walk_stmts, StmtKind};
+    use ppd_lang::{compile, BodyId, ResolvedProgram};
+
+    fn analyze(src: &str, body_name: &str) -> (ResolvedProgram, BodyId, Cfg, ControlDeps) {
+        let rp = compile(src).unwrap();
+        let body = rp
+            .bodies()
+            .into_iter()
+            .find(|b| rp.body_name(*b) == body_name)
+            .unwrap();
+        let cfg = Cfg::build(&rp, body).unwrap();
+        let pdom = DomTree::postdominators(&cfg);
+        let cd = ControlDeps::compute(&cfg, &pdom);
+        (rp, body, cfg, cd)
+    }
+
+    /// Syntactic oracle: the statements of a block are control dependent
+    /// on the chain of enclosing predicates.
+    fn syntactic_parent_chain(
+        rp: &ResolvedProgram,
+        body: BodyId,
+    ) -> HashMap<StmtId, Option<(StmtId, bool)>> {
+        let mut out = HashMap::new();
+        fn go(
+            block: &ppd_lang::Block,
+            parent: Option<(StmtId, bool)>,
+            out: &mut HashMap<StmtId, Option<(StmtId, bool)>>,
+        ) {
+            for stmt in &block.stmts {
+                out.insert(stmt.id, parent);
+                match &stmt.kind {
+                    StmtKind::If { then_blk, else_blk, .. } => {
+                        go(then_blk, Some((stmt.id, true)), out);
+                        if let Some(e) = else_blk {
+                            go(e, Some((stmt.id, false)), out);
+                        }
+                    }
+                    StmtKind::While { body, .. } => go(body, Some((stmt.id, true)), out),
+                    StmtKind::For { init, step, body, .. } => {
+                        if let Some(i) = init {
+                            out.insert(i.id, parent);
+                        }
+                        if let Some(s) = step {
+                            out.insert(s.id, Some((stmt.id, true)));
+                        }
+                        go(body, Some((stmt.id, true)), out);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        go(rp.body_block(body), None, &mut out);
+        out
+    }
+
+    /// FOW result must contain exactly the syntactic parent for every
+    /// statement of a structured program (plus loop self-dependences).
+    fn check_against_oracle(src: &str, body_name: &str) {
+        let (rp, body, _cfg, cd) = analyze(src, body_name);
+        let oracle = syntactic_parent_chain(&rp, body);
+        let mut checked = 0;
+        walk_stmts(rp.body_block(body), &mut |stmt| {
+            let expected = oracle.get(&stmt.id).copied().flatten();
+            let got = cd.parents(stmt.id);
+            match expected {
+                None => {
+                    // Only a self-dependence (loop header) is allowed.
+                    for &(p, _) in got {
+                        assert_eq!(
+                            p, stmt.id,
+                            "{}: unexpected parent for entry-level stmt",
+                            stmt.id
+                        );
+                    }
+                }
+                Some((parent, pol)) => {
+                    assert!(
+                        got.contains(&(parent, pol)),
+                        "{}: expected parent {parent} pol {pol}, got {got:?}",
+                        stmt.id
+                    );
+                }
+            }
+            checked += 1;
+        });
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn if_then_else_polarity() {
+        let (rp, body, _, cd) = analyze(
+            "process M { int d = 1; if (d > 0) { d = 2; } else { d = 3; } print(d); }",
+            "M",
+        );
+        let stmts: Vec<StmtId> = {
+            let mut v = Vec::new();
+            walk_stmts(rp.body_block(body), &mut |s| v.push(s.id));
+            v
+        };
+        // stmts: [decl d, if, then-assign, else-assign, print]
+        let (if_s, then_s, else_s, print_s) = (stmts[1], stmts[2], stmts[3], stmts[4]);
+        assert_eq!(cd.parents(then_s), &[(if_s, true)]);
+        assert_eq!(cd.parents(else_s), &[(if_s, false)]);
+        assert!(cd.is_entry_dependent(print_s));
+        assert!(cd.is_entry_dependent(if_s));
+    }
+
+    #[test]
+    fn while_header_self_dependence() {
+        let (rp, body, _, cd) = analyze("process M { int i = 3; while (i) { i = i - 1; } }", "M");
+        let stmts: Vec<StmtId> = {
+            let mut v = Vec::new();
+            walk_stmts(rp.body_block(body), &mut |s| v.push(s.id));
+            v
+        };
+        let (wh, inner) = (stmts[1], stmts[2]);
+        assert_eq!(cd.parents(inner), &[(wh, true)]);
+        // Loop header depends on itself: iteration k+1 only happens if
+        // iteration k's predicate was true.
+        assert!(cd.parents(wh).contains(&(wh, true)));
+    }
+
+    #[test]
+    fn matches_syntactic_oracle_on_nested_programs() {
+        check_against_oracle(
+            "process M { int a = 1; if (a) { if (a > 1) { a = 2; } else { a = 3; } } \
+             while (a) { a = a - 1; if (a == 1) { a = 0; } } print(a); }",
+            "M",
+        );
+        check_against_oracle(
+            "int f(int n) { int s = 0; int i; for (i = 0; i < n; i = i + 1) \
+             { if (i % 2) { s = s + i; } } return s; } process M { print(f(5)); }",
+            "f",
+        );
+    }
+
+    #[test]
+    fn fig53_foo3_structure() {
+        // Figure 5.3's foo3: the SV assignment is on the false (else) arm
+        // of the outer predicate.
+        let rp = ppd_lang::corpus::FIG_5_3.compile();
+        let body = BodyId::Func(rp.func_by_name("foo3").unwrap());
+        let cfg = Cfg::build(&rp, body).unwrap();
+        let pdom = DomTree::postdominators(&cfg);
+        let cd = ControlDeps::compute(&cfg, &pdom);
+        // Find the statement that assigns SV.
+        let mut sv_stmt = None;
+        let mut outer_if = None;
+        walk_stmts(rp.body_block(body), &mut |s| match &s.kind {
+            StmtKind::Assign { target, .. } => {
+                let v = rp.expr_var[&target.id];
+                if rp.var_name(v) == "SV" {
+                    sv_stmt = Some(s.id);
+                }
+            }
+            StmtKind::If { .. } if outer_if.is_none() => outer_if = Some(s.id),
+            _ => {}
+        });
+        let parents = cd.parents(sv_stmt.unwrap());
+        assert_eq!(parents, &[(outer_if.unwrap(), false)]);
+    }
+}

@@ -1,0 +1,217 @@
+//! The program database (§3.2.1, §4.1).
+//!
+//! "The program database contains information on the program text such as
+//! the places where an identifier is defined or used" — plus the results
+//! of the semantic analyses ("the set of variables that may be used or
+//! modified when invoking a subroutine"). The PPD Controller consults it
+//! when deciding which log interval can supply a requested dependence.
+
+use crate::interproc::ModRef;
+use crate::usedef::ProgramEffects;
+use crate::varset::{VarSet, VarSetRepr};
+use ppd_lang::ast::walk_stmts;
+use ppd_lang::{BodyId, ResolvedProgram, Span, StmtId, VarId};
+use std::collections::HashMap;
+
+/// A reference to a program-text site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteRef {
+    /// The statement at the site.
+    pub stmt: StmtId,
+    /// The body containing it.
+    pub body: BodyId,
+    /// Its source span.
+    pub span: Span,
+}
+
+/// The program database.
+#[derive(Debug, Clone)]
+pub struct ProgramDatabase {
+    def_sites: HashMap<VarId, Vec<SiteRef>>,
+    use_sites: HashMap<VarId, Vec<SiteRef>>,
+    body_of: HashMap<StmtId, BodyId>,
+    span_of: HashMap<StmtId, Span>,
+    /// Bodies that may write each shared variable (from GMOD).
+    shared_writers: HashMap<VarId, Vec<BodyId>>,
+    /// Bodies that may read each shared variable (from GREF).
+    shared_readers: HashMap<VarId, Vec<BodyId>>,
+}
+
+impl ProgramDatabase {
+    /// Builds the database from the per-statement effects and the
+    /// interprocedural summaries.
+    pub fn build(
+        rp: &ResolvedProgram,
+        effects: &ProgramEffects,
+        modref: &ModRef,
+    ) -> ProgramDatabase {
+        let mut db = ProgramDatabase {
+            def_sites: HashMap::new(),
+            use_sites: HashMap::new(),
+            body_of: HashMap::new(),
+            span_of: HashMap::new(),
+            shared_writers: HashMap::new(),
+            shared_readers: HashMap::new(),
+        };
+        for body in rp.bodies() {
+            walk_stmts(rp.body_block(body), &mut |stmt| {
+                db.body_of.insert(stmt.id, body);
+                db.span_of.insert(stmt.id, stmt.span);
+                let site = SiteRef { stmt: stmt.id, body, span: stmt.span };
+                let fx = effects.of(stmt.id);
+                for v in fx.defs.to_vec() {
+                    db.def_sites.entry(v).or_default().push(site);
+                }
+                for v in fx.uses.to_vec() {
+                    db.use_sites.entry(v).or_default().push(site);
+                }
+            });
+            for v in modref.gmod(body).to_vec() {
+                db.shared_writers.entry(v).or_default().push(body);
+            }
+            for v in modref.gref(body).to_vec() {
+                db.shared_readers.entry(v).or_default().push(body);
+            }
+        }
+        db
+    }
+
+    /// All statements that may write `var`.
+    pub fn defs_of(&self, var: VarId) -> &[SiteRef] {
+        self.def_sites.get(&var).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All statements that may read `var`.
+    pub fn uses_of(&self, var: VarId) -> &[SiteRef] {
+        self.use_sites.get(&var).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The body containing `stmt`.
+    pub fn body_of(&self, stmt: StmtId) -> Option<BodyId> {
+        self.body_of.get(&stmt).copied()
+    }
+
+    /// The source span of `stmt`.
+    pub fn span_of(&self, stmt: StmtId) -> Option<Span> {
+        self.span_of.get(&stmt).copied()
+    }
+
+    /// The source line of `stmt` (1-based), if known.
+    pub fn line_of(&self, stmt: StmtId) -> Option<u32> {
+        self.span_of(stmt).map(|s| s.line)
+    }
+
+    /// All statements starting on source line `line` — how a debugger
+    /// UI maps "break at line N" to statements.
+    pub fn stmts_at_line(&self, line: u32) -> Vec<StmtId> {
+        let mut out: Vec<StmtId> = self
+            .span_of
+            .iter()
+            .filter(|(_, span)| span.line == line)
+            .map(|(&stmt, _)| stmt)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Bodies whose execution may write the shared variable `var` —
+    /// where the Controller looks when a dependence crosses process
+    /// boundaries (§5.6).
+    pub fn shared_writers(&self, var: VarId) -> &[BodyId] {
+        self.shared_writers.get(&var).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Bodies whose execution may read the shared variable `var`.
+    pub fn shared_readers(&self, var: VarId) -> &[BodyId] {
+        self.shared_readers.get(&var).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The variables both read and written somewhere — a quick index the
+    /// race detector uses to prune candidates.
+    pub fn read_write_vars(&self, rp: &ResolvedProgram) -> VarSet {
+        let mut out = VarSet::empty(rp.var_count());
+        for &v in self.def_sites.keys() {
+            if self.use_sites.contains_key(&v) {
+                out.insert(v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+
+    fn build(src: &str) -> (ResolvedProgram, ProgramDatabase) {
+        let rp = ppd_lang::compile(src).unwrap();
+        let effects = ProgramEffects::compute(&rp);
+        let cg = CallGraph::build(&rp, &effects);
+        let mr = ModRef::compute(&rp, &effects, &cg);
+        let db = ProgramDatabase::build(&rp, &effects, &mr);
+        (rp, db)
+    }
+
+    fn var(rp: &ResolvedProgram, name: &str) -> VarId {
+        (0..rp.var_count() as u32)
+            .map(VarId)
+            .find(|v| rp.var_name(*v) == name)
+            .unwrap()
+    }
+
+    #[test]
+    fn def_and_use_sites_recorded() {
+        let (rp, db) = build("shared int x; process M { x = 1; print(x); x = 2; }");
+        let x = var(&rp, "x");
+        assert_eq!(db.defs_of(x).len(), 2);
+        assert_eq!(db.uses_of(x).len(), 1);
+    }
+
+    #[test]
+    fn sites_carry_body_and_span() {
+        let (rp, db) = build("shared int x; process M { x = 7; }");
+        let x = var(&rp, "x");
+        let site = db.defs_of(x)[0];
+        assert_eq!(rp.body_name(site.body), "M");
+        assert_eq!(db.body_of(site.stmt), Some(site.body));
+        assert!(db.line_of(site.stmt).is_some());
+    }
+
+    #[test]
+    fn shared_writer_index_is_interprocedural() {
+        let (rp, db) = build(
+            "shared int g; void w() { g = 1; } process A { w(); } process B { print(g); }",
+        );
+        let g = var(&rp, "g");
+        let writers: Vec<&str> =
+            db.shared_writers(g).iter().map(|b| rp.body_name(*b)).collect();
+        // w writes directly; A inherits through the call.
+        assert!(writers.contains(&"w"));
+        assert!(writers.contains(&"A"));
+        assert!(!writers.contains(&"B"));
+        let readers: Vec<&str> =
+            db.shared_readers(g).iter().map(|b| rp.body_name(*b)).collect();
+        assert!(readers.contains(&"B"));
+    }
+
+    #[test]
+    fn read_write_vars_requires_both() {
+        let (rp, db) = build(
+            "shared int rw; shared int wo; shared int ro = 1; \
+             process M { rw = rw + 1; wo = 2; print(ro); }",
+        );
+        let set = db.read_write_vars(&rp);
+        assert!(set.contains(var(&rp, "rw")));
+        assert!(!set.contains(var(&rp, "wo")));
+        assert!(!set.contains(var(&rp, "ro")));
+    }
+
+    #[test]
+    fn unused_variable_has_no_sites() {
+        let (rp, db) = build("shared int unused; process M { print(1); }");
+        let u = var(&rp, "unused");
+        assert!(db.defs_of(u).is_empty());
+        assert!(db.uses_of(u).is_empty());
+    }
+}

@@ -1,0 +1,263 @@
+//! Dominator and postdominator trees (Cooper–Harvey–Kennedy).
+//!
+//! Postdominators drive the control-dependence computation of the static
+//! program dependence graph (§4.1); dominators are exposed for
+//! completeness and for validating CFG structure in tests.
+
+use crate::cfg::{Cfg, NodeId};
+
+/// A dominator (or postdominator) tree over one CFG.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// `idom[n]` is the immediate (post)dominator of `n`; `None` for the
+    /// root and for nodes the root cannot reach.
+    idom: Vec<Option<NodeId>>,
+    root: NodeId,
+}
+
+impl DomTree {
+    /// Computes the dominator tree (root = entry, forward edges).
+    pub fn dominators(cfg: &Cfg) -> DomTree {
+        let order = cfg.reverse_postorder();
+        Self::compute(cfg.len(), cfg.entry(), &order, |n| {
+            cfg.preds(n).collect::<Vec<_>>()
+        })
+    }
+
+    /// Computes the postdominator tree (root = exit, reversed edges).
+    ///
+    /// Nodes from which the exit is unreachable (e.g. bodies of `for(;;)`
+    /// loops with no `return`) have no immediate postdominator.
+    pub fn postdominators(cfg: &Cfg) -> DomTree {
+        // Reverse postorder of the reversed CFG, via DFS from exit.
+        let mut visited = vec![false; cfg.len()];
+        let mut order = Vec::with_capacity(cfg.len());
+        let mut stack = vec![(cfg.exit(), 0usize)];
+        visited[cfg.exit().index()] = true;
+        while let Some((node, i)) = stack.pop() {
+            let preds: Vec<NodeId> = cfg.preds(node).collect();
+            if i < preds.len() {
+                stack.push((node, i + 1));
+                let next = preds[i];
+                if !visited[next.index()] {
+                    visited[next.index()] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                order.push(node);
+            }
+        }
+        order.reverse();
+        Self::compute(cfg.len(), cfg.exit(), &order, |n| {
+            cfg.succs(n).collect::<Vec<_>>()
+        })
+    }
+
+    /// The Cooper–Harvey–Kennedy iterative algorithm, parameterized over
+    /// edge direction: `preds_of` returns the predecessors in the
+    /// direction being solved.
+    fn compute(
+        n_nodes: usize,
+        root: NodeId,
+        rpo: &[NodeId],
+        preds_of: impl Fn(NodeId) -> Vec<NodeId>,
+    ) -> DomTree {
+        let mut rpo_pos = vec![usize::MAX; n_nodes];
+        for (i, n) in rpo.iter().enumerate() {
+            rpo_pos[n.index()] = i;
+        }
+        let mut idom: Vec<Option<NodeId>> = vec![None; n_nodes];
+        idom[root.index()] = Some(root);
+
+        let intersect = |idom: &[Option<NodeId>], mut a: NodeId, mut b: NodeId| {
+            while a != b {
+                while rpo_pos[a.index()] > rpo_pos[b.index()] {
+                    a = idom[a.index()].expect("processed node has idom");
+                }
+                while rpo_pos[b.index()] > rpo_pos[a.index()] {
+                    b = idom[b.index()].expect("processed node has idom");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &node in rpo.iter().skip(1) {
+                let preds = preds_of(node);
+                let mut new_idom: Option<NodeId> = None;
+                for p in preds {
+                    if rpo_pos[p.index()] == usize::MAX || idom[p.index()].is_none() {
+                        continue; // unreachable in this direction
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if new_idom.is_some() && idom[node.index()] != new_idom {
+                    idom[node.index()] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        // The root's self-idom is an algorithmic fiction; expose None.
+        idom[root.index()] = None;
+        DomTree { idom, root }
+    }
+
+    /// The tree root (entry for dominators, exit for postdominators).
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Immediate (post)dominator of `n`, or `None` for the root and for
+    /// nodes outside the solved region.
+    pub fn idom(&self, n: NodeId) -> Option<NodeId> {
+        if n == self.root {
+            None
+        } else {
+            self.idom[n.index()]
+        }
+    }
+
+    /// Whether `a` (post)dominates `b` (reflexive).
+    pub fn dominates(&self, a: NodeId, b: NodeId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(next) => cur = next,
+                None => return cur == a,
+            }
+        }
+    }
+
+    /// Whether `a` strictly (post)dominates `b`.
+    pub fn strictly_dominates(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && self.dominates(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppd_lang::compile;
+    use ppd_lang::BodyId;
+
+    fn build(src: &str, name: &str) -> (Cfg, DomTree, DomTree) {
+        let rp = compile(src).unwrap();
+        let body: BodyId = rp
+            .bodies()
+            .into_iter()
+            .find(|b| rp.body_name(*b) == name)
+            .unwrap();
+        let cfg = Cfg::build(&rp, body).unwrap();
+        let dom = DomTree::dominators(&cfg);
+        let pdom = DomTree::postdominators(&cfg);
+        (cfg, dom, pdom)
+    }
+
+    #[test]
+    fn entry_dominates_everything_reachable() {
+        let (cfg, dom, _) = build(
+            "process M { int x = 1; if (x) { x = 2; } else { x = 3; } print(x); }",
+            "M",
+        );
+        for n in cfg.reverse_postorder() {
+            assert!(dom.dominates(cfg.entry(), n), "{n} not dominated by entry");
+        }
+    }
+
+    #[test]
+    fn exit_postdominates_everything_on_terminating_paths() {
+        let (cfg, _, pdom) = build(
+            "process M { int x = 1; while (x < 5) { x = x + 1; } print(x); }",
+            "M",
+        );
+        for n in cfg.reverse_postorder() {
+            assert!(pdom.dominates(cfg.exit(), n));
+        }
+    }
+
+    #[test]
+    fn branch_join_is_idom_boundary() {
+        // entry(0) d1(1) if(2) then(3) else(4) print(5) exit(6)
+        let (cfg, dom, pdom) = build(
+            "process M { int x = 1; if (x) { x = 2; } else { x = 3; } print(x); }",
+            "M",
+        );
+        let branch = cfg
+            .nodes()
+            .iter()
+            .position(|n| n.succs.len() == 2)
+            .map(|i| NodeId(i as u32))
+            .unwrap();
+        let join = cfg
+            .nodes()
+            .iter()
+            .position(|n| n.preds.len() == 2)
+            .map(|i| NodeId(i as u32))
+            .unwrap();
+        // The two arms are dominated by the branch, and the join's idom is
+        // the branch (not an arm).
+        assert_eq!(dom.idom(join), Some(branch));
+        // The branch's immediate postdominator is the join.
+        assert_eq!(pdom.idom(branch), Some(join));
+        // Arms do not postdominate the branch.
+        for s in cfg.succs(branch) {
+            assert!(!pdom.dominates(s, branch));
+        }
+    }
+
+    #[test]
+    fn loop_body_does_not_postdominate_condition() {
+        let (cfg, _, pdom) = build("process M { int i = 4; while (i) { i = i - 1; } }", "M");
+        let cond = cfg
+            .nodes()
+            .iter()
+            .position(|n| n.succs.len() == 2)
+            .map(|i| NodeId(i as u32))
+            .unwrap();
+        let body = cfg
+            .succs(cond)
+            .find(|s| cfg.node(*s).succs.iter().any(|(t, _)| *t == cond))
+            .unwrap();
+        assert!(!pdom.dominates(body, cond));
+        assert!(pdom.dominates(cfg.exit(), cond));
+    }
+
+    #[test]
+    fn infinite_loop_nodes_lack_postdominator_path() {
+        let (cfg, _, pdom) = build("process M { int i = 0; for (;;) { i = i + 1; } }", "M");
+        // The loop body never reaches exit, so exit does not postdominate it.
+        let in_loop = cfg
+            .nodes()
+            .iter()
+            .enumerate()
+            .find(|(_, n)| {
+                matches!(n.kind, crate::cfg::CfgNodeKind::Stmt(_)) && !n.succs.is_empty()
+            })
+            .map(|(i, _)| NodeId(i as u32))
+            .unwrap();
+        assert!(!pdom.dominates(cfg.exit(), in_loop));
+    }
+
+    #[test]
+    fn dominance_is_antisymmetric_for_distinct_nodes() {
+        let (cfg, dom, _) = build(
+            "process M { int a = 1; int b = 2; if (a < b) { a = b; } print(a); }",
+            "M",
+        );
+        for x in cfg.reverse_postorder() {
+            for y in cfg.reverse_postorder() {
+                if x != y && dom.strictly_dominates(x, y) {
+                    assert!(!dom.strictly_dominates(y, x));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Interprocedural MOD/REF analysis (§5.1, after Cooper–Kennedy \[2\]).
+//!
+//! For every body we compute **GMOD** — the shared variables the body may
+//! write, directly or through any chain of calls — and **GREF**, the
+//! shared variables it may read. Only *shared* variables propagate across
+//! call boundaries: callee locals are invisible to callers, and argument
+//! evaluation happens at the call site (so it is charged to the caller's
+//! own direct effects).
+//!
+//! These closures size the prelogs and postlogs of §5.1: an e-block's
+//! prelog must cover everything that may be read during its log interval,
+//! including reads performed inside callees.
+
+use crate::callgraph::CallGraph;
+use crate::usedef::ProgramEffects;
+use crate::varset::{VarSet, VarSetRepr};
+use ppd_lang::ast::walk_stmts;
+use ppd_lang::{BodyId, ResolvedProgram};
+use std::collections::HashMap;
+
+/// GMOD/GREF for every body.
+#[derive(Debug, Clone)]
+pub struct ModRef {
+    gmod: HashMap<BodyId, VarSet>,
+    gref: HashMap<BodyId, VarSet>,
+}
+
+impl ModRef {
+    /// Computes GMOD/GREF by a bottom-up fixpoint over call-graph SCCs.
+    pub fn compute(
+        rp: &ResolvedProgram,
+        effects: &ProgramEffects,
+        callgraph: &CallGraph,
+    ) -> ModRef {
+        let universe = rp.var_count();
+        // Direct shared effects per body.
+        let mut dmod: HashMap<BodyId, VarSet> = HashMap::new();
+        let mut dref: HashMap<BodyId, VarSet> = HashMap::new();
+        for &body in callgraph.bodies() {
+            let mut m = VarSet::empty(universe);
+            let mut r = VarSet::empty(universe);
+            walk_stmts(rp.body_block(body), &mut |stmt| {
+                let fx = effects.of(stmt.id);
+                for v in fx.defs.to_vec() {
+                    if rp.is_shared(v) {
+                        m.insert(v);
+                    }
+                }
+                for v in fx.uses.to_vec() {
+                    if rp.is_shared(v) {
+                        r.insert(v);
+                    }
+                }
+            });
+            dmod.insert(body, m);
+            dref.insert(body, r);
+        }
+
+        let mut gmod = dmod.clone();
+        let mut gref = dref.clone();
+
+        // Bottom-up over SCCs; iterate inside each SCC to a fixpoint
+        // (handles recursion and mutual recursion).
+        for scc in callgraph.sccs_bottom_up() {
+            loop {
+                let mut changed = false;
+                for &body in &scc {
+                    let mut m_acc = gmod[&body].clone();
+                    let mut r_acc = gref[&body].clone();
+                    for callee in callgraph.callees(body) {
+                        m_acc.union_with(&gmod[&callee]);
+                        r_acc.union_with(&gref[&callee]);
+                    }
+                    if m_acc != gmod[&body] {
+                        gmod.insert(body, m_acc);
+                        changed = true;
+                    }
+                    if r_acc != gref[&body] {
+                        gref.insert(body, r_acc);
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+        ModRef { gmod, gref }
+    }
+
+    /// Shared variables `body` may write (transitively).
+    pub fn gmod(&self, body: BodyId) -> &VarSet {
+        &self.gmod[&body]
+    }
+
+    /// Shared variables `body` may read (transitively).
+    pub fn gref(&self, body: BodyId) -> &VarSet {
+        &self.gref[&body]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppd_lang::compile;
+
+    fn modref(src: &str) -> (ResolvedProgram, ModRef) {
+        let rp = compile(src).unwrap();
+        let fx = ProgramEffects::compute(&rp);
+        let cg = CallGraph::build(&rp, &fx);
+        let mr = ModRef::compute(&rp, &fx, &cg);
+        (rp, mr)
+    }
+
+    fn set_names(rp: &ResolvedProgram, s: &VarSet) -> Vec<String> {
+        s.to_vec().iter().map(|v| rp.var_name(*v).to_owned()).collect()
+    }
+
+    #[test]
+    fn direct_shared_effects() {
+        let (rp, mr) = modref("shared int x; shared int y; process M { x = y; }");
+        let m = BodyId::Proc(rp.proc_by_name("M").unwrap());
+        assert_eq!(set_names(&rp, mr.gmod(m)), vec!["x"]);
+        assert_eq!(set_names(&rp, mr.gref(m)), vec!["y"]);
+    }
+
+    #[test]
+    fn effects_propagate_up_call_chain() {
+        let (rp, mr) = modref(
+            "shared int g; shared int h; \
+             void leaf() { g = h + 1; } \
+             void mid() { leaf(); } \
+             process M { mid(); }",
+        );
+        let m = BodyId::Proc(rp.proc_by_name("M").unwrap());
+        assert_eq!(set_names(&rp, mr.gmod(m)), vec!["g"]);
+        assert_eq!(set_names(&rp, mr.gref(m)), vec!["h"]);
+        let mid = BodyId::Func(rp.func_by_name("mid").unwrap());
+        assert_eq!(set_names(&rp, mr.gmod(mid)), vec!["g"]);
+    }
+
+    #[test]
+    fn locals_do_not_propagate() {
+        let (rp, mr) = modref(
+            "shared int g; int f() { int local = 3; return local + g; } \
+             process M { print(f()); }",
+        );
+        let m = BodyId::Proc(rp.proc_by_name("M").unwrap());
+        // Only the shared g is visible; `local` and the caller's temps are not.
+        assert_eq!(set_names(&rp, mr.gref(m)), vec!["g"]);
+        assert!(mr.gmod(m).is_empty());
+    }
+
+    #[test]
+    fn recursion_converges() {
+        let (rp, mr) = modref(
+            "shared int acc; \
+             int down(int n) { if (n <= 0) { return acc; } acc = acc + n; return down(n - 1); } \
+             process M { print(down(3)); }",
+        );
+        let f = BodyId::Func(rp.func_by_name("down").unwrap());
+        assert_eq!(set_names(&rp, mr.gmod(f)), vec!["acc"]);
+        assert_eq!(set_names(&rp, mr.gref(f)), vec!["acc"]);
+    }
+
+    #[test]
+    fn mutual_recursion_unions_both() {
+        let (rp, mr) = modref(
+            "shared int a; shared int b; \
+             void pa(int n) { a = a + 1; if (n > 0) { pb(n - 1); } } \
+             void pb(int n) { b = b + 1; if (n > 0) { pa(n - 1); } } \
+             process M { pa(4); }",
+        );
+        let fa = BodyId::Func(rp.func_by_name("pa").unwrap());
+        let fb = BodyId::Func(rp.func_by_name("pb").unwrap());
+        assert_eq!(set_names(&rp, mr.gmod(fa)), vec!["a", "b"]);
+        assert_eq!(set_names(&rp, mr.gmod(fb)), vec!["a", "b"]);
+        let m = BodyId::Proc(rp.proc_by_name("M").unwrap());
+        assert_eq!(set_names(&rp, mr.gmod(m)), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn fig53_foo3_mods_sv() {
+        let rp = ppd_lang::corpus::FIG_5_3.compile();
+        let fx = ProgramEffects::compute(&rp);
+        let cg = CallGraph::build(&rp, &fx);
+        let mr = ModRef::compute(&rp, &fx, &cg);
+        let foo3 = BodyId::Func(rp.func_by_name("foo3").unwrap());
+        assert_eq!(set_names(&rp, mr.gmod(foo3)), vec!["SV"]);
+        assert_eq!(set_names(&rp, mr.gref(foo3)), vec!["SV"]);
+        // Both caller processes inherit the effect.
+        let p1 = BodyId::Proc(rp.proc_by_name("P1").unwrap());
+        assert_eq!(set_names(&rp, mr.gmod(p1)), vec!["SV"]);
+    }
+}

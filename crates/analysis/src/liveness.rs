@@ -1,0 +1,219 @@
+//! Live-variable analysis (backward may-analysis).
+//!
+//! Used to trim prelogs: a variable only needs its value saved at an
+//! e-block entry if it may be read before being overwritten — i.e. if it
+//! is *live* at the entry. This is the classic analysis the paper cites
+//! among "data flow analysis commonly used in optimizing compilers" (§1).
+
+use crate::cfg::{Cfg, CfgNodeKind, NodeId};
+use crate::dataflow::{self, DataflowProblem, Direction};
+use crate::interproc::ModRef;
+use crate::usedef::ProgramEffects;
+use crate::varset::{VarSet, VarSetRepr};
+use ppd_lang::{BodyId, ResolvedProgram, VarId};
+
+/// Solved liveness for one body.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    live_in: Vec<VarSet>,
+    live_out: Vec<VarSet>,
+}
+
+impl Liveness {
+    /// Computes liveness for `body`'s CFG.
+    ///
+    /// Shared variables are treated as live at exit (another process may
+    /// read them); call sites add the callees' GREF to their uses and
+    /// their GMOD as weak (non-killing) defs.
+    pub fn compute(
+        rp: &ResolvedProgram,
+        cfg: &Cfg,
+        effects: &ProgramEffects,
+        modref: &ModRef,
+    ) -> Liveness {
+        let universe = rp.var_count();
+        let mut uses: Vec<VarSet> = vec![VarSet::empty(universe); cfg.len()];
+        let mut strong_defs: Vec<VarSet> = vec![VarSet::empty(universe); cfg.len()];
+        for (i, node) in cfg.nodes().iter().enumerate() {
+            let CfgNodeKind::Stmt(stmt) = node.kind else { continue };
+            let fx = effects.of(stmt);
+            uses[i] = fx.uses.clone();
+            let mut strong = fx.defs.clone();
+            strong.subtract(&fx.weak_defs);
+            for &callee in &fx.calls {
+                uses[i].union_with(modref.gref(BodyId::Func(callee)));
+                // GMOD is a may-write: not a kill.
+            }
+            strong_defs[i] = strong;
+        }
+        // Everything shared is live at exit.
+        let mut boundary = VarSet::empty(universe);
+        for v in rp.shared_vars() {
+            boundary.insert(v);
+        }
+        let problem = Problem { uses, strong_defs, boundary, universe };
+        let sol = dataflow::solve(cfg, &problem);
+        Liveness { live_in: sol.in_facts, live_out: sol.out_facts }
+    }
+
+    /// Variables live on entry to `node`.
+    pub fn live_in(&self, node: NodeId) -> &VarSet {
+        &self.live_in[node.index()]
+    }
+
+    /// Variables live on exit from `node`.
+    pub fn live_out(&self, node: NodeId) -> &VarSet {
+        &self.live_out[node.index()]
+    }
+
+    /// Whether `var` is live on entry to `node`.
+    pub fn is_live_in(&self, node: NodeId, var: VarId) -> bool {
+        self.live_in[node.index()].contains(var)
+    }
+}
+
+struct Problem {
+    uses: Vec<VarSet>,
+    strong_defs: Vec<VarSet>,
+    boundary: VarSet,
+    universe: usize,
+}
+
+impl DataflowProblem for Problem {
+    type Fact = VarSet;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn boundary_fact(&self) -> VarSet {
+        self.boundary.clone()
+    }
+
+    fn initial_fact(&self) -> VarSet {
+        VarSet::empty(self.universe)
+    }
+
+    fn transfer(&self, node: NodeId, fact: &VarSet) -> VarSet {
+        let mut live = fact.clone();
+        live.subtract(&self.strong_defs[node.index()]);
+        live.union_with(&self.uses[node.index()]);
+        live
+    }
+
+    fn join(&self, into: &mut VarSet, other: &VarSet) -> bool {
+        into.union_with(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+    use ppd_lang::ast::walk_stmts;
+    use ppd_lang::{compile, StmtId};
+
+    struct Ctx {
+        rp: ResolvedProgram,
+        cfg: Cfg,
+        live: Liveness,
+        stmts: Vec<StmtId>,
+    }
+
+    fn analyze(src: &str, body_name: &str) -> Ctx {
+        let rp = compile(src).unwrap();
+        let effects = ProgramEffects::compute(&rp);
+        let cg = CallGraph::build(&rp, &effects);
+        let mr = ModRef::compute(&rp, &effects, &cg);
+        let body = rp
+            .bodies()
+            .into_iter()
+            .find(|b| rp.body_name(*b) == body_name)
+            .unwrap();
+        let cfg = Cfg::build(&rp, body).unwrap();
+        let live = Liveness::compute(&rp, &cfg, &effects, &mr);
+        let mut stmts = Vec::new();
+        walk_stmts(rp.body_block(body), &mut |s| stmts.push(s.id));
+        Ctx { rp, cfg, live, stmts }
+    }
+
+    fn var(ctx: &Ctx, name: &str) -> VarId {
+        (0..ctx.rp.var_count() as u32)
+            .map(VarId)
+            .find(|v| ctx.rp.var_name(*v) == name)
+            .unwrap()
+    }
+
+    #[test]
+    fn dead_after_last_use() {
+        let ctx = analyze("process M { int x = 1; print(x); int y = 2; print(y); }", "M");
+        let x = var(&ctx, "x");
+        let n_print_x = ctx.cfg.node_of(ctx.stmts[1]).unwrap();
+        let n_decl_y = ctx.cfg.node_of(ctx.stmts[2]).unwrap();
+        assert!(ctx.live.is_live_in(n_print_x, x));
+        assert!(!ctx.live.is_live_in(n_decl_y, x), "x dead after its last use");
+    }
+
+    #[test]
+    fn live_through_branch() {
+        let ctx = analyze(
+            "process M { int x = 1; int c = input(); if (c) { print(0); } print(x); }",
+            "M",
+        );
+        let x = var(&ctx, "x");
+        let if_node = ctx.cfg.node_of(ctx.stmts[2]).unwrap();
+        assert!(ctx.live.is_live_in(if_node, x));
+    }
+
+    #[test]
+    fn loop_variable_live_at_header() {
+        let ctx = analyze("process M { int i = 3; while (i > 0) { i = i - 1; } }", "M");
+        let i = var(&ctx, "i");
+        let header = ctx.cfg.node_of(ctx.stmts[1]).unwrap();
+        assert!(ctx.live.is_live_in(header, i));
+    }
+
+    #[test]
+    fn strong_redefinition_kills_liveness() {
+        let ctx = analyze("process M { int x = input(); x = 5; print(x); }", "M");
+        let x = var(&ctx, "x");
+        let assign = ctx.cfg.node_of(ctx.stmts[1]).unwrap();
+        // Before `x = 5`, the old x is not live (it is overwritten).
+        assert!(!ctx.live.is_live_in(assign, x));
+    }
+
+    #[test]
+    fn shared_variables_live_at_exit() {
+        let ctx = analyze("shared int g; process M { g = 1; }", "M");
+        let g = var(&ctx, "g");
+        assert!(ctx.live.live_out[ctx.cfg.exit().index()].contains(g));
+        // And therefore live out of the assignment too.
+        let assign = ctx.cfg.node_of(ctx.stmts[0]).unwrap();
+        assert!(ctx.live.live_out[assign.index()].contains(g));
+    }
+
+    #[test]
+    fn call_gref_counts_as_use() {
+        let ctx = analyze(
+            "shared int g; int f() { return g; } process M { int x = 1; g = x; print(f()); }",
+            "M",
+        );
+        let g = var(&ctx, "g");
+        let print_call = ctx.cfg.node_of(ctx.stmts[2]).unwrap();
+        assert!(ctx.live.is_live_in(print_call, g), "callee reads g");
+    }
+
+    #[test]
+    fn array_weak_def_does_not_kill() {
+        let ctx = analyze(
+            "shared int a[4]; process M { int s = a[3]; a[0] = 1; print(a[2] + s); }",
+            "M",
+        );
+        let a = var(&ctx, "a");
+        let first = ctx.cfg.node_of(ctx.stmts[0]).unwrap();
+        // `a` stays live across the weak store a[0] = 1.
+        assert!(ctx.live.is_live_in(first, a));
+        let store = ctx.cfg.node_of(ctx.stmts[1]).unwrap();
+        assert!(ctx.live.is_live_in(store, a));
+    }
+}

@@ -1,0 +1,313 @@
+//! Reaching definitions — the static data-dependence edges of the
+//! static program dependence graph (§4.1).
+//!
+//! Definition sites are statements that write a variable (plus pseudo
+//! definitions at `Entry` for parameters and shared variables, whose
+//! values arrive from outside the body). A *strong* definition (scalar
+//! assignment) kills previous definitions of the same variable; a *weak*
+//! definition (array-element store, call-site GMOD effect) does not.
+
+use crate::cfg::{Cfg, CfgNodeKind, NodeId};
+use crate::dataflow::{self, BitSet, DataflowProblem, Direction};
+use crate::interproc::ModRef;
+use crate::usedef::ProgramEffects;
+use crate::varset::VarSetRepr;
+use ppd_lang::{BodyId, ResolvedProgram, StmtId, VarId};
+use std::collections::HashMap;
+
+/// One definition site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DefSite {
+    /// CFG node performing the definition (`Entry` for pseudo defs).
+    pub node: NodeId,
+    /// The defining statement, or `None` for entry pseudo-definitions.
+    pub stmt: Option<StmtId>,
+    /// The variable defined.
+    pub var: VarId,
+    /// Whether this definition kills previous ones.
+    pub strong: bool,
+}
+
+/// Solved reaching definitions for one body.
+#[derive(Debug, Clone)]
+pub struct ReachingDefs {
+    sites: Vec<DefSite>,
+    /// For each node, the definitions reaching its *entry*.
+    reach_in: Vec<BitSet>,
+    /// Sites indexed by variable for quick filtering.
+    by_var: HashMap<VarId, Vec<usize>>,
+}
+
+impl ReachingDefs {
+    /// Computes reaching definitions for `body`.
+    ///
+    /// Call-site effects: a statement that calls functions gets weak
+    /// definitions of every shared variable in the callees' GMOD — the
+    /// call may or may not write them.
+    pub fn compute(
+        rp: &ResolvedProgram,
+        cfg: &Cfg,
+        effects: &ProgramEffects,
+        modref: &ModRef,
+    ) -> ReachingDefs {
+        let mut sites: Vec<DefSite> = Vec::new();
+        let mut gen_sets: Vec<Vec<usize>> = vec![Vec::new(); cfg.len()];
+
+        // Pseudo definitions at entry: parameters and all shared vars.
+        let entry = cfg.entry();
+        let mut entry_vars: Vec<VarId> = rp.shared_vars().collect();
+        if let BodyId::Func(f) = cfg.body {
+            entry_vars.extend(rp.funcs[f.index()].params.iter().copied());
+        }
+        for var in entry_vars {
+            gen_sets[entry.index()].push(sites.len());
+            sites.push(DefSite { node: entry, stmt: None, var, strong: true });
+        }
+
+        for (i, node) in cfg.nodes().iter().enumerate() {
+            let CfgNodeKind::Stmt(stmt) = node.kind else { continue };
+            let nid = NodeId(i as u32);
+            let fx = effects.of(stmt);
+            for var in fx.defs.to_vec() {
+                let strong = !fx.weak_defs.contains(var);
+                gen_sets[i].push(sites.len());
+                sites.push(DefSite { node: nid, stmt: Some(stmt), var, strong });
+            }
+            // Call effects: weak defs of callees' GMOD.
+            for &callee in &fx.calls {
+                for var in modref.gmod(BodyId::Func(callee)).to_vec() {
+                    if fx.defs.contains(var) {
+                        continue; // already defined directly
+                    }
+                    gen_sets[i].push(sites.len());
+                    sites.push(DefSite { node: nid, stmt: Some(stmt), var, strong: false });
+                }
+            }
+        }
+
+        let mut by_var: HashMap<VarId, Vec<usize>> = HashMap::new();
+        for (i, site) in sites.iter().enumerate() {
+            by_var.entry(site.var).or_default().push(i);
+        }
+
+        // kill[node] = strong defs at node kill all other defs of the var.
+        let n_sites = sites.len();
+        let mut kill_sets: Vec<BitSet> = vec![BitSet::empty(n_sites); cfg.len()];
+        let mut gen_bits: Vec<BitSet> = vec![BitSet::empty(n_sites); cfg.len()];
+        for (i, gens) in gen_sets.iter().enumerate() {
+            for &site_ix in gens {
+                gen_bits[i].insert(site_ix);
+                let site = sites[site_ix];
+                if site.strong {
+                    for &other in &by_var[&site.var] {
+                        if other != site_ix {
+                            kill_sets[i].insert(other);
+                        }
+                    }
+                }
+            }
+        }
+
+        let problem = Problem { gen_bits, kill_sets, n_sites };
+        let sol = dataflow::solve(cfg, &problem);
+        ReachingDefs { sites, reach_in: sol.in_facts, by_var }
+    }
+
+    /// All definition sites.
+    pub fn sites(&self) -> &[DefSite] {
+        &self.sites
+    }
+
+    /// Definitions of `var` reaching the entry of `node`.
+    pub fn reaching(&self, node: NodeId, var: VarId) -> Vec<DefSite> {
+        let Some(candidates) = self.by_var.get(&var) else { return Vec::new() };
+        candidates
+            .iter()
+            .filter(|&&ix| self.reach_in[node.index()].contains(ix))
+            .map(|&ix| self.sites[ix])
+            .collect()
+    }
+
+    /// All static def→use pairs of the body:
+    /// `(defining stmt (None = entry), using stmt, variable)`.
+    pub fn du_pairs(
+        &self,
+        cfg: &Cfg,
+        effects: &ProgramEffects,
+    ) -> Vec<(Option<StmtId>, StmtId, VarId)> {
+        let mut out = Vec::new();
+        for (i, node) in cfg.nodes().iter().enumerate() {
+            let CfgNodeKind::Stmt(stmt) = node.kind else { continue };
+            let nid = NodeId(i as u32);
+            for var in effects.of(stmt).uses.to_vec() {
+                for site in self.reaching(nid, var) {
+                    out.push((site.stmt, stmt, var));
+                }
+            }
+        }
+        out
+    }
+}
+
+struct Problem {
+    gen_bits: Vec<BitSet>,
+    kill_sets: Vec<BitSet>,
+    n_sites: usize,
+}
+
+impl DataflowProblem for Problem {
+    type Fact = BitSet;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary_fact(&self) -> BitSet {
+        BitSet::empty(self.n_sites)
+    }
+
+    fn initial_fact(&self) -> BitSet {
+        BitSet::empty(self.n_sites)
+    }
+
+    fn transfer(&self, node: NodeId, fact: &BitSet) -> BitSet {
+        let mut out = fact.clone();
+        out.subtract(&self.kill_sets[node.index()]);
+        out.union_with(&self.gen_bits[node.index()]);
+        out
+    }
+
+    fn join(&self, into: &mut BitSet, other: &BitSet) -> bool {
+        into.union_with(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+    use ppd_lang::ast::walk_stmts;
+    use ppd_lang::compile;
+
+    struct Ctx {
+        rp: ResolvedProgram,
+        cfg: Cfg,
+        effects: ProgramEffects,
+        rd: ReachingDefs,
+        stmts: Vec<StmtId>,
+    }
+
+    fn analyze(src: &str, body_name: &str) -> Ctx {
+        let rp = compile(src).unwrap();
+        let effects = ProgramEffects::compute(&rp);
+        let cg = CallGraph::build(&rp, &effects);
+        let mr = ModRef::compute(&rp, &effects, &cg);
+        let body = rp
+            .bodies()
+            .into_iter()
+            .find(|b| rp.body_name(*b) == body_name)
+            .unwrap();
+        let cfg = Cfg::build(&rp, body).unwrap();
+        let rd = ReachingDefs::compute(&rp, &cfg, &effects, &mr);
+        let mut stmts = Vec::new();
+        walk_stmts(rp.body_block(body), &mut |s| stmts.push(s.id));
+        Ctx { rp, cfg, effects, rd, stmts }
+    }
+
+    fn var(ctx: &Ctx, name: &str) -> VarId {
+        (0..ctx.rp.var_count() as u32)
+            .map(VarId)
+            .find(|v| ctx.rp.var_name(*v) == name)
+            .unwrap()
+    }
+
+    #[test]
+    fn straight_line_def_reaches_use() {
+        let ctx = analyze("process M { int x = 1; int y = x + 1; print(y); }", "M");
+        let pairs = ctx.rd.du_pairs(&ctx.cfg, &ctx.effects);
+        // x's def (s0) reaches its use in s1; y's def (s1) reaches s2.
+        assert!(pairs.contains(&(Some(ctx.stmts[0]), ctx.stmts[1], var(&ctx, "x"))));
+        assert!(pairs.contains(&(Some(ctx.stmts[1]), ctx.stmts[2], var(&ctx, "y"))));
+    }
+
+    #[test]
+    fn redefinition_kills() {
+        let ctx = analyze("process M { int x = 1; x = 2; print(x); }", "M");
+        let print_node = ctx.cfg.node_of(ctx.stmts[2]).unwrap();
+        let defs = ctx.rd.reaching(print_node, var(&ctx, "x"));
+        assert_eq!(defs.len(), 1);
+        assert_eq!(defs[0].stmt, Some(ctx.stmts[1]));
+    }
+
+    #[test]
+    fn both_branch_defs_reach_join() {
+        let ctx = analyze(
+            "process M { int x = 0; if (x == 0) { x = 1; } else { x = 2; } print(x); }",
+            "M",
+        );
+        let print_node = ctx.cfg.node_of(ctx.stmts[4]).unwrap();
+        let defs = ctx.rd.reaching(print_node, var(&ctx, "x"));
+        let stmts: Vec<_> = defs.iter().map(|d| d.stmt).collect();
+        assert!(stmts.contains(&Some(ctx.stmts[2])));
+        assert!(stmts.contains(&Some(ctx.stmts[3])));
+        assert_eq!(defs.len(), 2, "initial def killed on both paths");
+    }
+
+    #[test]
+    fn loop_carried_definition_reaches_header() {
+        let ctx = analyze("process M { int i = 3; while (i > 0) { i = i - 1; } print(i); }", "M");
+        let header = ctx.cfg.node_of(ctx.stmts[1]).unwrap();
+        let defs = ctx.rd.reaching(header, var(&ctx, "i"));
+        let stmts: Vec<_> = defs.iter().map(|d| d.stmt).collect();
+        assert!(stmts.contains(&Some(ctx.stmts[0])), "init reaches header");
+        assert!(stmts.contains(&Some(ctx.stmts[2])), "loop body def reaches header");
+    }
+
+    #[test]
+    fn array_defs_accumulate() {
+        let ctx = analyze(
+            "shared int a[4]; process M { a[0] = 1; a[1] = 2; print(a[0]); }",
+            "M",
+        );
+        let print_node = ctx.cfg.node_of(ctx.stmts[2]).unwrap();
+        let defs = ctx.rd.reaching(print_node, var(&ctx, "a"));
+        // Weak updates: both stores and the entry pseudo-def all reach.
+        assert_eq!(defs.len(), 3);
+        assert!(defs.iter().any(|d| d.stmt.is_none()));
+    }
+
+    #[test]
+    fn shared_vars_have_entry_pseudo_def() {
+        let ctx = analyze("shared int g; process M { print(g); }", "M");
+        let print_node = ctx.cfg.node_of(ctx.stmts[0]).unwrap();
+        let defs = ctx.rd.reaching(print_node, var(&ctx, "g"));
+        assert_eq!(defs.len(), 1);
+        assert!(defs[0].stmt.is_none());
+        assert_eq!(defs[0].node, ctx.cfg.entry());
+    }
+
+    #[test]
+    fn params_have_entry_pseudo_def() {
+        let ctx = analyze("int f(int n) { return n + 1; } process M { print(f(1)); }", "f");
+        let ret_node = ctx.cfg.node_of(ctx.stmts[0]).unwrap();
+        let defs = ctx.rd.reaching(ret_node, var(&ctx, "n"));
+        assert_eq!(defs.len(), 1);
+        assert!(defs[0].stmt.is_none());
+    }
+
+    #[test]
+    fn call_gmod_is_weak_def() {
+        let ctx = analyze(
+            "shared int g; void bump() { g = g + 1; } \
+             process M { g = 0; bump(); print(g); }",
+            "M",
+        );
+        let print_node = ctx.cfg.node_of(ctx.stmts[2]).unwrap();
+        let defs = ctx.rd.reaching(print_node, var(&ctx, "g"));
+        let stmts: Vec<_> = defs.iter().map(|d| d.stmt).collect();
+        // The call's weak def reaches, and the g = 0 before it also
+        // survives (the call *may* not write in general).
+        assert!(stmts.contains(&Some(ctx.stmts[1])), "call site def");
+        assert!(stmts.contains(&Some(ctx.stmts[0])), "pre-call def survives weak call def");
+    }
+}

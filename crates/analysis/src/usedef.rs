@@ -1,0 +1,313 @@
+//! Per-statement USED/DEFINED sets (§5.1).
+//!
+//! For each statement we compute the variables it may read (`uses`), the
+//! variables it may write (`defs`), and the functions it calls. These are
+//! the atoms from which e-block USED/DEFINED sets, reaching definitions,
+//! liveness and the static data-dependence edges are all assembled.
+//!
+//! Arrays are treated at whole-array granularity (the paper's
+//! conservative answer to aliasing, §7): `a[i] = x` *uses* `i`, `x` and
+//! `a` (a weak update preserves the other elements) and *defines* `a`.
+
+use crate::varset::{VarSet, VarSetRepr};
+use ppd_lang::ast::*;
+use ppd_lang::{FuncId, ResolvedProgram, StmtId};
+
+/// The direct (intraprocedural) effects of one statement.
+#[derive(Debug, Clone)]
+pub struct StmtEffects {
+    /// Variables the statement may read.
+    pub uses: VarSet,
+    /// Variables the statement may write.
+    pub defs: VarSet,
+    /// Variables written by a *weak* update (array element stores): these
+    /// appear in `defs` but do not kill prior definitions.
+    pub weak_defs: VarSet,
+    /// Functions invoked anywhere inside the statement.
+    pub calls: Vec<FuncId>,
+    /// Whether the statement is a synchronization operation.
+    pub is_sync: bool,
+    /// Whether the statement reads external input (`input()` / `recv` /
+    /// `accept`) whose value must be logged for replay.
+    pub reads_external: bool,
+}
+
+impl StmtEffects {
+    fn new(universe: usize) -> Self {
+        StmtEffects {
+            uses: VarSet::empty(universe),
+            defs: VarSet::empty(universe),
+            weak_defs: VarSet::empty(universe),
+            calls: Vec::new(),
+            is_sync: false,
+            reads_external: false,
+        }
+    }
+}
+
+/// Effects for every statement of a program, indexed by [`StmtId`].
+#[derive(Debug, Clone)]
+pub struct ProgramEffects {
+    effects: Vec<StmtEffects>,
+}
+
+impl ProgramEffects {
+    /// Computes the effects of every statement in `rp`.
+    pub fn compute(rp: &ResolvedProgram) -> ProgramEffects {
+        let universe = rp.var_count();
+        let mut effects: Vec<StmtEffects> = (0..rp.program.stmt_count)
+            .map(|_| StmtEffects::new(universe))
+            .collect();
+        for body in rp.bodies() {
+            let block = rp.body_block(body);
+            walk_stmts(block, &mut |stmt| {
+                effects[stmt.id.index()] = effects_of(rp, stmt, universe);
+            });
+        }
+        ProgramEffects { effects }
+    }
+
+    /// Effects of one statement.
+    pub fn of(&self, stmt: StmtId) -> &StmtEffects {
+        &self.effects[stmt.index()]
+    }
+
+    /// Number of statements covered.
+    pub fn len(&self) -> usize {
+        self.effects.len()
+    }
+
+    /// Whether there are no statements.
+    pub fn is_empty(&self) -> bool {
+        self.effects.is_empty()
+    }
+}
+
+fn effects_of(rp: &ResolvedProgram, stmt: &Stmt, universe: usize) -> StmtEffects {
+    let mut fx = StmtEffects::new(universe);
+    match &stmt.kind {
+        StmtKind::Decl { init, .. } => {
+            if let Some(e) = init {
+                expr_effects(rp, e, &mut fx);
+            }
+            if let Some(&v) = rp.decl_var.get(&stmt.id) {
+                fx.defs.insert(v);
+            }
+        }
+        StmtKind::Assign { target, value } => {
+            expr_effects(rp, value, &mut fx);
+            lvalue_effects(rp, target, &mut fx);
+        }
+        StmtKind::If { cond, .. } | StmtKind::While { cond, .. } => {
+            expr_effects(rp, cond, &mut fx);
+        }
+        StmtKind::For { cond, .. } => {
+            // init/step are separate statements with their own ids.
+            if let Some(c) = cond {
+                expr_effects(rp, c, &mut fx);
+            }
+        }
+        StmtKind::Return(value) => {
+            if let Some(e) = value {
+                expr_effects(rp, e, &mut fx);
+            }
+        }
+        StmtKind::ExprStmt(e) | StmtKind::Print(e) | StmtKind::Assert(e) => {
+            expr_effects(rp, e, &mut fx);
+        }
+        StmtKind::Sync(sync) => {
+            fx.is_sync = true;
+            match sync {
+                SyncStmt::P(_) | SyncStmt::V(_) | SyncStmt::Lock(_) | SyncStmt::Unlock(_) => {}
+                SyncStmt::Send { value, .. }
+                | SyncStmt::ASend { value, .. }
+                | SyncStmt::Rendezvous { value, .. } => expr_effects(rp, value, &mut fx),
+                SyncStmt::Recv { into } => {
+                    fx.reads_external = true;
+                    lvalue_effects(rp, into, &mut fx);
+                }
+                SyncStmt::Accept { param_expr, .. } => {
+                    fx.reads_external = true;
+                    if let Some(&v) = rp.expr_var.get(param_expr) {
+                        fx.defs.insert(v);
+                    }
+                }
+            }
+        }
+    }
+    fx
+}
+
+fn lvalue_effects(rp: &ResolvedProgram, lv: &LValue, fx: &mut StmtEffects) {
+    let Some(&v) = rp.expr_var.get(&lv.id) else { return };
+    fx.defs.insert(v);
+    if let Some(ix) = &lv.index {
+        expr_effects(rp, ix, fx);
+        // Weak update: the array's previous contents survive.
+        fx.uses.insert(v);
+        fx.weak_defs.insert(v);
+    }
+}
+
+fn expr_effects(rp: &ResolvedProgram, expr: &Expr, fx: &mut StmtEffects) {
+    walk_expr(expr, &mut |e| match &e.kind {
+        ExprKind::Var(_) | ExprKind::Index(_, _) => {
+            if let Some(&v) = rp.expr_var.get(&e.id) {
+                fx.uses.insert(v);
+            }
+        }
+        ExprKind::Call(_, _) => {
+            if let Some(&f) = rp.call_target.get(&e.id) {
+                fx.calls.push(f);
+            }
+        }
+        ExprKind::Input => {
+            fx.reads_external = true;
+        }
+        _ => {}
+    });
+}
+
+/// Convenience: the sets of shared variables read/written directly by a
+/// statement (used by the race detector's instrumentation and the
+/// synchronization-unit analysis of §5.5).
+pub fn shared_only(rp: &ResolvedProgram, set: &VarSet) -> VarSet {
+    VarSet::from_iter(rp.var_count(), set.to_vec().into_iter().filter(|v| rp.is_shared(*v)))
+}
+
+/// The set of local (non-shared) variables in `set`.
+pub fn locals_only(rp: &ResolvedProgram, set: &VarSet) -> VarSet {
+    VarSet::from_iter(rp.var_count(), set.to_vec().into_iter().filter(|v| !rp.is_shared(*v)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppd_lang::compile;
+
+    fn effects_for(src: &str) -> (ResolvedProgram, ProgramEffects) {
+        let rp = compile(src).unwrap();
+        let fx = ProgramEffects::compute(&rp);
+        (rp, fx)
+    }
+
+    /// Find the nth statement (flat order) of the named body.
+    fn stmt_n(rp: &ResolvedProgram, body_name: &str, n: usize) -> StmtId {
+        let body = rp
+            .bodies()
+            .into_iter()
+            .find(|b| rp.body_name(*b) == body_name)
+            .unwrap();
+        let mut ids = Vec::new();
+        walk_stmts(rp.body_block(body), &mut |s| ids.push(s.id));
+        ids[n]
+    }
+
+    fn names(rp: &ResolvedProgram, set: &VarSet) -> Vec<String> {
+        set.to_vec().iter().map(|v| rp.var_name(*v).to_owned()).collect()
+    }
+
+    #[test]
+    fn assignment_uses_rhs_defines_lhs() {
+        let (rp, fx) = effects_for("shared int x; shared int y; process M { x = y + 1; }");
+        let s = stmt_n(&rp, "M", 0);
+        assert_eq!(names(&rp, &fx.of(s).uses), vec!["y"]);
+        assert_eq!(names(&rp, &fx.of(s).defs), vec!["x"]);
+        assert!(fx.of(s).weak_defs.is_empty());
+    }
+
+    #[test]
+    fn array_store_is_weak_update() {
+        let (rp, fx) = effects_for("shared int a[4]; shared int i; process M { a[i] = 7; }");
+        let s = stmt_n(&rp, "M", 0);
+        let e = fx.of(s);
+        assert_eq!(names(&rp, &e.defs), vec!["a"]);
+        // uses: the index i and the array itself (weak update)
+        assert_eq!(names(&rp, &e.uses), vec!["a", "i"]);
+        assert_eq!(names(&rp, &e.weak_defs), vec!["a"]);
+    }
+
+    #[test]
+    fn array_load_uses_array_and_index() {
+        let (rp, fx) =
+            effects_for("shared int a[4]; process M { int i = 1; int x = a[i + 1]; }");
+        let s = stmt_n(&rp, "M", 1);
+        assert_eq!(names(&rp, &fx.of(s).uses), vec!["a", "i"]);
+    }
+
+    #[test]
+    fn predicate_statements_only_use() {
+        let (rp, fx) = effects_for("shared int d; process M { if (d > 0) { d = 1; } }");
+        let s = stmt_n(&rp, "M", 0);
+        assert_eq!(names(&rp, &fx.of(s).uses), vec!["d"]);
+        assert!(fx.of(s).defs.is_empty());
+    }
+
+    #[test]
+    fn call_records_callee_and_arg_uses() {
+        let (rp, fx) = effects_for(
+            "shared int g; int f(int a) { return a; } process M { int x = f(g); }",
+        );
+        let s = stmt_n(&rp, "M", 0);
+        let e = fx.of(s);
+        assert_eq!(e.calls.len(), 1);
+        assert_eq!(rp.func_name(e.calls[0]), "f");
+        assert_eq!(names(&rp, &e.uses), vec!["g"]);
+        assert_eq!(names(&rp, &e.defs), vec!["x"]);
+    }
+
+    #[test]
+    fn recv_defines_target_and_reads_external() {
+        let (rp, fx) = effects_for("process M { int m; recv(m); } process O { send(M, 1); }");
+        let s = stmt_n(&rp, "M", 1);
+        assert!(fx.of(s).reads_external);
+        assert!(fx.of(s).is_sync);
+        assert_eq!(names(&rp, &fx.of(s).defs), vec!["m"]);
+    }
+
+    #[test]
+    fn send_uses_payload() {
+        let (rp, fx) = effects_for("shared int v; process M { send(O, v * 2); } process O { int m; recv(m); }");
+        let s = stmt_n(&rp, "M", 0);
+        assert!(fx.of(s).is_sync);
+        assert_eq!(names(&rp, &fx.of(s).uses), vec!["v"]);
+    }
+
+    #[test]
+    fn semaphore_ops_have_no_var_effects() {
+        let (rp, fx) = effects_for("sem s = 1; process M { p(s); v(s); }");
+        let a = stmt_n(&rp, "M", 0);
+        assert!(fx.of(a).is_sync);
+        assert!(fx.of(a).uses.is_empty());
+        assert!(fx.of(a).defs.is_empty());
+    }
+
+    #[test]
+    fn input_reads_external() {
+        let (rp, fx) = effects_for("process M { int x = input(); }");
+        let s = stmt_n(&rp, "M", 0);
+        assert!(fx.of(s).reads_external);
+    }
+
+    #[test]
+    fn accept_defines_param() {
+        let (rp, fx) = effects_for(
+            "process S { accept (x) { print(x); } } process C { rendezvous(S, 1); }",
+        );
+        let s = stmt_n(&rp, "S", 0);
+        assert!(fx.of(s).is_sync);
+        assert!(fx.of(s).reads_external);
+        assert_eq!(names(&rp, &fx.of(s).defs), vec!["x"]);
+    }
+
+    #[test]
+    fn shared_locals_split() {
+        let (rp, fx) = effects_for("shared int g; process M { int l = g; g = l; }");
+        let s0 = stmt_n(&rp, "M", 0);
+        let uses = &fx.of(s0).uses;
+        assert_eq!(names(&rp, &shared_only(&rp, uses)), vec!["g"]);
+        assert!(locals_only(&rp, uses).is_empty());
+        let s1 = stmt_n(&rp, "M", 1);
+        assert_eq!(names(&rp, &locals_only(&rp, &fx.of(s1).uses)), vec!["l"]);
+    }
+}

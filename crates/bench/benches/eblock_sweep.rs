@@ -1,0 +1,44 @@
+//! Criterion version of experiment E3: the §5.4 e-block granularity
+//! trade-off — execution-phase cost vs debug-phase first-query latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppd_analysis::EBlockStrategy;
+use ppd_bench::workloads;
+use ppd_core::Controller;
+use ppd_lang::ProcId;
+
+fn strategies() -> Vec<(&'static str, EBlockStrategy)> {
+    vec![
+        ("leaf_merge", EBlockStrategy::with_leaf_merge(10)),
+        ("per_subroutine", EBlockStrategy::per_subroutine()),
+        ("loops", EBlockStrategy::with_loops(3)),
+    ]
+}
+
+fn bench_eblock_sweep(c: &mut Criterion) {
+    let w = workloads::loop_heavy(800);
+    let mut exec_group = c.benchmark_group("E3_execution_phase");
+    for (name, strategy) in strategies() {
+        let session = w.prepare(strategy);
+        exec_group.bench_with_input(BenchmarkId::new("logged_run", name), &(), |b, ()| {
+            b.iter(|| session.measure_run(w.config(), true, false))
+        });
+    }
+    exec_group.finish();
+
+    let mut debug_group = c.benchmark_group("E3_debug_phase");
+    for (name, strategy) in strategies() {
+        let session = w.prepare(strategy);
+        let exec = session.execute(w.config());
+        debug_group.bench_with_input(BenchmarkId::new("first_query", name), &(), |b, ()| {
+            b.iter(|| {
+                let mut controller = Controller::new(&session, &exec);
+                controller.start_at(ProcId(0)).expect("starts")
+            })
+        });
+    }
+    debug_group.finish();
+}
+
+criterion_group!(benches, bench_eblock_sweep);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion version of experiment E6: answering the first flowback
+//! query by replaying one e-block (incremental tracing, §5.3) vs
+//! re-executing the whole program with full tracing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppd_analysis::EBlockStrategy;
+use ppd_bench::workloads;
+use ppd_core::Controller;
+use ppd_lang::ProcId;
+use ppd_runtime::CountingTracer;
+
+fn bench_flowback(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E6_flowback");
+    for depth in [8u32, 32] {
+        let w = workloads::deep_calls(depth);
+        let session = w.prepare(EBlockStrategy::per_subroutine());
+        let exec = session.execute(w.config());
+        group.bench_with_input(BenchmarkId::new("incremental", depth), &(), |b, ()| {
+            b.iter(|| {
+                let mut controller = Controller::new(&session, &exec);
+                controller.start_at(ProcId(0)).expect("starts")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("full_reexec", depth), &(), |b, ()| {
+            b.iter(|| {
+                let mut counter = CountingTracer::default();
+                session.execute_traced(w.config(), &mut counter);
+                counter.events
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flowback);
+criterion_main!(benches);

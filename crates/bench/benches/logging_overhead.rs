@@ -1,0 +1,26 @@
+//! Criterion version of experiment E1: execution time of the
+//! uninstrumented program vs the log-writing object code (§7's "< 15%").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppd_analysis::EBlockStrategy;
+use ppd_bench::workloads;
+
+fn bench_logging_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1_logging_overhead");
+    for w in [workloads::loop_heavy(500), workloads::overhead_suite().remove(1)] {
+        let session = w.prepare(EBlockStrategy::with_leaf_merge(8));
+        group.bench_function(format!("{}/baseline", w.name), |b| {
+            b.iter(|| session.measure_run(w.config(), false, false))
+        });
+        group.bench_function(format!("{}/logged", w.name), |b| {
+            b.iter(|| session.measure_run(w.config(), true, false))
+        });
+        group.bench_function(format!("{}/logged+pgraph", w.name), |b| {
+            b.iter(|| session.measure_run(w.config(), true, true))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_logging_overhead);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion version of experiment E4: happened-before construction
+//! (transitive closure vs vector clocks) and all-pairs race detection
+//! (naive vs per-variable index) — the §7 cost concern.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppd_analysis::EBlockStrategy;
+use ppd_bench::workloads;
+use ppd_graph::{detect_races_indexed, detect_races_naive, TransitiveClosure, VectorClocks};
+
+fn bench_race_detection(c: &mut Criterion) {
+    let mut ordering = c.benchmark_group("E4_ordering");
+    for n in [2u32, 4, 8] {
+        let w = workloads::racy_workers(n, 8);
+        let session = w.prepare(EBlockStrategy::per_subroutine());
+        let exec = session.execute(w.config());
+        let g = exec.pgraph;
+        ordering.bench_with_input(BenchmarkId::new("closure", n), &g, |b, g| {
+            b.iter(|| TransitiveClosure::compute(g))
+        });
+        ordering.bench_with_input(BenchmarkId::new("vector_clocks", n), &g, |b, g| {
+            b.iter(|| VectorClocks::compute(g))
+        });
+    }
+    ordering.finish();
+
+    let mut detect = c.benchmark_group("E4_detection");
+    for n in [2u32, 4, 8] {
+        let w = workloads::racy_workers(n, 8);
+        let session = w.prepare(EBlockStrategy::per_subroutine());
+        let exec = session.execute(w.config());
+        let g = exec.pgraph;
+        let ord = VectorClocks::compute(&g);
+        detect.bench_with_input(BenchmarkId::new("naive", n), &g, |b, g| {
+            b.iter(|| detect_races_naive(g, &ord))
+        });
+        detect.bench_with_input(BenchmarkId::new("indexed", n), &g, |b, g| {
+            b.iter(|| detect_races_indexed(g, &ord))
+        });
+    }
+    detect.finish();
+}
+
+criterion_group!(benches, bench_race_detection);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion version of experiment E5: the §7 bit-mask vs list
+//! variable-set ablation, on the primitive operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppd_analysis::{BitVarSet, ListVarSet, VarSetRepr};
+use ppd_lang::VarId;
+
+fn make<S: VarSetRepr>(n: usize, stride: u32) -> S {
+    S::from_iter(n, (0..n as u32 / 2).map(|i| VarId((i * stride) % n as u32)))
+}
+
+fn bench_varset(c: &mut Criterion) {
+    for nvars in [64usize, 512, 2048] {
+        let mut group = c.benchmark_group(format!("E5_varset_{nvars}"));
+        let (ba, bb) = (make::<BitVarSet>(nvars, 3), make::<BitVarSet>(nvars, 7));
+        let (la, lb) = (make::<ListVarSet>(nvars, 3), make::<ListVarSet>(nvars, 7));
+        group.bench_with_input(BenchmarkId::new("union/bitmask", nvars), &(), |b, ()| {
+            b.iter(|| {
+                let mut x = ba.clone();
+                x.union_with(&bb);
+                x.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("union/list", nvars), &(), |b, ()| {
+            b.iter(|| {
+                let mut x = la.clone();
+                x.union_with(&lb);
+                x.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("intersects/bitmask", nvars), &(), |b, ()| {
+            b.iter(|| ba.intersects(&bb))
+        });
+        group.bench_with_input(BenchmarkId::new("intersects/list", nvars), &(), |b, ()| {
+            b.iter(|| la.intersects(&lb))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_varset);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates every evaluation table and figure of EXPERIMENTS.md.
+//!
+//! Run with: `cargo run -p ppd-bench --bin experiments --release`
+//! (a debug build works but inflates absolute times).
+
+fn main() {
+    println!("# PPD evaluation — regenerated tables\n");
+    println!(
+        "(Miller & Choi, PLDI 1988; shapes, not absolute numbers, are the claim.)\n"
+    );
+    for table in ppd_bench::experiments::all() {
+        println!("{}", table.render());
+        println!();
+    }
+}

@@ -1,0 +1,494 @@
+//! The experiment implementations. Each function runs one experiment and
+//! returns a [`Table`]; `cargo run -p ppd-bench --bin experiments` prints
+//! them all. EXPERIMENTS.md records representative output.
+
+use crate::table::Table;
+use crate::timing::{fmt_duration, median_of, overhead_pct};
+use crate::workloads::{self, Workload};
+use ppd_analysis::{BitVarSet, EBlockStrategy, ListVarSet, VarSetRepr};
+use ppd_core::Controller;
+use ppd_graph::{detect_races_indexed, detect_races_naive, TransitiveClosure, VectorClocks};
+use ppd_lang::{BodyId, ProcId, VarId};
+use ppd_runtime::CountingTracer;
+
+/// Number of timing repetitions (median taken).
+const REPS: usize = 9;
+
+// ---------------------------------------------------------------------
+// E1: execution-time overhead of logging (§7: "less than 15%")
+// ---------------------------------------------------------------------
+
+/// E1 — runtime with logging (and with logging + parallel graph) vs the
+/// uninstrumented baseline.
+pub fn e1_logging_overhead() -> Table {
+    let mut t = Table::new(
+        "E1 — execution-phase logging overhead (paper §7: tracing added < 15%)",
+        &["workload", "baseline", "+logs", "log ovh %", "+logs+pgraph", "total ovh %"],
+    );
+    let mut log_ovhs = Vec::new();
+    for w in workloads::overhead_suite() {
+        let session = w.prepare(EBlockStrategy::with_leaf_merge(24));
+        let base = median_of(REPS, || session.measure_run(w.config(), false, false));
+        let logged = median_of(REPS, || session.measure_run(w.config(), true, false));
+        let full = median_of(REPS, || session.measure_run(w.config(), true, true));
+        let log_ovh = overhead_pct(base, logged);
+        log_ovhs.push(log_ovh);
+        t.row(vec![
+            w.name.clone(),
+            fmt_duration(base),
+            fmt_duration(logged),
+            format!("{log_ovh:+.1}%"),
+            fmt_duration(full),
+            format!("{:+.1}%", overhead_pct(base, full)),
+        ]);
+    }
+    let mean = log_ovhs.iter().sum::<f64>() / log_ovhs.len() as f64;
+    t.note(format!(
+        "mean logging overhead {mean:.1}% (paper claims < 15% for hand-annotated \
+         programs; e-blocks use §5.4 iterative leaf merging, threshold 24)"
+    ));
+    t.note("`+logs+pgraph` additionally builds the §6.1 parallel dynamic graph during execution.");
+    t
+}
+
+// ---------------------------------------------------------------------
+// E2: log volume vs full-trace volume (§3.1 need-to-generate)
+// ---------------------------------------------------------------------
+
+/// E2 — bytes the object code logs vs bytes an EXDAMS-style
+/// trace-everything debugger would write.
+pub fn e2_log_vs_trace() -> Table {
+    let mut t = Table::new(
+        "E2 — log volume vs full-trace volume (§3.1 need-to-generate)",
+        &["workload", "events", "trace bytes", "log entries", "log bytes", "trace/log"],
+    );
+    for w in workloads::overhead_suite() {
+        let session = w.prepare(EBlockStrategy::with_leaf_merge(24));
+        let mut counter = CountingTracer::default();
+        let exec = session.execute_traced(w.config(), &mut counter);
+        assert!(exec.outcome.is_success() || exec.outcome.is_failure());
+        let log_bytes = exec.logs.total_bytes().max(1);
+        t.row(vec![
+            w.name.clone(),
+            counter.events.to_string(),
+            counter.bytes.to_string(),
+            exec.logs.total_entries().to_string(),
+            log_bytes.to_string(),
+            format!("{:.1}x", counter.bytes as f64 / log_bytes as f64),
+        ]);
+    }
+    t.note("Trace bytes = what tracing every event during execution would cost;");
+    t.note("log bytes = what incremental tracing actually wrote (prelogs, postlogs, snapshots).");
+    t
+}
+
+// ---------------------------------------------------------------------
+// E3: e-block granularity trade-off (§5.4)
+// ---------------------------------------------------------------------
+
+/// E3 — the §5.4 trade-off: smaller e-blocks cost more at execution
+/// time but answer debug-phase queries faster (and vice versa).
+pub fn e3_granularity_sweep() -> Table {
+    let mut t = Table::new(
+        "E3 — e-block granularity trade-off (§5.4)",
+        &["strategy", "e-blocks", "exec ovh %", "log bytes", "first-query latency"],
+    );
+    let w = workloads::loop_heavy(2500);
+    let strategies: Vec<(&str, EBlockStrategy)> = vec![
+        ("leaf-merge(10) [coarsest]", EBlockStrategy::with_leaf_merge(10)),
+        ("per-subroutine", EBlockStrategy::per_subroutine()),
+        ("loops(3)", EBlockStrategy::with_loops(3)),
+        (
+            "loops(3)+merge(10)",
+            EBlockStrategy {
+                loop_eblocks: Some(3),
+                merge_leaves: Some(10),
+                ..EBlockStrategy::per_subroutine()
+            },
+        ),
+    ];
+    for (name, strategy) in strategies {
+        let session = w.prepare(strategy);
+        let base = median_of(REPS, || session.measure_run(w.config(), false, false));
+        let logged = median_of(REPS, || session.measure_run(w.config(), true, false));
+        let exec = session.execute(w.config());
+        let first_query = median_of(3, || {
+            let mut controller = Controller::new(&session, &exec);
+            controller.start_at(ProcId(0)).expect("debugging starts")
+        });
+        t.row(vec![
+            name.to_owned(),
+            session.plan().eblocks().len().to_string(),
+            format!("{:+.1}%", overhead_pct(base, logged)),
+            exec.logs.total_bytes().to_string(),
+            fmt_duration(first_query),
+        ]);
+    }
+    t.note("First-query latency = time for the Controller to replay the halt interval and");
+    t.note("present the first dynamic-graph fragment. Loop e-blocks let it skip the hot loop.");
+    t
+}
+
+// ---------------------------------------------------------------------
+// E4: ordering + all-pairs race detection cost (§7)
+// ---------------------------------------------------------------------
+
+/// E4 — the §7 concern: the cost of ordering events and of finding all
+/// conflicting edge pairs, naive vs indexed, closure vs vector clocks.
+pub fn e4_race_detection() -> Table {
+    let mut t = Table::new(
+        "E4 — event ordering & all-pairs race detection (§7)",
+        &[
+            "workload", "edges", "races", "closure", "vclock", "naive pairs", "indexed",
+        ],
+    );
+    for (n, iters) in [(2u32, 8u32), (4, 8), (6, 8), (8, 8)] {
+        let w = workloads::racy_workers(n, iters);
+        let session = w.prepare(EBlockStrategy::per_subroutine());
+        let exec = session.execute(w.config());
+        let g = &exec.pgraph;
+        let t_closure = median_of(REPS, || TransitiveClosure::compute(g));
+        let t_vclock = median_of(REPS, || VectorClocks::compute(g));
+        let ord = VectorClocks::compute(g);
+        let t_naive = median_of(REPS, || detect_races_naive(g, &ord));
+        let t_indexed = median_of(REPS, || detect_races_indexed(g, &ord));
+        let races = detect_races_indexed(g, &ord);
+        t.row(vec![
+            w.name.clone(),
+            g.internal_edges().len().to_string(),
+            races.len().to_string(),
+            fmt_duration(t_closure),
+            fmt_duration(t_vclock),
+            fmt_duration(t_naive),
+            fmt_duration(t_indexed),
+        ]);
+    }
+    t.note("closure/vclock: time to build the §6.1 happened-before oracle;");
+    t.note("naive/indexed: all-pairs conflict scan vs the per-variable index.");
+    t
+}
+
+// ---------------------------------------------------------------------
+// E5: bit-mask vs list variable sets (§7)
+// ---------------------------------------------------------------------
+
+/// A dataflow-shaped kernel: iterate union propagation along a block
+/// chain until fixpoint, then run an all-pairs intersection scan — the
+/// two set workloads the debugging-phase algorithms perform.
+fn set_kernel<S: VarSetRepr>(nvars: usize, nblocks: usize) -> usize {
+    // Gen sets: block i touches vars i..i+8 (mod nvars).
+    let mut sets: Vec<S> = (0..nblocks)
+        .map(|i| {
+            S::from_iter(
+                nvars,
+                (0..8u32).map(|k| VarId((i as u32 * 3 + k * 7) % nvars as u32)),
+            )
+        })
+        .collect();
+    // Union propagation to fixpoint (reaching-definitions shape).
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 1..nblocks {
+            let prev = sets[i - 1].clone();
+            changed |= sets[i].union_with(&prev);
+        }
+    }
+    // All-pairs intersection scan (race-detection shape).
+    let mut hits = 0usize;
+    for i in 0..nblocks {
+        for j in (i + 1)..nblocks {
+            if sets[i].intersects(&sets[j]) {
+                hits += 1;
+            }
+        }
+    }
+    hits + sets[nblocks - 1].len()
+}
+
+/// E5 — "using bit-mask representations for sets of variables (as
+/// opposed to a list structure) can have a large payoff" (§7).
+pub fn e5_varset() -> Table {
+    let mut t = Table::new(
+        "E5 — variable-set representation ablation (§7)",
+        &["universe", "blocks", "bit-mask", "list", "speedup"],
+    );
+    for (nvars, nblocks) in [(64usize, 64usize), (256, 128), (1024, 192)] {
+        let bit = median_of(REPS, || set_kernel::<BitVarSet>(nvars, nblocks));
+        let list = median_of(REPS, || set_kernel::<ListVarSet>(nvars, nblocks));
+        // Sanity: identical results.
+        assert_eq!(
+            set_kernel::<BitVarSet>(nvars, nblocks),
+            set_kernel::<ListVarSet>(nvars, nblocks)
+        );
+        t.row(vec![
+            nvars.to_string(),
+            nblocks.to_string(),
+            fmt_duration(bit),
+            fmt_duration(list),
+            format!("{:.1}x", list.as_secs_f64() / bit.as_secs_f64()),
+        ]);
+    }
+    t.note("Kernel = union propagation to fixpoint + all-pairs intersection scan,");
+    t.note("the set workloads of reaching definitions and race detection.");
+    t
+}
+
+// ---------------------------------------------------------------------
+// E6: incremental tracing vs full re-execution (§5.1/§5.3)
+// ---------------------------------------------------------------------
+
+/// E6 — time to answer the first flowback query by replaying one
+/// e-block, vs re-executing the entire program with full tracing.
+pub fn e6_flowback_latency() -> Table {
+    let mut t = Table::new(
+        "E6 — incremental tracing vs full re-execution (§5.1, §5.3)",
+        &["workload", "intervals", "one-interval replay", "full re-exec + trace", "speedup"],
+    );
+    for depth in [8u32, 16, 32, 64] {
+        let w = workloads::deep_calls(depth);
+        let session = w.prepare(EBlockStrategy::per_subroutine());
+        let exec = session.execute(w.config());
+        let intervals = exec.logs.intervals(ProcId(0)).len();
+        let incremental = median_of(REPS, || {
+            let mut controller = Controller::new(&session, &exec);
+            controller.start_at(ProcId(0)).expect("starts")
+        });
+        let full = median_of(REPS, || {
+            let mut counter = CountingTracer::default();
+            session.execute_traced(w.config(), &mut counter);
+            counter.events
+        });
+        t.row(vec![
+            w.name.clone(),
+            intervals.to_string(),
+            fmt_duration(incremental),
+            fmt_duration(full),
+            format!("{:.1}x", full.as_secs_f64() / incremental.as_secs_f64()),
+        ]);
+    }
+    t.note("One-interval replay substitutes nested postlogs (§5.2) instead of descending;");
+    t.note("full re-execution regenerates every event of every call level.");
+    t
+}
+
+// ---------------------------------------------------------------------
+// E7: whole-array snapshots vs §7 "record all uses" element logging
+// ---------------------------------------------------------------------
+
+/// E7 — the paper's two answers to aliased data, compared: conservative
+/// whole-array USED/DEFINED snapshots vs element-granular read logging.
+pub fn e7_array_logging() -> Table {
+    let mut t = Table::new(
+        "E7 — whole-array snapshots vs element-granular logging (§7 aliasing)",
+        &["workload", "mode", "exec ovh %", "log bytes", "first-query latency"],
+    );
+    let quicksort = Workload {
+        name: "quicksort(192)".into(),
+        source: ppd_lang::corpus::gen_quicksort(192),
+        inputs: vec![],
+    };
+    for w in [&quicksort] {
+        for (mode, strategy) in [
+            ("whole-array", EBlockStrategy::per_subroutine()),
+            (
+                "element-logged",
+                EBlockStrategy::per_subroutine().with_element_logged_arrays(),
+            ),
+        ] {
+            let session = w.prepare(strategy);
+            let base = median_of(REPS, || session.measure_run(w.config(), false, false));
+            let logged = median_of(REPS, || session.measure_run(w.config(), true, false));
+            let exec = session.execute(w.config());
+            let first_query = median_of(3, || {
+                let mut controller = Controller::new(&session, &exec);
+                controller.start_at(ProcId(0)).expect("debugging starts")
+            });
+            t.row(vec![
+                w.name.clone(),
+                mode.to_owned(),
+                format!("{:+.1}%", overhead_pct(base, logged)),
+                exec.logs.total_bytes().to_string(),
+                fmt_duration(first_query),
+            ]);
+        }
+    }
+    t.note("Whole-array mode snapshots the full array in every recursive interval's");
+    t.note("prelog/postlog; element mode logs each array-element read individually —");
+    t.note("the trade-off the paper's §7 pointer discussion anticipates.");
+    t
+}
+
+// ---------------------------------------------------------------------
+// Figure reproductions
+// ---------------------------------------------------------------------
+
+/// F4.1 — the worked dynamic-graph example, summarized as a table.
+pub fn f41_figure() -> Table {
+    let mut t = Table::new(
+        "F4.1 — Figure 4.1 dynamic program dependence graph (inputs a=5, b=3, c=2)",
+        &["node", "kind", "value", "dependence sources"],
+    );
+    let w = Workload {
+        name: "fig41".into(),
+        source: ppd_lang::corpus::FIG_4_1.source.into(),
+        inputs: vec![vec![5, 3, 2]],
+    };
+    let session = w.prepare(EBlockStrategy::per_subroutine());
+    let exec = session.execute(w.config());
+    let mut controller = Controller::new(&session, &exec);
+    controller.start_at(ProcId(0)).expect("starts");
+    let graph = controller.graph();
+    for n in graph.nodes() {
+        let kind = format!("{:?}", n.kind)
+            .split([' ', '{'])
+            .next()
+            .unwrap_or("?")
+            .to_owned();
+        let deps: Vec<String> = graph
+            .dependence_preds(n.id)
+            .iter()
+            .map(|&(p, _)| graph.node(p).label.clone())
+            .collect();
+        t.row(vec![
+            n.label.clone(),
+            kind,
+            n.value.as_ref().map(|v| v.to_string()).unwrap_or_default(),
+            deps.join("; "),
+        ]);
+    }
+    t.note("Matches the paper's figure: SubD is a sub-graph node fed by a, b and the");
+    t.note("fictional %3 = a + b + c; the else-branch sqrt hangs off `d > 0` = false.");
+    t
+}
+
+/// F5.3 — the simplified static graph and its synchronization units.
+pub fn f53_figure() -> Table {
+    let mut t = Table::new(
+        "F5.3 — Figure 5.3 simplified static graph of foo3 / synchronization units",
+        &["variant", "nodes", "branching", "edges", "sync units"],
+    );
+    let base = ppd_lang::corpus::FIG_5_3.compile();
+    let analyses = ppd_analysis::Analyses::run(&base);
+    let foo3 = BodyId::Func(base.func_by_name("foo3").unwrap());
+    let g = ppd_graph::SimplifiedGraph::build(&base, &analyses, foo3);
+    let branching = g.nodes.iter().filter(|n| !n.is_non_branching()).count();
+    t.row(vec![
+        "foo3 (paper text)".into(),
+        g.nodes.len().to_string(),
+        branching.to_string(),
+        g.edges.len().to_string(),
+        g.sync_units().len().to_string(),
+    ]);
+
+    // The figure's three-unit variant (call nodes in the elided arms).
+    let with_calls = ppd_lang::compile(
+        "shared int SV; void work1() { } void work2() { } \
+         int foo3(int p, int q) { int a = 1; int b = 2; int c = 3; \
+            if (p == 1) { if (q == 1) { c = a + b; } else { work1(); c = a - b; } } \
+            else { SV = a + b + SV; work2(); } return c; } \
+         process P1 { print(foo3(1, 1)); }",
+    )
+    .unwrap();
+    let analyses2 = ppd_analysis::Analyses::run(&with_calls);
+    let foo3b = BodyId::Func(with_calls.func_by_name("foo3").unwrap());
+    let g2 = ppd_graph::SimplifiedGraph::build(&with_calls, &analyses2, foo3b);
+    let branching2 = g2.nodes.iter().filter(|n| !n.is_non_branching()).count();
+    t.row(vec![
+        "foo3 + call nodes (figure)".into(),
+        g2.nodes.len().to_string(),
+        branching2.to_string(),
+        g2.edges.len().to_string(),
+        g2.sync_units().len().to_string(),
+    ]);
+    t.note("Definition 5.1: units start at non-branching nodes (ENTRY, sync ops, calls).");
+    t.note("With the figure's call nodes restored, foo3 has exactly 3 synchronization units.");
+    t
+}
+
+/// F6.1 — the parallel dynamic graph of the three-process example and
+/// the §6.3 race analysis.
+pub fn f61_figure() -> Table {
+    let mut t = Table::new(
+        "F6.1 — Figure 6.1 parallel dynamic graph and §6.3 race analysis",
+        &["quantity", "value"],
+    );
+    let w = Workload {
+        name: "fig61".into(),
+        source: ppd_lang::corpus::FIG_6_1.source.into(),
+        inputs: vec![],
+    };
+    let session = w.prepare(EBlockStrategy::per_subroutine());
+    let exec = session.execute(w.config());
+    let g = &exec.pgraph;
+    t.row(vec!["sync nodes".into(), g.nodes().len().to_string()]);
+    t.row(vec!["internal edges".into(), g.internal_edges().len().to_string()]);
+    t.row(vec![
+        "sync edges (message, unblock)".into(),
+        g.sync_edges().len().to_string(),
+    ]);
+    let empty_edges = g.internal_edges().iter().filter(|e| e.events == 0).count();
+    t.row(vec!["zero-event edges (paper's e4)".into(), empty_edges.to_string()]);
+    let ord = VectorClocks::compute(g);
+    let races = detect_races_indexed(g, &ord);
+    for (i, r) in races.iter().enumerate() {
+        t.row(vec![
+            format!("race {}", i + 1),
+            ppd_graph::race::describe_race(g, session.rp(), r),
+        ]);
+    }
+    // Ordered pair check.
+    let e1 = g.edges_of_proc(ProcId(0))[0];
+    let e3 = *g.edges_of_proc(ProcId(2)).last().unwrap();
+    t.row(vec![
+        "e1 -> e3 ordered by message?".into(),
+        g.edge_precedes(&ord, e1, e3).to_string(),
+    ]);
+    t.note("Exactly the paper's §6.3: P1's write/read pair with P3 is ordered through");
+    t.note("the message; both pairs involving P2's write race.");
+    t
+}
+
+/// Every experiment, in presentation order.
+pub fn all() -> Vec<Table> {
+    vec![
+        e1_logging_overhead(),
+        e2_log_vs_trace(),
+        e3_granularity_sweep(),
+        e4_race_detection(),
+        e5_varset(),
+        e6_flowback_latency(),
+        e7_array_logging(),
+        f41_figure(),
+        f53_figure(),
+        f61_figure(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_kernel_agrees_across_reprs() {
+        assert_eq!(set_kernel::<BitVarSet>(64, 32), set_kernel::<ListVarSet>(64, 32));
+    }
+
+    #[test]
+    fn figure_tables_have_content() {
+        assert!(f61_figure().rows.len() >= 6);
+        assert!(f41_figure().rows.len() >= 8);
+        assert_eq!(f53_figure().rows.len(), 2);
+    }
+
+    #[test]
+    fn e2_runs_quickly_on_one_workload() {
+        // Smoke-test the E2 machinery on the smallest workload.
+        let w = crate::workloads::loop_heavy(50);
+        let session = w.prepare(EBlockStrategy::per_subroutine());
+        let mut counter = CountingTracer::default();
+        let exec = session.execute_traced(w.config(), &mut counter);
+        assert!(exec.outcome.is_success());
+        assert!(counter.bytes > exec.logs.total_bytes() as u64);
+    }
+}

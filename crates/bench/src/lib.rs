@@ -1,0 +1,24 @@
+//! # ppd-bench — the PPD evaluation harness
+//!
+//! Reproduces every measurable claim and worked figure of the paper's
+//! evaluation (see EXPERIMENTS.md at the repository root for the
+//! experiment index):
+//!
+//! - **E1** — execution-time overhead of logging (§7: "less than 15%");
+//! - **E2** — log volume vs full-trace volume (§3.1 need-to-generate);
+//! - **E3** — the e-block granularity trade-off (§5.4);
+//! - **E4** — event ordering & all-pairs race detection cost (§7);
+//! - **E5** — bit-mask vs list variable sets (§7);
+//! - **E6** — incremental tracing vs full re-execution (§5.1/§5.3);
+//! - **F4.1 / F5.3 / F6.1** — the worked figures, regenerated.
+//!
+//! `cargo run -p ppd-bench --bin experiments --release` prints every
+//! table; the `benches/` directory holds criterion versions of the
+//! hot kernels.
+
+pub mod experiments;
+pub mod table;
+pub mod timing;
+pub mod workloads;
+
+pub use table::Table;

@@ -1,0 +1,99 @@
+//! Benchmark workloads: corpus programs plus parameterized generators,
+//! each with the inputs it needs.
+
+use ppd_analysis::EBlockStrategy;
+use ppd_core::{PpdSession, RunConfig};
+use ppd_lang::corpus;
+use ppd_runtime::SchedulerSpec;
+
+/// A named, ready-to-run workload.
+pub struct Workload {
+    /// Short name used in tables.
+    pub name: String,
+    /// The source text.
+    pub source: String,
+    /// Inputs per process.
+    pub inputs: Vec<Vec<i64>>,
+}
+
+impl Workload {
+    /// Prepares a session under `strategy`.
+    pub fn prepare(&self, strategy: EBlockStrategy) -> PpdSession {
+        PpdSession::prepare(&self.source, strategy)
+            .unwrap_or_else(|e| panic!("workload {}: {e}", self.name))
+    }
+
+    /// The run configuration (deterministic round-robin).
+    pub fn config(&self) -> RunConfig {
+        RunConfig {
+            scheduler: SchedulerSpec::RoundRobin,
+            inputs: self.inputs.clone(),
+            max_steps: Some(50_000_000),
+            breakpoints: Vec::new(),
+        }
+    }
+}
+
+fn fixed(name: &str, source: &str, inputs: Vec<Vec<i64>>) -> Workload {
+    Workload { name: name.into(), source: source.into(), inputs }
+}
+
+/// The overhead-measurement suite (E1/E2): a mix of compute-bound,
+/// call-heavy, and synchronization-heavy programs.
+pub fn overhead_suite() -> Vec<Workload> {
+    vec![
+        fixed("matmul", corpus::MATMUL.source, vec![]),
+        fixed("quicksort", &corpus::gen_quicksort(192), vec![]),
+        fixed("prodcons", &corpus::gen_prodcons(400), vec![]),
+        fixed("bank", &corpus::gen_bank(300), vec![]),
+        fixed("token_ring", &corpus::gen_token_ring(150), vec![]),
+        fixed("loop_heavy", &corpus::gen_loop_heavy(3000), vec![]),
+        fixed("readers_writers", corpus::READERS_WRITERS.source, vec![]),
+    ]
+}
+
+/// The loop-heavy workload used by the E3 granularity sweep.
+pub fn loop_heavy(iters: u32) -> Workload {
+    fixed("loop_heavy", &corpus::gen_loop_heavy(iters), vec![])
+}
+
+/// Racy-worker workloads for the E4 sweep.
+pub fn racy_workers(n: u32, iters: u32) -> Workload {
+    fixed(
+        &format!("workers_{n}x{iters}"),
+        &corpus::gen_racy_workers(n, iters),
+        vec![],
+    )
+}
+
+/// Deep-call workloads for the E6 flowback-latency sweep.
+pub fn deep_calls(depth: u32) -> Workload {
+    Workload {
+        name: format!("deep_{depth}"),
+        source: corpus::gen_deep_calls(depth),
+        inputs: vec![vec![17]],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_suite_runs() {
+        for w in overhead_suite() {
+            let session = w.prepare(EBlockStrategy::per_subroutine());
+            let (outcome, _, _) = session.execute_baseline(w.config());
+            assert!(outcome.is_success(), "{}: {:?}", w.name, outcome);
+        }
+    }
+
+    #[test]
+    fn generated_workloads_run() {
+        for w in [loop_heavy(50), racy_workers(3, 4), deep_calls(6)] {
+            let session = w.prepare(EBlockStrategy::per_subroutine());
+            let exec = session.execute(w.config());
+            assert!(exec.outcome.is_success(), "{}: {:?}", w.name, exec.outcome);
+        }
+    }
+}

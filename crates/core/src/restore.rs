@@ -1,0 +1,145 @@
+//! State restoration and what-if replay (§5.7).
+//!
+//! "The accumulation of the information carried by all the postlogs from
+//! the first postlog up to postlog(i) is the same as the information
+//! carried by the program state at the time at which postlog(i) is made."
+//! This module rebuilds shared-memory state at any logical time from the
+//! logs, and supports the paper's experiment of changing variable values
+//! and re-running from the same point.
+
+use crate::session::{Execution, PpdSession};
+use crate::PpdError;
+use ppd_lang::{ProcId, Value, VarId};
+use ppd_log::{IntervalRef, LogEntry};
+use ppd_runtime::{Machine, NestedCalls, ReplayResult, TraceEvent, Tracer, VecTracer};
+
+/// Rebuilds the values of all shared variables at logical time `t` by
+/// replaying the logs' value records in time order.
+pub fn shared_state_at(session: &PpdSession, execution: &Execution, t: u64) -> Vec<Value> {
+    let rp = session.rp();
+    // Initial shared state.
+    let mut state: Vec<Value> = rp.vars[..rp.shared_count as usize]
+        .iter()
+        .map(|v| match v.size {
+            Some(n) => Value::Array(vec![0; n]),
+            None => Value::Int(v.init.unwrap_or(0)),
+        })
+        .collect();
+
+    // Merge all processes' entries by timestamp and apply shared values.
+    let mut entries: Vec<&LogEntry> = Vec::new();
+    for p in 0..execution.logs.process_count() {
+        entries.extend(execution.logs.log(ProcId(p as u32)).entries.iter());
+    }
+    entries.sort_by_key(|e| e.time());
+    for e in entries {
+        if e.time() > t {
+            break;
+        }
+        let values = match e {
+            LogEntry::Prelog { values, .. }
+            | LogEntry::Postlog { values, .. }
+            | LogEntry::SharedSnapshot { values, .. } => values,
+            _ => continue,
+        };
+        for (var, value) in values {
+            if rp.is_shared(*var) {
+                state[var.index()] = value.clone();
+            }
+        }
+    }
+    state
+}
+
+/// Result of a what-if replay.
+#[derive(Debug)]
+pub struct WhatIfResult {
+    /// How the modified replay ended.
+    pub result: ReplayResult,
+    /// The trace of the modified execution.
+    pub events: Vec<TraceEvent>,
+}
+
+/// Replays `interval` with some variables overridden — "the user could
+/// change the values of variables and re-start the program from the same
+/// point to see the effect of these changes on program behavior" (§5.7).
+///
+/// The replay runs in *what-if* mode: logged shared snapshots are not
+/// re-applied (they would overwrite the modification), and nested calls
+/// are expanded rather than substituted (their logged postlogs describe
+/// the unmodified execution).
+///
+/// # Errors
+///
+/// Currently infallible in setup; kept fallible for interface stability.
+pub fn what_if_replay(
+    session: &PpdSession,
+    execution: &Execution,
+    interval: IntervalRef,
+    changes: &[(VarId, Value)],
+) -> Result<WhatIfResult, PpdError> {
+    let mut machine = Machine::new_replay(
+        session.rp(),
+        session.analyses(),
+        session.plan(),
+        &execution.logs,
+        interval,
+        NestedCalls::Expand,
+        10_000_000,
+    );
+    machine.set_what_if(true);
+    for (var, value) in changes {
+        machine.override_var(*var, value.clone());
+    }
+    let mut tracer = VecTracer::default();
+    let result = machine.run_replay(&mut tracer);
+    Ok(WhatIfResult { result, events: tracer.events })
+}
+
+/// Replays `interval` faithfully and streams its events into `tracer` —
+/// a convenience for examining "the effect" baseline before a what-if.
+/// If the original execution halted mid-interval at a breakpoint or
+/// deadlock, the replay stops at the same statement.
+pub fn faithful_replay(
+    session: &PpdSession,
+    execution: &Execution,
+    interval: IntervalRef,
+    tracer: &mut dyn Tracer,
+) -> ReplayResult {
+    let machine = Machine::new_replay_until(
+        session.rp(),
+        session.analyses(),
+        session.plan(),
+        &execution.logs,
+        interval,
+        NestedCalls::Expand,
+        10_000_000,
+        halt_stop_at(execution, interval),
+    );
+    machine.run_replay(tracer)
+}
+
+/// Where a replay of `interval` must stop to mirror the original halt:
+/// the breakpoint statement (if this process hit it) or the statement a
+/// deadlocked process is blocked at. `None` for completed/failed runs —
+/// failures re-occur naturally during replay.
+pub fn halt_stop_at(
+    execution: &Execution,
+    interval: IntervalRef,
+) -> Option<ppd_lang::StmtId> {
+    use ppd_runtime::Outcome;
+    // Only intervals still open at the halt stop early: a *completed*
+    // interval may well contain the breakpoint statement (e.g. earlier
+    // loop iterations) and must replay in full.
+    if interval.postlog_pos.is_some() {
+        return None;
+    }
+    match &execution.outcome {
+        Outcome::Breakpoint { proc, stmt } if *proc == interval.proc => Some(*stmt),
+        Outcome::Deadlock { blocked } => blocked
+            .iter()
+            .find(|(p, _, _)| *p == interval.proc)
+            .map(|&(_, _, stmt)| stmt),
+        _ => None,
+    }
+}

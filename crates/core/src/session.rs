@@ -1,0 +1,251 @@
+//! The preparatory and execution phases (§3.2.1, §3.2.2).
+//!
+//! [`PpdSession::prepare`] is the paper's Compiler/Linker: it parses and
+//! resolves the program, runs the semantic analyses, computes the static
+//! program dependence graph, the program database, and the e-block plan.
+//! [`PpdSession::execute`] is the execution phase: it runs the program as
+//! instrumented *object code*, producing output, per-process logs, and
+//! the parallel dynamic graph.
+
+use crate::PpdError;
+use ppd_analysis::{Analyses, EBlockPlan, EBlockStrategy};
+use ppd_graph::{ParallelGraph, StaticGraph};
+use ppd_lang::{ProcId, ResolvedProgram};
+use ppd_log::LogStore;
+use ppd_runtime::{ExecConfig, Machine, NullTracer, Outcome, SchedulerSpec, Tracer};
+
+/// Parameters of one execution-phase run.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct RunConfig {
+    /// Scheduling policy (reproducible).
+    pub scheduler: SchedulerSpec,
+    /// Per-process input streams.
+    pub inputs: Vec<Vec<i64>>,
+    /// Step budget; `None` uses the runtime default.
+    pub max_steps: Option<u64>,
+    /// Statements that halt execution when reached (user-intervention
+    /// halt, §3.2.2): the debugging phase then starts from the open
+    /// intervals, exactly as for a failure.
+    pub breakpoints: Vec<ppd_lang::StmtId>,
+}
+
+impl RunConfig {
+    fn to_exec(&self, build_pgraph: bool) -> ExecConfig {
+        let mut cfg = ExecConfig {
+            scheduler: self.scheduler,
+            inputs: self.inputs.clone(),
+            build_parallel_graph: build_pgraph,
+            breakpoints: self.breakpoints.clone(),
+            ..ExecConfig::default()
+        };
+        if let Some(m) = self.max_steps {
+            cfg.max_steps = m;
+        }
+        cfg
+    }
+}
+
+/// Everything the execution phase leaves behind for debugging.
+///
+/// Serializable: the paper's logs live on disk between the execution
+/// and debugging phases; [`Execution::to_json`]/[`Execution::from_json`]
+/// persist the whole execution record. A loaded execution must be
+/// debugged against a session prepared from the *same source and
+/// e-block strategy* (the plan defines what the logs mean).
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+pub struct Execution {
+    /// How the run ended.
+    pub outcome: Outcome,
+    /// Program output in global order.
+    pub output: Vec<(ProcId, i64)>,
+    /// One log per process (§5.6).
+    pub logs: LogStore,
+    /// The parallel dynamic graph, built during execution (§6.1).
+    pub pgraph: ParallelGraph,
+    /// Scheduler steps consumed.
+    pub steps: u64,
+    /// The configuration that produced this execution (needed to
+    /// reproduce it).
+    pub config: RunConfig,
+}
+
+impl Execution {
+    /// Serializes the execution record (outcome, output, logs, parallel
+    /// graph, config) for offline debugging.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization failures.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Loads a previously saved execution record.
+    ///
+    /// # Errors
+    ///
+    /// Returns a deserialization error on malformed input.
+    pub fn from_json(json: &str) -> Result<Execution, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// A prepared program: the output of the paper's preparatory phase.
+#[derive(Debug)]
+pub struct PpdSession {
+    rp: ResolvedProgram,
+    analyses: Analyses,
+    plan: EBlockPlan,
+    static_graph: StaticGraph,
+}
+
+impl PpdSession {
+    /// Compiles `source` and runs the preparatory phase under `strategy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse/resolution errors from the language front end.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ppd_core::{PpdSession, RunConfig};
+    /// use ppd_analysis::EBlockStrategy;
+    ///
+    /// # fn main() -> Result<(), ppd_core::PpdError> {
+    /// let session = PpdSession::prepare(
+    ///     "shared int x; process Main { x = 41 + 1; print(x); }",
+    ///     EBlockStrategy::per_subroutine(),
+    /// )?;
+    /// let exec = session.execute(RunConfig::default());
+    /// assert!(exec.outcome.is_success());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn prepare(source: &str, strategy: EBlockStrategy) -> Result<PpdSession, PpdError> {
+        let rp = ppd_lang::compile(source).map_err(PpdError::Lang)?;
+        Ok(Self::from_resolved(rp, strategy))
+    }
+
+    /// Runs the preparatory phase on an already-resolved program.
+    pub fn from_resolved(rp: ResolvedProgram, strategy: EBlockStrategy) -> PpdSession {
+        let analyses = Analyses::run(&rp);
+        let plan = analyses.eblock_plan(&rp, strategy);
+        let static_graph = StaticGraph::build(&rp, &analyses);
+        PpdSession { rp, analyses, plan, static_graph }
+    }
+
+    /// The resolved program.
+    pub fn rp(&self) -> &ResolvedProgram {
+        &self.rp
+    }
+
+    /// The preparatory-phase analyses.
+    pub fn analyses(&self) -> &Analyses {
+        &self.analyses
+    }
+
+    /// The e-block plan in force.
+    pub fn plan(&self) -> &EBlockPlan {
+        &self.plan
+    }
+
+    /// The static program dependence graph (§4.1).
+    pub fn static_graph(&self) -> &StaticGraph {
+        &self.static_graph
+    }
+
+    /// Execution phase (§3.2.2): runs the instrumented object code,
+    /// producing logs and the parallel dynamic graph.
+    pub fn execute(&self, config: RunConfig) -> Execution {
+        self.execute_traced(config, &mut NullTracer)
+    }
+
+    /// Like [`execute`](Self::execute) but also streams trace events into
+    /// `tracer` (used by tests and the benchmark harness; the paper's
+    /// object code does *not* trace — that is the point).
+    pub fn execute_traced(&self, config: RunConfig, tracer: &mut dyn Tracer) -> Execution {
+        let machine = Machine::new(&self.rp, &self.analyses, Some(&self.plan), config.to_exec(true));
+        let result = machine.run(tracer);
+        Execution {
+            outcome: result.outcome,
+            output: result.output,
+            logs: result.logs.expect("logging enabled"),
+            pgraph: result.pgraph.expect("parallel graph enabled"),
+            steps: result.steps,
+            config,
+        }
+    }
+
+    /// Runs the program *uninstrumented* — no logs, no parallel graph —
+    /// the baseline of the overhead experiment E1.
+    pub fn execute_baseline(&self, config: RunConfig) -> (Outcome, Vec<(ProcId, i64)>, u64) {
+        let machine = Machine::new(&self.rp, &self.analyses, None, config.to_exec(false));
+        let result = machine.run(&mut NullTracer);
+        (result.outcome, result.output, result.steps)
+    }
+
+    /// Benchmark entry point: runs with logging and/or parallel-graph
+    /// construction individually toggled, so the E1 experiment can
+    /// attribute overhead to each instrument.
+    pub fn measure_run(&self, config: RunConfig, logging: bool, pgraph: bool) -> Outcome {
+        let plan = logging.then_some(&self.plan);
+        let machine = Machine::new(&self.rp, &self.analyses, plan, config.to_exec(pgraph));
+        machine.run(&mut NullTracer).outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_and_execute_quickstart() {
+        let session = PpdSession::prepare(
+            ppd_lang::corpus::PRODUCER_CONSUMER.source,
+            EBlockStrategy::per_subroutine(),
+        )
+        .unwrap();
+        let exec = session.execute(RunConfig::default());
+        assert!(exec.outcome.is_success());
+        assert_eq!(exec.output.last().map(|&(_, v)| v), Some(36));
+        assert!(exec.logs.total_entries() > 0);
+        assert!(!exec.pgraph.nodes().is_empty());
+    }
+
+    #[test]
+    fn baseline_matches_instrumented_output() {
+        let session = PpdSession::prepare(
+            ppd_lang::corpus::QUICKSORT.source,
+            EBlockStrategy::per_subroutine(),
+        )
+        .unwrap();
+        let exec = session.execute(RunConfig::default());
+        let (outcome, output, _) = session.execute_baseline(RunConfig::default());
+        assert_eq!(exec.outcome, outcome);
+        assert_eq!(exec.output, output);
+    }
+
+    #[test]
+    fn prepare_rejects_invalid_source() {
+        assert!(PpdSession::prepare("process M { x = 1; }", EBlockStrategy::default()).is_err());
+    }
+
+    #[test]
+    fn execution_remembers_config_for_reproduction() {
+        let session = PpdSession::prepare(
+            ppd_lang::corpus::FIG_4_1.source,
+            EBlockStrategy::per_subroutine(),
+        )
+        .unwrap();
+        let cfg = RunConfig {
+            scheduler: SchedulerSpec::Random { seed: 5 },
+            inputs: vec![vec![5, 3, 2]],
+            ..RunConfig::default()
+        };
+        let e1 = session.execute(cfg);
+        let e2 = session.execute(e1.config.clone());
+        assert_eq!(e1.output, e2.output);
+        assert_eq!(e1.steps, e2.steps);
+    }
+}

@@ -1,0 +1,248 @@
+//! Graphviz DOT export for the graphs — the debugger's "graphical
+//! information ... presented in a form that is easily understood" (§7).
+
+use crate::dynamic::{DynEdgeKind, DynNodeKind, DynamicGraph};
+use crate::parallel::ParallelGraph;
+use crate::simplified::{SimpleNode, SimplifiedGraph};
+use ppd_analysis::VarSetRepr;
+use ppd_lang::ResolvedProgram;
+use std::fmt::Write as _;
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders a dynamic program dependence graph as DOT.
+///
+/// Singular nodes are ellipses, sub-graph nodes are boxes (matching
+/// Figure 4.1's legend); data edges solid, control edges dashed, flow
+/// edges dotted, sync edges bold.
+pub fn dynamic_to_dot(g: &DynamicGraph) -> String {
+    let mut out = String::from("digraph dynamic {\n  rankdir=BT;\n");
+    for n in g.nodes() {
+        let (shape, extra) = match &n.kind {
+            DynNodeKind::Entry | DynNodeKind::Exit => ("diamond", ""),
+            DynNodeKind::Singular { .. } => ("ellipse", ""),
+            DynNodeKind::SubGraph { expanded, .. } => {
+                ("box", if *expanded { ", peripheries=2" } else { "" })
+            }
+            DynNodeKind::Param { .. } => ("ellipse", ", style=dashed"),
+            DynNodeKind::LoopGraph { expanded, .. } => {
+                ("box", if *expanded { ", peripheries=2" } else { ", style=rounded" })
+            }
+        };
+        let value = n
+            .value
+            .as_ref()
+            .map(|v| format!("\\n= {v}"))
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}{}\", shape={shape}{extra}];",
+            n.id.index(),
+            esc(&n.label),
+            esc(&value),
+        );
+    }
+    for &(f, t, kind) in g.edges() {
+        let style = match kind {
+            DynEdgeKind::Data { .. } => "solid",
+            DynEdgeKind::Control => "dashed",
+            DynEdgeKind::Flow => "dotted",
+            DynEdgeKind::Sync => "bold",
+            DynEdgeKind::ValueFlow => "solid",
+        };
+        let _ = writeln!(out, "  {} -> {} [style={style}];", f.index(), t.index());
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a parallel dynamic graph as DOT, one cluster per process
+/// (matching Figure 6.1's columns).
+pub fn parallel_to_dot(g: &ParallelGraph, rp: &ResolvedProgram) -> String {
+    let mut out = String::from("digraph parallel {\n  rankdir=TB;\n");
+    let mut procs: Vec<_> = g.nodes().iter().map(|n| n.proc).collect();
+    procs.sort();
+    procs.dedup();
+    for p in procs {
+        let _ = writeln!(out, "  subgraph cluster_{} {{", p.index());
+        let _ = writeln!(out, "    label=\"{}\";", esc(rp.proc_name(p)));
+        for n in g.nodes().iter().filter(|n| n.proc == p) {
+            let _ = writeln!(
+                out,
+                "    {} [label=\"{} {:?}\", shape=circle];",
+                n.id.index(),
+                n.id,
+                n.kind
+            );
+        }
+        out.push_str("  }\n");
+    }
+    for e in g.internal_edges() {
+        let label = format!(
+            "{} R{:?} W{:?}",
+            e.id,
+            e.reads.to_vec().len(),
+            e.writes.to_vec().len()
+        );
+        let _ = writeln!(
+            out,
+            "  {} -> {} [label=\"{}\", style=solid];",
+            e.from.index(),
+            e.to.index(),
+            esc(&label)
+        );
+    }
+    for e in g.sync_edges() {
+        let _ = writeln!(
+            out,
+            "  {} -> {} [style=bold, color=red, label=\"{:?}\"];",
+            e.from.index(),
+            e.to.index(),
+            e.label
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders one body's full static program dependence graph (§4.1) as
+/// DOT: control edges dashed, data edges solid (labelled with the
+/// variable), flow edges dotted, call edges bold.
+pub fn static_to_dot(
+    sg: &crate::staticpdg::StaticGraph,
+    rp: &ResolvedProgram,
+    body: ppd_lang::BodyId,
+) -> String {
+    use crate::staticpdg::{StaticEdge, StaticNode};
+    let g = sg.body(body);
+    let mut out = format!("digraph static_{} {{
+", rp.body_name(body).replace('-', "_"));
+    let node_id = |n: &StaticNode| match n {
+        StaticNode::Entry => "entry".to_owned(),
+        StaticNode::Exit => "exit".to_owned(),
+        StaticNode::Stmt(s) => format!("s{}", s.0),
+    };
+    let mut nodes: Vec<StaticNode> = vec![StaticNode::Entry, StaticNode::Exit];
+    nodes.extend(g.stmts.iter().map(|&s| StaticNode::Stmt(s)));
+    for n in &nodes {
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}\"];",
+            node_id(n),
+            esc(&sg.label(rp, body, *n))
+        );
+    }
+    for (f, t, kind) in &g.edges {
+        let (style, label) = match kind {
+            StaticEdge::Flow => ("dotted", String::new()),
+            StaticEdge::Control { polarity } => {
+                ("dashed", if *polarity { "T".into() } else { "F".into() })
+            }
+            StaticEdge::Data { var } => ("solid", rp.var_name(*var).to_owned()),
+            StaticEdge::Call { func } => ("bold", rp.func_name(*func).to_owned()),
+        };
+        let _ = writeln!(
+            out,
+            "  {} -> {} [style={style}, label=\"{}\"];",
+            node_id(f),
+            node_id(t),
+            esc(&label)
+        );
+    }
+    out.push_str("}
+");
+    out
+}
+
+/// Renders a simplified static graph as DOT (branching nodes as
+/// diamonds, non-branching as boxes — Figure 5.3's legend).
+pub fn simplified_to_dot(g: &SimplifiedGraph) -> String {
+    let mut out = String::from("digraph simplified {\n");
+    for (i, n) in g.nodes.iter().enumerate() {
+        let shape = match n {
+            SimpleNode::Branch(_) => "diamond",
+            _ => "box",
+        };
+        let _ = writeln!(out, "  {i} [label=\"{n}\", shape={shape}];");
+    }
+    for (ei, &(f, t)) in g.edges.iter().enumerate() {
+        let _ = writeln!(out, "  {f} -> {t} [label=\"e{}\"];", ei + 1);
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamic::DynNodeKind;
+    use ppd_analysis::Analyses;
+    use ppd_lang::{ProcId, StmtId, Value};
+
+    #[test]
+    fn dynamic_dot_contains_nodes_and_styles() {
+        let mut g = DynamicGraph::new();
+        let a = g.add_node(
+            DynNodeKind::Singular { stmt: StmtId(0) },
+            ProcId(0),
+            "a = \"1\"",
+            Some(Value::Int(1)),
+            0,
+        );
+        let b = g.add_node(
+            DynNodeKind::SubGraph { stmt: StmtId(1), func: ppd_lang::FuncId(0), expanded: false },
+            ProcId(0),
+            "f(a)",
+            None,
+            1,
+        );
+        g.add_edge(a, b, DynEdgeKind::Data { var: ppd_lang::VarId(0) });
+        let dot = dynamic_to_dot(&g);
+        assert!(dot.contains("shape=ellipse"));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("style=solid"));
+        assert!(dot.contains("\\\"1\\\""), "quotes escaped: {dot}");
+    }
+
+    #[test]
+    fn parallel_dot_clusters_per_process() {
+        let rp = ppd_lang::corpus::FIG_6_1.compile();
+        let mut g = ParallelGraph::new(rp.var_count());
+        g.start_process(ProcId(0), 0);
+        g.end_process(ProcId(0), 1);
+        g.start_process(ProcId(1), 2);
+        g.end_process(ProcId(1), 3);
+        let dot = parallel_to_dot(&g, &rp);
+        assert!(dot.contains("cluster_0"));
+        assert!(dot.contains("cluster_1"));
+        assert!(dot.contains("P1"));
+    }
+
+    #[test]
+    fn static_pdg_dot_has_edge_styles() {
+        let rp = ppd_lang::compile(
+            "shared int d; process M { if (d > 0) { d = d - 1; } print(d); }",
+        )
+        .unwrap();
+        let analyses = Analyses::run(&rp);
+        let sg = crate::staticpdg::StaticGraph::build(&rp, &analyses);
+        let dot = static_to_dot(&sg, &rp, rp.bodies()[0]);
+        assert!(dot.contains("digraph static_M"));
+        assert!(dot.contains("style=dashed")); // control
+        assert!(dot.contains("style=solid")); // data
+        assert!(dot.contains(r#"label="d""#)); // data edge variable
+    }
+
+    #[test]
+    fn simplified_dot_labels_edges_one_based() {
+        let rp = ppd_lang::corpus::FIG_5_3.compile();
+        let analyses = Analyses::run(&rp);
+        let body = ppd_lang::BodyId::Func(rp.func_by_name("foo3").unwrap());
+        let g = SimplifiedGraph::build(&rp, &analyses, body);
+        let dot = simplified_to_dot(&g);
+        assert!(dot.contains("e1"));
+        assert!(dot.contains("shape=diamond"));
+    }
+}

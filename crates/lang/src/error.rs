@@ -1,0 +1,122 @@
+//! Errors produced while lexing, parsing, or validating source programs.
+
+use crate::span::Span;
+use std::error::Error;
+use std::fmt;
+
+/// An error in the program text, with the offending location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangError {
+    kind: LangErrorKind,
+    span: Span,
+}
+
+/// The specific problem a [`LangError`] reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LangErrorKind {
+    /// A character the lexer does not recognise.
+    UnexpectedChar(char),
+    /// An integer literal that does not fit in `i64`.
+    IntOutOfRange(String),
+    /// The parser saw `found` where it wanted `expected`.
+    UnexpectedToken {
+        /// Description of what was acceptable here.
+        expected: String,
+        /// Description of what was actually found.
+        found: String,
+    },
+    /// A name was used but never declared.
+    Undeclared(String),
+    /// A name was declared twice in the same scope.
+    Redeclared(String),
+    /// A function call had the wrong number of arguments.
+    ArityMismatch {
+        /// Function name.
+        name: String,
+        /// Declared parameter count.
+        expected: usize,
+        /// Arguments supplied at the call.
+        found: usize,
+    },
+    /// An identifier was used as the wrong kind of thing
+    /// (e.g. calling a variable, indexing a scalar).
+    KindMismatch {
+        /// The identifier in question.
+        name: String,
+        /// What the use-site required.
+        expected: &'static str,
+        /// What the identifier actually is.
+        found: &'static str,
+    },
+    /// `return <expr>` inside a `void` function, or a valueless `return`
+    /// inside an `int` function used in expression position.
+    ReturnMismatch(String),
+    /// A miscellaneous validation failure.
+    Invalid(String),
+}
+
+impl LangError {
+    /// Creates an error at `span`.
+    pub fn new(kind: LangErrorKind, span: Span) -> Self {
+        LangError { kind, span }
+    }
+
+    /// The problem being reported.
+    pub fn kind(&self) -> &LangErrorKind {
+        &self.kind
+    }
+
+    /// Where the problem is.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use LangErrorKind::*;
+        match &self.kind {
+            UnexpectedChar(c) => write!(f, "unexpected character `{c}`")?,
+            IntOutOfRange(s) => write!(f, "integer literal `{s}` out of range")?,
+            UnexpectedToken { expected, found } => {
+                write!(f, "expected {expected}, found {found}")?
+            }
+            Undeclared(n) => write!(f, "`{n}` is not declared")?,
+            Redeclared(n) => write!(f, "`{n}` is already declared in this scope")?,
+            ArityMismatch { name, expected, found } => write!(
+                f,
+                "`{name}` takes {expected} argument(s) but {found} were supplied"
+            )?,
+            KindMismatch { name, expected, found } => {
+                write!(f, "`{name}` is a {found} but is used as a {expected}")?
+            }
+            ReturnMismatch(n) => write!(f, "return type mismatch in `{n}`")?,
+            Invalid(msg) => write!(f, "{msg}")?,
+        }
+        if self.span != Span::DUMMY {
+            write!(f, " at {}", self.span)?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = LangError::new(LangErrorKind::Undeclared("x".into()), Span::new(0, 1, 7));
+        let s = e.to_string();
+        assert!(s.contains("`x`"), "{s}");
+        assert!(s.contains("line 7"), "{s}");
+    }
+
+    #[test]
+    fn display_omits_dummy_location() {
+        let e = LangError::new(LangErrorKind::Invalid("bad".into()), Span::DUMMY);
+        assert_eq!(e.to_string(), "bad");
+    }
+}

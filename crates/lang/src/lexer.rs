@@ -1,0 +1,294 @@
+//! Hand-written lexer for the PPD source language.
+//!
+//! The language is a small C-like notation (see the crate docs for the
+//! grammar) extended with the synchronization operations the paper's §6.2
+//! constructs synchronization edges for: semaphores, locks, blocking and
+//! non-blocking messages, and rendezvous.
+
+use crate::error::{LangError, LangErrorKind};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Streaming lexer over a source string.
+#[derive(Debug)]
+pub struct Lexer<'src> {
+    src: &'src str,
+    bytes: &'src [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'src> Lexer<'src> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'src str) -> Self {
+        Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1 }
+    }
+
+    /// Lexes the whole input, returning the token stream terminated by an
+    /// [`TokenKind::Eof`] token.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first lexical error encountered.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, LangError> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let done = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b' ' | b'\t' | b'\r' | b'\n') => {
+                    self.bump();
+                }
+                // Line comments: // ... \n
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                // Block comments: /* ... */ (non-nesting, like C)
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => break,
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, LangError> {
+        self.skip_trivia();
+        let start = self.pos as u32;
+        let line = self.line;
+        let mk = |kind, start, end, line| Token { kind, span: Span::new(start, end, line) };
+
+        let Some(b) = self.peek() else {
+            return Ok(mk(TokenKind::Eof, start, start, line));
+        };
+
+        // Identifiers and keywords.
+        if b.is_ascii_alphabetic() || b == b'_' {
+            while let Some(c) = self.peek() {
+                if c.is_ascii_alphanumeric() || c == b'_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let text = &self.src[start as usize..self.pos];
+            let kind = TokenKind::keyword(text)
+                .unwrap_or_else(|| TokenKind::Ident(text.to_owned()));
+            return Ok(mk(kind, start, self.pos as u32, line));
+        }
+
+        // Integer literals.
+        if b.is_ascii_digit() {
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let text = &self.src[start as usize..self.pos];
+            let value: i64 = text.parse().map_err(|_| {
+                LangError::new(
+                    LangErrorKind::IntOutOfRange(text.to_owned()),
+                    Span::new(start, self.pos as u32, line),
+                )
+            })?;
+            return Ok(mk(TokenKind::Int(value), start, self.pos as u32, line));
+        }
+
+        // Operators and punctuation.
+        self.bump();
+        let two = |lexer: &mut Self, second: u8, yes: TokenKind, no: TokenKind| {
+            if lexer.peek() == Some(second) {
+                lexer.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        let kind = match b {
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b'{' => TokenKind::LBrace,
+            b'}' => TokenKind::RBrace,
+            b'[' => TokenKind::LBracket,
+            b']' => TokenKind::RBracket,
+            b';' => TokenKind::Semi,
+            b',' => TokenKind::Comma,
+            b'+' => TokenKind::Plus,
+            b'-' => TokenKind::Minus,
+            b'*' => TokenKind::Star,
+            b'/' => TokenKind::Slash,
+            b'%' => TokenKind::Percent,
+            b'=' => two(self, b'=', TokenKind::Eq, TokenKind::Assign),
+            b'!' => two(self, b'=', TokenKind::Ne, TokenKind::Bang),
+            b'<' => two(self, b'=', TokenKind::Le, TokenKind::Lt),
+            b'>' => two(self, b'=', TokenKind::Ge, TokenKind::Gt),
+            b'&' => {
+                if self.peek() == Some(b'&') {
+                    self.bump();
+                    TokenKind::AndAnd
+                } else {
+                    return Err(LangError::new(
+                        LangErrorKind::UnexpectedChar('&'),
+                        Span::new(start, self.pos as u32, line),
+                    ));
+                }
+            }
+            b'|' => {
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    TokenKind::OrOr
+                } else {
+                    return Err(LangError::new(
+                        LangErrorKind::UnexpectedChar('|'),
+                        Span::new(start, self.pos as u32, line),
+                    ));
+                }
+            }
+            other => {
+                return Err(LangError::new(
+                    LangErrorKind::UnexpectedChar(other as char),
+                    Span::new(start, self.pos as u32, line),
+                ))
+            }
+        };
+        Ok(mk(kind, start, self.pos as u32, line))
+    }
+}
+
+/// Convenience: lex `src` to completion.
+///
+/// # Errors
+///
+/// Returns the first lexical error.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LangError> {
+    Lexer::new(src).tokenize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TokenKind::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_assignment() {
+        assert_eq!(
+            kinds("x = a + 42;"),
+            vec![
+                Ident("x".into()),
+                Assign,
+                Ident("a".into()),
+                Plus,
+                Int(42),
+                Semi,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_keywords_and_sync_ops() {
+        assert_eq!(
+            kinds("if while p v send recv rendezvous accept"),
+            vec![KwIf, KwWhile, KwP, KwV, KwSend, KwRecv, KwRendezvous, KwAccept, Eof]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            kinds("== != <= >= && || < > = !"),
+            vec![Eq, Ne, Le, Ge, AndAnd, OrOr, Lt, Gt, Assign, Bang, Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a // comment\n b /* block\n comment */ c"),
+            vec![Ident("a".into()), Ident("b".into()), Ident("c".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = tokenize("a\nb\n\nc").unwrap();
+        let lines: Vec<u32> = toks.iter().map(|t| t.span.line).collect();
+        assert_eq!(lines, vec![1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(tokenize("a $ b").is_err());
+        assert!(tokenize("a & b").is_err());
+        assert!(tokenize("a | b").is_err());
+    }
+
+    #[test]
+    fn rejects_overflowing_literal() {
+        assert!(tokenize("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn unterminated_block_comment_reaches_eof() {
+        assert_eq!(kinds("a /* never closed"), vec![Ident("a".into()), Eof]);
+    }
+
+    #[test]
+    fn spans_slice_source() {
+        let src = "foo + bar";
+        let toks = tokenize(src).unwrap();
+        assert_eq!(toks[0].span.slice(src), "foo");
+        assert_eq!(toks[2].span.slice(src), "bar");
+    }
+}

@@ -1,0 +1,133 @@
+//! String interning.
+//!
+//! Identifiers are interned into [`Symbol`]s so that the analyses can
+//! compare and hash names in O(1) and store them compactly inside
+//! bit-sets, matching the paper's concern (§7) that the representation of
+//! variable sets has "a large effect on the speed of the debugging phase
+//! algorithms".
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned identifier.
+///
+/// Symbols are only meaningful relative to the [`Interner`] that produced
+/// them; the parser exposes the interner on the parsed
+/// [`Program`](crate::ast::Program).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// Raw index of this symbol in its interner.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// A de-duplicating string store mapping identifiers to [`Symbol`]s.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Interner {
+    names: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, Symbol>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning the existing symbol if already present.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&sym) = self.index.get(name) {
+            return sym;
+        }
+        let sym = Symbol(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), sym);
+        sym
+    }
+
+    /// Looks up an already-interned name.
+    pub fn get(&self, name: &str) -> Option<Symbol> {
+        if let Some(&sym) = self.index.get(name) {
+            return Some(sym);
+        }
+        // After deserialization the side index is empty; fall back to scan.
+        self.names.iter().position(|n| n == name).map(|i| Symbol(i as u32))
+    }
+
+    /// Returns the text of `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was produced by a different interner and is out of
+    /// range for this one.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of distinct interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no names have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Rebuilds the lookup index (needed after deserialization).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), Symbol(i as u32)))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_dedupes() {
+        let mut i = Interner::new();
+        let a = i.intern("foo");
+        let b = i.intern("bar");
+        let c = i.intern("foo");
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::new();
+        let a = i.intern("alpha");
+        assert_eq!(i.resolve(a), "alpha");
+        assert_eq!(i.get("alpha"), Some(a));
+        assert_eq!(i.get("beta"), None);
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut i = Interner::new();
+        let a = i.intern("x");
+        let mut j = i.clone();
+        j.index.clear();
+        assert_eq!(j.get("x"), Some(a)); // scan fallback
+        j.rebuild_index();
+        assert_eq!(j.get("x"), Some(a));
+    }
+}

@@ -1,0 +1,252 @@
+//! Tokens of the PPD source language.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A lexical token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is (including any literal payload).
+    pub kind: TokenKind,
+    /// Where in the source it came from.
+    pub span: Span,
+}
+
+/// The kinds of token produced by the [`Lexer`](crate::lexer::Lexer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An integer literal such as `42`.
+    Int(i64),
+    /// An identifier such as `foo`.
+    Ident(String),
+
+    // Keywords.
+    /// `int`
+    KwInt,
+    /// `void`
+    KwVoid,
+    /// `shared`
+    KwShared,
+    /// `sem`
+    KwSem,
+    /// `lockvar`
+    KwLockVar,
+    /// `process`
+    KwProcess,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `for`
+    KwFor,
+    /// `return`
+    KwReturn,
+    /// `p` — semaphore wait (only a keyword in call position)
+    KwP,
+    /// `v` — semaphore signal (only a keyword in call position)
+    KwV,
+    /// `lock`
+    KwLock,
+    /// `unlock`
+    KwUnlock,
+    /// `send`
+    KwSend,
+    /// `asend`
+    KwASend,
+    /// `recv`
+    KwRecv,
+    /// `rendezvous`
+    KwRendezvous,
+    /// `accept`
+    KwAccept,
+    /// `print`
+    KwPrint,
+    /// `assert`
+    KwAssert,
+    /// `input`
+    KwInput,
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Bang,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Returns the keyword token for `word`, if it is one.
+    pub fn keyword(word: &str) -> Option<TokenKind> {
+        use TokenKind::*;
+        Some(match word {
+            "int" => KwInt,
+            "void" => KwVoid,
+            "shared" => KwShared,
+            "sem" => KwSem,
+            "lockvar" => KwLockVar,
+            "process" => KwProcess,
+            "if" => KwIf,
+            "else" => KwElse,
+            "while" => KwWhile,
+            "for" => KwFor,
+            "return" => KwReturn,
+            "p" => KwP,
+            "v" => KwV,
+            "lock" => KwLock,
+            "unlock" => KwUnlock,
+            "send" => KwSend,
+            "asend" => KwASend,
+            "recv" => KwRecv,
+            "rendezvous" => KwRendezvous,
+            "accept" => KwAccept,
+            "print" => KwPrint,
+            "assert" => KwAssert,
+            "input" => KwInput,
+            _ => return None,
+        })
+    }
+
+    /// A short human-readable description used in error messages.
+    pub fn describe(&self) -> String {
+        use TokenKind::*;
+        match self {
+            Int(n) => format!("integer `{n}`"),
+            Ident(s) => format!("identifier `{s}`"),
+            KwInt => "`int`".into(),
+            KwVoid => "`void`".into(),
+            KwShared => "`shared`".into(),
+            KwSem => "`sem`".into(),
+            KwLockVar => "`lockvar`".into(),
+            KwProcess => "`process`".into(),
+            KwIf => "`if`".into(),
+            KwElse => "`else`".into(),
+            KwWhile => "`while`".into(),
+            KwFor => "`for`".into(),
+            KwReturn => "`return`".into(),
+            KwP => "`p`".into(),
+            KwV => "`v`".into(),
+            KwLock => "`lock`".into(),
+            KwUnlock => "`unlock`".into(),
+            KwSend => "`send`".into(),
+            KwASend => "`asend`".into(),
+            KwRecv => "`recv`".into(),
+            KwRendezvous => "`rendezvous`".into(),
+            KwAccept => "`accept`".into(),
+            KwPrint => "`print`".into(),
+            KwAssert => "`assert`".into(),
+            KwInput => "`input`".into(),
+            LParen => "`(`".into(),
+            RParen => "`)`".into(),
+            LBrace => "`{`".into(),
+            RBrace => "`}`".into(),
+            LBracket => "`[`".into(),
+            RBracket => "`]`".into(),
+            Semi => "`;`".into(),
+            Comma => "`,`".into(),
+            Assign => "`=`".into(),
+            Eq => "`==`".into(),
+            Ne => "`!=`".into(),
+            Lt => "`<`".into(),
+            Le => "`<=`".into(),
+            Gt => "`>`".into(),
+            Ge => "`>=`".into(),
+            Plus => "`+`".into(),
+            Minus => "`-`".into(),
+            Star => "`*`".into(),
+            Slash => "`/`".into(),
+            Percent => "`%`".into(),
+            Bang => "`!`".into(),
+            AndAnd => "`&&`".into(),
+            OrOr => "`||`".into(),
+            Eof => "end of input".into(),
+        }
+    }
+
+    /// Whether this token kind can start a statement-level keyword that is
+    /// also usable as a plain identifier elsewhere (`p`, `v`).
+    pub fn as_ident_text(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            TokenKind::KwP => Some("p"),
+            TokenKind::KwV => Some("v"),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(TokenKind::keyword("while"), Some(TokenKind::KwWhile));
+        assert_eq!(TokenKind::keyword("frobnicate"), None);
+    }
+
+    #[test]
+    fn p_and_v_double_as_identifiers() {
+        assert_eq!(TokenKind::KwP.as_ident_text(), Some("p"));
+        assert_eq!(TokenKind::KwV.as_ident_text(), Some("v"));
+        assert_eq!(TokenKind::Ident("x".into()).as_ident_text(), Some("x"));
+        assert_eq!(TokenKind::KwIf.as_ident_text(), None);
+    }
+
+    #[test]
+    fn describe_is_nonempty() {
+        assert!(!TokenKind::Eof.describe().is_empty());
+        assert!(TokenKind::Int(7).describe().contains('7'));
+    }
+}

@@ -1,0 +1,35 @@
+//! # ppd-log — the incremental-tracing log model
+//!
+//! "The cornerstone of the need-to-generate concept is to generate a
+//! small amount of information, called a log, during execution and fill
+//! incrementally, during the interactive portion of the debugging
+//! session, the gap between the information gathered in the log and the
+//! information needed to do the flowback analysis" (§3.1).
+//!
+//! This crate defines the log records ([`LogEntry`]), the per-process
+//! log files and whole-execution [`LogStore`] (§5.6), the log-interval
+//! index ([`IntervalRef`], §5.1) and the [`LogCursor`] that e-block
+//! replay consumes entries from — including the nested-interval
+//! postlog substitution of §5.2 / Figure 5.2.
+//!
+//! ## Example
+//!
+//! ```
+//! use ppd_log::{LogEntry, LogStore};
+//! use ppd_analysis::EBlockId;
+//! use ppd_lang::ProcId;
+//!
+//! let mut store = LogStore::new(1);
+//! store.push(ProcId(0), LogEntry::Prelog {
+//!     eblock: EBlockId(0), instance: 0, values: vec![], time: 0,
+//! });
+//! assert_eq!(store.open_intervals(ProcId(0)).len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod entry;
+pub mod store;
+
+pub use entry::LogEntry;
+pub use store::{IntervalRef, LogCursor, LogStore, ProcessLog};

@@ -1,0 +1,387 @@
+//! Per-process log files and the whole-execution log store (§5.6).
+//!
+//! "There is one log file for each process of a parallel program." The
+//! [`LogStore`] owns every process's log; the Controller navigates it via
+//! [`IntervalRef`]s — the log intervals `I_i` of §5.1 — and a
+//! [`LogCursor`] that the replayer consumes entries from in order.
+
+use crate::entry::LogEntry;
+use ppd_analysis::EBlockId;
+use ppd_lang::ProcId;
+use serde::{Deserialize, Serialize};
+
+/// The log of one process.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProcessLog {
+    /// Entries in chronological order.
+    pub entries: Vec<LogEntry>,
+}
+
+impl ProcessLog {
+    /// Total byte size of the log.
+    pub fn size_bytes(&self) -> usize {
+        self.entries.iter().map(LogEntry::size_bytes).sum()
+    }
+}
+
+/// A log interval `I_i` (§5.1): one dynamic e-block execution, from its
+/// prelog to its postlog (or to the halt, if the postlog was never
+/// written).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntervalRef {
+    /// The owning process.
+    pub proc: ProcId,
+    /// The e-block executed.
+    pub eblock: EBlockId,
+    /// The per-process instance number.
+    pub instance: u64,
+    /// Index of the prelog entry in the process log.
+    pub prelog_pos: usize,
+    /// Index of the matching postlog, or `None` if execution halted
+    /// inside the interval.
+    pub postlog_pos: Option<usize>,
+}
+
+/// All logs of one execution.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LogStore {
+    logs: Vec<ProcessLog>,
+}
+
+impl LogStore {
+    /// A store for `processes` processes.
+    pub fn new(processes: usize) -> LogStore {
+        LogStore { logs: vec![ProcessLog::default(); processes] }
+    }
+
+    /// Appends an entry to a process's log.
+    pub fn push(&mut self, proc: ProcId, entry: LogEntry) {
+        self.logs[proc.index()].entries.push(entry);
+    }
+
+    /// The log of one process.
+    pub fn log(&self, proc: ProcId) -> &ProcessLog {
+        &self.logs[proc.index()]
+    }
+
+    /// Number of process logs.
+    pub fn process_count(&self) -> usize {
+        self.logs.len()
+    }
+
+    /// Total log volume in bytes across all processes (experiment E2).
+    pub fn total_bytes(&self) -> usize {
+        self.logs.iter().map(ProcessLog::size_bytes).sum()
+    }
+
+    /// Total entry count.
+    pub fn total_entries(&self) -> usize {
+        self.logs.iter().map(|l| l.entries.len()).sum()
+    }
+
+    /// Entry counts by kind, for the statistics tables.
+    pub fn counts_by_kind(&self) -> Vec<(&'static str, usize)> {
+        let mut counts: Vec<(&'static str, usize)> = Vec::new();
+        for log in &self.logs {
+            for e in &log.entries {
+                let name = e.kind_name();
+                match counts.iter_mut().find(|(n, _)| *n == name) {
+                    Some((_, c)) => *c += 1,
+                    None => counts.push((name, 1)),
+                }
+            }
+        }
+        counts
+    }
+
+    /// All log intervals of `proc`, in prelog order (outer intervals
+    /// appear before the intervals nested inside them — Figure 5.1/5.2).
+    pub fn intervals(&self, proc: ProcId) -> Vec<IntervalRef> {
+        let entries = &self.logs[proc.index()].entries;
+        let mut out = Vec::new();
+        for (pos, e) in entries.iter().enumerate() {
+            let LogEntry::Prelog { eblock, instance, .. } = e else { continue };
+            let postlog_pos = entries[pos + 1..].iter().position(|e2| {
+                matches!(e2, LogEntry::Postlog { eblock: b2, instance: i2, .. }
+                         if b2 == eblock && i2 == instance)
+            });
+            out.push(IntervalRef {
+                proc,
+                eblock: *eblock,
+                instance: *instance,
+                prelog_pos: pos,
+                postlog_pos: postlog_pos.map(|p| pos + 1 + p),
+            });
+        }
+        out
+    }
+
+    /// The intervals of `proc` still open when execution stopped —
+    /// innermost last. The Controller starts debugging from the last
+    /// prelog whose postlog has not yet been generated (§5.3).
+    pub fn open_intervals(&self, proc: ProcId) -> Vec<IntervalRef> {
+        self.intervals(proc)
+            .into_iter()
+            .filter(|i| i.postlog_pos.is_none())
+            .collect()
+    }
+
+    /// Finds a specific interval.
+    pub fn find_interval(
+        &self,
+        proc: ProcId,
+        eblock: EBlockId,
+        instance: u64,
+    ) -> Option<IntervalRef> {
+        self.intervals(proc)
+            .into_iter()
+            .find(|i| i.eblock == eblock && i.instance == instance)
+    }
+
+    /// The interval (of any process) whose span covers logical time `t`
+    /// and whose e-block is `eblock` — how the Controller locates "the
+    /// log interval of the second process" for cross-process dependences
+    /// (§5.6).
+    pub fn interval_covering(
+        &self,
+        proc: ProcId,
+        eblock: EBlockId,
+        t: u64,
+    ) -> Option<IntervalRef> {
+        let entries = &self.logs[proc.index()].entries;
+        self.intervals(proc).into_iter().rfind(|i| {
+            i.eblock == eblock && {
+                let start = entries[i.prelog_pos].time();
+                let end = i
+                    .postlog_pos
+                    .map(|p| entries[p].time())
+                    .unwrap_or(u64::MAX);
+                start <= t && t <= end
+            }
+        })
+    }
+
+    /// A cursor positioned immediately after `interval`'s prelog, for
+    /// replay to consume.
+    pub fn cursor_at(&self, interval: IntervalRef) -> LogCursor<'_> {
+        LogCursor {
+            entries: &self.logs[interval.proc.index()].entries,
+            pos: interval.prelog_pos + 1,
+        }
+    }
+
+    /// The prelog entry of an interval.
+    pub fn prelog_of(&self, interval: IntervalRef) -> &LogEntry {
+        &self.logs[interval.proc.index()].entries[interval.prelog_pos]
+    }
+
+    /// The postlog entry of an interval, if complete.
+    pub fn postlog_of(&self, interval: IntervalRef) -> Option<&LogEntry> {
+        interval
+            .postlog_pos
+            .map(|p| &self.logs[interval.proc.index()].entries[p])
+    }
+
+    /// Serializes the store to JSON (the on-disk log-file format).
+    ///
+    /// # Errors
+    ///
+    /// Returns a serialization error if any value fails to encode.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Loads a store from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a deserialization error on malformed input.
+    pub fn from_json(json: &str) -> Result<LogStore, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// A forward-only reader over one process's log, used by e-block replay
+/// to consume shared snapshots, inputs, receives and nested postlogs in
+/// the order they were recorded.
+#[derive(Debug, Clone)]
+pub struct LogCursor<'a> {
+    entries: &'a [LogEntry],
+    pos: usize,
+}
+
+impl<'a> LogCursor<'a> {
+    /// The next entry without consuming it.
+    pub fn peek(&self) -> Option<&'a LogEntry> {
+        self.entries.get(self.pos)
+    }
+
+    /// Consumes and returns the next entry.
+    pub fn next_entry(&mut self) -> Option<&'a LogEntry> {
+        let e = self.entries.get(self.pos)?;
+        self.pos += 1;
+        Some(e)
+    }
+
+    /// Consumes entries until (and including) the next entry matching
+    /// `pred`; returns it, or `None` if the log ends first.
+    pub fn seek(&mut self, pred: impl Fn(&LogEntry) -> bool) -> Option<&'a LogEntry> {
+        while let Some(e) = self.entries.get(self.pos) {
+            self.pos += 1;
+            if pred(e) {
+                return Some(e);
+            }
+        }
+        None
+    }
+
+    /// Skips a whole nested interval: assuming the next relevant entries
+    /// contain `Prelog(eblock=b)` for some instance, consumes through its
+    /// matching postlog and returns that postlog (§5.2's substitution).
+    /// Handles arbitrarily deep nesting inside.
+    pub fn skip_nested_interval(&mut self, eblock: EBlockId) -> Option<&'a LogEntry> {
+        // Find the nested interval's prelog.
+        let instance = loop {
+            let e = self.entries.get(self.pos)?;
+            self.pos += 1;
+            if let LogEntry::Prelog { eblock: b, instance, .. } = e {
+                if *b == eblock {
+                    break *instance;
+                }
+            }
+        };
+        // Consume to the matching postlog (same block id and instance).
+        self.seek(|e| {
+            matches!(e, LogEntry::Postlog { eblock: b, instance: i, .. }
+                     if *b == eblock && *i == instance)
+        })
+    }
+
+    /// Current position (for diagnostics).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppd_lang::{Value, VarId};
+
+    fn prelog(b: u32, i: u64, t: u64) -> LogEntry {
+        LogEntry::Prelog { eblock: EBlockId(b), instance: i, values: vec![], time: t }
+    }
+
+    fn postlog(b: u32, i: u64, t: u64) -> LogEntry {
+        LogEntry::Postlog {
+            eblock: EBlockId(b),
+            instance: i,
+            values: vec![(VarId(0), Value::Int(t as i64))],
+            ret: None,
+            time: t,
+        }
+    }
+
+    /// The nesting of Figure 5.2: SubJ's interval I_j contains SubK's
+    /// I_{j+1}.
+    fn fig52_store() -> LogStore {
+        let mut s = LogStore::new(1);
+        let p = ProcId(0);
+        s.push(p, prelog(0, 0, 1)); // SubJ prelog at t1
+        s.push(p, prelog(1, 0, 2)); // SubK prelog at t2 (nested)
+        s.push(p, postlog(1, 0, 3)); // SubK postlog at t3
+        s.push(p, postlog(0, 0, 4)); // SubJ postlog at t4
+        s
+    }
+
+    #[test]
+    fn intervals_pair_prelogs_and_postlogs() {
+        let s = fig52_store();
+        let ivs = s.intervals(ProcId(0));
+        assert_eq!(ivs.len(), 2);
+        assert_eq!(ivs[0].eblock, EBlockId(0));
+        assert_eq!(ivs[0].prelog_pos, 0);
+        assert_eq!(ivs[0].postlog_pos, Some(3));
+        assert_eq!(ivs[1].eblock, EBlockId(1));
+        assert_eq!(ivs[1].postlog_pos, Some(2));
+    }
+
+    #[test]
+    fn open_intervals_at_halt() {
+        let mut s = LogStore::new(1);
+        let p = ProcId(0);
+        s.push(p, prelog(0, 0, 1));
+        s.push(p, prelog(1, 0, 2));
+        // halt: neither postlog written
+        let open = s.open_intervals(p);
+        assert_eq!(open.len(), 2);
+        // Innermost (last prelog without postlog) is the SubK interval.
+        assert_eq!(open.last().unwrap().eblock, EBlockId(1));
+    }
+
+    #[test]
+    fn recursive_instances_disambiguated() {
+        let mut s = LogStore::new(1);
+        let p = ProcId(0);
+        s.push(p, prelog(0, 0, 1));
+        s.push(p, prelog(0, 1, 2)); // recursive nested call, same block
+        s.push(p, postlog(0, 1, 3));
+        s.push(p, postlog(0, 0, 4));
+        let outer = s.find_interval(p, EBlockId(0), 0).unwrap();
+        let inner = s.find_interval(p, EBlockId(0), 1).unwrap();
+        assert_eq!(outer.postlog_pos, Some(3));
+        assert_eq!(inner.postlog_pos, Some(2));
+    }
+
+    #[test]
+    fn cursor_skips_nested_interval() {
+        let s = fig52_store();
+        let outer = s.find_interval(ProcId(0), EBlockId(0), 0).unwrap();
+        let mut cur = s.cursor_at(outer);
+        let post = cur.skip_nested_interval(EBlockId(1)).unwrap();
+        assert!(matches!(post, LogEntry::Postlog { eblock: EBlockId(1), .. }));
+        // Next entry is SubJ's own postlog.
+        assert!(matches!(cur.next_entry(), Some(LogEntry::Postlog { eblock: EBlockId(0), .. })));
+    }
+
+    #[test]
+    fn cursor_skips_deeply_nested_intervals() {
+        let mut s = LogStore::new(1);
+        let p = ProcId(0);
+        s.push(p, prelog(0, 0, 1));
+        s.push(p, prelog(1, 0, 2));
+        s.push(p, prelog(2, 0, 3)); // grandchild
+        s.push(p, postlog(2, 0, 4));
+        s.push(p, postlog(1, 0, 5));
+        s.push(p, postlog(0, 0, 6));
+        let outer = s.find_interval(p, EBlockId(0), 0).unwrap();
+        let mut cur = s.cursor_at(outer);
+        let post = cur.skip_nested_interval(EBlockId(1)).unwrap();
+        assert_eq!(post.time(), 5);
+    }
+
+    #[test]
+    fn interval_covering_time() {
+        let s = fig52_store();
+        let iv = s.interval_covering(ProcId(0), EBlockId(0), 2).unwrap();
+        assert_eq!(iv.eblock, EBlockId(0));
+        assert!(s.interval_covering(ProcId(0), EBlockId(1), 9).is_none());
+    }
+
+    #[test]
+    fn store_serde_round_trip() {
+        let s = fig52_store();
+        let json = s.to_json().unwrap();
+        let back = LogStore::from_json(&json).unwrap();
+        assert_eq!(back.total_entries(), 4);
+        assert_eq!(back.total_bytes(), s.total_bytes());
+    }
+
+    #[test]
+    fn counts_by_kind() {
+        let s = fig52_store();
+        let counts = s.counts_by_kind();
+        assert!(counts.contains(&("prelog", 2)));
+        assert!(counts.contains(&("postlog", 2)));
+    }
+}

@@ -1,0 +1,43 @@
+//! # ppd-runtime — the shared-memory multiprocessor substrate
+//!
+//! A deterministic multi-process interpreter that plays the paper's
+//! execution-phase roles: the plain program, the log-writing **object
+//! code** (§3.2.2), and the trace-everything **emulation package**
+//! (§5.3) used for e-block replay during debugging.
+//!
+//! See [`machine::Machine`] for the interpreter, [`sched`] for the
+//! reproducible schedulers, and [`event`] for the trace-event model.
+//!
+//! ## Example
+//!
+//! ```
+//! use ppd_runtime::{ExecConfig, Machine, NullTracer};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let rp = ppd_lang::compile("shared int x; process Main { x = 2 + 3; print(x); }")?;
+//! let analyses = ppd_analysis::Analyses::run(&rp);
+//! let machine = Machine::new(&rp, &analyses, None, ExecConfig::default());
+//! let result = machine.run(&mut NullTracer);
+//! assert!(result.outcome.is_success());
+//! assert_eq!(result.output, vec![(ppd_lang::ProcId(0), 5)]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod event;
+pub mod machine;
+pub mod sched;
+
+#[cfg(test)]
+mod tests;
+
+pub use error::{BlockReason, Outcome, RuntimeError};
+pub use event::{
+    CellRef, CountingTracer, EventKind, NullTracer, ReadSource, SyncKind, TraceEvent, Tracer,
+    VecTracer,
+};
+pub use machine::{ExecConfig, ExecResult, Machine, NestedCalls, ReplayResult};
+pub use sched::{Scheduler, SchedulerSpec};

@@ -1,0 +1,163 @@
+//! Process schedulers for the simulated shared-memory multiprocessor.
+//!
+//! The scheduler decides which runnable process executes the next step.
+//! Every execution is reproducible from `(program, inputs, SchedulerSpec)`
+//! — the stand-in for the paper's "same input as originally fed to the
+//! program" (§5.1). Varying the seed models the *non-reproducibility* of
+//! real parallel programs ("scheduling delays", §2) that motivates
+//! logging in the first place.
+
+use ppd_lang::ProcId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A reproducible scheduler specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum SchedulerSpec {
+    /// Rotate fairly among runnable processes.
+    #[default]
+    RoundRobin,
+    /// Uniform random choice from a seeded generator.
+    Random {
+        /// The seed; same seed ⇒ same interleaving.
+        seed: u64,
+    },
+    /// Always run the lowest-numbered runnable process — an adversarial
+    /// schedule that starves late processes and provokes deadlocks in
+    /// programs like the dining philosophers.
+    PreferLowest,
+    /// Always run the highest-numbered runnable process.
+    PreferHighest,
+    /// Run each process to completion (or block) before switching —
+    /// the coarsest interleaving.
+    RunToBlock,
+}
+
+
+impl SchedulerSpec {
+    /// Instantiates the scheduler.
+    pub fn build(self) -> Scheduler {
+        let state = match self {
+            SchedulerSpec::Random { seed } => State::Random(StdRng::seed_from_u64(seed)),
+            SchedulerSpec::RoundRobin => State::RoundRobin { next: 0 },
+            SchedulerSpec::PreferLowest => State::Lowest,
+            SchedulerSpec::PreferHighest => State::Highest,
+            SchedulerSpec::RunToBlock => State::Sticky { current: None },
+        };
+        Scheduler { state }
+    }
+}
+
+/// A scheduler instance with its mutable state.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    state: State,
+}
+
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // StdRng dwarfs the others; one scheduler per machine
+enum State {
+    RoundRobin { next: usize },
+    Random(StdRng),
+    Lowest,
+    Highest,
+    Sticky { current: Option<ProcId> },
+}
+
+impl Scheduler {
+    /// Picks one of the runnable processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runnable` is empty — the machine must detect deadlock
+    /// before asking.
+    pub fn pick(&mut self, runnable: &[ProcId]) -> ProcId {
+        assert!(!runnable.is_empty(), "scheduler invoked with no runnable process");
+        match &mut self.state {
+            State::RoundRobin { next } => {
+                // Find the first runnable process at or after the cursor.
+                let chosen = runnable
+                    .iter()
+                    .copied()
+                    .find(|p| p.index() >= *next)
+                    .unwrap_or(runnable[0]);
+                *next = chosen.index() + 1;
+                chosen
+            }
+            State::Random(rng) => runnable[rng.gen_range(0..runnable.len())],
+            State::Lowest => runnable[0],
+            State::Highest => *runnable.last().expect("nonempty"),
+            State::Sticky { current } => {
+                if let Some(c) = current {
+                    if runnable.contains(c) {
+                        return *c;
+                    }
+                }
+                let chosen = runnable[0];
+                *current = Some(chosen);
+                chosen
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn procs(ids: &[u32]) -> Vec<ProcId> {
+        ids.iter().map(|&i| ProcId(i)).collect()
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut s = SchedulerSpec::RoundRobin.build();
+        let r = procs(&[0, 1, 2]);
+        let picks: Vec<u32> = (0..6).map(|_| s.pick(&r).0).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin_skips_blocked() {
+        let mut s = SchedulerSpec::RoundRobin.build();
+        assert_eq!(s.pick(&procs(&[0, 2])).0, 0);
+        assert_eq!(s.pick(&procs(&[0, 2])).0, 2);
+        assert_eq!(s.pick(&procs(&[0, 2])).0, 0);
+    }
+
+    #[test]
+    fn random_is_reproducible() {
+        let r = procs(&[0, 1, 2, 3]);
+        let run = |seed| {
+            let mut s = SchedulerSpec::Random { seed }.build();
+            (0..32).map(|_| s.pick(&r).0).collect::<Vec<u32>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should differ");
+    }
+
+    #[test]
+    fn lowest_and_highest() {
+        let r = procs(&[1, 3, 5]);
+        assert_eq!(SchedulerSpec::PreferLowest.build().pick(&r).0, 1);
+        assert_eq!(SchedulerSpec::PreferHighest.build().pick(&r).0, 5);
+    }
+
+    #[test]
+    fn sticky_runs_to_block() {
+        let mut s = SchedulerSpec::RunToBlock.build();
+        assert_eq!(s.pick(&procs(&[0, 1])).0, 0);
+        assert_eq!(s.pick(&procs(&[0, 1])).0, 0);
+        // 0 blocks; switches to 1 and sticks.
+        assert_eq!(s.pick(&procs(&[1])).0, 1);
+        assert_eq!(s.pick(&procs(&[0, 1])).0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no runnable process")]
+    fn empty_runnable_panics() {
+        SchedulerSpec::RoundRobin.build().pick(&[]);
+    }
+}

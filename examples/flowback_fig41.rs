@@ -1,0 +1,82 @@
+//! The paper's Figure 4.1, reproduced end to end.
+//!
+//! Builds the dynamic program dependence graph of the six-statement
+//! fragment (with the fictional `%3` parameter node and the `SubD`
+//! sub-graph node), prints it, then expands the sub-graph node the way
+//! the paper's user would ask for "more execution detail" (§4.2, §5.2).
+//!
+//! Run with: `cargo run --example flowback_fig41`
+
+#![allow(clippy::field_reassign_with_default)]
+
+use ppd::analysis::EBlockStrategy;
+use ppd::core::{Controller, PpdSession, RunConfig};
+use ppd::graph::{dot, DynNodeKind};
+use ppd::lang::ProcId;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let prog = ppd::lang::corpus::FIG_4_1;
+    println!("=== {} ===\n{}", prog.description, prog.source);
+
+    let session = PpdSession::prepare(prog.source, EBlockStrategy::per_subroutine())?;
+    let mut config = RunConfig::default();
+    config.inputs = vec![vec![5, 3, 2]]; // a, b, c
+    let execution = session.execute(config);
+    println!("program output: {:?}", execution.output);
+
+    let mut controller = Controller::new(&session, &execution);
+    controller.start_at(ProcId(0))?;
+
+    println!("\n=== dynamic graph (Main's interval) ===");
+    print_graph(controller.graph());
+
+    // Expand SubD: "When the user wants to know more execution detail
+    // about the sub-graph node, the debugger presents the user a
+    // detailed graph corresponding to the sub-graph node."
+    let subd = controller
+        .graph()
+        .nodes()
+        .iter()
+        .find(|n| n.label.contains("SubD(") && matches!(n.kind, DynNodeKind::SubGraph { .. }))
+        .map(|n| n.id)
+        .expect("SubD call node");
+    println!("\n=== expanding the SubD sub-graph node ===");
+    let report = controller.expand(subd)?;
+    println!("added {} nodes:", report.nodes.len());
+    for &n in &report.nodes {
+        let node = controller.graph().node(n);
+        let value = node
+            .value
+            .as_ref()
+            .map(|v| format!("  = {v}"))
+            .unwrap_or_default();
+        println!("  {}{}", node.label, value);
+    }
+
+    println!("\n=== Graphviz DOT ===");
+    println!("{}", dot::dynamic_to_dot(controller.graph()));
+    Ok(())
+}
+
+fn print_graph(graph: &ppd::graph::DynamicGraph) {
+    for n in graph.nodes() {
+        let kind = match &n.kind {
+            DynNodeKind::Entry => "entry   ",
+            DynNodeKind::Exit => "exit    ",
+            DynNodeKind::Singular { .. } => "singular",
+            DynNodeKind::SubGraph { expanded: false, .. } => "subgraph",
+            DynNodeKind::SubGraph { expanded: true, .. } => "expanded",
+            DynNodeKind::Param { .. } => "param   ",
+            DynNodeKind::LoopGraph { .. } => "loop    ",
+        };
+        let value = n
+            .value
+            .as_ref()
+            .map(|v| format!("  = {v}"))
+            .unwrap_or_default();
+        println!("  [{kind}] {}{}", n.label, value);
+        for (p, k) in graph.dependence_preds(n.id) {
+            println!("        <-[{k:?}]- {}", graph.node(p).label);
+        }
+    }
+}

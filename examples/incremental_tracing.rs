@@ -1,0 +1,78 @@
+//! Incremental tracing in numbers (§3.1, §5).
+//!
+//! Shows the need-to-generate idea concretely: the execution phase logs
+//! a few hundred bytes while a trace-everything debugger would record
+//! orders of magnitude more; the debugging phase then regenerates only
+//! the trace fragments the user actually asks about.
+//!
+//! Run with: `cargo run --example incremental_tracing`
+
+use ppd::analysis::EBlockStrategy;
+use ppd::core::{Controller, PpdSession, RunConfig};
+use ppd::lang::ProcId;
+use ppd::runtime::{CountingTracer, ExecConfig, Machine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = ppd::lang::corpus::QUICKSORT.source;
+    let session = PpdSession::prepare(source, EBlockStrategy::per_subroutine())?;
+
+    // What would tracing EVERY event cost? Run the emulation behaviour
+    // over the whole program once, counting.
+    let mut full_trace = CountingTracer::default();
+    let machine = Machine::new(
+        session.rp(),
+        session.analyses(),
+        Some(session.plan()),
+        ExecConfig::default(),
+    );
+    let result = machine.run(&mut full_trace);
+    let logs = result.logs.expect("logging enabled");
+
+    println!("=== quicksort(16 elements), per-subroutine e-blocks ===");
+    println!("full trace (what EXDAMS-style tracing would write):");
+    println!("    {} events, {} bytes", full_trace.events, full_trace.bytes);
+    println!("PPD log (what the object code actually wrote):");
+    println!("    {} entries, {} bytes", logs.total_entries(), logs.total_bytes());
+    println!(
+        "    ratio: {:.1}x less data at execution time",
+        full_trace.bytes as f64 / logs.total_bytes() as f64
+    );
+    println!("\nlog entry mix:");
+    for (kind, count) in logs.counts_by_kind() {
+        println!("    {kind:<8} {count}");
+    }
+
+    // Log intervals: Figure 5.1/5.2's structure.
+    let intervals = logs.intervals(ProcId(0));
+    println!("\n{} log intervals recorded for Main; first few:", intervals.len());
+    for iv in intervals.iter().take(6) {
+        println!(
+            "    {} instance {} (prelog at #{}, postlog at {:?})",
+            iv.eblock, iv.instance, iv.prelog_pos, iv.postlog_pos
+        );
+    }
+
+    // Debugging phase: materialize only what is needed.
+    let execution = session.execute(RunConfig::default());
+    let mut controller = Controller::new(&session, &execution);
+    controller.start_at(ProcId(0))?;
+    println!(
+        "\ndebugging phase materialized 1 of {} intervals -> {} graph nodes",
+        execution.logs.intervals(ProcId(0)).len(),
+        controller.graph().len()
+    );
+
+    // Expand twice, as a user drilling into qsort_range would.
+    for round in 1..=2 {
+        let Some(&node) = controller.unexpanded().first() else { break };
+        let label = controller.graph().node(node).label.clone();
+        controller.expand(node)?;
+        println!(
+            "expansion {round}: `{label}` -> {} graph nodes total",
+            controller.graph().len()
+        );
+    }
+    println!("\nEach expansion replayed exactly one e-block from its prelog —");
+    println!("the rest of the execution was never re-run.");
+    Ok(())
+}

@@ -1,0 +1,426 @@
+//! The `ppd` command-line debugger.
+//!
+//! ```text
+//! ppd check  <file>                      parse, analyze, summarize
+//! ppd run    <file> [options]            execute as instrumented object code
+//! ppd debug  <file> [options]            run, then open the interactive debugger
+//! ppd races  <file> [--schedules N]      probe N random schedules for races
+//! ppd dot    <file> [options]            emit Graphviz (static | parallel | dynamic)
+//!
+//! options:
+//!   --seed N            seeded-random scheduler (default: round-robin)
+//!   --inputs a,b,c      input stream for process 0 (repeatable: next process)
+//!   --break LINE        breakpoint on a source line (repeatable)
+//!   --strategy S        e-blocks: subroutine | loops | split | merge
+//!   --what W            dot target: static | parallel | dynamic
+//! ```
+
+use ppd::analysis::EBlockStrategy;
+use ppd::core::{shared_state_at, Controller, Execution, PpdSession, RunConfig};
+use ppd::graph::{dot, DynNodeId, DynNodeKind};
+use ppd::runtime::{Outcome, SchedulerSpec};
+use std::io::{self, BufRead, Write as _};
+use std::process::ExitCode;
+
+struct Options {
+    file: String,
+    scheduler: SchedulerSpec,
+    inputs: Vec<Vec<i64>>,
+    break_lines: Vec<u32>,
+    strategy: EBlockStrategy,
+    what: String,
+    schedules: u64,
+    save: Option<String>,
+    load: Option<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ppd <check|run|debug|races|dot> <file.ppd> \
+         [--seed N] [--inputs a,b,c]... [--break LINE]... \
+         [--strategy subroutine|loops|split|merge] [--what static|parallel|dynamic] \
+         [--schedules N] [--save FILE] [--load FILE]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args(mut args: impl Iterator<Item = String>) -> Result<(String, Options), String> {
+    let cmd = args.next().ok_or("missing command")?;
+    let file = args.next().ok_or("missing file")?;
+    let mut opts = Options {
+        file,
+        scheduler: SchedulerSpec::RoundRobin,
+        inputs: Vec::new(),
+        break_lines: Vec::new(),
+        strategy: EBlockStrategy::per_subroutine(),
+        what: "dynamic".into(),
+        schedules: 10,
+        save: None,
+        load: None,
+    };
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--seed" => {
+                let seed = value()?.parse().map_err(|_| "--seed wants a number")?;
+                opts.scheduler = SchedulerSpec::Random { seed };
+            }
+            "--inputs" => {
+                let stream: Result<Vec<i64>, _> =
+                    value()?.split(',').map(|s| s.trim().parse()).collect();
+                opts.inputs.push(stream.map_err(|_| "--inputs wants numbers")?);
+            }
+            "--break" => {
+                opts.break_lines.push(value()?.parse().map_err(|_| "--break wants a line")?);
+            }
+            "--strategy" => {
+                opts.strategy = match value()?.as_str() {
+                    "subroutine" => EBlockStrategy::per_subroutine(),
+                    "loops" => EBlockStrategy::with_loops(4),
+                    "split" => EBlockStrategy::with_split(4),
+                    "merge" => EBlockStrategy::with_leaf_merge(8),
+                    other => return Err(format!("unknown strategy `{other}`")),
+                };
+            }
+            "--what" => opts.what = value()?,
+            "--schedules" => {
+                opts.schedules = value()?.parse().map_err(|_| "--schedules wants a number")?;
+            }
+            "--save" => opts.save = Some(value()?),
+            "--load" => opts.load = Some(value()?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok((cmd, opts))
+}
+
+fn main() -> ExitCode {
+    let (cmd, opts) = match parse_args(std::env::args().skip(1)) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let source = match std::fs::read_to_string(&opts.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", opts.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let session = match PpdSession::prepare(&source, opts.strategy) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("compile error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd.as_str() {
+        "check" => cmd_check(&session),
+        "run" => cmd_run(&session, &opts, true).1,
+        "debug" => cmd_debug(&session, &opts),
+        "races" => cmd_races(&session, &opts),
+        "dot" => cmd_dot(&session, &opts, &source),
+        _ => usage(),
+    }
+}
+
+fn run_config(session: &PpdSession, opts: &Options) -> RunConfig {
+    let breakpoints = opts
+        .break_lines
+        .iter()
+        .flat_map(|&l| session.analyses().database.stmts_at_line(l))
+        .collect();
+    RunConfig {
+        scheduler: opts.scheduler,
+        inputs: opts.inputs.clone(),
+        breakpoints,
+        ..RunConfig::default()
+    }
+}
+
+fn cmd_check(session: &PpdSession) -> ExitCode {
+    let rp = session.rp();
+    println!(
+        "ok: {} process(es), {} function(s), {} shared variable(s), {} semaphore(s)/lock(s)",
+        rp.procs.len(),
+        rp.funcs.len(),
+        rp.shared_count,
+        rp.sems.len()
+    );
+    println!(
+        "preparatory phase: {} e-blocks, {} static-graph edges, {} sync units",
+        session.plan().eblocks().len(),
+        session.static_graph().edge_count(),
+        session.analyses().sync_units.total()
+    );
+    for eb in session.plan().eblocks() {
+        println!(
+            "  {}: {:?} region of {}",
+            eb.id,
+            match &eb.region {
+                ppd::analysis::Region::Body(_) => "body",
+                ppd::analysis::Region::Loop { .. } => "loop",
+                ppd::analysis::Region::Chunk { .. } => "chunk",
+            },
+            rp.body_name(eb.region.body())
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(session: &PpdSession, opts: &Options, verbose: bool) -> (Execution, ExitCode) {
+    // `--load` replays the offline workflow: the execution phase already
+    // happened; debug its saved record.
+    if let Some(path) = &opts.load {
+        match std::fs::read_to_string(path).map_err(|e| e.to_string()).and_then(|j| {
+            Execution::from_json(&j).map_err(|e| e.to_string())
+        }) {
+            Ok(execution) => {
+                if verbose {
+                    println!("loaded execution from {path}");
+                    println!("outcome: {}", describe_outcome(session, &execution.outcome));
+                }
+                let code = match execution.outcome {
+                    Outcome::Completed | Outcome::Breakpoint { .. } => ExitCode::SUCCESS,
+                    _ => ExitCode::FAILURE,
+                };
+                return (execution, code);
+            }
+            Err(e) => {
+                eprintln!("error: cannot load {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let execution = session.execute(run_config(session, opts));
+    if let Some(path) = &opts.save {
+        let written = execution
+            .to_json()
+            .map_err(|e| e.to_string())
+            .and_then(|j| std::fs::write(path, j).map_err(|e| e.to_string()));
+        match written {
+            Ok(()) if verbose => println!("execution saved to {path}"),
+            Ok(()) => {}
+            Err(e) => eprintln!("warning: cannot save to {path}: {e}"),
+        }
+    }
+    if verbose {
+        for &(p, v) in &execution.output {
+            println!("[{}] {v}", session.rp().proc_name(p));
+        }
+        println!("outcome: {}", describe_outcome(session, &execution.outcome));
+        println!(
+            "logs: {} entries / {} bytes; parallel graph: {} nodes, {} internal edges",
+            execution.logs.total_entries(),
+            execution.logs.total_bytes(),
+            execution.pgraph.nodes().len(),
+            execution.pgraph.internal_edges().len(),
+        );
+    }
+    let code = match execution.outcome {
+        Outcome::Completed | Outcome::Breakpoint { .. } => ExitCode::SUCCESS,
+        _ => ExitCode::FAILURE,
+    };
+    (execution, code)
+}
+
+fn describe_outcome(session: &PpdSession, outcome: &Outcome) -> String {
+    let line = |stmt: &ppd::lang::StmtId| {
+        session
+            .analyses()
+            .database
+            .line_of(*stmt)
+            .map(|l| format!(" (line {l})"))
+            .unwrap_or_default()
+    };
+    match outcome {
+        Outcome::Completed => "completed".into(),
+        Outcome::Failed { proc, stmt, error } => format!(
+            "FAILED in {}{}: {error}",
+            session.rp().proc_name(*proc),
+            line(stmt)
+        ),
+        Outcome::Deadlock { blocked } => {
+            use ppd::runtime::BlockReason;
+            let who: Vec<String> = blocked
+                .iter()
+                .map(|(p, r, s)| {
+                    let reason = match r {
+                        BlockReason::Semaphore(sem) => {
+                            format!("waiting on semaphore `{}`", session.rp().sem_name(*sem))
+                        }
+                        BlockReason::LockWait(sem) => {
+                            format!("waiting on lock `{}`", session.rp().sem_name(*sem))
+                        }
+                        other => other.to_string(),
+                    };
+                    format!("{} {reason}{}", session.rp().proc_name(*p), line(s))
+                })
+                .collect();
+            format!("DEADLOCK: {}", who.join("; "))
+        }
+        Outcome::StepLimit => "step limit exhausted".into(),
+        Outcome::Breakpoint { proc, stmt } => format!(
+            "breakpoint in {}{}",
+            session.rp().proc_name(*proc),
+            line(stmt)
+        ),
+    }
+}
+
+fn cmd_races(session: &PpdSession, opts: &Options) -> ExitCode {
+    let mut any = false;
+    for seed in 0..opts.schedules {
+        let execution = session.execute(RunConfig {
+            scheduler: SchedulerSpec::Random { seed },
+            inputs: opts.inputs.clone(),
+            ..RunConfig::default()
+        });
+        let controller = Controller::new(session, &execution);
+        let races = controller.races();
+        if races.is_empty() {
+            println!("seed {seed}: race-free ({})", describe_outcome(session, &execution.outcome));
+        } else {
+            any = true;
+            println!("seed {seed}: {} race(s)", races.len());
+            for r in races {
+                println!("    {}", r.description);
+            }
+        }
+    }
+    if any {
+        ExitCode::FAILURE
+    } else {
+        println!("all {} probed schedules race-free (Definition 6.4)", opts.schedules);
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_dot(session: &PpdSession, opts: &Options, _source: &str) -> ExitCode {
+    match opts.what.as_str() {
+        "parallel" => {
+            let (execution, _) = cmd_run(session, opts, false);
+            println!("{}", dot::parallel_to_dot(&execution.pgraph, session.rp()));
+        }
+        "dynamic" => {
+            let (execution, _) = cmd_run(session, opts, false);
+            let mut controller = Controller::new(session, &execution);
+            if let Err(e) = controller.start() {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("{}", dot::dynamic_to_dot(controller.graph()));
+        }
+        "static" => {
+            // One simplified graph per body.
+            for body in session.rp().bodies() {
+                let g = ppd::graph::SimplifiedGraph::build(session.rp(), session.analyses(), body);
+                println!("// {}", session.rp().body_name(body));
+                println!("{}", dot::simplified_to_dot(&g));
+            }
+        }
+        "pdg" => {
+            for body in session.rp().bodies() {
+                println!("{}", dot::static_to_dot(session.static_graph(), session.rp(), body));
+            }
+        }
+        other => {
+            eprintln!("unknown --what `{other}` (static | pdg | parallel | dynamic)");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_debug(session: &PpdSession, opts: &Options) -> ExitCode {
+    let (execution, _) = cmd_run(session, opts, true);
+    let mut controller = Controller::new(session, &execution);
+    let root = match controller.start() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot start debugging: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("\ndebugging from: {}", controller.graph().node(root).label);
+    println!("commands: graph back <n> slice <n> forward <n> expand <n> races state dot quit\n");
+    print!("ppd> ");
+    let _ = io::stdout().flush();
+    let stdin = io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.unwrap_or_default();
+        let mut parts = line.split_whitespace();
+        let cmd = parts.next().unwrap_or("");
+        let node = parts
+            .next()
+            .and_then(|s| s.parse::<u32>().ok())
+            .map(DynNodeId)
+            .filter(|n| n.index() < controller.graph().len());
+        match (cmd, node) {
+            ("quit", _) | ("exit", _) => break,
+            ("graph", _) => {
+                for n in controller.graph().nodes() {
+                    print_node(&controller, n.id);
+                }
+            }
+            ("back", Some(n)) => {
+                for (p, k) in controller.flowback(n) {
+                    println!("  <-[{k:?}]- #{} {}", p.0, controller.graph().node(p).label);
+                }
+            }
+            ("forward", Some(n)) => {
+                for (sx, k) in controller.flow_forward(n) {
+                    println!("  -[{k:?}]-> #{} {}", sx.0, controller.graph().node(sx).label);
+                }
+            }
+            ("slice", Some(n)) => {
+                for s in controller.backward_slice(n) {
+                    print_node(&controller, s);
+                }
+            }
+            ("expand", Some(n)) => match controller.expand(n) {
+                Ok(report) => {
+                    for added in report.nodes {
+                        print_node(&controller, added);
+                    }
+                }
+                Err(e) => println!("{e}"),
+            },
+            ("races", _) => {
+                for r in controller.races() {
+                    println!("  {}", r.description);
+                }
+            }
+            ("state", _) => {
+                let state = shared_state_at(session, &execution, u64::MAX);
+                for v in session.rp().shared_vars() {
+                    println!("  {} = {}", session.rp().var_name(v), state[v.index()]);
+                }
+            }
+            ("dot", _) => println!("{}", dot::dynamic_to_dot(controller.graph())),
+            ("", _) => {}
+            _ => println!("unknown command or bad node id"),
+        }
+        print!("ppd> ");
+        let _ = io::stdout().flush();
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_node(controller: &Controller<'_>, id: DynNodeId) {
+    let n = controller.graph().node(id);
+    let tag = match &n.kind {
+        DynNodeKind::Entry => "entry",
+        DynNodeKind::Exit => "exit",
+        DynNodeKind::Singular { .. } => "stmt",
+        DynNodeKind::SubGraph { expanded: false, .. } => "call*",
+        DynNodeKind::SubGraph { .. } => "call",
+        DynNodeKind::Param { .. } => "param",
+        DynNodeKind::LoopGraph { expanded: false, .. } => "loop*",
+        DynNodeKind::LoopGraph { .. } => "loop",
+    };
+    let value = n.value.as_ref().map(|v| format!(" = {v}")).unwrap_or_default();
+    println!("  #{:<3} [{tag:<5}] {}{value}", id.0, n.label);
+}

@@ -1,0 +1,54 @@
+//! # ppd — flowback analysis, incremental tracing, and race detection
+//!
+//! A faithful, complete reproduction of **Miller & Choi, "A Mechanism
+//! for Efficient Debugging of Parallel Programs" (PLDI 1988)** — the
+//! Parallel Program Debugger (PPD) — as a Rust library, together with
+//! every substrate the paper depends on:
+//!
+//! - [`lang`] — a C-like parallel source language with processes, shared
+//!   variables, semaphores, locks, messages and rendezvous;
+//! - [`analysis`] — the compiler analyses behind incremental tracing:
+//!   CFGs, dominators, dataflow, interprocedural MOD/REF, e-blocks,
+//!   synchronization units, the program database;
+//! - [`graph`] — static, simplified, dynamic, and parallel dynamic
+//!   program dependence graphs, event ordering, race detection;
+//! - [`log`] — prelogs, postlogs, shared-variable snapshots, per-process
+//!   log files;
+//! - [`runtime`] — a deterministic shared-memory multiprocessor
+//!   simulation: the object code and the emulation package;
+//! - [`core`] — the debugger: preparatory / execution / debugging
+//!   phases, the PPD Controller, flowback analysis, what-if replay.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ppd::core::{Controller, PpdSession, RunConfig};
+//! use ppd::analysis::EBlockStrategy;
+//!
+//! # fn main() -> Result<(), ppd::core::PpdError> {
+//! let session = PpdSession::prepare(
+//!     "shared int out; \
+//!      process Main { int x = input(); out = 100 / x; print(out); }",
+//!     EBlockStrategy::per_subroutine(),
+//! )?;
+//! let mut config = RunConfig::default();
+//! config.inputs = vec![vec![0]]; // division by zero!
+//! let execution = session.execute(config);
+//! assert!(execution.outcome.is_failure());
+//!
+//! let mut controller = Controller::new(&session, &execution);
+//! let root = controller.start()?;          // the failure node
+//! let causes = controller.flowback(root);  // …and what led to it
+//! assert!(!causes.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use ppd_analysis as analysis;
+pub use ppd_core as core;
+pub use ppd_graph as graph;
+pub use ppd_lang as lang;
+pub use ppd_log as log;
+pub use ppd_runtime as runtime;

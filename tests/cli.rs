@@ -1,0 +1,169 @@
+//! Integration tests for the `ppd` command-line tool, exercising the
+//! binary end to end on the sample programs in `programs/`.
+
+use std::process::{Command, Stdio};
+
+fn ppd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ppd"))
+}
+
+fn run_ppd(args: &[&str]) -> (String, String, bool) {
+    let out = ppd()
+        .args(args)
+        .stdin(Stdio::null())
+        .output()
+        .expect("ppd binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn check_summarizes_a_program() {
+    let (stdout, _, ok) = run_ppd(&["check", "programs/bank.ppd"]);
+    assert!(ok);
+    assert!(stdout.contains("2 process(es)"), "{stdout}");
+    assert!(stdout.contains("e-blocks"), "{stdout}");
+}
+
+#[test]
+fn run_reports_failure_with_line() {
+    let (stdout, _, ok) = run_ppd(&["run", "programs/overdraw.ppd", "--inputs", "95"]);
+    assert!(!ok, "failing program exits nonzero");
+    assert!(stdout.contains("FAILED in Teller"), "{stdout}");
+    assert!(stdout.contains("assertion failed"), "{stdout}");
+    assert!(stdout.contains("(line"), "{stdout}");
+}
+
+#[test]
+fn run_succeeds_with_good_input() {
+    let (stdout, _, ok) = run_ppd(&["run", "programs/overdraw.ppd", "--inputs", "50"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("completed"), "{stdout}");
+    assert!(stdout.contains("[Teller] 44"), "balance 100-50-6: {stdout}");
+}
+
+#[test]
+fn races_detects_the_bank_race_and_exits_nonzero() {
+    let (stdout, _, ok) = run_ppd(&["races", "programs/bank.ppd", "--schedules", "3"]);
+    assert!(!ok);
+    assert!(stdout.contains("write/write race on `accounts`"), "{stdout}");
+}
+
+#[test]
+fn races_clean_program_exits_zero() {
+    let (stdout, _, ok) = run_ppd(&["races", "programs/overdraw.ppd", "--inputs", "50", "--schedules", "3"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("race-free"), "{stdout}");
+}
+
+#[test]
+fn deadlock_is_reported_with_semaphore_names() {
+    let (stdout, _, ok) = run_ppd(&["run", "programs/phils.ppd"]);
+    assert!(!ok);
+    assert!(stdout.contains("DEADLOCK"), "{stdout}");
+    assert!(stdout.contains("fork0") && stdout.contains("fork1"), "{stdout}");
+}
+
+#[test]
+fn dot_outputs_digraphs() {
+    for what in ["static", "parallel", "dynamic"] {
+        let (stdout, stderr, ok) =
+            run_ppd(&["dot", "programs/bank.ppd", "--what", what]);
+        assert!(ok, "{what}: {stderr}");
+        assert!(stdout.contains("digraph"), "{what}: {stdout}");
+    }
+}
+
+#[test]
+fn breakpoint_halts_run() {
+    // Line 8: the unprotected increment in TellerB... (line numbers are
+    // 1-based in programs/bank.ppd; pick the lock line in TellerA).
+    let (stdout, _, ok) = run_ppd(&["run", "programs/bank.ppd", "--break", "8"]);
+    assert!(ok, "breakpoint halt exits zero: {stdout}");
+    assert!(stdout.contains("breakpoint in"), "{stdout}");
+}
+
+#[test]
+fn debug_repl_flows_back_from_failure() {
+    let mut child = ppd()
+        .args(["debug", "programs/overdraw.ppd", "--inputs", "95"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    use std::io::Write;
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"graph\nback 7\nquit\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("debugging from: assert"), "{stdout}");
+    assert!(stdout.contains("balance = balance - amount - charge"), "{stdout}");
+}
+
+#[test]
+fn unknown_command_prints_usage() {
+    let (_, stderr, ok) = run_ppd(&["frobnicate", "programs/bank.ppd"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn missing_file_is_an_error() {
+    let (_, stderr, ok) = run_ppd(&["check", "programs/nope.ppd"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+#[test]
+fn compile_error_is_reported() {
+    let dir = std::env::temp_dir().join("ppd_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.ppd");
+    std::fs::write(&bad, "process M { undeclared = 1; }").unwrap();
+    let (_, stderr, ok) = run_ppd(&["check", bad.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("compile error"), "{stderr}");
+    assert!(stderr.contains("undeclared"), "{stderr}");
+}
+
+#[test]
+fn save_and_load_execution_record() {
+    let dir = std::env::temp_dir().join("ppd_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("exec.json");
+    let path_s = path.to_str().unwrap();
+    let (stdout, _, ok) = run_ppd(&[
+        "run", "programs/overdraw.ppd", "--inputs", "95", "--save", path_s,
+    ]);
+    assert!(!ok, "program failed (that's the point)");
+    assert!(stdout.contains("execution saved"), "{stdout}");
+
+    // Offline debugging from the saved record, without re-running.
+    let mut child = ppd()
+        .args(["debug", "programs/overdraw.ppd", "--load", path_s])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    use std::io::Write;
+    child.stdin.as_mut().unwrap().write_all(b"graph\nquit\n").unwrap();
+    let out = child.wait_with_output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("loaded execution"), "{stdout}");
+    assert!(stdout.contains("debugging from: assert"), "{stdout}");
+}
+
+#[test]
+fn dot_pdg_outputs_full_static_graph() {
+    let (stdout, _, ok) = run_ppd(&["dot", "programs/bank.ppd", "--what", "pdg"]);
+    assert!(ok);
+    assert!(stdout.contains("digraph static_TellerA"), "{stdout}");
+    assert!(stdout.contains("style=dashed"), "{stdout}");
+}
