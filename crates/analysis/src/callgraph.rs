@@ -99,10 +99,7 @@ impl CallGraph {
     /// SCCs in reverse topological order: every callee's SCC appears
     /// before any caller's — the order the MOD/REF fixpoint wants.
     pub fn sccs_bottom_up(&self) -> Vec<Vec<BodyId>> {
-        self.sccs
-            .iter()
-            .map(|scc| scc.iter().map(|&i| self.bodies[i]).collect())
-            .collect()
+        self.sccs.iter().map(|scc| scc.iter().map(|&i| self.bodies[i]).collect()).collect()
     }
 
     /// All bodies transitively reachable from `from` (inclusive).
@@ -207,10 +204,7 @@ mod tests {
         );
         let order = cg.sccs_bottom_up();
         let pos = |name: &str| {
-            order
-                .iter()
-                .position(|scc| scc.iter().any(|b| rp.body_name(*b) == name))
-                .unwrap()
+            order.iter().position(|scc| scc.iter().any(|b| rp.body_name(*b) == name)).unwrap()
         };
         assert!(pos("c") < pos("b"));
         assert!(pos("b") < pos("a"));
@@ -219,7 +213,8 @@ mod tests {
 
     #[test]
     fn leaf_detection() {
-        let (rp, cg) = graph("int l() { return 1; } int m() { return l(); } process M { print(m()); }");
+        let (rp, cg) =
+            graph("int l() { return 1; } int m() { return l(); } process M { print(m()); }");
         let l = rp.func_by_name("l").unwrap();
         let m = rp.func_by_name("m").unwrap();
         assert!(cg.is_leaf(l));
@@ -251,9 +246,9 @@ mod tests {
         assert!(cg.is_recursive(odd));
         assert!(cg.is_recursive(even));
         let sccs = cg.sccs_bottom_up();
-        let together = sccs.iter().any(|scc| {
-            scc.contains(&BodyId::Func(odd)) && scc.contains(&BodyId::Func(even))
-        });
+        let together = sccs
+            .iter()
+            .any(|scc| scc.contains(&BodyId::Func(odd)) && scc.contains(&BodyId::Func(even)));
         assert!(together);
     }
 

@@ -253,12 +253,10 @@ impl Builder {
             StmtKind::If { then_blk, else_blk, .. } => {
                 let cond = self.add(CfgNodeKind::Stmt(stmt.id));
                 self.connect(&frontier, cond);
-                let then_out =
-                    self.lower_block(then_blk, vec![(cond, EdgeKind::True)]);
+                let then_out = self.lower_block(then_blk, vec![(cond, EdgeKind::True)]);
                 match else_blk {
                     Some(e) => {
-                        let mut else_out =
-                            self.lower_block(e, vec![(cond, EdgeKind::False)]);
+                        let mut else_out = self.lower_block(e, vec![(cond, EdgeKind::False)]);
                         let mut out = then_out;
                         out.append(&mut else_out);
                         out
@@ -292,11 +290,8 @@ impl Builder {
                     vec![(check, EdgeKind::Fallthrough)]
                 };
                 let body_out = self.lower_block(body, body_in);
-                let back_src = if let Some(s) = step {
-                    self.lower_stmt(s, body_out)
-                } else {
-                    body_out
-                };
+                let back_src =
+                    if let Some(s) = step { self.lower_stmt(s, body_out) } else { body_out };
                 self.connect(&back_src, check);
                 if cond.is_some() {
                     vec![(check, EdgeKind::False)]
@@ -331,11 +326,8 @@ mod tests {
 
     fn cfg_of(src: &str, body_name: &str) -> (ResolvedProgram, Cfg) {
         let rp = compile(src).expect("compile");
-        let body = rp
-            .bodies()
-            .into_iter()
-            .find(|b| rp.body_name(*b) == body_name)
-            .expect("body exists");
+        let body =
+            rp.bodies().into_iter().find(|b| rp.body_name(*b) == body_name).expect("body exists");
         let cfg = Cfg::build(&rp, body).expect("cfg");
         (rp, cfg)
     }
@@ -356,13 +348,10 @@ mod tests {
         let if_node = cfg
             .nodes()
             .iter()
-            .position(|n| {
-                matches!(n.kind, CfgNodeKind::Stmt(_)) && n.succs.len() == 2
-            })
+            .position(|n| matches!(n.kind, CfgNodeKind::Stmt(_)) && n.succs.len() == 2)
             .map(|i| NodeId(i as u32))
             .expect("branch node");
-        let kinds: Vec<EdgeKind> =
-            cfg.node(if_node).succs.iter().map(|(_, k)| *k).collect();
+        let kinds: Vec<EdgeKind> = cfg.node(if_node).succs.iter().map(|(_, k)| *k).collect();
         assert!(kinds.contains(&EdgeKind::True));
         assert!(kinds.contains(&EdgeKind::False));
     }
@@ -398,10 +387,8 @@ mod tests {
 
     #[test]
     fn infinite_for_reaches_exit_only_via_return() {
-        let (_, cfg) = cfg_of(
-            "process M { int i = 0; for (;;) { i = i + 1; if (i > 3) { return; } } }",
-            "M",
-        );
+        let (_, cfg) =
+            cfg_of("process M { int i = 0; for (;;) { i = i + 1; if (i > 3) { return; } } }", "M");
         assert_eq!(cfg.preds(cfg.exit()).count(), 1); // only the return
     }
 

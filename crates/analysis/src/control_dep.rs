@@ -71,9 +71,7 @@ impl ControlDeps {
 
     /// All recorded dependences as `(dependent, predicate, polarity)`.
     pub fn iter(&self) -> impl Iterator<Item = (StmtId, StmtId, bool)> + '_ {
-        self.deps
-            .iter()
-            .flat_map(|(&dep, parents)| parents.iter().map(move |&(p, k)| (dep, p, k)))
+        self.deps.iter().flat_map(|(&dep, parents)| parents.iter().map(move |&(p, k)| (dep, p, k)))
     }
 }
 
@@ -85,11 +83,7 @@ mod tests {
 
     fn analyze(src: &str, body_name: &str) -> (ResolvedProgram, BodyId, Cfg, ControlDeps) {
         let rp = compile(src).unwrap();
-        let body = rp
-            .bodies()
-            .into_iter()
-            .find(|b| rp.body_name(*b) == body_name)
-            .unwrap();
+        let body = rp.bodies().into_iter().find(|b| rp.body_name(*b) == body_name).unwrap();
         let cfg = Cfg::build(&rp, body).unwrap();
         let pdom = DomTree::postdominators(&cfg);
         let cd = ControlDeps::compute(&cfg, &pdom);

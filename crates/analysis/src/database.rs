@@ -154,10 +154,7 @@ mod tests {
     }
 
     fn var(rp: &ResolvedProgram, name: &str) -> VarId {
-        (0..rp.var_count() as u32)
-            .map(VarId)
-            .find(|v| rp.var_name(*v) == name)
-            .unwrap()
+        (0..rp.var_count() as u32).map(VarId).find(|v| rp.var_name(*v) == name).unwrap()
     }
 
     #[test]
@@ -180,18 +177,15 @@ mod tests {
 
     #[test]
     fn shared_writer_index_is_interprocedural() {
-        let (rp, db) = build(
-            "shared int g; void w() { g = 1; } process A { w(); } process B { print(g); }",
-        );
+        let (rp, db) =
+            build("shared int g; void w() { g = 1; } process A { w(); } process B { print(g); }");
         let g = var(&rp, "g");
-        let writers: Vec<&str> =
-            db.shared_writers(g).iter().map(|b| rp.body_name(*b)).collect();
+        let writers: Vec<&str> = db.shared_writers(g).iter().map(|b| rp.body_name(*b)).collect();
         // w writes directly; A inherits through the call.
         assert!(writers.contains(&"w"));
         assert!(writers.contains(&"A"));
         assert!(!writers.contains(&"B"));
-        let readers: Vec<&str> =
-            db.shared_readers(g).iter().map(|b| rp.body_name(*b)).collect();
+        let readers: Vec<&str> = db.shared_readers(g).iter().map(|b| rp.body_name(*b)).collect();
         assert!(readers.contains(&"B"));
     }
 

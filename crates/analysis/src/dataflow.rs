@@ -80,8 +80,7 @@ pub fn solve<P: DataflowProblem>(cfg: &Cfg, problem: &P) -> Solution<P::Fact> {
         out_facts[boundary.index()] = problem.boundary_fact();
     }
 
-    let seed: Vec<NodeId> =
-        if forward { cfg.reverse_postorder() } else { cfg.postorder() };
+    let seed: Vec<NodeId> = if forward { cfg.reverse_postorder() } else { cfg.postorder() };
     let mut on_list = vec![false; n];
     let mut worklist: std::collections::VecDeque<NodeId> = seed.iter().copied().collect();
     for node in &worklist {

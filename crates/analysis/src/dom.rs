@@ -19,9 +19,7 @@ impl DomTree {
     /// Computes the dominator tree (root = entry, forward edges).
     pub fn dominators(cfg: &Cfg) -> DomTree {
         let order = cfg.reverse_postorder();
-        Self::compute(cfg.len(), cfg.entry(), &order, |n| {
-            cfg.preds(n).collect::<Vec<_>>()
-        })
+        Self::compute(cfg.len(), cfg.entry(), &order, |n| cfg.preds(n).collect::<Vec<_>>())
     }
 
     /// Computes the postdominator tree (root = exit, reversed edges).
@@ -48,9 +46,7 @@ impl DomTree {
             }
         }
         order.reverse();
-        Self::compute(cfg.len(), cfg.exit(), &order, |n| {
-            cfg.succs(n).collect::<Vec<_>>()
-        })
+        Self::compute(cfg.len(), cfg.exit(), &order, |n| cfg.succs(n).collect::<Vec<_>>())
     }
 
     /// The Cooper–Harvey–Kennedy iterative algorithm, parameterized over
@@ -150,11 +146,7 @@ mod tests {
 
     fn build(src: &str, name: &str) -> (Cfg, DomTree, DomTree) {
         let rp = compile(src).unwrap();
-        let body: BodyId = rp
-            .bodies()
-            .into_iter()
-            .find(|b| rp.body_name(*b) == name)
-            .unwrap();
+        let body: BodyId = rp.bodies().into_iter().find(|b| rp.body_name(*b) == name).unwrap();
         let cfg = Cfg::build(&rp, body).unwrap();
         let dom = DomTree::dominators(&cfg);
         let pdom = DomTree::postdominators(&cfg);
@@ -163,10 +155,8 @@ mod tests {
 
     #[test]
     fn entry_dominates_everything_reachable() {
-        let (cfg, dom, _) = build(
-            "process M { int x = 1; if (x) { x = 2; } else { x = 3; } print(x); }",
-            "M",
-        );
+        let (cfg, dom, _) =
+            build("process M { int x = 1; if (x) { x = 2; } else { x = 3; } print(x); }", "M");
         for n in cfg.reverse_postorder() {
             assert!(dom.dominates(cfg.entry(), n), "{n} not dominated by entry");
         }
@@ -174,10 +164,8 @@ mod tests {
 
     #[test]
     fn exit_postdominates_everything_on_terminating_paths() {
-        let (cfg, _, pdom) = build(
-            "process M { int x = 1; while (x < 5) { x = x + 1; } print(x); }",
-            "M",
-        );
+        let (cfg, _, pdom) =
+            build("process M { int x = 1; while (x < 5) { x = x + 1; } print(x); }", "M");
         for n in cfg.reverse_postorder() {
             assert!(pdom.dominates(cfg.exit(), n));
         }
@@ -186,22 +174,12 @@ mod tests {
     #[test]
     fn branch_join_is_idom_boundary() {
         // entry(0) d1(1) if(2) then(3) else(4) print(5) exit(6)
-        let (cfg, dom, pdom) = build(
-            "process M { int x = 1; if (x) { x = 2; } else { x = 3; } print(x); }",
-            "M",
-        );
-        let branch = cfg
-            .nodes()
-            .iter()
-            .position(|n| n.succs.len() == 2)
-            .map(|i| NodeId(i as u32))
-            .unwrap();
-        let join = cfg
-            .nodes()
-            .iter()
-            .position(|n| n.preds.len() == 2)
-            .map(|i| NodeId(i as u32))
-            .unwrap();
+        let (cfg, dom, pdom) =
+            build("process M { int x = 1; if (x) { x = 2; } else { x = 3; } print(x); }", "M");
+        let branch =
+            cfg.nodes().iter().position(|n| n.succs.len() == 2).map(|i| NodeId(i as u32)).unwrap();
+        let join =
+            cfg.nodes().iter().position(|n| n.preds.len() == 2).map(|i| NodeId(i as u32)).unwrap();
         // The two arms are dominated by the branch, and the join's idom is
         // the branch (not an arm).
         assert_eq!(dom.idom(join), Some(branch));
@@ -216,16 +194,10 @@ mod tests {
     #[test]
     fn loop_body_does_not_postdominate_condition() {
         let (cfg, _, pdom) = build("process M { int i = 4; while (i) { i = i - 1; } }", "M");
-        let cond = cfg
-            .nodes()
-            .iter()
-            .position(|n| n.succs.len() == 2)
-            .map(|i| NodeId(i as u32))
-            .unwrap();
-        let body = cfg
-            .succs(cond)
-            .find(|s| cfg.node(*s).succs.iter().any(|(t, _)| *t == cond))
-            .unwrap();
+        let cond =
+            cfg.nodes().iter().position(|n| n.succs.len() == 2).map(|i| NodeId(i as u32)).unwrap();
+        let body =
+            cfg.succs(cond).find(|s| cfg.node(*s).succs.iter().any(|(t, _)| *t == cond)).unwrap();
         assert!(!pdom.dominates(body, cond));
         assert!(pdom.dominates(cfg.exit(), cond));
     }
@@ -248,10 +220,8 @@ mod tests {
 
     #[test]
     fn dominance_is_antisymmetric_for_distinct_nodes() {
-        let (cfg, dom, _) = build(
-            "process M { int a = 1; int b = 2; if (a < b) { a = b; } print(a); }",
-            "M",
-        );
+        let (cfg, dom, _) =
+            build("process M { int a = 1; int b = 2; if (a < b) { a = b; } print(a); }", "M");
         for x in cfg.reverse_postorder() {
             for y in cfg.reverse_postorder() {
                 if x != y && dom.strictly_dominates(x, y) {

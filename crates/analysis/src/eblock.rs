@@ -221,9 +221,7 @@ impl EBlockPlan {
                 .bodies()
                 .into_iter()
                 .filter_map(|body| match body {
-                    BodyId::Func(f) => {
-                        Some((f, stmt_count(rp.body_block(body).stmts.as_slice())))
-                    }
+                    BodyId::Func(f) => Some((f, stmt_count(rp.body_block(body).stmts.as_slice()))),
                     BodyId::Proc(_) => None,
                 })
                 .collect();
@@ -247,8 +245,7 @@ impl EBlockPlan {
                     if !callees.iter().all(|g| plan.merged.contains(g)) {
                         continue;
                     }
-                    let total: usize =
-                        own + callees.iter().map(|g| own_count[g]).sum::<usize>();
+                    let total: usize = own + callees.iter().map(|g| own_count[g]).sum::<usize>();
                     if total <= max {
                         plan.merged.insert(f);
                         changed = true;
@@ -267,9 +264,7 @@ impl EBlockPlan {
                 }
             }
             let top = &rp.body_block(body).stmts;
-            let split = strategy
-                .split_large
-                .filter(|&max| top.len() > max);
+            let split = strategy.split_large.filter(|&max| top.len() > max);
             match split {
                 Some(max) => {
                     for (index, chunk) in top.chunks(max).enumerate() {
@@ -287,8 +282,7 @@ impl EBlockPlan {
                     }
                 }
                 None => {
-                    let (used, defined) =
-                        region_sets(rp, effects, modref, top.iter(), strategy);
+                    let (used, defined) = region_sets(rp, effects, modref, top.iter(), strategy);
                     let id = EBlockId(plan.eblocks.len() as u32);
                     plan.body_block.insert(body, id);
                     plan.eblocks.push(EBlock { id, region: Region::Body(body), used, defined });
@@ -302,13 +296,8 @@ impl EBlockPlan {
                         let mut n = 0usize;
                         walk_stmt(stmt, &mut |_| n += 1);
                         if n >= min {
-                            let (used, defined) = region_sets(
-                                rp,
-                                effects,
-                                modref,
-                                std::iter::once(stmt),
-                                strategy,
-                            );
+                            let (used, defined) =
+                                region_sets(rp, effects, modref, std::iter::once(stmt), strategy);
                             let id = EBlockId(plan.eblocks.len() as u32);
                             plan.loop_block.insert(stmt.id, id);
                             plan.eblocks.push(EBlock {
@@ -399,9 +388,7 @@ fn region_sets<'a>(
         // are logged individually at use time instead (§7).
         let arrays = VarSet::from_iter(
             universe,
-            (0..universe as u32)
-                .map(ppd_lang::VarId)
-                .filter(|v| rp.vars[v.index()].size.is_some()),
+            (0..universe as u32).map(ppd_lang::VarId).filter(|v| rp.vars[v.index()].size.is_some()),
         );
         used.subtract(&arrays);
         defined.subtract(&arrays);
@@ -438,10 +425,8 @@ mod tests {
 
     #[test]
     fn per_subroutine_gives_one_block_per_body() {
-        let c = ctx(
-            "shared int g; int f(int a) { return a + g; } \
-             process M { g = f(1); } process N { print(g); }",
-        );
+        let c = ctx("shared int g; int f(int a) { return a + g; } \
+             process M { g = f(1); } process N { print(g); }");
         let p = plan(&c, EBlockStrategy::per_subroutine());
         assert_eq!(p.eblocks().len(), 3);
         for body in c.rp.bodies() {
@@ -451,10 +436,8 @@ mod tests {
 
     #[test]
     fn used_set_covers_callee_shared_reads() {
-        let c = ctx(
-            "shared int g; shared int h; int f() { return g; } \
-             process M { h = f(); }",
-        );
+        let c = ctx("shared int g; shared int h; int f() { return g; } \
+             process M { h = f(); }");
         let p = plan(&c, EBlockStrategy::per_subroutine());
         let m = p.body_eblock(c.rp.bodies()[0]).unwrap();
         let eb = p.eblock(m);
@@ -464,10 +447,8 @@ mod tests {
 
     #[test]
     fn loop_strategy_adds_loop_blocks() {
-        let c = ctx(
-            "shared int s; process M { int i; for (i = 0; i < 10; i = i + 1) \
-             { s = s + i; } print(s); }",
-        );
+        let c = ctx("shared int s; process M { int i; for (i = 0; i < 10; i = i + 1) \
+             { s = s + i; } print(s); }");
         let p = plan(&c, EBlockStrategy::with_loops(2));
         // body block + loop block
         assert_eq!(p.eblocks().len(), 2);
@@ -495,13 +476,10 @@ mod tests {
             "process M { int a = 1; int b = 2; int c = 3; int d = 4; int e = 5; print(a + b + c + d + e); }",
         );
         let p = plan(&c, EBlockStrategy::with_split(2));
-        let chunks: Vec<&EBlock> = p
-            .eblocks()
-            .iter()
-            .filter(|e| matches!(e.region, Region::Chunk { .. }))
-            .collect();
+        let chunks: Vec<&EBlock> =
+            p.eblocks().iter().filter(|e| matches!(e.region, Region::Chunk { .. })).collect();
         assert_eq!(chunks.len(), 3); // 6 top-level stmts / 2
-        // Chunk starts registered.
+                                     // Chunk starts registered.
         let body = c.rp.bodies()[0];
         let top = &c.rp.body_block(body).stmts;
         assert!(p.chunk_starting_at(top[0].id).is_some());
@@ -520,12 +498,10 @@ mod tests {
 
     #[test]
     fn leaf_merge_removes_leaf_blocks() {
-        let c = ctx(
-            "shared int g; int tiny() { return 1; } \
+        let c = ctx("shared int g; int tiny() { return 1; } \
              int big(int n) { int acc = 0; int i; for (i = 0; i < n; i = i + 1) \
              { acc = acc + tiny(); } return acc; } \
-             process M { g = big(3); }",
-        );
+             process M { g = big(3); }");
         let p = plan(&c, EBlockStrategy::with_leaf_merge(3));
         let tiny = c.rp.func_by_name("tiny").unwrap();
         assert!(p.is_merged(tiny));
@@ -538,10 +514,8 @@ mod tests {
 
     #[test]
     fn recursive_functions_never_merged() {
-        let c = ctx(
-            "int r(int n) { if (n <= 0) { return 0; } return r(n - 1); } \
-             process M { print(r(2)); }",
-        );
+        let c = ctx("int r(int n) { if (n <= 0) { return 0; } return r(n - 1); } \
+             process M { print(r(2)); }");
         let p = plan(&c, EBlockStrategy::with_leaf_merge(100));
         assert!(!p.is_merged(c.rp.func_by_name("r").unwrap()));
     }
@@ -595,7 +569,8 @@ mod iterative_merge_tests {
         assert!(plan.is_merged(rp.func_by_name("mid").unwrap()));
         assert!(!plan.is_merged(rp.func_by_name("big").unwrap()));
         // Threshold 10 absorbs big too.
-        let plan = EBlockPlan::compute(&rp, &effects, &cg, &mr, EBlockStrategy::with_leaf_merge(10));
+        let plan =
+            EBlockPlan::compute(&rp, &effects, &cg, &mr, EBlockStrategy::with_leaf_merge(10));
         assert!(plan.is_merged(rp.func_by_name("big").unwrap()));
         // Only the process body remains as an e-block.
         assert_eq!(plan.eblocks().len(), 1);

@@ -40,6 +40,7 @@ pub mod dataflow;
 pub mod dom;
 pub mod eblock;
 pub mod interproc;
+pub mod lint;
 pub mod liveness;
 pub mod reaching;
 pub mod syncunit;
@@ -53,6 +54,7 @@ pub use database::{ProgramDatabase, SiteRef};
 pub use dom::DomTree;
 pub use eblock::{EBlock, EBlockId, EBlockPlan, EBlockStrategy, Region};
 pub use interproc::ModRef;
+pub use lint::{Diagnostic, LintContext, LintPass, Note, RaceCandidates, Severity};
 pub use liveness::Liveness;
 pub use reaching::{DefSite, ReachingDefs};
 pub use syncunit::{BodySyncUnits, SyncUnit, SyncUnits, UnitStart};
@@ -109,6 +111,8 @@ pub struct Analyses {
     pub sync_units: SyncUnits,
     /// The program database.
     pub database: ProgramDatabase,
+    /// Static race candidates — the pruning index for dynamic detection.
+    pub race_candidates: RaceCandidates,
 }
 
 impl Analyses {
@@ -139,6 +143,7 @@ impl Analyses {
         }
         let sync_units = SyncUnits::compute(rp, &cfgs, &effects, &modref, &callgraph);
         let database = ProgramDatabase::build(rp, &effects, &modref);
+        let race_candidates = RaceCandidates::from_modref(rp, &modref);
         Analyses {
             effects,
             callgraph,
@@ -151,6 +156,7 @@ impl Analyses {
             liveness,
             sync_units,
             database,
+            race_candidates,
         }
     }
 

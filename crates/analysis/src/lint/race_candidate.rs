@@ -1,0 +1,168 @@
+//! PPD001 — static race candidates from synchronization units.
+//!
+//! Definition 6.4 makes a race a pair of *simultaneous* internal edges
+//! with intersecting READ/WRITE sets. Internal edges are delimited by
+//! synchronization operations, so the static analogue of an internal
+//! edge is a synchronization unit (§5.5): if a unit of process `P` and
+//! a unit of process `Q` have conflicting shared sets, some execution
+//! may schedule them simultaneously and the pair is a race candidate.
+//! The dynamic detector then decides, per execution, whether the
+//! ordering edges actually separate them.
+
+use super::{first_access, Diagnostic, LintContext, LintPass, Severity};
+use crate::varset::VarSetRepr;
+use ppd_lang::{BodyId, ProcId, Span, VarId};
+use std::collections::HashMap;
+
+/// Reports `(variable, process pair)` combinations whose synchronization
+/// units statically conflict.
+pub struct RaceCandidatePass;
+
+#[derive(Default, Clone, Copy)]
+struct ConflictKinds {
+    write_write: bool,
+    read_write: bool,
+}
+
+impl LintPass for RaceCandidatePass {
+    fn code(&self) -> &'static str {
+        "PPD001"
+    }
+
+    fn name(&self) -> &'static str {
+        "race-candidate"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let rp = ctx.rp;
+        let mut diags = Vec::new();
+        let procs: Vec<ProcId> = (0..rp.procs.len() as u32).map(ProcId).collect();
+        for (i, &a) in procs.iter().enumerate() {
+            for &b in &procs[i + 1..] {
+                let units_a = &ctx.analyses.sync_units.of(BodyId::Proc(a)).units;
+                let units_b = &ctx.analyses.sync_units.of(BodyId::Proc(b)).units;
+                let mut conflicts: HashMap<VarId, ConflictKinds> = HashMap::new();
+                for ua in units_a {
+                    for ub in units_b {
+                        for v in ua.writes.to_vec() {
+                            if ub.writes.contains(v) {
+                                conflicts.entry(v).or_default().write_write = true;
+                            }
+                            if ub.reads.contains(v) {
+                                conflicts.entry(v).or_default().read_write = true;
+                            }
+                        }
+                        for v in ua.reads.to_vec() {
+                            if ub.writes.contains(v) {
+                                conflicts.entry(v).or_default().read_write = true;
+                            }
+                        }
+                    }
+                }
+                let mut vars: Vec<VarId> = conflicts.keys().copied().collect();
+                vars.sort_unstable();
+                for v in vars {
+                    diags.push(self.diagnose(ctx, v, a, b, conflicts[&v]));
+                }
+            }
+        }
+        diags
+    }
+}
+
+impl RaceCandidatePass {
+    fn diagnose(
+        &self,
+        ctx: &LintContext<'_>,
+        var: VarId,
+        a: ProcId,
+        b: ProcId,
+        kinds: ConflictKinds,
+    ) -> Diagnostic {
+        let rp = ctx.rp;
+        let a_writes = ctx.analyses.modref.gmod(BodyId::Proc(a)).contains(var);
+        let b_writes = ctx.analyses.modref.gmod(BodyId::Proc(b)).contains(var);
+        let span =
+            first_access(rp, ctx.analyses, BodyId::Proc(a), var, a_writes).unwrap_or(Span::DUMMY);
+        let mut kind_names = Vec::new();
+        if kinds.write_write {
+            kind_names.push("write/write");
+        }
+        if kinds.read_write {
+            kind_names.push("read/write");
+        }
+        let mut diag = Diagnostic::new(
+            self.code(),
+            Severity::Warning,
+            format!(
+                "possible data race on shared variable `{}`: processes `{}` and `{}` \
+                 access it in unordered synchronization units ({})",
+                rp.var_name(var),
+                rp.proc_name(a),
+                rp.proc_name(b),
+                kind_names.join(", "),
+            ),
+            span,
+        );
+        if let Some(other) = first_access(rp, ctx.analyses, BodyId::Proc(b), var, b_writes) {
+            diag = diag.with_note(
+                format!(
+                    "conflicting {} in process `{}`",
+                    if b_writes { "write" } else { "read" },
+                    rp.proc_name(b)
+                ),
+                other,
+            );
+        }
+        diag.with_help(
+            "static race candidate: the dynamic detector compares only such pairs \
+             (Definition 6.4)",
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lint::testutil::lint;
+
+    fn ppd001_messages(src: &str) -> Vec<String> {
+        let (_, diags) = lint(src);
+        diags.into_iter().filter(|d| d.code == "PPD001").map(|d| d.message).collect()
+    }
+
+    #[test]
+    fn unprotected_counter_is_a_candidate() {
+        let msgs =
+            ppd001_messages("shared int g; process A { g = g + 1; } process B { g = g + 1; }");
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("`g`"), "{msgs:?}");
+        assert!(msgs[0].contains("write/write"), "{msgs:?}");
+    }
+
+    #[test]
+    fn read_write_conflict_is_labeled() {
+        let msgs = ppd001_messages("shared int g; process W { g = 1; } process R { print(g); }");
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("read/write"), "{msgs:?}");
+        assert!(!msgs[0].contains("write/write"), "{msgs:?}");
+    }
+
+    #[test]
+    fn three_processes_report_each_conflicting_pair() {
+        let msgs = ppd001_messages(
+            "shared int g; \
+             process A { g = 1; } process B { g = 2; } process C { g = 3; }",
+        );
+        assert_eq!(msgs.len(), 3, "{msgs:?}");
+    }
+
+    #[test]
+    fn message_names_both_processes() {
+        let msgs = ppd001_messages(
+            "shared int total; \
+             process Teller { total = total + 1; } \
+             process Auditor { print(total); }",
+        );
+        assert!(msgs[0].contains("`Teller`") && msgs[0].contains("`Auditor`"), "{msgs:?}");
+    }
+}

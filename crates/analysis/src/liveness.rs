@@ -125,11 +125,7 @@ mod tests {
         let effects = ProgramEffects::compute(&rp);
         let cg = CallGraph::build(&rp, &effects);
         let mr = ModRef::compute(&rp, &effects, &cg);
-        let body = rp
-            .bodies()
-            .into_iter()
-            .find(|b| rp.body_name(*b) == body_name)
-            .unwrap();
+        let body = rp.bodies().into_iter().find(|b| rp.body_name(*b) == body_name).unwrap();
         let cfg = Cfg::build(&rp, body).unwrap();
         let live = Liveness::compute(&rp, &cfg, &effects, &mr);
         let mut stmts = Vec::new();
@@ -138,10 +134,7 @@ mod tests {
     }
 
     fn var(ctx: &Ctx, name: &str) -> VarId {
-        (0..ctx.rp.var_count() as u32)
-            .map(VarId)
-            .find(|v| ctx.rp.var_name(*v) == name)
-            .unwrap()
+        (0..ctx.rp.var_count() as u32).map(VarId).find(|v| ctx.rp.var_name(*v) == name).unwrap()
     }
 
     #[test]
@@ -205,10 +198,8 @@ mod tests {
 
     #[test]
     fn array_weak_def_does_not_kill() {
-        let ctx = analyze(
-            "shared int a[4]; process M { int s = a[3]; a[0] = 1; print(a[2] + s); }",
-            "M",
-        );
+        let ctx =
+            analyze("shared int a[4]; process M { int s = a[3]; a[0] = 1; print(a[2] + s); }", "M");
         let a = var(&ctx, "a");
         let first = ctx.cfg.node_of(ctx.stmts[0]).unwrap();
         // `a` stays live across the weak store a[0] = 1.

@@ -202,11 +202,7 @@ mod tests {
         let effects = ProgramEffects::compute(&rp);
         let cg = CallGraph::build(&rp, &effects);
         let mr = ModRef::compute(&rp, &effects, &cg);
-        let body = rp
-            .bodies()
-            .into_iter()
-            .find(|b| rp.body_name(*b) == body_name)
-            .unwrap();
+        let body = rp.bodies().into_iter().find(|b| rp.body_name(*b) == body_name).unwrap();
         let cfg = Cfg::build(&rp, body).unwrap();
         let rd = ReachingDefs::compute(&rp, &cfg, &effects, &mr);
         let mut stmts = Vec::new();
@@ -215,10 +211,7 @@ mod tests {
     }
 
     fn var(ctx: &Ctx, name: &str) -> VarId {
-        (0..ctx.rp.var_count() as u32)
-            .map(VarId)
-            .find(|v| ctx.rp.var_name(*v) == name)
-            .unwrap()
+        (0..ctx.rp.var_count() as u32).map(VarId).find(|v| ctx.rp.var_name(*v) == name).unwrap()
     }
 
     #[test]
@@ -265,10 +258,7 @@ mod tests {
 
     #[test]
     fn array_defs_accumulate() {
-        let ctx = analyze(
-            "shared int a[4]; process M { a[0] = 1; a[1] = 2; print(a[0]); }",
-            "M",
-        );
+        let ctx = analyze("shared int a[4]; process M { a[0] = 1; a[1] = 2; print(a[0]); }", "M");
         let print_node = ctx.cfg.node_of(ctx.stmts[2]).unwrap();
         let defs = ctx.rd.reaching(print_node, var(&ctx, "a"));
         // Weak updates: both stores and the entry pseudo-def all reach.

@@ -259,11 +259,8 @@ mod tests {
         let effects = ProgramEffects::compute(&rp);
         let cg = CallGraph::build(&rp, &effects);
         let mr = ModRef::compute(&rp, &effects, &cg);
-        let cfgs: HashMap<BodyId, Cfg> = rp
-            .bodies()
-            .into_iter()
-            .map(|b| (b, Cfg::build(&rp, b).unwrap()))
-            .collect();
+        let cfgs: HashMap<BodyId, Cfg> =
+            rp.bodies().into_iter().map(|b| (b, Cfg::build(&rp, b).unwrap())).collect();
         let units = SyncUnits::compute(&rp, &cfgs, &effects, &mr, &cg);
         (rp, units)
     }
@@ -357,8 +354,7 @@ mod tests {
         let (rp, units) = analyze(
             &("shared int a; shared int b; shared int g; shared int h; sem s = 1; \
              process M { int i = 0; while (i < 3) { p(s); i = i + 1; v(s); g = g + 2; } print(g); }"
-                .to_owned()
-                + OTHER),
+                .to_owned() + OTHER),
         );
         let m = body(&rp, "M");
         let mut stmts = Vec::new();
@@ -426,11 +422,8 @@ mod tests {
         let effects = ProgramEffects::compute(&rp);
         let cg = CallGraph::build(&rp, &effects);
         let mr = ModRef::compute(&rp, &effects, &cg);
-        let cfgs: HashMap<BodyId, Cfg> = rp
-            .bodies()
-            .into_iter()
-            .map(|b| (b, Cfg::build(&rp, b).unwrap()))
-            .collect();
+        let cfgs: HashMap<BodyId, Cfg> =
+            rp.bodies().into_iter().map(|b| (b, Cfg::build(&rp, b).unwrap())).collect();
         let units = SyncUnits::compute(&rp, &cfgs, &effects, &mr, &cg);
         // P1: entry unit writes SV; send unit; total 2.
         let p1 = body(&rp, "P1");
@@ -439,12 +432,8 @@ mod tests {
         // P3: entry unit (just the decl), recv unit reads SV.
         let p3 = body(&rp, "P3");
         assert_eq!(units.of(p3).len(), 2);
-        let recv_unit = units
-            .of(p3)
-            .units
-            .iter()
-            .find(|u| matches!(u.start, UnitStart::Stmt(_)))
-            .unwrap();
+        let recv_unit =
+            units.of(p3).units.iter().find(|u| matches!(u.start, UnitStart::Stmt(_))).unwrap();
         assert_eq!(set_names(&rp, &recv_unit.reads), vec!["SV"]);
     }
 }

@@ -55,9 +55,8 @@ impl ProgramEffects {
     /// Computes the effects of every statement in `rp`.
     pub fn compute(rp: &ResolvedProgram) -> ProgramEffects {
         let universe = rp.var_count();
-        let mut effects: Vec<StmtEffects> = (0..rp.program.stmt_count)
-            .map(|_| StmtEffects::new(universe))
-            .collect();
+        let mut effects: Vec<StmtEffects> =
+            (0..rp.program.stmt_count).map(|_| StmtEffects::new(universe)).collect();
         for body in rp.bodies() {
             let block = rp.body_block(body);
             walk_stmts(block, &mut |stmt| {
@@ -193,11 +192,7 @@ mod tests {
 
     /// Find the nth statement (flat order) of the named body.
     fn stmt_n(rp: &ResolvedProgram, body_name: &str, n: usize) -> StmtId {
-        let body = rp
-            .bodies()
-            .into_iter()
-            .find(|b| rp.body_name(*b) == body_name)
-            .unwrap();
+        let body = rp.bodies().into_iter().find(|b| rp.body_name(*b) == body_name).unwrap();
         let mut ids = Vec::new();
         walk_stmts(rp.body_block(body), &mut |s| ids.push(s.id));
         ids[n]
@@ -229,8 +224,7 @@ mod tests {
 
     #[test]
     fn array_load_uses_array_and_index() {
-        let (rp, fx) =
-            effects_for("shared int a[4]; process M { int i = 1; int x = a[i + 1]; }");
+        let (rp, fx) = effects_for("shared int a[4]; process M { int i = 1; int x = a[i + 1]; }");
         let s = stmt_n(&rp, "M", 1);
         assert_eq!(names(&rp, &fx.of(s).uses), vec!["a", "i"]);
     }
@@ -245,9 +239,8 @@ mod tests {
 
     #[test]
     fn call_records_callee_and_arg_uses() {
-        let (rp, fx) = effects_for(
-            "shared int g; int f(int a) { return a; } process M { int x = f(g); }",
-        );
+        let (rp, fx) =
+            effects_for("shared int g; int f(int a) { return a; } process M { int x = f(g); }");
         let s = stmt_n(&rp, "M", 0);
         let e = fx.of(s);
         assert_eq!(e.calls.len(), 1);
@@ -267,7 +260,9 @@ mod tests {
 
     #[test]
     fn send_uses_payload() {
-        let (rp, fx) = effects_for("shared int v; process M { send(O, v * 2); } process O { int m; recv(m); }");
+        let (rp, fx) = effects_for(
+            "shared int v; process M { send(O, v * 2); } process O { int m; recv(m); }",
+        );
         let s = stmt_n(&rp, "M", 0);
         assert!(fx.of(s).is_sync);
         assert_eq!(names(&rp, &fx.of(s).uses), vec!["v"]);
@@ -291,9 +286,8 @@ mod tests {
 
     #[test]
     fn accept_defines_param() {
-        let (rp, fx) = effects_for(
-            "process S { accept (x) { print(x); } } process C { rendezvous(S, 1); }",
-        );
+        let (rp, fx) =
+            effects_for("process S { accept (x) { print(x); } } process C { rendezvous(S, 1); }");
         let s = stmt_n(&rp, "S", 0);
         assert!(fx.of(s).is_sync);
         assert!(fx.of(s).reads_external);

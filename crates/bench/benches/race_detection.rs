@@ -1,11 +1,14 @@
 //! Criterion version of experiment E4: happened-before construction
 //! (transitive closure vs vector clocks) and all-pairs race detection
-//! (naive vs per-variable index) — the §7 cost concern.
+//! (naive vs per-variable index vs statically pruned) — the §7 cost
+//! concern, with `ppd lint`'s GMOD/GREF candidate index as the pruner.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ppd_analysis::EBlockStrategy;
 use ppd_bench::workloads;
-use ppd_graph::{detect_races_indexed, detect_races_naive, TransitiveClosure, VectorClocks};
+use ppd_graph::{
+    detect_races_indexed, detect_races_naive, detect_races_pruned, TransitiveClosure, VectorClocks,
+};
 
 fn bench_race_detection(c: &mut Criterion) {
     let mut ordering = c.benchmark_group("E4_ordering");
@@ -27,6 +30,7 @@ fn bench_race_detection(c: &mut Criterion) {
     for n in [2u32, 4, 8] {
         let w = workloads::racy_workers(n, 8);
         let session = w.prepare(EBlockStrategy::per_subroutine());
+        let cands = session.analyses().race_candidates.clone();
         let exec = session.execute(w.config());
         let g = exec.pgraph;
         let ord = VectorClocks::compute(&g);
@@ -35,6 +39,9 @@ fn bench_race_detection(c: &mut Criterion) {
         });
         detect.bench_with_input(BenchmarkId::new("indexed", n), &g, |b, g| {
             b.iter(|| detect_races_indexed(g, &ord))
+        });
+        detect.bench_with_input(BenchmarkId::new("pruned", n), &g, |b, g| {
+            b.iter(|| detect_races_pruned(g, &ord, &cands))
         });
     }
     detect.finish();

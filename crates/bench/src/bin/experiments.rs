@@ -5,9 +5,7 @@
 
 fn main() {
     println!("# PPD evaluation — regenerated tables\n");
-    println!(
-        "(Miller & Choi, PLDI 1988; shapes, not absolute numbers, are the claim.)\n"
-    );
+    println!("(Miller & Choi, PLDI 1988; shapes, not absolute numbers, are the claim.)\n");
     for table in ppd_bench::experiments::all() {
         println!("{}", table.render());
         println!();

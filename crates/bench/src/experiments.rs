@@ -7,7 +7,11 @@ use crate::timing::{fmt_duration, median_of, overhead_pct};
 use crate::workloads::{self, Workload};
 use ppd_analysis::{BitVarSet, EBlockStrategy, ListVarSet, VarSetRepr};
 use ppd_core::Controller;
-use ppd_graph::{detect_races_indexed, detect_races_naive, TransitiveClosure, VectorClocks};
+use ppd_graph::{
+    detect_races_indexed, detect_races_indexed_counted, detect_races_naive,
+    detect_races_naive_counted, detect_races_pruned, detect_races_pruned_counted,
+    TransitiveClosure, VectorClocks,
+};
 use ppd_lang::{BodyId, ProcId, VarId};
 use ppd_runtime::CountingTracer;
 
@@ -134,17 +138,27 @@ pub fn e3_granularity_sweep() -> Table {
 // ---------------------------------------------------------------------
 
 /// E4 — the §7 concern: the cost of ordering events and of finding all
-/// conflicting edge pairs, naive vs indexed, closure vs vector clocks.
+/// conflicting edge pairs — naive vs indexed vs statically pruned — and
+/// closure vs vector clocks for the ordering oracle.
 pub fn e4_race_detection() -> Table {
     let mut t = Table::new(
         "E4 — event ordering & all-pairs race detection (§7)",
         &[
-            "workload", "edges", "races", "closure", "vclock", "naive pairs", "indexed",
+            "workload",
+            "edges",
+            "races",
+            "closure",
+            "vclock",
+            "naive",
+            "indexed",
+            "pruned",
+            "pairs n/i/p",
         ],
     );
     for (n, iters) in [(2u32, 8u32), (4, 8), (6, 8), (8, 8)] {
         let w = workloads::racy_workers(n, iters);
         let session = w.prepare(EBlockStrategy::per_subroutine());
+        let cands = &session.analyses().race_candidates;
         let exec = session.execute(w.config());
         let g = &exec.pgraph;
         let t_closure = median_of(REPS, || TransitiveClosure::compute(g));
@@ -152,7 +166,11 @@ pub fn e4_race_detection() -> Table {
         let ord = VectorClocks::compute(g);
         let t_naive = median_of(REPS, || detect_races_naive(g, &ord));
         let t_indexed = median_of(REPS, || detect_races_indexed(g, &ord));
-        let races = detect_races_indexed(g, &ord);
+        let t_pruned = median_of(REPS, || detect_races_pruned(g, &ord, cands));
+        let (races, naive_pairs) = detect_races_naive_counted(g, &ord);
+        let (_, indexed_pairs) = detect_races_indexed_counted(g, &ord);
+        let (pruned_races, pruned_pairs) = detect_races_pruned_counted(g, &ord, cands);
+        assert_eq!(races, pruned_races, "pruning changed the race set");
         t.row(vec![
             w.name.clone(),
             g.internal_edges().len().to_string(),
@@ -161,10 +179,15 @@ pub fn e4_race_detection() -> Table {
             fmt_duration(t_vclock),
             fmt_duration(t_naive),
             fmt_duration(t_indexed),
+            fmt_duration(t_pruned),
+            format!("{naive_pairs}/{indexed_pairs}/{pruned_pairs}"),
         ]);
     }
     t.note("closure/vclock: time to build the §6.1 happened-before oracle;");
-    t.note("naive/indexed: all-pairs conflict scan vs the per-variable index.");
+    t.note("naive/indexed/pruned: all-pairs conflict scan vs the per-variable");
+    t.note("index vs the same index filtered by the static GMOD/GREF race");
+    t.note("candidates (`ppd lint` PPD001). pairs n/i/p: distinct cross-process");
+    t.note("edge pairs each detector examined — identical races every time.");
     t
 }
 
@@ -179,10 +202,7 @@ fn set_kernel<S: VarSetRepr>(nvars: usize, nblocks: usize) -> usize {
     // Gen sets: block i touches vars i..i+8 (mod nvars).
     let mut sets: Vec<S> = (0..nblocks)
         .map(|i| {
-            S::from_iter(
-                nvars,
-                (0..8u32).map(|k| VarId((i as u32 * 3 + k * 7) % nvars as u32)),
-            )
+            S::from_iter(nvars, (0..8u32).map(|k| VarId((i as u32 * 3 + k * 7) % nvars as u32)))
         })
         .collect();
     // Union propagation to fixpoint (reaching-definitions shape).
@@ -291,10 +311,7 @@ pub fn e7_array_logging() -> Table {
     for w in [&quicksort] {
         for (mode, strategy) in [
             ("whole-array", EBlockStrategy::per_subroutine()),
-            (
-                "element-logged",
-                EBlockStrategy::per_subroutine().with_element_logged_arrays(),
-            ),
+            ("element-logged", EBlockStrategy::per_subroutine().with_element_logged_arrays()),
         ] {
             let session = w.prepare(strategy);
             let base = median_of(REPS, || session.measure_run(w.config(), false, false));
@@ -340,11 +357,7 @@ pub fn f41_figure() -> Table {
     controller.start_at(ProcId(0)).expect("starts");
     let graph = controller.graph();
     for n in graph.nodes() {
-        let kind = format!("{:?}", n.kind)
-            .split([' ', '{'])
-            .next()
-            .unwrap_or("?")
-            .to_owned();
+        let kind = format!("{:?}", n.kind).split([' ', '{']).next().unwrap_or("?").to_owned();
         let deps: Vec<String> = graph
             .dependence_preds(n.id)
             .iter()
@@ -423,27 +436,18 @@ pub fn f61_figure() -> Table {
     let g = &exec.pgraph;
     t.row(vec!["sync nodes".into(), g.nodes().len().to_string()]);
     t.row(vec!["internal edges".into(), g.internal_edges().len().to_string()]);
-    t.row(vec![
-        "sync edges (message, unblock)".into(),
-        g.sync_edges().len().to_string(),
-    ]);
+    t.row(vec!["sync edges (message, unblock)".into(), g.sync_edges().len().to_string()]);
     let empty_edges = g.internal_edges().iter().filter(|e| e.events == 0).count();
     t.row(vec!["zero-event edges (paper's e4)".into(), empty_edges.to_string()]);
     let ord = VectorClocks::compute(g);
     let races = detect_races_indexed(g, &ord);
     for (i, r) in races.iter().enumerate() {
-        t.row(vec![
-            format!("race {}", i + 1),
-            ppd_graph::race::describe_race(g, session.rp(), r),
-        ]);
+        t.row(vec![format!("race {}", i + 1), ppd_graph::race::describe_race(g, session.rp(), r)]);
     }
     // Ordered pair check.
     let e1 = g.edges_of_proc(ProcId(0))[0];
     let e3 = *g.edges_of_proc(ProcId(2)).last().unwrap();
-    t.row(vec![
-        "e1 -> e3 ordered by message?".into(),
-        g.edge_precedes(&ord, e1, e3).to_string(),
-    ]);
+    t.row(vec!["e1 -> e3 ordered by message?".into(), g.edge_precedes(&ord, e1, e3).to_string()]);
     t.note("Exactly the paper's §6.3: P1's write/read pair with P3 is ordered through");
     t.note("the message; both pairs involving P2's write race.");
     t

@@ -59,11 +59,7 @@ pub fn loop_heavy(iters: u32) -> Workload {
 
 /// Racy-worker workloads for the E4 sweep.
 pub fn racy_workers(n: u32, iters: u32) -> Workload {
-    fixed(
-        &format!("workers_{n}x{iters}"),
-        &corpus::gen_racy_workers(n, iters),
-        vec![],
-    )
+    fixed(&format!("workers_{n}x{iters}"), &corpus::gen_racy_workers(n, iters), vec![])
 }
 
 /// Deep-call workloads for the E6 flowback-latency sweep.

@@ -156,7 +156,8 @@ impl<'p> GraphBuilder<'p> {
         let root = st
             .nodes
             .iter()
-            .copied().rfind(|n| !matches!(self.graph.node(*n).kind, DynNodeKind::Entry));
+            .copied()
+            .rfind(|n| !matches!(self.graph.node(*n).kind, DynNodeKind::Entry));
         // Final writer per variable: prefer concrete cell defs (latest by
         // node seq), fall back to substituted nodes.
         let mut last_writes: HashMap<VarId, DynNodeId> = st.var_fallback.clone();
@@ -169,14 +170,7 @@ impl<'p> GraphBuilder<'p> {
                 }
             }
         }
-        FeedReport {
-            proc,
-            root,
-            entry,
-            nodes: st.nodes,
-            substituted: st.substituted,
-            last_writes,
-        }
+        FeedReport { proc, root, entry, nodes: st.nodes, substituted: st.substituted, last_writes }
     }
 
     fn label_of(&self, stmt: StmtId) -> String {
@@ -216,11 +210,7 @@ impl<'p> GraphBuilder<'p> {
             }
             EventKind::CallEnter { func, args, substituted } => {
                 let node = self.graph.add_node(
-                    DynNodeKind::SubGraph {
-                        stmt: event.stmt,
-                        func: *func,
-                        expanded: !substituted,
-                    },
+                    DynNodeKind::SubGraph { stmt: event.stmt, func: *func, expanded: !substituted },
                     st.proc,
                     self.label_of(event.stmt),
                     None,

@@ -11,10 +11,8 @@
 use crate::builder::{GraphBuilder, SubstitutedRef};
 use crate::session::{Execution, PpdSession};
 use crate::PpdError;
-use ppd_graph::{
-    detect_races_indexed, DynEdgeKind, DynNodeId, DynamicGraph, Race, VectorClocks,
-};
 use ppd_analysis::VarSetRepr;
+use ppd_graph::{detect_races_pruned, DynEdgeKind, DynNodeId, DynamicGraph, Race, VectorClocks};
 use ppd_lang::{ProcId, VarId};
 use ppd_log::{IntervalRef, LogEntry};
 use ppd_runtime::{Machine, NestedCalls, Outcome, VecTracer};
@@ -106,9 +104,9 @@ impl<'p> Controller<'p> {
                 ))
             })?;
         let report = self.materialize(interval, None)?;
-        report.root.ok_or_else(|| {
-            PpdError::Debugging("the halted interval produced no events".into())
-        })
+        report
+            .root
+            .ok_or_else(|| PpdError::Debugging("the halted interval produced no events".into()))
     }
 
     /// Replays `interval` and feeds its trace into the graph; `attach_to`
@@ -298,11 +296,7 @@ impl<'p> Controller<'p> {
             .iter()
             .filter(|(iv, _)| iv.proc == reader_proc)
             .filter_map(|(iv, _)| {
-                self.execution
-                    .logs
-                    .postlog_of(*iv)
-                    .map(LogEntry::time)
-                    .or(Some(u64::MAX))
+                self.execution.logs.postlog_of(*iv).map(LogEntry::time).or(Some(u64::MAX))
             })
             .max()
             .unwrap_or(u64::MAX);
@@ -336,12 +330,8 @@ impl<'p> Controller<'p> {
             .into_iter()
             .rfind(|iv| {
                 let start = self.execution.logs.prelog_of(*iv).time();
-                let end = self
-                    .execution
-                    .logs
-                    .postlog_of(*iv)
-                    .map(LogEntry::time)
-                    .unwrap_or(u64::MAX);
+                let end =
+                    self.execution.logs.postlog_of(*iv).map(LogEntry::time).unwrap_or(u64::MAX);
                 start <= w_end && end >= w_start
             })
             .ok_or_else(|| {
@@ -359,9 +349,7 @@ impl<'p> Controller<'p> {
             .copied()
             .or(report.root)
             .ok_or_else(|| PpdError::Debugging("empty writer fragment".into()))?;
-        self.builder
-            .graph_mut()
-            .add_edge(writer_node, node, DynEdgeKind::Data { var });
+        self.builder.graph_mut().add_edge(writer_node, node, DynEdgeKind::Data { var });
         Ok(writer_node)
     }
 
@@ -423,17 +411,11 @@ impl<'p> Controller<'p> {
                 .into_iter()
                 .rfind(|iv| {
                     let start = self.execution.logs.prelog_of(*iv).time();
-                    let end = self
-                        .execution
-                        .logs
-                        .postlog_of(*iv)
-                        .map(LogEntry::time)
-                        .unwrap_or(u64::MAX);
+                    let end =
+                        self.execution.logs.postlog_of(*iv).map(LogEntry::time).unwrap_or(u64::MAX);
                     start <= w_end && end >= w_start
                 })
-                .ok_or_else(|| {
-                    PpdError::Debugging(format!("no interval covers edge {edge}"))
-                })?;
+                .ok_or_else(|| PpdError::Debugging(format!("no interval covers edge {edge}")))?;
             let report = self.materialize(interval, None)?;
             report
                 .last_writes
@@ -447,11 +429,13 @@ impl<'p> Controller<'p> {
         Ok((first, second))
     }
 
-    /// Race detection over the execution instance (§6.4).
+    /// Race detection over the execution instance (§6.4), pruned by the
+    /// static candidate index (GMOD/GREF cannot miss a dynamic access,
+    /// so the pruned result equals the naive scan's).
     pub fn races(&self) -> Vec<RaceReport> {
         let g = &self.execution.pgraph;
         let ord = VectorClocks::compute(g);
-        detect_races_indexed(g, &ord)
+        detect_races_pruned(g, &ord, &self.session.analyses().race_candidates)
             .into_iter()
             .map(|race| RaceReport {
                 race,
@@ -494,9 +478,9 @@ impl<'p> Controller<'p> {
         // reachable code contains a V/unlock on it.
         let releases = |proc: ProcId, sem: ppd_lang::SemId| -> bool {
             let mut found = false;
-            for body in self.session.analyses().callgraph.reachable_from(
-                ppd_lang::BodyId::Proc(proc),
-            ) {
+            for body in
+                self.session.analyses().callgraph.reachable_from(ppd_lang::BodyId::Proc(proc))
+            {
                 walk_stmts(rp.body_block(body), &mut |stmt| {
                     if let StmtKind::Sync(SyncStmt::V(_) | SyncStmt::Unlock(_)) = &stmt.kind {
                         if rp.sem_ref.get(&stmt.id) == Some(&sem) {

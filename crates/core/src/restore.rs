@@ -123,10 +123,7 @@ pub fn faithful_replay(
 /// the breakpoint statement (if this process hit it) or the statement a
 /// deadlocked process is blocked at. `None` for completed/failed runs —
 /// failures re-occur naturally during replay.
-pub fn halt_stop_at(
-    execution: &Execution,
-    interval: IntervalRef,
-) -> Option<ppd_lang::StmtId> {
+pub fn halt_stop_at(execution: &Execution, interval: IntervalRef) -> Option<ppd_lang::StmtId> {
     use ppd_runtime::Outcome;
     // Only intervals still open at the halt stop early: a *completed*
     // interval may well contain the breakpoint statement (e.g. earlier
@@ -136,10 +133,9 @@ pub fn halt_stop_at(
     }
     match &execution.outcome {
         Outcome::Breakpoint { proc, stmt } if *proc == interval.proc => Some(*stmt),
-        Outcome::Deadlock { blocked } => blocked
-            .iter()
-            .find(|(p, _, _)| *p == interval.proc)
-            .map(|&(_, _, stmt)| stmt),
+        Outcome::Deadlock { blocked } => {
+            blocked.iter().find(|(p, _, _)| *p == interval.proc).map(|&(_, _, stmt)| stmt)
+        }
         _ => None,
     }
 }

@@ -165,7 +165,8 @@ impl PpdSession {
     /// `tracer` (used by tests and the benchmark harness; the paper's
     /// object code does *not* trace — that is the point).
     pub fn execute_traced(&self, config: RunConfig, tracer: &mut dyn Tracer) -> Execution {
-        let machine = Machine::new(&self.rp, &self.analyses, Some(&self.plan), config.to_exec(true));
+        let machine =
+            Machine::new(&self.rp, &self.analyses, Some(&self.plan), config.to_exec(true));
         let result = machine.run(tracer);
         Execution {
             outcome: result.outcome,
@@ -233,11 +234,9 @@ mod tests {
 
     #[test]
     fn execution_remembers_config_for_reproduction() {
-        let session = PpdSession::prepare(
-            ppd_lang::corpus::FIG_4_1.source,
-            EBlockStrategy::per_subroutine(),
-        )
-        .unwrap();
+        let session =
+            PpdSession::prepare(ppd_lang::corpus::FIG_4_1.source, EBlockStrategy::per_subroutine())
+                .unwrap();
         let cfg = RunConfig {
             scheduler: SchedulerSpec::Random { seed: 5 },
             inputs: vec![vec![5, 3, 2]],

@@ -23,12 +23,7 @@ fn var(session: &PpdSession, name: &str) -> VarId {
 
 /// Nodes whose label contains `needle`.
 fn nodes_labeled(graph: &DynamicGraph, needle: &str) -> Vec<DynNodeId> {
-    graph
-        .nodes()
-        .iter()
-        .filter(|n| n.label.contains(needle))
-        .map(|n| n.id)
-        .collect()
+    graph.nodes().iter().filter(|n| n.label.contains(needle)).map(|n| n.id).collect()
 }
 
 // ---------------------------------------------------------------------
@@ -55,10 +50,7 @@ fn flowback_reaches_the_planted_bug() {
     // One flowback step: the immediate suspects are the reads of the
     // failing expression — `work` and `gain` definitions.
     let causes = controller.flowback(root);
-    let labels: Vec<&str> = causes
-        .iter()
-        .map(|&(n, _)| graph.node(n).label.as_str())
-        .collect();
+    let labels: Vec<&str> = causes.iter().map(|&(n, _)| graph.node(n).label.as_str()).collect();
     assert!(
         labels.iter().any(|l| l.contains("gain")),
         "gain's definition should be a direct cause: {labels:?}"
@@ -67,10 +59,7 @@ fn flowback_reaches_the_planted_bug() {
     // The full backward slice reaches the planted bug
     // (`calibration = reading - reading`).
     let slice = controller.backward_slice(root);
-    let slice_labels: Vec<String> = slice
-        .iter()
-        .map(|&n| graph.node(n).label.clone())
-        .collect();
+    let slice_labels: Vec<String> = slice.iter().map(|&n| graph.node(n).label.clone()).collect();
     assert!(
         slice_labels.iter().any(|l| l.contains("reading - reading")),
         "slice misses the bug: {slice_labels:?}"
@@ -126,10 +115,7 @@ fn fig41_graph_structure() {
 
     // The SubD call is a sub-graph node with value d = -5.
     let subd = nodes_labeled(graph, "SubD(")[0];
-    assert!(matches!(
-        graph.node(subd).kind,
-        DynNodeKind::SubGraph { expanded: false, .. }
-    ));
+    assert!(matches!(graph.node(subd).kind, DynNodeKind::SubGraph { expanded: false, .. }));
     assert_eq!(graph.node(subd).value, Some(Value::Int(-5)));
 
     // The third actual parameter is an expression, so a fictional %3
@@ -161,11 +147,8 @@ fn fig41_graph_structure() {
     // s6 `a = a + sq` reads a's original definition and sq.
     let s6 = nodes_labeled(graph, "a = a + sq")[0];
     assert_eq!(graph.node(s6).value, Some(Value::Int(7)));
-    let dep_labels: Vec<String> = graph
-        .dependence_preds(s6)
-        .iter()
-        .map(|&(n, _)| graph.node(n).label.clone())
-        .collect();
+    let dep_labels: Vec<String> =
+        graph.dependence_preds(s6).iter().map(|&(n, _)| graph.node(n).label.clone()).collect();
     assert!(dep_labels.iter().any(|l| l.contains("a = input()")), "{dep_labels:?}");
     assert!(dep_labels.iter().any(|l| l.contains("sq = sqrt")), "{dep_labels:?}");
 }
@@ -434,9 +417,7 @@ fn what_if_replay_can_avoid_the_failure() {
         .logs
         .open_intervals(ProcId(0))
         .into_iter()
-        .find(|iv| {
-            session.plan().eblock(iv.eblock).region.body() == BodyId::Func(divide)
-        })
+        .find(|iv| session.plan().eblock(iv.eblock).region.body() == BodyId::Func(divide))
         .expect("divide's interval is open at the failure");
 
     // Faithful replay reproduces the failure.
@@ -566,10 +547,7 @@ fn breakpoint_halts_all_processes_and_debugging_starts() {
             found
         })
         .expect("g = 3 statement");
-    let execution = session.execute(RunConfig {
-        breakpoints: vec![g3],
-        ..RunConfig::default()
-    });
+    let execution = session.execute(RunConfig { breakpoints: vec![g3], ..RunConfig::default() });
     let ppd_runtime::Outcome::Breakpoint { proc, stmt } = execution.outcome else {
         panic!("expected breakpoint halt: {:?}", execution.outcome);
     };
@@ -584,12 +562,7 @@ fn breakpoint_halts_all_processes_and_debugging_starts() {
     let mut controller = Controller::new(&session, &execution);
     let root = controller.start().expect("debugging starts at breakpoint");
     assert_eq!(controller.graph().node(root).proc, ProcId(0));
-    let labels: Vec<String> = controller
-        .graph()
-        .nodes()
-        .iter()
-        .map(|n| n.label.clone())
-        .collect();
+    let labels: Vec<String> = controller.graph().nodes().iter().map(|n| n.label.clone()).collect();
     assert!(labels.iter().any(|l| l.contains("g = 2")), "{labels:?}");
     assert!(!labels.iter().any(|l| l.contains("g = 3")), "{labels:?}");
     // The fragment root is the last executed statement, `g = 2`.
@@ -613,10 +586,8 @@ fn breakpoint_in_function_body() {
             }
         });
     }
-    let execution = session.execute(RunConfig {
-        breakpoints: vec![ret_stmt.unwrap()],
-        ..RunConfig::default()
-    });
+    let execution =
+        session.execute(RunConfig { breakpoints: vec![ret_stmt.unwrap()], ..RunConfig::default() });
     assert!(execution.outcome.is_breakpoint());
     // Both Main's and f's intervals are open at the halt.
     assert_eq!(execution.logs.open_intervals(ProcId(0)).len(), 2);
@@ -636,10 +607,8 @@ fn replay_stops_at_original_breakpoint() {
             }
         }
     });
-    let execution = session.execute(RunConfig {
-        breakpoints: vec![second.unwrap()],
-        ..RunConfig::default()
-    });
+    let execution =
+        session.execute(RunConfig { breakpoints: vec![second.unwrap()], ..RunConfig::default() });
     assert!(execution.outcome.is_breakpoint());
     let interval = execution.logs.open_intervals(ProcId(0))[0];
     // Faithful replay halts at the same breakpoint: only `g = 1` was
@@ -647,11 +616,7 @@ fn replay_stops_at_original_breakpoint() {
     let mut tracer = ppd_runtime::VecTracer::default();
     let res = crate::faithful_replay(&session, &execution, interval, &mut tracer);
     assert!(res.outcome.is_breakpoint(), "{:?}", res.outcome);
-    let assigns = tracer
-        .events
-        .iter()
-        .filter(|e| matches!(e.kind, EventKind::Assign))
-        .count();
+    let assigns = tracer.events.iter().filter(|e| matches!(e.kind, EventKind::Assign)).count();
     assert_eq!(assigns, 1);
 }
 
@@ -664,17 +629,9 @@ fn deadlock_replay_stops_at_block_point() {
     // PhilA got fork0 and blocked on fork1: the fragment must show the
     // first p() but not the meal that never happened.
     let root = controller.start_at(ProcId(0)).expect("debugging starts");
-    let labels: Vec<String> = controller
-        .graph()
-        .nodes()
-        .iter()
-        .map(|n| n.label.clone())
-        .collect();
+    let labels: Vec<String> = controller.graph().nodes().iter().map(|n| n.label.clone()).collect();
     assert!(labels.iter().any(|l| l.contains("p(fork0)")), "{labels:?}");
-    assert!(
-        !labels.iter().any(|l| l.contains("meals")),
-        "the meal never happened: {labels:?}"
-    );
+    assert!(!labels.iter().any(|l| l.contains("meals")), "the meal never happened: {labels:?}");
     let _ = root;
 }
 
@@ -690,15 +647,10 @@ fn forward_flow_from_the_bug() {
     let graph = controller.graph();
     let bug = nodes_labeled(graph, "reading - reading")[0];
     let forward = controller.forward_slice(bug);
-    let labels: Vec<String> = forward
-        .iter()
-        .map(|&n| controller.graph().node(n).label.clone())
-        .collect();
+    let labels: Vec<String> =
+        forward.iter().map(|&n| controller.graph().node(n).label.clone()).collect();
     assert!(labels.iter().any(|l| l.contains("gain")), "{labels:?}");
-    assert!(
-        labels.iter().any(|l| l.contains("FAILED")),
-        "the bug reaches the failure: {labels:?}"
-    );
+    assert!(labels.iter().any(|l| l.contains("FAILED")), "the bug reaches the failure: {labels:?}");
     // Forward and backward slices are adjoint: bug in back(fail) iff
     // fail in forward(bug).
     let root = nodes_labeled(graph, "FAILED")[0];
@@ -713,9 +665,8 @@ fn forward_flow_from_the_bug() {
 #[test]
 fn corrupted_log_yields_log_mismatch() {
     use ppd_log::LogEntry;
-    let session = prepare(
-        "shared int out; process Main { int x = input(); out = x * 2; print(out); }",
-    );
+    let session =
+        prepare("shared int out; process Main { int x = input(); out = x * 2; print(out); }");
     let mut config = RunConfig::default();
     config.inputs = vec![vec![7]];
     let mut execution = session.execute(config);
@@ -744,10 +695,7 @@ fn corrupted_log_yields_log_mismatch() {
     assert!(
         matches!(
             &res.outcome,
-            ppd_runtime::Outcome::Failed {
-                error: ppd_runtime::RuntimeError::LogMismatch(_),
-                ..
-            }
+            ppd_runtime::Outcome::Failed { error: ppd_runtime::RuntimeError::LogMismatch(_), .. }
         ),
         "{:?}",
         res.outcome
@@ -796,38 +744,28 @@ fn present_bounds_the_visible_graph() {
 fn dynamic_graph_is_cell_precise_for_arrays() {
     // a[0] and a[1] are distinct cells: the read of a[0] depends on the
     // first store, not the second.
-    let session = prepare(
-        "shared int a[2]; process M { a[0] = 10; a[1] = 20; print(a[0]); }",
-    );
+    let session = prepare("shared int a[2]; process M { a[0] = 10; a[1] = 20; print(a[0]); }");
     let execution = session.execute(RunConfig::default());
     let mut controller = Controller::new(&session, &execution);
     controller.start_at(ProcId(0)).unwrap();
     let graph = controller.graph();
     let read = nodes_labeled(graph, "print(a[0])")[0];
-    let sources: Vec<String> = graph
-        .dependence_preds(read)
-        .iter()
-        .map(|&(n, _)| graph.node(n).label.clone())
-        .collect();
+    let sources: Vec<String> =
+        graph.dependence_preds(read).iter().map(|&(n, _)| graph.node(n).label.clone()).collect();
     assert!(sources.iter().any(|l| l.contains("a[0] = 10")), "{sources:?}");
     assert!(!sources.iter().any(|l| l.contains("a[1] = 20")), "{sources:?}");
 }
 
 #[test]
 fn dynamic_index_reads_track_the_computed_cell() {
-    let session = prepare(
-        "shared int a[3]; process M { a[2] = 7; int i = 1 + 1; print(a[i]); }",
-    );
+    let session = prepare("shared int a[3]; process M { a[2] = 7; int i = 1 + 1; print(a[i]); }");
     let execution = session.execute(RunConfig::default());
     let mut controller = Controller::new(&session, &execution);
     controller.start_at(ProcId(0)).unwrap();
     let graph = controller.graph();
     let read = nodes_labeled(graph, "print(a[i])")[0];
-    let sources: Vec<String> = graph
-        .dependence_preds(read)
-        .iter()
-        .map(|&(n, _)| graph.node(n).label.clone())
-        .collect();
+    let sources: Vec<String> =
+        graph.dependence_preds(read).iter().map(|&(n, _)| graph.node(n).label.clone()).collect();
     // Depends on both the store to a[2] (the cell read) and on i.
     assert!(sources.iter().any(|l| l.contains("a[2] = 7")), "{sources:?}");
     assert!(sources.iter().any(|l| l.contains("int i")), "{sources:?}");
@@ -890,16 +828,11 @@ fn explain_race_points_at_both_accesses() {
     let execution = session.execute(RunConfig::default());
     let mut controller = Controller::new(&session, &execution);
     let races = controller.races();
-    let ww = races
-        .iter()
-        .find(|r| r.race.kind == ppd_graph::ConflictKind::WriteWrite)
-        .unwrap()
-        .race;
+    let ww =
+        races.iter().find(|r| r.race.kind == ppd_graph::ConflictKind::WriteWrite).unwrap().race;
     let (a, b) = controller.explain_race(&ww).expect("explains");
-    let (la, lb) = (
-        controller.graph().node(a).label.clone(),
-        controller.graph().node(b).label.clone(),
-    );
+    let (la, lb) =
+        (controller.graph().node(a).label.clone(), controller.graph().node(b).label.clone());
     assert!(la.contains("SV = "), "{la}");
     assert!(lb.contains("SV = "), "{lb}");
     assert_ne!(
@@ -926,10 +859,8 @@ fn execution_round_trips_through_json_and_debugs() {
     let mut controller = Controller::new(&session, &loaded);
     let root = controller.start().unwrap();
     let slice = controller.backward_slice(root);
-    let labels: Vec<String> = slice
-        .iter()
-        .map(|&n| controller.graph().node(n).label.clone())
-        .collect();
+    let labels: Vec<String> =
+        slice.iter().map(|&n| controller.graph().node(n).label.clone()).collect();
     assert!(labels.iter().any(|l| l.contains("reading - reading")));
     // Races computable from the reloaded parallel graph.
     assert!(controller.races().is_empty());
@@ -953,31 +884,18 @@ fn completed_intervals_replay_fully_despite_halt_at_same_stmt() {
     assert!(execution.outcome.is_deadlock(), "{:?}", execution.outcome);
 
     let rp = session.rp();
-    let grab_eb = session
-        .plan()
-        .body_eblock(BodyId::Func(rp.func_by_name("grab").unwrap()))
-        .unwrap();
-    let grab_intervals: Vec<_> = execution
-        .logs
-        .intervals(ProcId(0))
-        .into_iter()
-        .filter(|iv| iv.eblock == grab_eb)
-        .collect();
+    let grab_eb =
+        session.plan().body_eblock(BodyId::Func(rp.func_by_name("grab").unwrap())).unwrap();
+    let grab_intervals: Vec<_> =
+        execution.logs.intervals(ProcId(0)).into_iter().filter(|iv| iv.eblock == grab_eb).collect();
     assert_eq!(grab_intervals.len(), 3);
 
     for iv in &grab_intervals {
         let mut tracer = ppd_runtime::VecTracer::default();
         let res = crate::faithful_replay(&session, &execution, *iv, &mut tracer);
-        let syncs = tracer
-            .events
-            .iter()
-            .filter(|e| matches!(e.kind, EventKind::Sync { .. }))
-            .count();
-        let assigns = tracer
-            .events
-            .iter()
-            .filter(|e| matches!(e.kind, EventKind::Assign))
-            .count();
+        let syncs =
+            tracer.events.iter().filter(|e| matches!(e.kind, EventKind::Sync { .. })).count();
+        let assigns = tracer.events.iter().filter(|e| matches!(e.kind, EventKind::Assign)).count();
         if iv.postlog_pos.is_some() {
             // Completed call: the p(s) executed AND the update ran.
             assert!(res.outcome.is_success(), "{:?}", res.outcome);

@@ -31,11 +31,7 @@ pub fn dynamic_to_dot(g: &DynamicGraph) -> String {
                 ("box", if *expanded { ", peripheries=2" } else { ", style=rounded" })
             }
         };
-        let value = n
-            .value
-            .as_ref()
-            .map(|v| format!("\\n= {v}"))
-            .unwrap_or_default();
+        let value = n.value.as_ref().map(|v| format!("\\n= {v}")).unwrap_or_default();
         let _ = writeln!(
             out,
             "  {} [label=\"{}{}\", shape={shape}{extra}];",
@@ -80,12 +76,8 @@ pub fn parallel_to_dot(g: &ParallelGraph, rp: &ResolvedProgram) -> String {
         out.push_str("  }\n");
     }
     for e in g.internal_edges() {
-        let label = format!(
-            "{} R{:?} W{:?}",
-            e.id,
-            e.reads.to_vec().len(),
-            e.writes.to_vec().len()
-        );
+        let label =
+            format!("{} R{:?} W{:?}", e.id, e.reads.to_vec().len(), e.writes.to_vec().len());
         let _ = writeln!(
             out,
             "  {} -> {} [label=\"{}\", style=solid];",
@@ -117,8 +109,11 @@ pub fn static_to_dot(
 ) -> String {
     use crate::staticpdg::{StaticEdge, StaticNode};
     let g = sg.body(body);
-    let mut out = format!("digraph static_{} {{
-", rp.body_name(body).replace('-', "_"));
+    let mut out = format!(
+        "digraph static_{} {{
+",
+        rp.body_name(body).replace('-', "_")
+    );
     let node_id = |n: &StaticNode| match n {
         StaticNode::Entry => "entry".to_owned(),
         StaticNode::Exit => "exit".to_owned(),
@@ -127,12 +122,7 @@ pub fn static_to_dot(
     let mut nodes: Vec<StaticNode> = vec![StaticNode::Entry, StaticNode::Exit];
     nodes.extend(g.stmts.iter().map(|&s| StaticNode::Stmt(s)));
     for n in &nodes {
-        let _ = writeln!(
-            out,
-            "  {} [label=\"{}\"];",
-            node_id(n),
-            esc(&sg.label(rp, body, *n))
-        );
+        let _ = writeln!(out, "  {} [label=\"{}\"];", node_id(n), esc(&sg.label(rp, body, *n)));
     }
     for (f, t, kind) in &g.edges {
         let (style, label) = match kind {
@@ -151,8 +141,10 @@ pub fn static_to_dot(
             esc(&label)
         );
     }
-    out.push_str("}
-");
+    out.push_str(
+        "}
+",
+    );
     out
 }
 
@@ -222,10 +214,9 @@ mod tests {
 
     #[test]
     fn static_pdg_dot_has_edge_styles() {
-        let rp = ppd_lang::compile(
-            "shared int d; process M { if (d > 0) { d = d - 1; } print(d); }",
-        )
-        .unwrap();
+        let rp =
+            ppd_lang::compile("shared int d; process M { if (d > 0) { d = d - 1; } print(d); }")
+                .unwrap();
         let analyses = Analyses::run(&rp);
         let sg = crate::staticpdg::StaticGraph::build(&rp, &analyses);
         let dot = static_to_dot(&sg, &rp, rp.bodies()[0]);

@@ -256,11 +256,7 @@ impl DynamicGraph {
     /// statement executed", the root of the inverted tree the debugger
     /// first presents (§3.2.3).
     pub fn last_node_by(&self, pred: impl Fn(&DynNode) -> bool) -> Option<DynNodeId> {
-        self.nodes
-            .iter()
-            .filter(|n| pred(n))
-            .max_by_key(|n| n.seq)
-            .map(|n| n.id)
+        self.nodes.iter().filter(|n| pred(n)).max_by_key(|n| n.seq).map(|n| n.id)
     }
 
     /// The unexpanded sub-graph nodes (candidates for §5.2 expansion),
@@ -439,10 +435,7 @@ mod forward_tests {
         assert_eq!(g.forward_slice(d), vec![d]);
         // Adjoint: x in forward(a) iff a in backward(x).
         for x in [a, b, c, d] {
-            assert_eq!(
-                g.forward_slice(a).contains(&x),
-                g.backward_slice(x).contains(&a)
-            );
+            assert_eq!(g.forward_slice(a).contains(&x), g.backward_slice(x).contains(&a));
         }
     }
 
@@ -450,13 +443,7 @@ mod forward_tests {
     fn dependence_succs_excludes_flow() {
         let mut g = DynamicGraph::new();
         let a = g.add_node(DynNodeKind::Entry, ProcId(0), "e", None, 0);
-        let b = g.add_node(
-            DynNodeKind::Singular { stmt: StmtId(0) },
-            ProcId(0),
-            "s",
-            None,
-            1,
-        );
+        let b = g.add_node(DynNodeKind::Singular { stmt: StmtId(0) }, ProcId(0), "s", None, 1);
         g.add_edge(a, b, DynEdgeKind::Flow);
         assert!(g.dependence_succs(a).is_empty());
         g.add_edge(a, b, DynEdgeKind::ValueFlow);

@@ -52,6 +52,10 @@ pub use parallel::{
     InternalEdge, InternalEdgeId, ParallelGraph, SyncEdge, SyncEdgeLabel, SyncNode, SyncNodeId,
     SyncNodeKind,
 };
-pub use race::{detect_races_indexed, detect_races_naive, is_race_free, ConflictKind, Race};
+pub use race::{
+    candidates_from_graph, detect_races_indexed, detect_races_indexed_counted, detect_races_naive,
+    detect_races_naive_counted, detect_races_pruned, detect_races_pruned_counted, is_race_free,
+    ConflictKind, Race, RaceCandidates,
+};
 pub use simplified::{SimpleEdgeId, SimpleNode, SimplifiedGraph, UnitEdges};
 pub use staticpdg::{BodyStaticGraph, StaticEdge, StaticGraph, StaticNode};

@@ -110,12 +110,7 @@ impl VectorClocks {
     /// Computes vector clocks by one topological sweep.
     pub fn compute(graph: &ParallelGraph) -> VectorClocks {
         let n = graph.nodes().len();
-        let procs = graph
-            .nodes()
-            .iter()
-            .map(|nd| nd.proc.index() + 1)
-            .max()
-            .unwrap_or(0);
+        let procs = graph.nodes().iter().map(|nd| nd.proc.index() + 1).max().unwrap_or(0);
         let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
         for e in graph.internal_edges() {
@@ -203,10 +198,7 @@ mod tests {
     }
 
     fn orderings(g: &ParallelGraph) -> Vec<Box<dyn Ordering>> {
-        vec![
-            Box::new(TransitiveClosure::compute(g)),
-            Box::new(VectorClocks::compute(g)),
-        ]
+        vec![Box::new(TransitiveClosure::compute(g)), Box::new(VectorClocks::compute(g))]
     }
 
     #[test]
@@ -215,12 +207,8 @@ mod tests {
         for ord in orderings(&g) {
             // Every process's nodes are totally ordered among themselves.
             for p in 0..3 {
-                let nodes: Vec<_> = g
-                    .nodes()
-                    .iter()
-                    .filter(|n| n.proc == ProcId(p))
-                    .map(|n| n.id)
-                    .collect();
+                let nodes: Vec<_> =
+                    g.nodes().iter().filter(|n| n.proc == ProcId(p)).map(|n| n.id).collect();
                 for w in nodes.windows(2) {
                     assert!(ord.precedes(w[0], w[1]), "proc {p}: {} -> {}", w[0], w[1]);
                     assert!(!ord.precedes(w[1], w[0]));

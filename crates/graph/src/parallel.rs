@@ -308,12 +308,8 @@ impl ParallelGraph {
 
     /// Successor nodes of `n` following internal then sync edges.
     pub fn succs(&self, n: SyncNodeId) -> Vec<SyncNodeId> {
-        let mut out: Vec<SyncNodeId> = self
-            .internal
-            .iter()
-            .filter(|e| e.from == n)
-            .map(|e| e.to)
-            .collect();
+        let mut out: Vec<SyncNodeId> =
+            self.internal.iter().filter(|e| e.from == n).map(|e| e.to).collect();
         out.extend(self.sync.iter().filter(|e| e.from == n).map(|e| e.to));
         out
     }
@@ -333,11 +329,7 @@ impl ParallelGraph {
 
     /// Internal edges of one process, in execution order.
     pub fn edges_of_proc(&self, proc: ProcId) -> Vec<InternalEdgeId> {
-        self.internal
-            .iter()
-            .filter(|e| e.proc == proc)
-            .map(|e| e.id)
-            .collect()
+        self.internal.iter().filter(|e| e.proc == proc).map(|e| e.id).collect()
     }
 }
 

@@ -110,10 +110,8 @@ impl SimplifiedGraph {
         // For each kept node, walk the CFG forward through dissolved
         // nodes to find the next kept node(s); each such reachable pair
         // becomes a simplified edge.
-        let kept: Vec<(NodeId, SimpleNode)> = (0..cfg.len() as u32)
-            .map(NodeId)
-            .filter_map(|n| keep(n).map(|k| (n, k)))
-            .collect();
+        let kept: Vec<(NodeId, SimpleNode)> =
+            (0..cfg.len() as u32).map(NodeId).filter_map(|n| keep(n).map(|k| (n, k))).collect();
         for &(_, k) in &kept {
             g.intern(k);
         }
@@ -215,11 +213,7 @@ mod tests {
     fn build(src: &str, name: &str) -> (ResolvedProgram, SimplifiedGraph) {
         let rp = compile(src).unwrap();
         let analyses = Analyses::run(&rp);
-        let body = rp
-            .bodies()
-            .into_iter()
-            .find(|b| rp.body_name(*b) == name)
-            .unwrap();
+        let body = rp.bodies().into_iter().find(|b| rp.body_name(*b) == name).unwrap();
         let g = SimplifiedGraph::build(&rp, &analyses, body);
         (rp, g)
     }
@@ -236,10 +230,8 @@ mod tests {
 
     #[test]
     fn branches_are_kept_but_start_no_unit() {
-        let (_, g) = build(
-            "process M { int x = 1; if (x) { x = 2; } else { x = 3; } print(x); }",
-            "M",
-        );
+        let (_, g) =
+            build("process M { int x = 1; if (x) { x = 2; } else { x = 3; } print(x); }", "M");
         // ENTRY, branch, EXIT; edges: ENTRY->branch, branch->EXIT (x2 arms merge)
         assert_eq!(g.nodes.len(), 3);
         let units = g.sync_units();
@@ -268,14 +260,8 @@ mod tests {
 
     #[test]
     fn calls_are_non_branching_nodes() {
-        let (_, g) = build(
-            "int f() { return 1; } process M { int a = f(); print(a); }",
-            "M",
-        );
-        assert!(g
-            .nodes
-            .iter()
-            .any(|n| matches!(n, SimpleNode::SyncOrCall(_))));
+        let (_, g) = build("int f() { return 1; } process M { int a = f(); print(a); }", "M");
+        assert!(g.nodes.iter().any(|n| matches!(n, SimpleNode::SyncOrCall(_))));
         let units = g.sync_units();
         assert_eq!(units.len(), 2); // from ENTRY and from the call
     }

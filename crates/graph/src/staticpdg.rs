@@ -121,13 +121,16 @@ impl BodyStaticGraph {
     /// (static data-dependence predecessors). `None` entries denote the
     /// body entry (parameter / shared-variable initial values).
     pub fn data_sources(&self, use_stmt: StmtId, var: VarId) -> Vec<Option<StmtId>> {
-        self.preds_by(StaticNode::Stmt(use_stmt), |k| matches!(k, StaticEdge::Data { var: v } if *v == var))
-            .into_iter()
-            .map(|(n, _)| match n {
-                StaticNode::Stmt(s) => Some(s),
-                _ => None,
-            })
-            .collect()
+        self.preds_by(
+            StaticNode::Stmt(use_stmt),
+            |k| matches!(k, StaticEdge::Data { var: v } if *v == var),
+        )
+        .into_iter()
+        .map(|(n, _)| match n {
+            StaticNode::Stmt(s) => Some(s),
+            _ => None,
+        })
+        .collect()
     }
 }
 
@@ -205,9 +208,11 @@ fn build_body(rp: &ResolvedProgram, analyses: &Analyses, body: BodyId) -> BodySt
     for &stmt in cfg.stmts() {
         let parents = cd.parents(stmt);
         if parents.is_empty() {
-            edges.push((StaticNode::Entry, StaticNode::Stmt(stmt), StaticEdge::Control {
-                polarity: true,
-            }));
+            edges.push((
+                StaticNode::Entry,
+                StaticNode::Stmt(stmt),
+                StaticEdge::Control { polarity: true },
+            ));
         } else {
             for &(pred, polarity) in parents {
                 edges.push((
@@ -274,17 +279,12 @@ mod tests {
     }
 
     fn var(rp: &ResolvedProgram, name: &str) -> VarId {
-        (0..rp.var_count() as u32)
-            .map(VarId)
-            .find(|v| rp.var_name(*v) == name)
-            .unwrap()
+        (0..rp.var_count() as u32).map(VarId).find(|v| rp.var_name(*v) == name).unwrap()
     }
 
     #[test]
     fn control_edges_carry_polarity() {
-        let (rp, _, sg) = graph(
-            "process M { int d = 1; if (d > 0) { d = 2; } else { d = 3; } }",
-        );
+        let (rp, _, sg) = graph("process M { int d = 1; if (d > 0) { d = 2; } else { d = 3; } }");
         let g = sg.body(body(&rp, "M"));
         let (if_s, then_s, else_s) = (g.stmts[1], g.stmts[2], g.stmts[3]);
         let then_parents =
@@ -301,8 +301,7 @@ mod tests {
     fn entry_hangs_top_level_statements() {
         let (rp, _, sg) = graph("process M { int a = 1; print(a); }");
         let g = sg.body(body(&rp, "M"));
-        let from_entry =
-            g.succs_by(StaticNode::Entry, |k| matches!(k, StaticEdge::Control { .. }));
+        let from_entry = g.succs_by(StaticNode::Entry, |k| matches!(k, StaticEdge::Control { .. }));
         assert_eq!(from_entry.len(), 2);
     }
 
@@ -353,9 +352,7 @@ mod tests {
 
     #[test]
     fn static_slice_is_reflexive_and_monotone() {
-        let (rp, _, sg) = graph(
-            "process M { int x = 1; while (x < 5) { x = x + 1; } print(x); }",
-        );
+        let (rp, _, sg) = graph("process M { int x = 1; while (x < 5) { x = x + 1; } print(x); }");
         let g = sg.body(body(&rp, "M"));
         for &s in &g.stmts {
             let slice = g.backward_slice(s);

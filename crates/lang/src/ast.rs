@@ -514,7 +514,9 @@ pub fn walk_stmt_exprs<'a>(stmt: &'a Stmt, f: &mut dyn FnMut(&'a Expr)) {
                 walk_expr(c, f);
             }
         }
-        StmtKind::Return(Some(e)) | StmtKind::ExprStmt(e) | StmtKind::Print(e)
+        StmtKind::Return(Some(e))
+        | StmtKind::ExprStmt(e)
+        | StmtKind::Print(e)
         | StmtKind::Assert(e) => walk_expr(e, f),
         StmtKind::Return(None) => {}
         StmtKind::Sync(sync) => match sync {

@@ -1,0 +1,180 @@
+//! Span-carrying diagnostic rendering with source excerpts.
+//!
+//! The program database records "the places where an identifier is
+//! defined or used" (§3.2.1) as [`Span`]s; this module turns a span back
+//! into a human-readable excerpt of the program text, in the style of
+//! modern compiler diagnostics:
+//!
+//! ```text
+//!   --> programs/bank.ppd:8:9
+//!    |
+//!  8 |         accounts[0] = accounts[0] + 1;
+//!    |         ^^^^^^^^^^^^^^^^^^^^^^^^^^^^^
+//! ```
+//!
+//! The renderer is deliberately independent of what is being reported:
+//! lint passes, compile errors and runtime reports all share it.
+
+use crate::span::Span;
+
+/// A named source buffer with a line index, for resolving [`Span`]s to
+/// line/column positions and excerpting the spanned text.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    name: String,
+    text: String,
+    /// Byte offset of the first character of each line (line 1 first).
+    line_starts: Vec<u32>,
+}
+
+impl SourceFile {
+    /// Wraps `text` under a display `name` (usually the path).
+    pub fn new(name: impl Into<String>, text: impl Into<String>) -> SourceFile {
+        let text = text.into();
+        let mut line_starts = vec![0u32];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        SourceFile { name: name.into(), text, line_starts }
+    }
+
+    /// The display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The full text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Number of lines (a trailing newline does not start a new line).
+    pub fn line_count(&self) -> u32 {
+        let n = self.line_starts.len() as u32;
+        match self.line_starts.last() {
+            Some(&s) if s as usize >= self.text.len() && n > 1 => n - 1,
+            _ => n,
+        }
+    }
+
+    /// 1-based (line, column) of a byte offset. Offsets past the end map
+    /// to one past the last column of the last line.
+    pub fn line_col(&self, offset: u32) -> (u32, u32) {
+        let line_ix = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (line_ix as u32 + 1, offset - self.line_starts[line_ix] + 1)
+    }
+
+    /// The text of 1-based `line`, without its newline. Empty for lines
+    /// out of range.
+    pub fn line_text(&self, line: u32) -> &str {
+        let Some(&start) = self.line_starts.get(line as usize - 1) else { return "" };
+        let end = self
+            .line_starts
+            .get(line as usize)
+            .map(|&next| next as usize - 1)
+            .unwrap_or(self.text.len());
+        self.text.get(start as usize..end).unwrap_or("")
+    }
+
+    /// `name:line:col` for the start of `span`.
+    pub fn location(&self, span: Span) -> String {
+        let (line, col) = self.line_col(span.start);
+        format!("{}:{line}:{col}", self.name)
+    }
+
+    /// Renders `span` as a `-->` location plus a gutter-framed excerpt
+    /// of the spanned line with a caret underline. Returns an empty
+    /// string for the dummy span (synthesized nodes have no text).
+    pub fn render_excerpt(&self, span: Span) -> String {
+        if span == Span::DUMMY {
+            return String::new();
+        }
+        let (line, col) = self.line_col(span.start);
+        let text = self.line_text(line);
+        let gutter = format!("{line}");
+        let pad = " ".repeat(gutter.len());
+        // Underline from the start column to the span end, clipped to
+        // the first line of multi-line spans; always at least one caret.
+        let line_remaining = text.len().saturating_sub(col as usize - 1);
+        let underline = (span.len() as usize).clamp(1, line_remaining.max(1));
+        let mut out = String::new();
+        out.push_str(&format!("  --> {}:{line}:{col}\n", self.name));
+        out.push_str(&format!("{pad} |\n"));
+        out.push_str(&format!("{gutter} | {text}\n"));
+        out.push_str(&format!("{pad} | {}{}", " ".repeat(col as usize - 1), "^".repeat(underline)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file() -> SourceFile {
+        SourceFile::new("demo.ppd", "shared int x;\nprocess M {\n    x = 1;\n}\n")
+    }
+
+    #[test]
+    fn line_col_round_trips() {
+        let f = file();
+        assert_eq!(f.line_col(0), (1, 1));
+        assert_eq!(f.line_col(11), (1, 12));
+        assert_eq!(f.line_col(14), (2, 1));
+        assert_eq!(f.line_col(30), (3, 5));
+    }
+
+    #[test]
+    fn line_text_strips_newline() {
+        let f = file();
+        assert_eq!(f.line_text(1), "shared int x;");
+        assert_eq!(f.line_text(3), "    x = 1;");
+        assert_eq!(f.line_text(99), "");
+    }
+
+    #[test]
+    fn line_count_ignores_trailing_newline() {
+        assert_eq!(file().line_count(), 4);
+        assert_eq!(SourceFile::new("x", "a\nb").line_count(), 2);
+        assert_eq!(SourceFile::new("x", "").line_count(), 1);
+    }
+
+    #[test]
+    fn excerpt_underlines_the_span() {
+        let f = file();
+        // "x = 1" on line 3: offsets 30..35.
+        let s = Span::new(30, 35, 3);
+        let rendered = f.render_excerpt(s);
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines[0], "  --> demo.ppd:3:5");
+        assert_eq!(lines[2], "3 |     x = 1;");
+        assert_eq!(lines[3], "  |     ^^^^^");
+    }
+
+    #[test]
+    fn dummy_span_renders_nothing() {
+        assert_eq!(file().render_excerpt(Span::DUMMY), "");
+    }
+
+    #[test]
+    fn multi_line_span_clips_to_first_line() {
+        let f = file();
+        // Whole process declaration: line 2 through line 4.
+        let s = Span::new(14, 38, 2);
+        let rendered = f.render_excerpt(s);
+        assert!(rendered.contains("2 | process M {"), "{rendered}");
+        // Underline stops at the end of line 2.
+        let last = rendered.lines().last().unwrap();
+        assert_eq!(last.trim_end(), "  | ^^^^^^^^^^^");
+    }
+
+    #[test]
+    fn location_formats_name_line_col() {
+        let f = file();
+        assert_eq!(f.location(Span::new(30, 35, 3)), "demo.ppd:3:5");
+    }
+}

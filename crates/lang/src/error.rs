@@ -78,15 +78,12 @@ impl fmt::Display for LangError {
         match &self.kind {
             UnexpectedChar(c) => write!(f, "unexpected character `{c}`")?,
             IntOutOfRange(s) => write!(f, "integer literal `{s}` out of range")?,
-            UnexpectedToken { expected, found } => {
-                write!(f, "expected {expected}, found {found}")?
-            }
+            UnexpectedToken { expected, found } => write!(f, "expected {expected}, found {found}")?,
             Undeclared(n) => write!(f, "`{n}` is not declared")?,
             Redeclared(n) => write!(f, "`{n}` is already declared in this scope")?,
-            ArityMismatch { name, expected, found } => write!(
-                f,
-                "`{name}` takes {expected} argument(s) but {found} were supplied"
-            )?,
+            ArityMismatch { name, expected, found } => {
+                write!(f, "`{name}` takes {expected} argument(s) but {found} were supplied")?
+            }
             KindMismatch { name, expected, found } => {
                 write!(f, "`{name}` is a {found} but is used as a {expected}")?
             }

@@ -117,8 +117,8 @@ impl<'src> Lexer<'src> {
                 }
             }
             let text = &self.src[start as usize..self.pos];
-            let kind = TokenKind::keyword(text)
-                .unwrap_or_else(|| TokenKind::Ident(text.to_owned()));
+            let kind =
+                TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_owned()));
             return Ok(mk(kind, start, self.pos as u32, line));
         }
 
@@ -224,15 +224,7 @@ mod tests {
     fn lexes_simple_assignment() {
         assert_eq!(
             kinds("x = a + 42;"),
-            vec![
-                Ident("x".into()),
-                Assign,
-                Ident("a".into()),
-                Plus,
-                Int(42),
-                Semi,
-                Eof
-            ]
+            vec![Ident("x".into()), Assign, Ident("a".into()), Plus, Int(42), Semi, Eof]
         );
     }
 

@@ -36,6 +36,7 @@
 
 pub mod ast;
 pub mod corpus;
+pub mod diag;
 pub mod error;
 pub mod lexer;
 pub mod parser;
@@ -47,14 +48,15 @@ pub mod token;
 pub mod value;
 
 pub use ast::{
-    BinOp, Block, Expr, ExprId, ExprKind, FuncDecl, GlobalDecl, Ident, Item, LValue, Program,
-    ProcessDecl, SemDecl, SemKind, Stmt, StmtId, StmtKind, SyncStmt, UnOp,
+    BinOp, Block, Expr, ExprId, ExprKind, FuncDecl, GlobalDecl, Ident, Item, LValue, ProcessDecl,
+    Program, SemDecl, SemKind, Stmt, StmtId, StmtKind, SyncStmt, UnOp,
 };
+pub use diag::SourceFile;
 pub use error::{LangError, LangErrorKind};
 pub use parser::parse;
 pub use resolve::{
-    compile, resolve, BodyId, FuncId, FuncInfo, ProcId, ProcInfo, ResolvedProgram, SemId,
-    SemInfo, VarId, VarInfo, VarScope,
+    compile, resolve, BodyId, FuncId, FuncInfo, ProcId, ProcInfo, ResolvedProgram, SemId, SemInfo,
+    VarId, VarInfo, VarScope,
 };
 pub use span::Span;
 pub use symbol::{Interner, Symbol};

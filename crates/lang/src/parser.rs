@@ -66,13 +66,8 @@ use crate::token::{Token, TokenKind};
 /// ```
 pub fn parse(src: &str) -> Result<Program, LangError> {
     let tokens = tokenize(src)?;
-    let mut parser = Parser {
-        tokens,
-        pos: 0,
-        interner: Interner::new(),
-        next_stmt: 0,
-        next_expr: 0,
-    };
+    let mut parser =
+        Parser { tokens, pos: 0, interner: Interner::new(), next_stmt: 0, next_expr: 0 };
     let mut items = Vec::new();
     while !parser.at(&TokenKind::Eof) {
         items.push(parser.item()?);
@@ -187,9 +182,8 @@ impl Parser {
             TokenKind::KwLockVar => self.sem_decl(SemKind::Lock),
             TokenKind::KwInt | TokenKind::KwVoid => self.func_decl(),
             TokenKind::KwProcess => self.process_decl(),
-            _ => Err(self.err_expected(
-                "an item (`shared`, `sem`, `lockvar`, `int`, `void`, or `process`)",
-            )),
+            _ => Err(self
+                .err_expected("an item (`shared`, `sem`, `lockvar`, `int`, `void`, or `process`)")),
         }
     }
 
@@ -302,12 +296,8 @@ impl Parser {
             TokenKind::KwReturn => self.return_stmt(),
             TokenKind::KwPrint => self.unary_kw_stmt(UnaryKw::Print),
             TokenKind::KwAssert => self.unary_kw_stmt(UnaryKw::Assert),
-            TokenKind::KwP if self.peek2().kind == TokenKind::LParen => {
-                self.sem_op_stmt(SemOp::P)
-            }
-            TokenKind::KwV if self.peek2().kind == TokenKind::LParen => {
-                self.sem_op_stmt(SemOp::V)
-            }
+            TokenKind::KwP if self.peek2().kind == TokenKind::LParen => self.sem_op_stmt(SemOp::P),
+            TokenKind::KwV if self.peek2().kind == TokenKind::LParen => self.sem_op_stmt(SemOp::V),
             TokenKind::KwLock => self.sem_op_stmt(SemOp::Lock),
             TokenKind::KwUnlock => self.sem_op_stmt(SemOp::Unlock),
             TokenKind::KwSend => self.send_stmt(false),
@@ -389,19 +379,13 @@ impl Parser {
         let id = self.fresh_stmt();
         let start = self.bump().span; // `for`
         self.expect(&TokenKind::LParen, "`(`")?;
-        let init = if self.at(&TokenKind::Semi) {
-            None
-        } else {
-            Some(Box::new(self.simple_stmt()?))
-        };
+        let init =
+            if self.at(&TokenKind::Semi) { None } else { Some(Box::new(self.simple_stmt()?)) };
         self.expect(&TokenKind::Semi, "`;`")?;
         let cond = if self.at(&TokenKind::Semi) { None } else { Some(self.expr()?) };
         self.expect(&TokenKind::Semi, "`;`")?;
-        let step = if self.at(&TokenKind::RParen) {
-            None
-        } else {
-            Some(Box::new(self.simple_stmt()?))
-        };
+        let step =
+            if self.at(&TokenKind::RParen) { None } else { Some(Box::new(self.simple_stmt()?)) };
         self.expect(&TokenKind::RParen, "`)`")?;
         let body = self.block()?;
         Ok(Stmt { id, kind: StmtKind::For { init, cond, step, body }, span: start })
@@ -473,11 +457,8 @@ impl Parser {
         let value = self.expr()?;
         self.expect(&TokenKind::RParen, "`)`")?;
         let end = self.expect(&TokenKind::Semi, "`;`")?.span;
-        let sync = if asynchronous {
-            SyncStmt::ASend { to, value }
-        } else {
-            SyncStmt::Send { to, value }
-        };
+        let sync =
+            if asynchronous { SyncStmt::ASend { to, value } } else { SyncStmt::Send { to, value } };
         Ok(Stmt { id, kind: StmtKind::Sync(sync), span: start.merge(end) })
     }
 
@@ -682,11 +663,7 @@ impl Parser {
                     }
                     let end = self.expect(&TokenKind::RParen, "`)`")?.span;
                     let id = self.fresh_expr();
-                    Ok(Expr {
-                        id,
-                        kind: ExprKind::Call(name, args),
-                        span: name.span.merge(end),
-                    })
+                    Ok(Expr { id, kind: ExprKind::Call(name, args), span: name.span.merge(end) })
                 } else if self.eat(&TokenKind::LBracket) {
                     let ix = self.expr()?;
                     let end = self.expect(&TokenKind::RBracket, "`]`")?.span;
@@ -847,9 +824,7 @@ mod tests {
 
     #[test]
     fn ids_are_dense_and_unique() {
-        let p = parse_ok(
-            "void f() { int x = 1; if (x > 0) { x = x - 1; } while (x) { x = 0; } }",
-        );
+        let p = parse_ok("void f() { int x = 1; if (x > 0) { x = x - 1; } while (x) { x = 0; } }");
         let mut seen = std::collections::HashSet::new();
         for f in p.funcs() {
             crate::ast::walk_stmts(&f.body, &mut |s| {

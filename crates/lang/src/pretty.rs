@@ -357,9 +357,8 @@ mod tests {
     fn round_trip(src: &str) {
         let p1 = parse(src).unwrap();
         let printed = program_to_string(&p1);
-        let p2 = parse(&printed).unwrap_or_else(|e| {
-            panic!("re-parse failed: {e}\nprinted:\n{printed}")
-        });
+        let p2 =
+            parse(&printed).unwrap_or_else(|e| panic!("re-parse failed: {e}\nprinted:\n{printed}"));
         let printed2 = program_to_string(&p2);
         assert_eq!(printed, printed2, "printing is not a fixed point");
     }
@@ -375,9 +374,7 @@ mod tests {
             "shared int a[4]; lockvar m; process P { lock(m); a[0] = a[1] * 2; unlock(m); } \
              process Q { int i; for (i = 0; i < 4; i = i + 1) { print(a[i]); } }",
         );
-        round_trip(
-            "process S { accept (x) { print(x); } } process C { rendezvous(S, 9); }",
-        );
+        round_trip("process S { accept (x) { print(x); } } process C { rendezvous(S, 9); }");
         round_trip("process M { int x = input(); while (x > 0) { x = x - 1; } assert(x == 0); }");
     }
 

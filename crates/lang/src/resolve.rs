@@ -284,9 +284,12 @@ impl ResolvedProgram {
     /// first then shared globals — the lookup a debugger's UI would do.
     pub fn var_by_name(&self, body: BodyId, name: &str) -> Option<VarId> {
         let sym = self.program.interner.get(name)?;
-        let local = self.vars.iter().enumerate().rev().find(|(_, v)| {
-            v.name == sym && v.scope == VarScope::Local(body)
-        });
+        let local = self
+            .vars
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, v)| v.name == sym && v.scope == VarScope::Local(body));
         if let Some((i, _)) = local {
             return Some(VarId(i as u32));
         }
@@ -430,11 +433,7 @@ impl Resolver {
         for (index, item) in items.iter().enumerate() {
             match item {
                 Item::Func(f) => {
-                    let fid = self
-                        .func_ids
-                        .get(&f.name.sym)
-                        .copied()
-                        .expect("collected in pass 1");
+                    let fid = self.func_ids.get(&f.name.sym).copied().expect("collected in pass 1");
                     self.scopes.clear();
                     self.scopes.push(HashMap::new());
                     let body = BodyId::Func(fid);
@@ -448,11 +447,7 @@ impl Resolver {
                     let _ = index;
                 }
                 Item::Process(p) => {
-                    let pid = self
-                        .proc_ids
-                        .get(&p.name.sym)
-                        .copied()
-                        .expect("collected in pass 1");
+                    let pid = self.proc_ids.get(&p.name.sym).copied().expect("collected in pass 1");
                     self.scopes.clear();
                     self.scopes.push(HashMap::new());
                     self.resolve_block(&p.body, BodyId::Proc(pid), false)?;
@@ -585,9 +580,7 @@ impl Resolver {
                     BodyId::Proc(_) => {
                         if value.is_some() {
                             return Err(LangError::new(
-                                LangErrorKind::Invalid(
-                                    "processes cannot return a value".into(),
-                                ),
+                                LangErrorKind::Invalid("processes cannot return a value".into()),
                                 stmt.span,
                             ));
                         }
@@ -801,11 +794,7 @@ impl Resolver {
                 if args.len() != expected {
                     let text = self.out.program.interner.resolve(name.sym).to_owned();
                     return Err(LangError::new(
-                        LangErrorKind::ArityMismatch {
-                            name: text,
-                            expected,
-                            found: args.len(),
-                        },
+                        LangErrorKind::ArityMismatch { name: text, expected, found: args.len() },
                         expr.span,
                     ));
                 }
@@ -903,10 +892,7 @@ mod tests {
     #[test]
     fn arity_checked() {
         let e = err("int f(int a) { return a; } process Main { print(f(1, 2)); }");
-        assert!(matches!(
-            e.kind(),
-            LangErrorKind::ArityMismatch { expected: 1, found: 2, .. }
-        ));
+        assert!(matches!(e.kind(), LangErrorKind::ArityMismatch { expected: 1, found: 2, .. }));
     }
 
     #[test]
@@ -968,14 +954,9 @@ mod tests {
     #[test]
     fn accept_binds_param() {
         let rp = ok("process S { accept (x) { print(x); } } process C { rendezvous(S, 1); }");
-        let decl = rp
-            .program
-            .processes()
-            .find(|p| rp.program.name(p.name.sym) == "S")
-            .unwrap()
-            .clone();
-        let StmtKind::Sync(SyncStmt::Accept { param_expr, .. }) = &decl.body.stmts[0].kind
-        else {
+        let decl =
+            rp.program.processes().find(|p| rp.program.name(p.name.sym) == "S").unwrap().clone();
+        let StmtKind::Sync(SyncStmt::Accept { param_expr, .. }) = &decl.body.stmts[0].kind else {
             panic!("expected accept");
         };
         assert!(rp.expr_var.contains_key(param_expr));

@@ -87,12 +87,8 @@ impl Interner {
 
     /// Rebuilds the lookup index (needed after deserialization).
     pub fn rebuild_index(&mut self) {
-        self.index = self
-            .names
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (n.clone(), Symbol(i as u32)))
-            .collect();
+        self.index =
+            self.names.iter().enumerate().map(|(i, n)| (n.clone(), Symbol(i as u32))).collect();
     }
 }
 

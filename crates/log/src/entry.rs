@@ -96,18 +96,15 @@ impl LogEntry {
     /// (log volume vs full-trace volume). 16 bytes of framing per entry
     /// plus 4+`logged_size` per saved value.
     pub fn size_bytes(&self) -> usize {
-        let values_size = |vs: &[(VarId, Value)]| {
-            vs.iter().map(|(_, v)| 4 + v.logged_size()).sum::<usize>()
-        };
+        let values_size =
+            |vs: &[(VarId, Value)]| vs.iter().map(|(_, v)| 4 + v.logged_size()).sum::<usize>();
         16 + match self {
             LogEntry::Prelog { values, .. } => values_size(values),
             LogEntry::Postlog { values, ret, .. } => {
                 values_size(values) + ret.as_ref().map_or(0, |r| r.logged_size())
             }
             LogEntry::SharedSnapshot { values, .. } => values_size(values),
-            LogEntry::Input { .. }
-            | LogEntry::Receive { .. }
-            | LogEntry::ElementRead { .. } => 8,
+            LogEntry::Input { .. } | LogEntry::Receive { .. } | LogEntry::ElementRead { .. } => 8,
         }
     }
 

@@ -120,10 +120,7 @@ impl LogStore {
     /// innermost last. The Controller starts debugging from the last
     /// prelog whose postlog has not yet been generated (§5.3).
     pub fn open_intervals(&self, proc: ProcId) -> Vec<IntervalRef> {
-        self.intervals(proc)
-            .into_iter()
-            .filter(|i| i.postlog_pos.is_none())
-            .collect()
+        self.intervals(proc).into_iter().filter(|i| i.postlog_pos.is_none()).collect()
     }
 
     /// Finds a specific interval.
@@ -133,29 +130,19 @@ impl LogStore {
         eblock: EBlockId,
         instance: u64,
     ) -> Option<IntervalRef> {
-        self.intervals(proc)
-            .into_iter()
-            .find(|i| i.eblock == eblock && i.instance == instance)
+        self.intervals(proc).into_iter().find(|i| i.eblock == eblock && i.instance == instance)
     }
 
     /// The interval (of any process) whose span covers logical time `t`
     /// and whose e-block is `eblock` — how the Controller locates "the
     /// log interval of the second process" for cross-process dependences
     /// (§5.6).
-    pub fn interval_covering(
-        &self,
-        proc: ProcId,
-        eblock: EBlockId,
-        t: u64,
-    ) -> Option<IntervalRef> {
+    pub fn interval_covering(&self, proc: ProcId, eblock: EBlockId, t: u64) -> Option<IntervalRef> {
         let entries = &self.logs[proc.index()].entries;
         self.intervals(proc).into_iter().rfind(|i| {
             i.eblock == eblock && {
                 let start = entries[i.prelog_pos].time();
-                let end = i
-                    .postlog_pos
-                    .map(|p| entries[p].time())
-                    .unwrap_or(u64::MAX);
+                let end = i.postlog_pos.map(|p| entries[p].time()).unwrap_or(u64::MAX);
                 start <= t && t <= end
             }
         })
@@ -177,9 +164,7 @@ impl LogStore {
 
     /// The postlog entry of an interval, if complete.
     pub fn postlog_of(&self, interval: IntervalRef) -> Option<&LogEntry> {
-        interval
-            .postlog_pos
-            .map(|p| &self.logs[interval.proc.index()].entries[p])
+        interval.postlog_pos.map(|p| &self.logs[interval.proc.index()].entries[p])
     }
 
     /// Serializes the store to JSON (the on-disk log-file format).

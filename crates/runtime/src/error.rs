@@ -151,11 +151,8 @@ mod tests {
     #[test]
     fn outcome_predicates() {
         assert!(Outcome::Completed.is_success());
-        let f = Outcome::Failed {
-            proc: ProcId(0),
-            stmt: StmtId(0),
-            error: RuntimeError::AssertFailed,
-        };
+        let f =
+            Outcome::Failed { proc: ProcId(0), stmt: StmtId(0), error: RuntimeError::AssertFailed };
         assert!(f.is_failure());
         assert!(!f.is_success());
         assert!(Outcome::Deadlock { blocked: vec![] }.is_deadlock());

@@ -271,9 +271,7 @@ impl<'p> Machine<'p> {
             scheduler: config.scheduler.build(),
             inputs,
             output: Vec::new(),
-            pgraph: config
-                .build_parallel_graph
-                .then(|| ParallelGraph::new(rp.var_count())),
+            pgraph: config.build_parallel_graph.then(|| ParallelGraph::new(rp.var_count())),
             logs: plan.map(|_| LogStore::new(nprocs)),
             eb_counters: vec![HashMap::new(); nprocs],
             replay: None,
@@ -425,10 +423,7 @@ impl<'p> Machine<'p> {
         if self.rp.is_shared(var) {
             self.shared[var.index()] = value;
         } else {
-            let frame = self.procs[0]
-                .frames
-                .last_mut()
-                .expect("replay machine has one frame");
+            let frame = self.procs[0].frames.last_mut().expect("replay machine has one frame");
             frame.locals.insert(var, value);
         }
     }
@@ -481,12 +476,8 @@ impl<'p> Machine<'p> {
             if self.steps >= self.max_steps {
                 return Outcome::StepLimit;
             }
-            let runnable: Vec<ProcId> = self
-                .procs
-                .iter()
-                .filter(|p| p.status == Status::Runnable)
-                .map(|p| p.id)
-                .collect();
+            let runnable: Vec<ProcId> =
+                self.procs.iter().filter(|p| p.status == Status::Runnable).map(|p| p.id).collect();
             if runnable.is_empty() {
                 let blocked: Vec<(ProcId, BlockReason, ppd_lang::StmtId)> = self
                     .procs
@@ -536,17 +527,11 @@ impl<'p> Machine<'p> {
     }
 
     fn proc(&self, pid: ProcId) -> &ProcState<'p> {
-        self.procs
-            .iter()
-            .find(|p| p.id == pid)
-            .expect("process exists")
+        self.procs.iter().find(|p| p.id == pid).expect("process exists")
     }
 
     fn proc_ix(&self, pid: ProcId) -> usize {
-        self.procs
-            .iter()
-            .position(|p| p.id == pid)
-            .expect("process exists")
+        self.procs.iter().position(|p| p.id == pid).expect("process exists")
     }
 
     fn frame_mut(&mut self, pid: ProcId) -> &mut Frame<'p> {
@@ -560,11 +545,7 @@ impl<'p> Machine<'p> {
 
     fn step(&mut self, pid: ProcId, tracer: &mut dyn Tracer) -> Result<(), RuntimeError> {
         let ix = self.proc_ix(pid);
-        let Some(task) = self.procs[ix]
-            .frames
-            .last_mut()
-            .and_then(|f| f.tasks.pop())
-        else {
+        let Some(task) = self.procs[ix].frames.last_mut().and_then(|f| f.tasks.pop()) else {
             // Frame exhausted: fell off the end of a body.
             return self.pop_frame(pid, None, tracer);
         };
@@ -581,11 +562,7 @@ impl<'p> Machine<'p> {
             Task::Eval(expr) => self.dispatch_expr(pid, expr, tracer),
             Task::AssignAfter { stmt, target } => {
                 let value = self.pop_value(pid);
-                let index = if target.index.is_some() {
-                    Some(self.pop_value(pid))
-                } else {
-                    None
-                };
+                let index = if target.index.is_some() { Some(self.pop_value(pid)) } else { None };
                 let var = self.rp.expr_var[&target.id];
                 let cell = self.write_var(pid, var, index, value)?;
                 self.emit(
@@ -777,15 +754,11 @@ impl<'p> Machine<'p> {
                 Ok(())
             }
             Task::CallAfter { expr, func, argc } => self.do_call(pid, expr, func, argc, tracer),
-            Task::SendAfter { stmt, to, blocking } => {
-                self.do_send(pid, stmt, to, blocking, tracer)
-            }
+            Task::SendAfter { stmt, to, blocking } => self.do_send(pid, stmt, to, blocking, tracer),
             Task::RecvAfter { stmt, target, has_index } => {
                 self.do_recv(pid, stmt, target, has_index, tracer)
             }
-            Task::RendezvousAfter { stmt, callee } => {
-                self.do_rendezvous(pid, stmt, callee, tracer)
-            }
+            Task::RendezvousAfter { stmt, callee } => self.do_rendezvous(pid, stmt, callee, tracer),
             Task::AcceptEnd { caller, caller_stmt } => {
                 if !self.is_replay() {
                     let t = self.tick();
@@ -1036,11 +1009,8 @@ impl<'p> Machine<'p> {
                 let pnode = g.sync_point(pid, kind, Some(stmt.id), t);
                 if let Some((vproc, vnode)) = pending {
                     if vproc != pid {
-                        let label = if lock {
-                            SyncEdgeLabel::Mutex
-                        } else {
-                            SyncEdgeLabel::Semaphore
-                        };
+                        let label =
+                            if lock { SyncEdgeLabel::Mutex } else { SyncEdgeLabel::Semaphore };
                         g.add_sync_edge(vnode, pnode, label);
                     }
                 }
@@ -1051,11 +1021,8 @@ impl<'p> Machine<'p> {
         } else {
             // Re-arm and block; a future V wakes every waiter to retry.
             self.frame_mut(pid).tasks.push(Task::SemWait { stmt, sem, lock });
-            let reason = if lock {
-                BlockReason::LockWait(sem)
-            } else {
-                BlockReason::Semaphore(sem)
-            };
+            let reason =
+                if lock { BlockReason::LockWait(sem) } else { BlockReason::Semaphore(sem) };
             let ix = self.proc_ix(pid);
             self.procs[ix].status = Status::Blocked(reason);
             Ok(())
@@ -1065,17 +1032,10 @@ impl<'p> Machine<'p> {
     fn do_v(&mut self, pid: ProcId, stmt: &'p Stmt, sem: ppd_lang::SemId, lock: bool) {
         let t = self.tick();
         let kind = if lock { SyncNodeKind::Unlock } else { SyncNodeKind::V };
-        let vnode = self
-            .pgraph
-            .as_mut()
-            .map(|g| g.sync_point(pid, kind, Some(stmt.id), t));
+        let vnode = self.pgraph.as_mut().map(|g| g.sync_point(pid, kind, Some(stmt.id), t));
         let state = &mut self.sems[sem.index()];
         state.count += 1;
-        state.pending_v = if state.count == 1 {
-            vnode.map(|n| (pid, n))
-        } else {
-            None
-        };
+        state.pending_v = if state.count == 1 { vnode.map(|n| (pid, n)) } else { None };
         // Wake all processes blocked on this semaphore to retry.
         for p in &mut self.procs {
             match p.status {
@@ -1105,10 +1065,8 @@ impl<'p> Machine<'p> {
             return self.consume_snapshot_inner(Some(stmt.id));
         }
         let t = self.tick();
-        let send_node = self
-            .pgraph
-            .as_mut()
-            .map(|g| g.sync_point(pid, SyncNodeKind::Send, Some(stmt.id), t));
+        let send_node =
+            self.pgraph.as_mut().map(|g| g.sync_point(pid, SyncNodeKind::Send, Some(stmt.id), t));
         self.mailboxes[to.index()].push_back(Message {
             value,
             sender: pid,
@@ -1287,10 +1245,9 @@ impl<'p> Machine<'p> {
         );
         self.unit_snapshot_point(pid, Some(stmt.id))?;
         let frame = self.frame_mut(pid);
-        frame.tasks.push(Task::AcceptEnd {
-            caller: call.caller,
-            caller_stmt: Some(call.call_stmt),
-        });
+        frame
+            .tasks
+            .push(Task::AcceptEnd { caller: call.caller, caller_stmt: Some(call.call_stmt) });
         frame.tasks.push(Task::Block { stmts: &body.stmts, next: 0 });
         Ok(())
     }
@@ -1308,9 +1265,7 @@ impl<'p> Machine<'p> {
         let value = match replay.cursor.seek(|e| matches!(e, LogEntry::Receive { .. })) {
             Some(LogEntry::Receive { value, .. }) => *value,
             _ => {
-                return Err(RuntimeError::LogMismatch(
-                    "expected a Receive entry for accept".into(),
-                ))
+                return Err(RuntimeError::LogMismatch("expected a Receive entry for accept".into()))
             }
         };
         let var = self.rp.expr_var[param_expr];
@@ -1467,13 +1422,8 @@ impl<'p> Machine<'p> {
         // Substitution (§5.2): during replay, a callee with its own
         // e-block is not re-executed; its logged postlog is applied.
         let substitute = self.is_replay()
-            && self
-                .replay
-                .as_ref()
-                .is_some_and(|r| r.nested == NestedCalls::Substitute)
-            && self
-                .plan
-                .is_some_and(|p| p.body_eblock(BodyId::Func(func)).is_some());
+            && self.replay.as_ref().is_some_and(|r| r.nested == NestedCalls::Substitute)
+            && self.plan.is_some_and(|p| p.body_eblock(BodyId::Func(func)).is_some());
         if substitute {
             let plan = self.plan.expect("checked");
             let eb = plan.body_eblock(BodyId::Func(func)).expect("checked");
@@ -1522,11 +1472,7 @@ impl<'p> Machine<'p> {
         let call_seq = self.emit_with(
             pid,
             stmt_id,
-            EventKind::CallEnter {
-                func,
-                args: args_with_reads.clone(),
-                substituted: false,
-            },
+            EventKind::CallEnter { func, args: args_with_reads.clone(), substituted: false },
             None,
             None,
             call_reads,
@@ -1581,11 +1527,8 @@ impl<'p> Machine<'p> {
             .and_then(|f| f.current_stmt)
             .map(|s| s.id)
             .unwrap_or(ppd_lang::StmtId(0));
-        let ret_value = if self.rp.funcs[func.index()].returns_value {
-            Some(ret.unwrap_or(0))
-        } else {
-            ret
-        };
+        let ret_value =
+            if self.rp.funcs[func.index()].returns_value { Some(ret.unwrap_or(0)) } else { ret };
         self.emit_with(
             pid,
             stmt_id,
@@ -1704,10 +1647,7 @@ impl<'p> Machine<'p> {
     }
 
     fn pop_value(&mut self, pid: ProcId) -> i64 {
-        self.frame_mut(pid)
-            .values
-            .pop()
-            .expect("operand stack underflow is a machine bug")
+        self.frame_mut(pid).values.pop().expect("operand stack underflow is a machine bug")
     }
 
     // -----------------------------------------------------------------
@@ -1773,9 +1713,7 @@ impl<'p> Machine<'p> {
         }
         VarSet::from_iter(
             self.rp.var_count(),
-            set.to_vec()
-                .into_iter()
-                .filter(|v| self.rp.vars[v.index()].size.is_none()),
+            set.to_vec().into_iter().filter(|v| self.rp.vars[v.index()].size.is_none()),
         )
     }
 
@@ -1880,10 +1818,7 @@ impl<'p> Machine<'p> {
             );
         }
         let frame = self.frame_mut(pid);
-        if let Some(pos) = frame
-            .open_intervals
-            .iter()
-            .position(|&(b, i)| b == eb && i == instance)
+        if let Some(pos) = frame.open_intervals.iter().position(|&(b, i)| b == eb && i == instance)
         {
             frame.open_intervals.remove(pos);
         }
@@ -1928,10 +1863,7 @@ impl<'p> Machine<'p> {
         Ok(())
     }
 
-    fn consume_snapshot_inner(
-        &mut self,
-        at: Option<ppd_lang::StmtId>,
-    ) -> Result<(), RuntimeError> {
+    fn consume_snapshot_inner(&mut self, at: Option<ppd_lang::StmtId>) -> Result<(), RuntimeError> {
         // Only consume if the unit has a non-empty read set — mirrors the
         // emission condition exactly.
         let body = self.procs[0].frames.last().expect("frame").body;
@@ -1953,13 +1885,9 @@ impl<'p> Machine<'p> {
             return Ok(());
         }
         let replay = self.replay.as_mut().expect("replay mode");
-        let entry = replay
-            .cursor
-            .seek(|e| matches!(e, LogEntry::SharedSnapshot { .. }));
+        let entry = replay.cursor.seek(|e| matches!(e, LogEntry::SharedSnapshot { .. }));
         let Some(LogEntry::SharedSnapshot { at: logged_at, values, .. }) = entry else {
-            return Err(RuntimeError::LogMismatch(
-                "expected a SharedSnapshot entry".into(),
-            ));
+            return Err(RuntimeError::LogMismatch("expected a SharedSnapshot entry".into()));
         };
         if *logged_at != at {
             return Err(RuntimeError::LogMismatch(format!(
@@ -1996,11 +1924,8 @@ impl<'p> Machine<'p> {
             return Ok(false);
         }
         let replay = self.replay.as_mut().expect("replay mode");
-        let Some(LogEntry::Postlog { values, .. }) = replay.cursor.skip_nested_interval(eb)
-        else {
-            return Err(RuntimeError::LogMismatch(format!(
-                "missing nested loop interval {eb}"
-            )));
+        let Some(LogEntry::Postlog { values, .. }) = replay.cursor.skip_nested_interval(eb) else {
+            return Err(RuntimeError::LogMismatch(format!("missing nested loop interval {eb}")));
         };
         let values = values.clone();
         for (var, value) in values {
@@ -2039,10 +1964,7 @@ fn init_shared(rp: &ResolvedProgram) -> Vec<Value> {
 }
 
 fn init_sems(rp: &ResolvedProgram) -> Vec<SemState> {
-    rp.sems
-        .iter()
-        .map(|s| SemState { count: s.init, pending_v: None })
-        .collect()
+    rp.sems.iter().map(|s| SemState { count: s.init, pending_v: None }).collect()
 }
 
 fn build_stmt_index(rp: &ResolvedProgram) -> HashMap<ppd_lang::StmtId, &Stmt> {

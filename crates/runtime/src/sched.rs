@@ -13,8 +13,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// A reproducible scheduler specification.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum SchedulerSpec {
     /// Rotate fairly among runnable processes.
     #[default]
@@ -34,7 +33,6 @@ pub enum SchedulerSpec {
     /// the coarsest interleaving.
     RunToBlock,
 }
-
 
 impl SchedulerSpec {
     /// Instantiates the scheduler.
@@ -78,11 +76,8 @@ impl Scheduler {
         match &mut self.state {
             State::RoundRobin { next } => {
                 // Find the first runnable process at or after the cursor.
-                let chosen = runnable
-                    .iter()
-                    .copied()
-                    .find(|p| p.index() >= *next)
-                    .unwrap_or(runnable[0]);
+                let chosen =
+                    runnable.iter().copied().find(|p| p.index() >= *next).unwrap_or(runnable[0]);
                 *next = chosen.index() + 1;
                 chosen
             }

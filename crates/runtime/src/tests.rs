@@ -84,7 +84,8 @@ fn while_and_for_loops() {
 
 #[test]
 fn for_without_cond_exits_via_return() {
-    let s = setup("process M { int i = 0; for (;;) { i = i + 1; if (i == 3) { print(i); return; } } }");
+    let s =
+        setup("process M { int i = 0; for (;;) { i = i + 1; if (i == 3) { print(i); return; } } }");
     assert_eq!(outputs(&run(&s)), vec![3]);
 }
 
@@ -100,7 +101,8 @@ fn functions_and_recursion() {
 
 #[test]
 fn void_function_call_statement() {
-    let s = setup("shared int g; void bump() { g = g + 1; } process M { bump(); bump(); print(g); }");
+    let s =
+        setup("shared int g; void bump() { g = g + 1; } process M { bump(); bump(); print(g); }");
     assert_eq!(outputs(&run(&s)), vec![2]);
 }
 
@@ -141,9 +143,8 @@ fn input_stream_consumed_in_order() {
 
 #[test]
 fn block_scoped_redeclaration() {
-    let s = setup(
-        "process M { int i; for (i = 0; i < 2; i = i + 1) { int t = i * 10; print(t); } }",
-    );
+    let s =
+        setup("process M { int i; for (i = 0; i < 2; i = i + 1) { int t = i * 10; print(t); } }");
     assert_eq!(outputs(&run(&s)), vec![0, 10]);
 }
 
@@ -214,10 +215,7 @@ fn flowback_demo_fails_with_divide_by_zero() {
     let mut cfg = ExecConfig::default();
     cfg.inputs = vec![vec![42, 10]];
     let r = run_with(&s, cfg);
-    assert!(matches!(
-        r.outcome,
-        Outcome::Failed { error: crate::RuntimeError::DivideByZero, .. }
-    ));
+    assert!(matches!(r.outcome, Outcome::Failed { error: crate::RuntimeError::DivideByZero, .. }));
 }
 
 // ---------------------------------------------------------------------
@@ -439,10 +437,7 @@ fn instrumented(src: &str, strategy: EBlockStrategy) -> Instrumented {
     Instrumented { rp, analyses, plan }
 }
 
-fn run_logged(
-    i: &Instrumented,
-    cfg: ExecConfig,
-) -> (ExecResult, LogStore, Vec<TraceEvent>) {
+fn run_logged(i: &Instrumented, cfg: ExecConfig) -> (ExecResult, LogStore, Vec<TraceEvent>) {
     let mut tracer = VecTracer::default();
     let machine = Machine::new(&i.rp, &i.analyses, Some(&i.plan), cfg);
     let mut r = machine.run(&mut tracer);
@@ -468,10 +463,7 @@ fn logs_have_matched_intervals_on_success() {
 
 #[test]
 fn halted_execution_leaves_open_intervals() {
-    let i = instrumented(
-        ppd_lang::corpus::FLOWBACK_DEMO.source,
-        EBlockStrategy::per_subroutine(),
-    );
+    let i = instrumented(ppd_lang::corpus::FLOWBACK_DEMO.source, EBlockStrategy::per_subroutine());
     let mut cfg = ExecConfig::default();
     cfg.inputs = vec![vec![42, 10]];
     let (r, logs, _) = run_logged(&i, cfg);
@@ -512,10 +504,7 @@ fn assert_replay_fidelity(src: &str, inputs: Vec<Vec<i64>>, strategy: EBlockStra
             // Replay with full expansion and compare against the original
             // events that fall inside the interval.
             let start = logs.prelog_of(interval).time();
-            let end = logs
-                .postlog_of(interval)
-                .map(|e| e.time())
-                .unwrap_or(u64::MAX);
+            let end = logs.postlog_of(interval).map(|e| e.time()).unwrap_or(u64::MAX);
             let machine = Machine::new_replay(
                 &i.rp,
                 &i.analyses,
@@ -541,10 +530,7 @@ fn assert_replay_fidelity(src: &str, inputs: Vec<Vec<i64>>, strategy: EBlockStra
                 .map(normalize)
                 .collect();
             let got: Vec<_> = tracer.events.iter().map(normalize).collect();
-            assert_eq!(
-                got, expected,
-                "interval {interval:?} of process {pid} diverged"
-            );
+            assert_eq!(got, expected, "interval {interval:?} of process {pid} diverged");
         }
     }
 }
@@ -643,10 +629,7 @@ fn replay_fidelity_with_merged_leaves() {
 
 #[test]
 fn replay_reproduces_failure() {
-    let i = instrumented(
-        ppd_lang::corpus::FLOWBACK_DEMO.source,
-        EBlockStrategy::per_subroutine(),
-    );
+    let i = instrumented(ppd_lang::corpus::FLOWBACK_DEMO.source, EBlockStrategy::per_subroutine());
     let mut cfg = ExecConfig::default();
     cfg.inputs = vec![vec![42, 10]];
     let (r, logs, _) = run_logged(&i, cfg);
@@ -684,7 +667,10 @@ fn substitution_skips_callee_events() {
         .intervals(ProcId(0))
         .into_iter()
         .find(|iv| {
-            matches!(i.plan.eblock(iv.eblock).region, ppd_analysis::Region::Body(ppd_lang::BodyId::Proc(_)))
+            matches!(
+                i.plan.eblock(iv.eblock).region,
+                ppd_analysis::Region::Body(ppd_lang::BodyId::Proc(_))
+            )
         })
         .expect("Main interval");
     let machine = Machine::new_replay(
@@ -725,10 +711,7 @@ fn substitution_skips_callee_events() {
         .iter()
         .find(|e| matches!(e.kind, EventKind::Assign) && e.value == Some(13))
         .expect("out = work(5)");
-    assert!(assign
-        .reads
-        .iter()
-        .any(|r| matches!(r, ReadSource::CallResult { .. })));
+    assert!(assign.reads.iter().any(|r| matches!(r, ReadSource::CallResult { .. })));
 }
 
 #[test]
@@ -776,7 +759,8 @@ fn shared_snapshot_restores_cross_process_values() {
 fn log_volume_far_below_trace_volume() {
     // Leaf merging (§5.4) keeps the hot tiny function out of the log;
     // the whole run then logs only Main's interval.
-    let i = instrumented(&ppd_lang::corpus::gen_loop_heavy(200), EBlockStrategy::with_leaf_merge(10));
+    let i =
+        instrumented(&ppd_lang::corpus::gen_loop_heavy(200), EBlockStrategy::with_leaf_merge(10));
     let mut tracer = crate::event::CountingTracer::default();
     let machine = Machine::new(&i.rp, &i.analyses, Some(&i.plan), ExecConfig::default());
     let r = machine.run(&mut tracer);
@@ -812,16 +796,10 @@ fn loop_substitution_event_emitted() {
     let mut tracer = VecTracer::default();
     let rep = machine.run_replay(&mut tracer);
     assert!(rep.outcome.is_success(), "{:?}", rep.outcome);
-    assert!(tracer
-        .events
-        .iter()
-        .any(|e| matches!(e.kind, EventKind::LoopSubstituted { .. })));
+    assert!(tracer.events.iter().any(|e| matches!(e.kind, EventKind::LoopSubstituted { .. })));
     // The final print still sees the right value.
     let original_out = outputs(&r);
-    assert_eq!(
-        rep.output.iter().map(|&(_, v)| v).collect::<Vec<_>>(),
-        original_out
-    );
+    assert_eq!(rep.output.iter().map(|&(_, v)| v).collect::<Vec<_>>(), original_out);
 }
 
 #[test]
@@ -848,11 +826,8 @@ fn replay_loop_interval_directly() {
     let mut tracer = VecTracer::default();
     let rep = machine.run_replay(&mut tracer);
     assert!(rep.outcome.is_success(), "{:?}", rep.outcome);
-    let expected: Vec<_> = original
-        .iter()
-        .filter(|e| e.seq > start && e.seq < end)
-        .map(normalize)
-        .collect();
+    let expected: Vec<_> =
+        original.iter().filter(|e| e.seq > start && e.seq < end).map(normalize).collect();
     let got: Vec<_> = tracer.events.iter().map(normalize).collect();
     assert_eq!(got, expected);
 }
@@ -975,11 +950,7 @@ fn replay_fidelity_element_logged_arrays() {
     assert_replay_fidelity(ppd_lang::corpus::QUICKSORT.source, vec![], strategy);
     assert_replay_fidelity(ppd_lang::corpus::BANK.source, vec![], strategy);
     assert_replay_fidelity(ppd_lang::corpus::PRODUCER_CONSUMER.source, vec![], strategy);
-    assert_replay_fidelity(
-        ppd_lang::corpus::FIG_4_1.source,
-        vec![vec![5, 3, 2]],
-        strategy,
-    );
+    assert_replay_fidelity(ppd_lang::corpus::FIG_4_1.source, vec![vec![5, 3, 2]], strategy);
 }
 
 #[test]

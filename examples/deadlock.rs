@@ -28,8 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("  {} is {}", entry.proc_name, entry.waiting_for);
         }
         if let Some(cycle) = controller.deadlock_cycle() {
-            let names: Vec<&str> =
-                cycle.iter().map(|&p| session.rp().proc_name(p)).collect();
+            let names: Vec<&str> = cycle.iter().map(|&p| session.rp().proc_name(p)).collect();
             println!("  wait-for cycle: {} -> (back to start)", names.join(" -> "));
         }
         println!("\nprogress before the deadlock (internal edges per process):");
@@ -46,10 +45,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Coarse schedule: completes. Same program, different timing — the
     // bug is real but latent.
-    let ok = session.execute(RunConfig {
-        scheduler: SchedulerSpec::RunToBlock,
-        ..RunConfig::default()
-    });
+    let ok =
+        session.execute(RunConfig { scheduler: SchedulerSpec::RunToBlock, ..RunConfig::default() });
     println!("\nrun-to-block schedule: {:?}", ok.outcome);
     println!(
         "output: {:?} (both philosophers ate — the deadlock is schedule-dependent)",

@@ -162,9 +162,7 @@ impl Debugger {
                 return;
             }
         };
-        let parse_node = |a: Option<&str>| {
-            a.and_then(|s| s.parse::<u32>().ok()).map(DynNodeId)
-        };
+        let parse_node = |a: Option<&str>| a.and_then(|s| s.parse::<u32>().ok()).map(DynNodeId);
         match cmd {
             "root" => {
                 print_node(&controller, root);
@@ -195,17 +193,15 @@ impl Debugger {
                 _ => println!("usage: slice <node#>"),
             },
             "expand" => match parse_node(arg) {
-                Some(n) if (n.index()) < controller.graph().len() => {
-                    match controller.expand(n) {
-                        Ok(report) => {
-                            println!("expanded into {} nodes:", report.nodes.len());
-                            for added in report.nodes {
-                                print_node(&controller, added);
-                            }
+                Some(n) if (n.index()) < controller.graph().len() => match controller.expand(n) {
+                    Ok(report) => {
+                        println!("expanded into {} nodes:", report.nodes.len());
+                        for added in report.nodes {
+                            print_node(&controller, added);
                         }
-                        Err(e) => println!("{e}"),
                     }
-                }
+                    Err(e) => println!("{e}"),
+                },
                 _ => println!("usage: expand <node#> (see unexpanded boxes in `graph`)"),
             },
             "races" => {
@@ -229,11 +225,7 @@ impl Debugger {
             "state" => {
                 let state = shared_state_at(&self.session, execution, u64::MAX);
                 for v in self.session.rp().shared_vars() {
-                    println!(
-                        "  {} = {}",
-                        self.session.rp().var_name(v),
-                        state[v.index()]
-                    );
+                    println!("  {} = {}", self.session.rp().var_name(v), state[v.index()]);
                 }
                 println!("  (last logged values; replay regenerates in-interval updates)");
             }
@@ -265,10 +257,6 @@ fn print_node(controller: &Controller<'_>, id: DynNodeId) {
         DynNodeKind::LoopGraph { expanded: false, .. } => "loop*",
         DynNodeKind::LoopGraph { .. } => "loop",
     };
-    let value = n
-        .value
-        .as_ref()
-        .map(|v| format!(" = {v}"))
-        .unwrap_or_default();
+    let value = n.value.as_ref().map(|v| format!(" = {v}")).unwrap_or_default();
     println!("  #{:<3} [{tag:<5}] {}{value}", id.0, n.label);
 }

@@ -45,11 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("added {} nodes:", report.nodes.len());
     for &n in &report.nodes {
         let node = controller.graph().node(n);
-        let value = node
-            .value
-            .as_ref()
-            .map(|v| format!("  = {v}"))
-            .unwrap_or_default();
+        let value = node.value.as_ref().map(|v| format!("  = {v}")).unwrap_or_default();
         println!("  {}{}", node.label, value);
     }
 
@@ -69,11 +65,7 @@ fn print_graph(graph: &ppd::graph::DynamicGraph) {
             DynNodeKind::Param { .. } => "param   ",
             DynNodeKind::LoopGraph { .. } => "loop    ",
         };
-        let value = n
-            .value
-            .as_ref()
-            .map(|v| format!("  = {v}"))
-            .unwrap_or_default();
+        let value = n.value.as_ref().map(|v| format!("  = {v}")).unwrap_or_default();
         println!("  [{kind}] {}{}", n.label, value);
         for (p, k) in graph.dependence_preds(n.id) {
             println!("        <-[{k:?}]- {}", graph.node(p).label);

@@ -19,12 +19,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // What would tracing EVERY event cost? Run the emulation behaviour
     // over the whole program once, counting.
     let mut full_trace = CountingTracer::default();
-    let machine = Machine::new(
-        session.rp(),
-        session.analyses(),
-        Some(session.plan()),
-        ExecConfig::default(),
-    );
+    let machine =
+        Machine::new(session.rp(), session.analyses(), Some(session.plan()), ExecConfig::default());
     let result = machine.run(&mut full_trace);
     let logs = result.logs.expect("logging enabled");
 
@@ -67,10 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let Some(&node) = controller.unexpanded().first() else { break };
         let label = controller.graph().node(node).label.clone();
         controller.expand(node)?;
-        println!(
-            "expansion {round}: `{label}` -> {} graph nodes total",
-            controller.graph().len()
-        );
+        println!("expansion {round}: `{label}` -> {} graph nodes total", controller.graph().len());
     }
     println!("\nEach expansion replayed exactly one e-block from its prelog —");
     println!("the rest of the execution was never re-run.");

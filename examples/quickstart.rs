@@ -47,11 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\ncausal history (oldest first):");
     for node in controller.backward_slice(root) {
         let n = controller.graph().node(node);
-        let value = n
-            .value
-            .as_ref()
-            .map(|v| format!("  = {v}"))
-            .unwrap_or_default();
+        let value = n.value.as_ref().map(|v| format!("  = {v}")).unwrap_or_default();
         println!("  {}{}", n.label, value);
     }
 

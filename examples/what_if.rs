@@ -73,10 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ppd::runtime::EventKind::Return => e.value,
             _ => None,
         });
-        println!(
-            "  what-if den = {try_den}: {:?}, returns {:?}",
-            modified.result.outcome, ret
-        );
+        println!("  what-if den = {try_den}: {:?}, returns {:?}", modified.result.outcome, ret);
     }
     println!("\nThe failure is confirmed to be the zero denominator, without");
     println!("ever re-executing the rest of the program.");

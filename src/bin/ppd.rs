@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! ppd check  <file>                      parse, analyze, summarize
+//! ppd lint   <file> [options]            static race & misuse diagnostics
 //! ppd run    <file> [options]            execute as instrumented object code
 //! ppd debug  <file> [options]            run, then open the interactive debugger
 //! ppd races  <file> [--schedules N]      probe N random schedules for races
@@ -13,6 +14,8 @@
 //!   --break LINE        breakpoint on a source line (repeatable)
 //!   --strategy S        e-blocks: subroutine | loops | split | merge
 //!   --what W            dot target: static | parallel | dynamic
+//!   --deny              lint: exit nonzero on any diagnostic, not just errors
+//!   --format F          lint output: human (default) | json
 //! ```
 
 use ppd::analysis::EBlockStrategy;
@@ -32,14 +35,17 @@ struct Options {
     schedules: u64,
     save: Option<String>,
     load: Option<String>,
+    deny: bool,
+    format: String,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: ppd <check|run|debug|races|dot> <file.ppd> \
+        "usage: ppd <check|lint|run|debug|races|dot> <file.ppd> \
          [--seed N] [--inputs a,b,c]... [--break LINE]... \
          [--strategy subroutine|loops|split|merge] [--what static|parallel|dynamic] \
-         [--schedules N] [--save FILE] [--load FILE]"
+         [--schedules N] [--save FILE] [--load FILE] \
+         [--deny] [--format human|json]"
     );
     ExitCode::from(2)
 }
@@ -57,6 +63,8 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<(String, Options
         schedules: 10,
         save: None,
         load: None,
+        deny: false,
+        format: "human".into(),
     };
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("{flag} needs a value"));
@@ -88,6 +96,8 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<(String, Options
             }
             "--save" => opts.save = Some(value()?),
             "--load" => opts.load = Some(value()?),
+            "--deny" => opts.deny = true,
+            "--format" => opts.format = value()?,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -113,11 +123,19 @@ fn main() -> ExitCode {
         Ok(s) => s,
         Err(e) => {
             eprintln!("compile error: {e}");
+            if let ppd::core::PpdError::Lang(lang) = &e {
+                let file = ppd::lang::SourceFile::new(opts.file.clone(), source);
+                let excerpt = file.render_excerpt(lang.span());
+                if !excerpt.is_empty() {
+                    eprintln!("{excerpt}");
+                }
+            }
             return ExitCode::FAILURE;
         }
     };
     match cmd.as_str() {
         "check" => cmd_check(&session),
+        "lint" => cmd_lint(&session, &opts, &source),
         "run" => cmd_run(&session, &opts, true).1,
         "debug" => cmd_debug(&session, &opts),
         "races" => cmd_races(&session, &opts),
@@ -170,13 +188,99 @@ fn cmd_check(session: &PpdSession) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// JSON shape of one diagnostic (stable output for tooling). Owned
+/// fields: the vendored serde_derive stub does not handle generics.
+#[derive(serde::Serialize)]
+struct JsonDiagnostic {
+    code: String,
+    severity: String,
+    message: String,
+    file: String,
+    line: u32,
+    col: u32,
+    notes: Vec<JsonNote>,
+}
+
+/// JSON shape of one diagnostic note.
+#[derive(serde::Serialize)]
+struct JsonNote {
+    label: String,
+    line: Option<u32>,
+    col: Option<u32>,
+}
+
+fn cmd_lint(session: &PpdSession, opts: &Options, source: &str) -> ExitCode {
+    use ppd::analysis::lint::{run_default, Severity};
+    let file = ppd::lang::SourceFile::new(opts.file.clone(), source);
+    let diags = run_default(session.rp(), session.analyses());
+    let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+    let warnings = diags.len() - errors;
+    match opts.format.as_str() {
+        "human" => {
+            for d in &diags {
+                println!("{}\n", d.render(&file));
+            }
+            if diags.is_empty() {
+                println!("lint: no diagnostics");
+            } else {
+                println!("lint: {warnings} warning(s), {errors} error(s)");
+            }
+        }
+        "json" => {
+            let list: Vec<JsonDiagnostic> = diags
+                .iter()
+                .map(|d| {
+                    let (line, col) = file.line_col(d.span.start);
+                    JsonDiagnostic {
+                        code: d.code.to_owned(),
+                        severity: d.severity.to_string(),
+                        message: d.message.clone(),
+                        file: file.name().to_owned(),
+                        line,
+                        col,
+                        notes: d
+                            .notes
+                            .iter()
+                            .map(|n| {
+                                let pos = n.span.map(|s| file.line_col(s.start));
+                                JsonNote {
+                                    label: n.label.clone(),
+                                    line: pos.map(|p| p.0),
+                                    col: pos.map(|p| p.1),
+                                }
+                            })
+                            .collect(),
+                    }
+                })
+                .collect();
+            match serde_json::to_string_pretty(&list) {
+                Ok(json) => println!("{json}"),
+                Err(e) => {
+                    eprintln!("error: cannot serialize diagnostics: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown --format `{other}` (human | json)");
+            return ExitCode::FAILURE;
+        }
+    }
+    if errors > 0 || (opts.deny && !diags.is_empty()) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn cmd_run(session: &PpdSession, opts: &Options, verbose: bool) -> (Execution, ExitCode) {
     // `--load` replays the offline workflow: the execution phase already
     // happened; debug its saved record.
     if let Some(path) = &opts.load {
-        match std::fs::read_to_string(path).map_err(|e| e.to_string()).and_then(|j| {
-            Execution::from_json(&j).map_err(|e| e.to_string())
-        }) {
+        match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|j| Execution::from_json(&j).map_err(|e| e.to_string()))
+        {
             Ok(execution) => {
                 if verbose {
                     println!("loaded execution from {path}");
@@ -237,11 +341,9 @@ fn describe_outcome(session: &PpdSession, outcome: &Outcome) -> String {
     };
     match outcome {
         Outcome::Completed => "completed".into(),
-        Outcome::Failed { proc, stmt, error } => format!(
-            "FAILED in {}{}: {error}",
-            session.rp().proc_name(*proc),
-            line(stmt)
-        ),
+        Outcome::Failed { proc, stmt, error } => {
+            format!("FAILED in {}{}: {error}", session.rp().proc_name(*proc), line(stmt))
+        }
         Outcome::Deadlock { blocked } => {
             use ppd::runtime::BlockReason;
             let who: Vec<String> = blocked
@@ -262,11 +364,9 @@ fn describe_outcome(session: &PpdSession, outcome: &Outcome) -> String {
             format!("DEADLOCK: {}", who.join("; "))
         }
         Outcome::StepLimit => "step limit exhausted".into(),
-        Outcome::Breakpoint { proc, stmt } => format!(
-            "breakpoint in {}{}",
-            session.rp().proc_name(*proc),
-            line(stmt)
-        ),
+        Outcome::Breakpoint { proc, stmt } => {
+            format!("breakpoint in {}{}", session.rp().proc_name(*proc), line(stmt))
+        }
     }
 }
 

@@ -8,11 +8,7 @@ fn ppd() -> Command {
 }
 
 fn run_ppd(args: &[&str]) -> (String, String, bool) {
-    let out = ppd()
-        .args(args)
-        .stdin(Stdio::null())
-        .output()
-        .expect("ppd binary runs");
+    let out = ppd().args(args).stdin(Stdio::null()).output().expect("ppd binary runs");
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
@@ -54,7 +50,8 @@ fn races_detects_the_bank_race_and_exits_nonzero() {
 
 #[test]
 fn races_clean_program_exits_zero() {
-    let (stdout, _, ok) = run_ppd(&["races", "programs/overdraw.ppd", "--inputs", "50", "--schedules", "3"]);
+    let (stdout, _, ok) =
+        run_ppd(&["races", "programs/overdraw.ppd", "--inputs", "50", "--schedules", "3"]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("race-free"), "{stdout}");
 }
@@ -70,8 +67,7 @@ fn deadlock_is_reported_with_semaphore_names() {
 #[test]
 fn dot_outputs_digraphs() {
     for what in ["static", "parallel", "dynamic"] {
-        let (stdout, stderr, ok) =
-            run_ppd(&["dot", "programs/bank.ppd", "--what", what]);
+        let (stdout, stderr, ok) = run_ppd(&["dot", "programs/bank.ppd", "--what", what]);
         assert!(ok, "{what}: {stderr}");
         assert!(stdout.contains("digraph"), "{what}: {stdout}");
     }
@@ -95,12 +91,7 @@ fn debug_repl_flows_back_from_failure() {
         .spawn()
         .expect("spawn");
     use std::io::Write;
-    child
-        .stdin
-        .as_mut()
-        .unwrap()
-        .write_all(b"graph\nback 7\nquit\n")
-        .unwrap();
+    child.stdin.as_mut().unwrap().write_all(b"graph\nback 7\nquit\n").unwrap();
     let out = child.wait_with_output().unwrap();
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("debugging from: assert"), "{stdout}");
@@ -139,9 +130,8 @@ fn save_and_load_execution_record() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("exec.json");
     let path_s = path.to_str().unwrap();
-    let (stdout, _, ok) = run_ppd(&[
-        "run", "programs/overdraw.ppd", "--inputs", "95", "--save", path_s,
-    ]);
+    let (stdout, _, ok) =
+        run_ppd(&["run", "programs/overdraw.ppd", "--inputs", "95", "--save", path_s]);
     assert!(!ok, "program failed (that's the point)");
     assert!(stdout.contains("execution saved"), "{stdout}");
 

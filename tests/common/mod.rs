@@ -95,4 +95,3 @@ impl<'a> Gen<'a> {
         format!("shared int out;\n\nprocess Main {{\n{body}}}\n")
     }
 }
-

@@ -57,8 +57,7 @@ fn corpus_executes_under_all_strategies() {
 #[test]
 fn corpus_logs_are_well_formed() {
     for prog in corpus::terminating() {
-        let session =
-            PpdSession::prepare(prog.source, EBlockStrategy::per_subroutine()).unwrap();
+        let session = PpdSession::prepare(prog.source, EBlockStrategy::per_subroutine()).unwrap();
         let config = RunConfig { inputs: inputs_for(prog.name), ..RunConfig::default() };
         let execution = session.execute(config);
         for p in 0..session.rp().procs.len() {
@@ -96,8 +95,7 @@ fn corpus_race_expectations_hold() {
         SchedulerSpec::RunToBlock,
     ];
     for prog in corpus::terminating() {
-        let session =
-            PpdSession::prepare(prog.source, EBlockStrategy::per_subroutine()).unwrap();
+        let session = PpdSession::prepare(prog.source, EBlockStrategy::per_subroutine()).unwrap();
         let mut any_race = false;
         for sched in schedules {
             let config = RunConfig {
@@ -128,14 +126,11 @@ fn corpus_race_expectations_hold() {
 #[test]
 fn debugging_phase_starts_on_every_corpus_program() {
     for prog in corpus::terminating() {
-        let session =
-            PpdSession::prepare(prog.source, EBlockStrategy::per_subroutine()).unwrap();
+        let session = PpdSession::prepare(prog.source, EBlockStrategy::per_subroutine()).unwrap();
         let config = RunConfig { inputs: inputs_for(prog.name), ..RunConfig::default() };
         let execution = session.execute(config);
         let mut controller = Controller::new(&session, &execution);
-        let root = controller
-            .start()
-            .unwrap_or_else(|e| panic!("{}: {e}", prog.name));
+        let root = controller.start().unwrap_or_else(|e| panic!("{}: {e}", prog.name));
         assert!(!controller.graph().is_empty());
         // Flowback from the root never panics and stays inside the graph.
         let slice = controller.backward_slice(root);
@@ -158,18 +153,15 @@ fn deadlock_prone_program_both_ways() {
     let controller = Controller::new(&session, &dead);
     assert_eq!(controller.deadlock_report().unwrap().len(), 2);
 
-    let ok = session.execute(RunConfig {
-        scheduler: SchedulerSpec::RunToBlock,
-        ..RunConfig::default()
-    });
+    let ok =
+        session.execute(RunConfig { scheduler: SchedulerSpec::RunToBlock, ..RunConfig::default() });
     assert!(ok.outcome.is_success());
 }
 
 #[test]
 fn determinism_across_identical_runs() {
     for prog in corpus::terminating() {
-        let session =
-            PpdSession::prepare(prog.source, EBlockStrategy::per_subroutine()).unwrap();
+        let session = PpdSession::prepare(prog.source, EBlockStrategy::per_subroutine()).unwrap();
         let config = RunConfig {
             scheduler: SchedulerSpec::Random { seed: 11 },
             inputs: inputs_for(prog.name),
@@ -179,11 +171,6 @@ fn determinism_across_identical_runs() {
         let b = session.execute(config);
         assert_eq!(a.output, b.output, "{}", prog.name);
         assert_eq!(a.steps, b.steps, "{}", prog.name);
-        assert_eq!(
-            a.logs.total_entries(),
-            b.logs.total_entries(),
-            "{}",
-            prog.name
-        );
+        assert_eq!(a.logs.total_entries(), b.logs.total_entries(), "{}", prog.name);
     }
 }

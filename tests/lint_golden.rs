@@ -1,0 +1,114 @@
+//! Golden-file tests for `ppd lint` output.
+//!
+//! Each example program's human-readable and JSON lint output is pinned
+//! under `tests/golden/`. Run with `PPD_UPDATE_GOLDEN=1` to regenerate
+//! after an intentional diagnostic change.
+
+use std::path::Path;
+use std::process::Command;
+
+fn run_ppd(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_ppd"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("run ppd");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name);
+    if std::env::var_os("PPD_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+    assert_eq!(
+        actual, expected,
+        "`{name}` drifted from its golden file; \
+         re-run with PPD_UPDATE_GOLDEN=1 if the change is intentional"
+    );
+}
+
+#[test]
+fn bank_lint_human() {
+    let (stdout, stderr, ok) = run_ppd(&["lint", "programs/bank.ppd"]);
+    assert!(ok, "warnings alone must not fail the lint: {stderr}");
+    check_golden("bank.lint.txt", &stdout);
+}
+
+#[test]
+fn bank_lint_deny_fails() {
+    let (_, _, ok) = run_ppd(&["lint", "programs/bank.ppd", "--deny"]);
+    assert!(!ok, "--deny must fail on warnings");
+}
+
+#[test]
+fn overdraw_lint_human() {
+    let (stdout, _, ok) = run_ppd(&["lint", "programs/overdraw.ppd"]);
+    assert!(ok);
+    // The acceptance bar: at least one coded static race candidate with
+    // an accurate span.
+    assert!(stdout.contains("warning[PPD001]"), "{stdout}");
+    assert!(stdout.contains("--> programs/overdraw.ppd:13:5"), "{stdout}");
+    check_golden("overdraw.lint.txt", &stdout);
+}
+
+#[test]
+fn overdraw_lint_json() {
+    let (stdout, _, ok) = run_ppd(&["lint", "programs/overdraw.ppd", "--format", "json"]);
+    assert!(ok);
+    check_golden("overdraw.lint.json", &stdout);
+}
+
+#[test]
+fn phils_lint_human() {
+    let (stdout, _, ok) = run_ppd(&["lint", "programs/phils.ppd"]);
+    assert!(ok);
+    check_golden("phils.lint.txt", &stdout);
+}
+
+#[test]
+fn lintdemo_exercises_every_pass() {
+    let (stdout, _, ok) = run_ppd(&["lint", "programs/lintdemo.ppd"]);
+    assert!(!ok, "PPD004 is an error and must fail the lint");
+    for code in ["PPD001", "PPD002", "PPD003", "PPD004"] {
+        assert!(stdout.contains(code), "missing {code} in:\n{stdout}");
+    }
+    check_golden("lintdemo.lint.txt", &stdout);
+}
+
+#[test]
+fn lintdemo_json_parses_back() {
+    let (stdout, _, _) = run_ppd(&["lint", "programs/lintdemo.ppd", "--format", "json"]);
+    check_golden("lintdemo.lint.json", &stdout);
+    // Structural sanity without relying on a JSON parser dev-dependency:
+    // one object per diagnostic, each with the required keys.
+    assert_eq!(stdout.matches("\"code\"").count(), 7, "{stdout}");
+    assert_eq!(stdout.matches("\"severity\"").count(), 7);
+    assert_eq!(stdout.matches("\"error\"").count(), 1);
+}
+
+#[test]
+fn unknown_format_is_rejected() {
+    let (_, stderr, ok) = run_ppd(&["lint", "programs/bank.ppd", "--format", "yaml"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown --format"), "{stderr}");
+}
+
+#[test]
+fn compile_errors_carry_an_excerpt() {
+    let dir = std::env::temp_dir().join("ppd_lint_golden_bad.ppd");
+    std::fs::write(&dir, "process Broken { int x = ; }").unwrap();
+    let (_, stderr, ok) = run_ppd(&["lint", dir.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("compile error:"), "{stderr}");
+    assert!(stderr.contains("int x = ;"), "excerpt missing: {stderr}");
+    assert!(stderr.contains('^'), "caret missing: {stderr}");
+    let _ = std::fs::remove_file(&dir);
+}

@@ -19,11 +19,9 @@ use ppd::lang::{BodyId, ProcId};
 
 #[test]
 fn figure_4_1_dynamic_graph() {
-    let session = PpdSession::prepare(
-        ppd::lang::corpus::FIG_4_1.source,
-        EBlockStrategy::per_subroutine(),
-    )
-    .unwrap();
+    let session =
+        PpdSession::prepare(ppd::lang::corpus::FIG_4_1.source, EBlockStrategy::per_subroutine())
+            .unwrap();
     let mut config = RunConfig::default();
     config.inputs = vec![vec![5, 3, 2]];
     let execution = session.execute(config);
@@ -48,11 +46,8 @@ fn figure_4_1_dynamic_graph() {
     let p3 = find("%3");
     assert!(matches!(p3.kind, DynNodeKind::Param { index: 3 }));
     // %3's three data sources are the definitions of a, b and c.
-    let p3_sources: Vec<String> = graph
-        .dependence_preds(p3.id)
-        .iter()
-        .map(|&(n, _)| graph.node(n).label.clone())
-        .collect();
+    let p3_sources: Vec<String> =
+        graph.dependence_preds(p3.id).iter().map(|&(n, _)| graph.node(n).label.clone()).collect();
     assert_eq!(p3_sources.len(), 3, "{p3_sources:?}");
     for v in ["a = input()", "b = input()", "c = input()"] {
         assert!(p3_sources.iter().any(|l| l.contains(v)), "missing {v}");
@@ -98,10 +93,7 @@ fn figure_5_2_nested_log_intervals() {
 
     let rp = session.rp();
     let eb_of = |name: &str| {
-        session
-            .plan()
-            .body_eblock(BodyId::Func(rp.func_by_name(name).unwrap()))
-            .unwrap()
+        session.plan().body_eblock(BodyId::Func(rp.func_by_name(name).unwrap())).unwrap()
     };
     let intervals = execution.logs.intervals(ProcId(0));
     let subj = intervals.iter().find(|iv| iv.eblock == eb_of("SubJ")).unwrap();
@@ -132,16 +124,10 @@ fn figure_5_1_loops_create_repeated_intervals() {
     .unwrap();
     let execution = session.execute(RunConfig::default());
     let rp = session.rp();
-    let step_eb = session
-        .plan()
-        .body_eblock(BodyId::Func(rp.func_by_name("step").unwrap()))
-        .unwrap();
-    let step_intervals: Vec<_> = execution
-        .logs
-        .intervals(ProcId(0))
-        .into_iter()
-        .filter(|iv| iv.eblock == step_eb)
-        .collect();
+    let step_eb =
+        session.plan().body_eblock(BodyId::Func(rp.func_by_name("step").unwrap())).unwrap();
+    let step_intervals: Vec<_> =
+        execution.logs.intervals(ProcId(0)).into_iter().filter(|iv| iv.eblock == step_eb).collect();
     assert_eq!(step_intervals.len(), 4, "one interval per call");
     // Instances are numbered consecutively.
     let instances: Vec<u64> = step_intervals.iter().map(|iv| iv.instance).collect();
@@ -217,11 +203,9 @@ fn figure_5_3_shared_prelog_covers_sv() {
 
 #[test]
 fn figure_6_1_parallel_graph_and_race() {
-    let session = PpdSession::prepare(
-        ppd::lang::corpus::FIG_6_1.source,
-        EBlockStrategy::per_subroutine(),
-    )
-    .unwrap();
+    let session =
+        PpdSession::prepare(ppd::lang::corpus::FIG_6_1.source, EBlockStrategy::per_subroutine())
+            .unwrap();
     let execution = session.execute(RunConfig::default());
     assert!(execution.outcome.is_success());
     let g = &execution.pgraph;
@@ -234,17 +218,9 @@ fn figure_6_1_parallel_graph_and_race() {
 
     // The figure's e4 — the caller suspended between send and unblock —
     // contains zero events.
-    let send_node = g
-        .nodes()
-        .iter()
-        .find(|n| n.kind == SyncNodeKind::Send)
-        .unwrap()
-        .id;
-    let e4 = g
-        .internal_edges()
-        .iter()
-        .find(|e| e.from == send_node)
-        .expect("edge out of the send node");
+    let send_node = g.nodes().iter().find(|n| n.kind == SyncNodeKind::Send).unwrap().id;
+    let e4 =
+        g.internal_edges().iter().find(|e| e.from == send_node).expect("edge out of the send node");
     assert_eq!(e4.events, 0);
     assert_eq!(g.node(e4.to).kind, SyncNodeKind::Unblock);
 
@@ -256,7 +232,7 @@ fn figure_6_1_parallel_graph_and_race() {
     let kinds: Vec<ConflictKind> = races.iter().map(|r| r.kind).collect();
     assert!(kinds.contains(&ConflictKind::WriteWrite)); // e1 vs e2
     assert!(kinds.contains(&ConflictKind::ReadWrite)); // e2 vs e3
-    // Both races involve P2.
+                                                       // Both races involve P2.
     for r in &races {
         let p_first = g.internal_edge(r.first).proc;
         let p_second = g.internal_edge(r.second).proc;
@@ -271,19 +247,14 @@ fn figure_6_1_parallel_graph_and_race() {
 fn figure_6_1_ordered_pair_is_not_a_race() {
     // e1 (P1's write) -> e3 (P3's read) is ordered by the message chain,
     // so that specific pair must NOT be reported.
-    let session = PpdSession::prepare(
-        ppd::lang::corpus::FIG_6_1.source,
-        EBlockStrategy::per_subroutine(),
-    )
-    .unwrap();
+    let session =
+        PpdSession::prepare(ppd::lang::corpus::FIG_6_1.source, EBlockStrategy::per_subroutine())
+            .unwrap();
     let execution = session.execute(RunConfig::default());
     let g = &execution.pgraph;
     let ord = VectorClocks::compute(g);
     for r in ppd::graph::detect_races_indexed(g, &ord) {
-        let procs = (
-            g.internal_edge(r.first).proc,
-            g.internal_edge(r.second).proc,
-        );
+        let procs = (g.internal_edge(r.first).proc, g.internal_edge(r.second).proc);
         assert_ne!(
             procs,
             (ProcId(0), ProcId(2)),
@@ -317,15 +288,8 @@ fn rendezvous_caller_edge_has_zero_events() {
     }
     assert_eq!(suspended_edges, 2);
     // Two sync-edge pairs per rendezvous: entry and exit.
-    let entries = g
-        .sync_edges()
-        .iter()
-        .filter(|e| e.label == SyncEdgeLabel::RendezvousEntry)
-        .count();
-    let exits = g
-        .sync_edges()
-        .iter()
-        .filter(|e| e.label == SyncEdgeLabel::RendezvousExit)
-        .count();
+    let entries =
+        g.sync_edges().iter().filter(|e| e.label == SyncEdgeLabel::RendezvousEntry).count();
+    let exits = g.sync_edges().iter().filter(|e| e.label == SyncEdgeLabel::RendezvousExit).count();
     assert_eq!((entries, exits), (2, 2));
 }

@@ -5,7 +5,8 @@
 
 use ppd::analysis::{BitVarSet, ListVarSet, VarSetRepr};
 use ppd::graph::{
-    detect_races_indexed, detect_races_naive, Ordering as Hb, ParallelGraph, SyncEdgeLabel,
+    candidates_from_graph, detect_races_indexed, detect_races_naive, detect_races_naive_counted,
+    detect_races_pruned, detect_races_pruned_counted, Ordering as Hb, ParallelGraph, SyncEdgeLabel,
     SyncNodeKind, TransitiveClosure, VectorClocks,
 };
 use ppd::lang::{ProcId, VarId};
@@ -121,6 +122,25 @@ proptest! {
         let naive = detect_races_naive(&g, &ord);
         let indexed = detect_races_indexed(&g, &ord);
         prop_assert_eq!(naive, indexed);
+    }
+
+    #[test]
+    fn pruned_detector_agrees_with_naive(
+        script in proptest::collection::vec(any::<u8>(), 8..200),
+        procs in 2u32..5,
+    ) {
+        // A candidate index covering every (var, process pair) the
+        // execution actually produced is the worst case for pruning —
+        // nothing may be filtered away, so the race sets must coincide
+        // exactly, and pruned never examines more pairs than naive.
+        let g = random_pgraph(&script, procs, 3);
+        let ord = VectorClocks::compute(&g);
+        let cands = candidates_from_graph(&g);
+        let (naive, naive_pairs) = detect_races_naive_counted(&g, &ord);
+        let (pruned, pruned_pairs) = detect_races_pruned_counted(&g, &ord, &cands);
+        prop_assert_eq!(&naive, &pruned);
+        prop_assert_eq!(naive, detect_races_pruned(&g, &ord, &cands));
+        prop_assert!(pruned_pairs <= naive_pairs);
     }
 
     #[test]

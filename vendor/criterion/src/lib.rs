@@ -1,0 +1,224 @@
+//! Vendored, offline stand-in for `criterion`.
+//!
+//! Implements the macro/struct surface the PPD benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`) with a simple
+//! wall-clock measurement: a short warm-up, then batches timed until a
+//! fixed measurement budget elapses, reporting the per-iteration mean
+//! and best batch. No statistics, plots, or baselines.
+
+// Vendored stand-in: exempt from workspace clippy policy.
+#![allow(clippy::all)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(200),
+            warm_up_time: Duration::from_millis(20),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== group: {name}");
+        BenchmarkGroup { c: self, name }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&id, self.warm_up_time, self.measurement_time, &mut f);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, self.c.warm_up_time, self.c.measurement_time, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.0);
+        run_one(&id, self.c.warm_up_time, self.c.measurement_time, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.c.measurement_time = d;
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{}", name.into(), param))
+    }
+
+    pub fn from_parameter(param: impl Display) -> BenchmarkId {
+        BenchmarkId(param.to_string())
+    }
+}
+
+pub struct Bencher {
+    /// (iterations, elapsed) batches recorded by `iter`.
+    samples: Vec<(u64, Duration)>,
+    budget: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One calibration call, then geometric batch growth until the
+        // measurement budget is used.
+        let start = Instant::now();
+        black_box(f());
+        let first = start.elapsed();
+        self.samples.push((1, first));
+        let mut batch: u64 = if first < Duration::from_micros(50) { 64 } else { 1 };
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push((batch, t0.elapsed()));
+            if batch < 1 << 20 {
+                batch *= 2;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, warm_up: Duration, budget: Duration, f: &mut F) {
+    // Warm-up round (discarded).
+    let mut warm = Bencher { samples: Vec::new(), budget: warm_up };
+    f(&mut warm);
+    let mut b = Bencher { samples: Vec::new(), budget };
+    f(&mut b);
+    let total_iters: u64 = b.samples.iter().map(|(n, _)| n).sum();
+    let total_time: Duration = b.samples.iter().map(|(_, t)| *t).sum();
+    let mean =
+        if total_iters > 0 { total_time.as_nanos() as f64 / total_iters as f64 } else { f64::NAN };
+    let best = b
+        .samples
+        .iter()
+        .map(|(n, t)| t.as_nanos() as f64 / *n as f64)
+        .fold(f64::INFINITY, f64::min);
+    eprintln!(
+        "{id:<60} mean {:>12}  best {:>12}  ({total_iters} iters)",
+        fmt_ns(mean),
+        fmt_ns(best)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if !ns.is_finite() {
+        "n/a".to_string()
+    } else if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        c.measurement_time(Duration::from_millis(5)).warm_up_time(Duration::from_millis(1));
+        let mut group = c.benchmark_group("smoke");
+        group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+}

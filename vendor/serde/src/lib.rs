@@ -1,0 +1,449 @@
+//! Vendored, offline stand-in for the `serde` crate.
+//!
+//! The build container has no network access and no crates-io cache, so
+//! the real `serde` cannot be downloaded. This crate re-implements the
+//! narrow surface the PPD workspace actually uses: `Serialize` /
+//! `Deserialize` traits (routed through a self-describing [`Content`]
+//! tree rather than serde's visitor architecture) and, behind the
+//! `derive` feature, `#[derive(Serialize, Deserialize)]` macros that
+//! understand `#[serde(skip)]`.
+//!
+//! The encoding conventions mirror serde's defaults closely enough for
+//! JSON round-trips produced and consumed by this workspace:
+//!
+//! - named struct        → map of field name → value
+//! - newtype struct      → inner value, transparently
+//! - tuple struct        → sequence
+//! - unit enum variant   → string of the variant name
+//! - tuple enum variant  → `{ "Variant": [fields...] }`
+//! - struct enum variant → `{ "Variant": { fields... } }`
+
+// Vendored stand-in: exempt from workspace clippy policy.
+#![allow(clippy::all)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+use std::path::PathBuf;
+
+/// A self-describing serialization tree — the meeting point between
+/// `Serialize` implementations and concrete formats (`serde_json`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Order-preserving map. Keys are arbitrary `Content`, though JSON
+    /// rendering stringifies them.
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    pub fn str_key(s: &str) -> Content {
+        Content::Str(s.to_string())
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_map(&self) -> Option<&[(Content, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: a message plus optional nesting context.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    pub fn msg(m: impl Into<String>) -> DeError {
+        DeError { msg: m.into() }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+pub trait Deserialize: Sized {
+    fn from_content(c: &Content) -> Result<Self, DeError>;
+}
+
+/// Looks up a struct field by name in a serialized map.
+/// Used by the derive-generated code.
+pub fn field<T: Deserialize>(
+    entries: &[(Content, Content)],
+    name: &str,
+    ty: &str,
+) -> Result<T, DeError> {
+    for (k, v) in entries {
+        if k.as_str() == Some(name) {
+            return T::from_content(v);
+        }
+    }
+    Err(DeError::msg(format!("missing field `{name}` for {ty}")))
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::msg("integer out of range")),
+                    Content::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::msg("integer out of range")),
+                    // Map keys arrive as strings from JSON.
+                    Content::Str(s) => s.parse::<$t>()
+                        .map_err(|_| DeError::msg("invalid integer string")),
+                    _ => Err(DeError::msg(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::msg("integer out of range")),
+                    Content::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::msg("integer out of range")),
+                    Content::Str(s) => s.parse::<$t>()
+                        .map_err(|_| DeError::msg("invalid integer string")),
+                    _ => Err(DeError::msg(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::F64(x) => Ok(*x),
+            Content::I64(n) => Ok(*n as f64),
+            Content::U64(n) => Ok(*n as f64),
+            _ => Err(DeError::msg("expected f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        f64::from_content(c).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            Content::Str(s) => s.parse::<bool>().map_err(|_| DeError::msg("invalid bool")),
+            _ => Err(DeError::msg("expected bool")),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(DeError::msg("expected single-char string")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_str().map(str::to_string).ok_or_else(|| DeError::msg("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for PathBuf {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string_lossy().into_owned())
+    }
+}
+impl Deserialize for PathBuf {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        String::from_content(c).map(PathBuf::from)
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+impl Deserialize for () {
+    fn from_content(_: &Content) -> Result<Self, DeError> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(x) => x.to_content(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_seq()
+            .ok_or_else(|| DeError::msg("expected sequence"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Vec::<T>::from_content(c).map(VecDeque::from)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let s = c.as_seq().ok_or_else(|| DeError::msg("expected tuple sequence"))?;
+                let mut it = s.iter();
+                Ok(($({
+                    let _ = $n; // positional
+                    $t::from_content(it.next().ok_or_else(|| DeError::msg("tuple too short"))?)?
+                },)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+impl<K: Serialize, V: Serialize, S: BuildHasher> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.to_content(), v.to_content())).collect())
+    }
+}
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: BuildHasher + Default,
+{
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let entries = c.as_map().ok_or_else(|| DeError::msg("expected map"))?;
+        let mut out = HashMap::with_capacity_and_hasher(entries.len(), S::default());
+        for (k, v) in entries {
+            out.insert(K::from_content(k)?, V::from_content(v)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.to_content(), v.to_content())).collect())
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let entries = c.as_map().ok_or_else(|| DeError::msg("expected map"))?;
+        let mut out = BTreeMap::new();
+        for (k, v) in entries {
+            out.insert(K::from_content(k)?, V::from_content(v)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize, S: BuildHasher> Serialize for HashSet<T, S> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T, S> Deserialize for HashSet<T, S>
+where
+    T: Deserialize + Eq + Hash,
+    S: BuildHasher + Default,
+{
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let s = c.as_seq().ok_or_else(|| DeError::msg("expected sequence"))?;
+        s.iter().map(T::from_content).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let s = c.as_seq().ok_or_else(|| DeError::msg("expected sequence"))?;
+        s.iter().map(T::from_content).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_content(&42u32.to_content()).unwrap(), 42);
+        assert_eq!(i64::from_content(&(-7i64).to_content()).unwrap(), -7);
+        assert_eq!(bool::from_content(&true.to_content()).unwrap(), true);
+        assert_eq!(String::from_content(&"hi".to_string().to_content()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_content(&v.to_content()).unwrap(), v);
+        let m: BTreeMap<u32, String> = [(1, "a".to_string()), (2, "b".to_string())].into();
+        assert_eq!(BTreeMap::<u32, String>::from_content(&m.to_content()).unwrap(), m);
+        let o: Option<u32> = Some(9);
+        assert_eq!(Option::<u32>::from_content(&o.to_content()).unwrap(), o);
+        let t = (1u32, "x".to_string(), true);
+        assert_eq!(<(u32, String, bool)>::from_content(&t.to_content()).unwrap(), t);
+    }
+}

@@ -1,0 +1,516 @@
+//! Vendored, offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against
+//! the vendored `serde` crate's `Content` model, without `syn`/`quote`:
+//! the item definition is parsed with a small hand-rolled walk over
+//! `proc_macro::TokenTree`s, and the impl is emitted as a string that is
+//! re-parsed into a `TokenStream`.
+//!
+//! Supported shapes (everything the PPD workspace derives):
+//! - named structs, tuple structs (newtype special-cased), unit structs
+//! - enums with unit / tuple / struct variants, explicit discriminants
+//! - the `#[serde(skip)]` field attribute (skipped on serialize,
+//!   `Default::default()` on deserialize)
+//!
+//! Not supported (unused here): generics, lifetimes, unions, and the
+//! wider serde attribute family (rename, tag, flatten, ...).
+
+// Vendored stand-in: exempt from workspace clippy policy.
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().unwrap()
+}
+
+// ---------------------------------------------------------------------
+// A miniature item model
+// ---------------------------------------------------------------------
+
+struct Field {
+    name: String, // field name, or index for tuple fields
+    skip: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+/// True if an attribute group's tokens are exactly `serde(... skip ...)`.
+fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
+    let mut toks = group.stream().into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match toks.next() {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Consumes leading attributes (`#[...]`), returning whether any was
+/// `#[serde(skip)]`.
+fn eat_attrs(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut skip = false;
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.next() {
+                    if attr_is_serde_skip(&g) {
+                        skip = true;
+                    }
+                }
+            }
+            _ => return skip,
+        }
+    }
+}
+
+/// Consumes a possible visibility qualifier (`pub`, `pub(crate)`, ...).
+fn eat_vis(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(toks.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        toks.next();
+        if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            toks.next();
+        }
+    }
+}
+
+/// Counts top-level comma-separated entries inside a parenthesized
+/// tuple-field list (commas nested in generic groups don't appear as
+/// separate trees, so a flat count works; `<...>` is punct-level, so we
+/// track angle depth explicitly).
+fn tuple_arity(group: &proc_macro::Group) -> usize {
+    let mut angle: i32 = 0;
+    let mut after_separator = true;
+    let mut fields = 0;
+    for t in group.stream() {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                after_separator = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                after_separator = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => after_separator = true,
+            _ => {
+                if after_separator {
+                    fields += 1;
+                }
+                after_separator = false;
+            }
+        }
+    }
+    fields
+}
+
+/// Parses a named-field list `{ a: T, #[serde(skip)] b: U, ... }`.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let mut toks = group.stream().into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let skip = eat_attrs(&mut toks);
+        eat_vis(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive stub: unexpected token in field list: {other:?}"),
+        };
+        // Consume `:` then the type — everything until a top-level comma.
+        let mut angle: i32 = 0;
+        for t in toks.by_ref() {
+            match &t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    eat_attrs(&mut toks);
+    eat_vis(&mut toks);
+    // Also skip doc comments already folded into attrs; next must be the keyword.
+    let kw = loop {
+        match toks.next() {
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // e.g. leftover keywords; keep scanning
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next(); // attribute body
+            }
+            Some(_) => {}
+            None => panic!("serde_derive stub: no struct/enum keyword found"),
+        }
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, got {other:?}"),
+    };
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic types are not supported (type `{name}`)");
+    }
+
+    if kw == "struct" {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::NamedStruct { name, fields: parse_named_fields(&g) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct { name, arity: tuple_arity(&g) }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("serde_derive stub: malformed struct body: {other:?}"),
+        }
+    } else {
+        let body = loop {
+            match toks.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+                Some(_) => {}
+                None => panic!("serde_derive stub: enum `{name}` has no body"),
+            }
+        };
+        let mut vtoks = body.stream().into_iter().peekable();
+        let mut variants = Vec::new();
+        loop {
+            eat_attrs(&mut vtoks);
+            let vname = match vtoks.next() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                None => break,
+                other => panic!("serde_derive stub: unexpected token in enum body: {other:?}"),
+            };
+            let shape = match vtoks.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let arity = tuple_arity(g);
+                    vtoks.next();
+                    VariantShape::Tuple(arity)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let fields = parse_named_fields(g);
+                    vtoks.next();
+                    VariantShape::Struct(fields)
+                }
+                _ => VariantShape::Unit,
+            };
+            // Skip explicit discriminant (`= expr`) and the trailing comma.
+            let mut angle: i32 = 0;
+            while let Some(t) = vtoks.peek() {
+                match t {
+                    TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                    TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                        vtoks.next();
+                        break;
+                    }
+                    _ => {}
+                }
+                vtoks.next();
+            }
+            variants.push(Variant { name: vname, shape });
+        }
+        Item::Enum { name, variants }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let mut s = String::new();
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let _ = write!(
+                s,
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{\n\
+                 let mut m: Vec<(::serde::Content, ::serde::Content)> = Vec::new();\n"
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                let fname = &f.name;
+                let _ = write!(
+                    s,
+                    "m.push((::serde::Content::str_key(\"{fname}\"), \
+                     ::serde::Serialize::to_content(&self.{fname})));\n"
+                );
+            }
+            s.push_str("::serde::Content::Map(m)\n}\n}\n");
+        }
+        Item::TupleStruct { name, arity } => {
+            let _ = write!(
+                s,
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{\n"
+            );
+            if *arity == 1 {
+                s.push_str("::serde::Serialize::to_content(&self.0)\n");
+            } else {
+                s.push_str("::serde::Content::Seq(vec![");
+                for i in 0..*arity {
+                    let _ = write!(s, "::serde::Serialize::to_content(&self.{i}),");
+                }
+                s.push_str("])\n");
+            }
+            s.push_str("}\n}\n");
+        }
+        Item::UnitStruct { name } => {
+            let _ = write!(
+                s,
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{ ::serde::Content::Null }}\n}}\n"
+            );
+        }
+        Item::Enum { name, variants } => {
+            let _ = write!(
+                s,
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{\n\
+                 match self {{\n"
+            );
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        let _ = write!(
+                            s,
+                            "{name}::{vname} => ::serde::Content::str_key(\"{vname}\"),\n"
+                        );
+                    }
+                    VariantShape::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let _ = write!(s, "{name}::{vname}({}) => ", binds.join(", "));
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_content({b})"))
+                            .collect();
+                        let _ = write!(
+                            s,
+                            "::serde::Content::Map(vec![(::serde::Content::str_key(\"{vname}\"), \
+                             ::serde::Content::Seq(vec![{}]))]),\n",
+                            items.join(", ")
+                        );
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let _ = write!(s, "{name}::{vname} {{ {} }} => {{\n", binds.join(", "));
+                        s.push_str(
+                            "let mut m: Vec<(::serde::Content, ::serde::Content)> = Vec::new();\n",
+                        );
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            let fname = &f.name;
+                            let _ = write!(
+                                s,
+                                "m.push((::serde::Content::str_key(\"{fname}\"), \
+                                 ::serde::Serialize::to_content({fname})));\n"
+                            );
+                        }
+                        for f in fields.iter().filter(|f| f.skip) {
+                            let fname = &f.name;
+                            let _ = write!(s, "let _ = {fname};\n");
+                        }
+                        let _ = write!(
+                            s,
+                            "::serde::Content::Map(vec![(::serde::Content::str_key(\"{vname}\"), \
+                             ::serde::Content::Map(m))])\n}},\n"
+                        );
+                    }
+                }
+            }
+            s.push_str("}\n}\n}\n");
+        }
+    }
+    s
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut s = String::new();
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let _ = write!(
+                s,
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(c: &::serde::Content) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 let m = c.as_map().ok_or_else(|| \
+                 ::serde::DeError::msg(\"expected map for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                let fname = &f.name;
+                if f.skip {
+                    let _ = write!(s, "{fname}: ::std::default::Default::default(),\n");
+                } else {
+                    let _ = write!(s, "{fname}: ::serde::field(m, \"{fname}\", \"{name}\")?,\n");
+                }
+            }
+            s.push_str("})\n}\n}\n");
+        }
+        Item::TupleStruct { name, arity } => {
+            let _ = write!(
+                s,
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(c: &::serde::Content) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n"
+            );
+            if *arity == 1 {
+                let _ = write!(
+                    s,
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_content(c)?))\n"
+                );
+            } else {
+                let _ = write!(
+                    s,
+                    "let seq = c.as_seq().ok_or_else(|| \
+                     ::serde::DeError::msg(\"expected sequence for {name}\"))?;\n\
+                     if seq.len() != {arity} {{ return ::std::result::Result::Err(\
+                     ::serde::DeError::msg(\"wrong tuple arity for {name}\")); }}\n\
+                     ::std::result::Result::Ok({name}("
+                );
+                for i in 0..*arity {
+                    let _ = write!(s, "::serde::Deserialize::from_content(&seq[{i}])?,");
+                }
+                s.push_str("))\n");
+            }
+            s.push_str("}\n}\n");
+        }
+        Item::UnitStruct { name } => {
+            let _ = write!(
+                s,
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(_c: &::serde::Content) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 ::std::result::Result::Ok({name})\n}}\n}}\n"
+            );
+        }
+        Item::Enum { name, variants } => {
+            let _ = write!(
+                s,
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(c: &::serde::Content) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match c {{\n\
+                 ::serde::Content::Str(__s) => match __s.as_str() {{\n"
+            );
+            for v in variants {
+                if matches!(v.shape, VariantShape::Unit) {
+                    let vname = &v.name;
+                    let _ =
+                        write!(s, "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n");
+                }
+            }
+            let _ = write!(
+                s,
+                "__other => ::std::result::Result::Err(::serde::DeError::msg(format!(\
+                 \"unknown unit variant `{{__other}}` for {name}\"))),\n}},\n\
+                 ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__k, __v) = &__entries[0];\n\
+                 let __k = __k.as_str().ok_or_else(|| \
+                 ::serde::DeError::msg(\"expected string variant key for {name}\"))?;\n\
+                 match __k {{\n"
+            );
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        // Also accept the {"Variant": null} form.
+                        let _ = write!(
+                            s,
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                        );
+                    }
+                    VariantShape::Tuple(arity) => {
+                        let _ = write!(
+                            s,
+                            "\"{vname}\" => {{\n\
+                             let __seq = __v.as_seq().ok_or_else(|| \
+                             ::serde::DeError::msg(\"expected sequence for {name}::{vname}\"))?;\n\
+                             if __seq.len() != {arity} {{ return ::std::result::Result::Err(\
+                             ::serde::DeError::msg(\"wrong arity for {name}::{vname}\")); }}\n\
+                             ::std::result::Result::Ok({name}::{vname}("
+                        );
+                        for i in 0..*arity {
+                            let _ = write!(s, "::serde::Deserialize::from_content(&__seq[{i}])?,");
+                        }
+                        s.push_str("))\n},\n");
+                    }
+                    VariantShape::Struct(fields) => {
+                        let _ = write!(
+                            s,
+                            "\"{vname}\" => {{\n\
+                             let __m = __v.as_map().ok_or_else(|| \
+                             ::serde::DeError::msg(\"expected map for {name}::{vname}\"))?;\n\
+                             let _ = __m;\n\
+                             ::std::result::Result::Ok({name}::{vname} {{\n"
+                        );
+                        for f in fields {
+                            let fname = &f.name;
+                            if f.skip {
+                                let _ = write!(s, "{fname}: ::std::default::Default::default(),\n");
+                            } else {
+                                let _ = write!(
+                                    s,
+                                    "{fname}: ::serde::field(__m, \"{fname}\", \
+                                     \"{name}::{vname}\")?,\n"
+                                );
+                            }
+                        }
+                        s.push_str("})\n},\n");
+                    }
+                }
+            }
+            let _ = write!(
+                s,
+                "__other => ::std::result::Result::Err(::serde::DeError::msg(format!(\
+                 \"unknown variant `{{__other}}` for {name}\"))),\n}}\n}},\n\
+                 _ => ::std::result::Result::Err(::serde::DeError::msg(\
+                 \"unexpected content for enum {name}\")),\n}}\n}}\n}}\n"
+            );
+        }
+    }
+    s
+}
