@@ -9,13 +9,14 @@
 //! produce them — incremental tracing.
 
 use crate::builder::{GraphBuilder, SubstitutedRef};
+use crate::replay::{DebugStats, ReplayEngine};
 use crate::session::{Execution, PpdSession};
 use crate::PpdError;
 use ppd_analysis::VarSetRepr;
 use ppd_graph::{detect_races_pruned, DynEdgeKind, DynNodeId, DynamicGraph, Race, VectorClocks};
 use ppd_lang::{ProcId, VarId};
 use ppd_log::{IntervalRef, LogEntry};
-use ppd_runtime::{Machine, NestedCalls, Outcome, VecTracer};
+use ppd_runtime::Outcome;
 use std::collections::HashMap;
 
 /// A race found in the execution instance, with human-readable context.
@@ -45,6 +46,8 @@ pub struct Controller<'p> {
     session: &'p PpdSession,
     execution: &'p Execution,
     builder: GraphBuilder<'p>,
+    /// All replays go through here: memoization, interval index, stats.
+    engine: ReplayEngine<'p>,
     /// For each unexpanded node: the interval whose replay produced it,
     /// plus the e-block/ordinal key of the nested interval to expand.
     expansions: HashMap<DynNodeId, (IntervalRef, SubstitutedRef)>,
@@ -60,6 +63,7 @@ impl<'p> Controller<'p> {
             session,
             execution,
             builder: GraphBuilder::new(session.rp(), session.analyses(), session.plan()),
+            engine: ReplayEngine::new(session, execution),
             expansions: HashMap::new(),
             materialized: Vec::new(),
         }
@@ -68,6 +72,23 @@ impl<'p> Controller<'p> {
     /// The dynamic graph built so far.
     pub fn graph(&self) -> &DynamicGraph {
         self.builder.graph()
+    }
+
+    /// A snapshot of the debugging-phase counters (replays, cache
+    /// hits/misses, query timings — the `--stats` output).
+    pub fn stats(&self) -> DebugStats {
+        self.engine.stats()
+    }
+
+    /// Enables or disables replay memoization. Results are identical
+    /// either way (replay is deterministic); only the cost changes.
+    pub fn set_cache_enabled(&mut self, enabled: bool) {
+        self.engine.set_cache_enabled(enabled);
+    }
+
+    /// Sets the replay cache's byte budget.
+    pub fn set_cache_budget(&mut self, bytes: usize) {
+        self.engine.set_cache_budget(bytes);
     }
 
     /// Starts a debugging session (§5.3): locates the innermost open
@@ -92,7 +113,8 @@ impl<'p> Controller<'p> {
     ///
     /// Fails if the process logged no intervals.
     pub fn start_at(&mut self, proc: ProcId) -> Result<DynNodeId, PpdError> {
-        let open = self.execution.logs.open_intervals(proc);
+        let _q = self.engine.query_timer();
+        let open = self.engine.index().open_intervals(proc);
         let interval = open
             .last()
             .copied()
@@ -122,35 +144,10 @@ impl<'p> Controller<'p> {
         interval: IntervalRef,
         attach_to: Option<DynNodeId>,
     ) -> Result<crate::builder::FeedReport, PpdError> {
-        let machine = Machine::new_replay_until(
-            self.session.rp(),
-            self.session.analyses(),
-            self.session.plan(),
-            &self.execution.logs,
-            interval,
-            NestedCalls::Substitute,
-            10_000_000,
-            crate::restore::halt_stop_at(self.execution, interval),
-        );
-        let mut tracer = VecTracer::default();
-        let result = machine.run_replay(&mut tracer);
-        match &result.outcome {
-            // A reproduced program failure is expected when replaying the
-            // halted interval — but log corruption is a debugger error.
-            Outcome::Failed { error: ppd_runtime::RuntimeError::LogMismatch(m), .. } => {
-                return Err(PpdError::Debugging(format!(
-                    "log mismatch replaying {interval:?}: {m}"
-                )))
-            }
-            Outcome::Completed | Outcome::Failed { .. } | Outcome::Breakpoint { .. } => {}
-            other => {
-                return Err(PpdError::Debugging(format!(
-                    "replay of {interval:?} ended abnormally: {other:?}"
-                )))
-            }
-        }
+        let _q = self.engine.query_timer();
+        let events = self.engine.replay_interval(interval)?;
         let body = self.session.plan().eblock(interval.eblock).region.body();
-        let report = self.builder.feed(interval.proc, body, &tracer.events, attach_to);
+        let report = self.builder.feed(interval.proc, body, &events, attach_to);
         for sub in &report.substituted {
             self.expansions.insert(sub.node, (interval, *sub));
         }
@@ -167,6 +164,7 @@ impl<'p> Controller<'p> {
     /// Fails if the node is not an unexpanded node produced by this
     /// controller, or the nested interval cannot be located.
     pub fn expand(&mut self, node: DynNodeId) -> Result<crate::builder::FeedReport, PpdError> {
+        let _q = self.engine.query_timer();
         let (parent, sub) = self
             .expansions
             .get(&node)
@@ -188,51 +186,33 @@ impl<'p> Controller<'p> {
         self.materialize(target, Some(node))
     }
 
-    /// The top-level (unnested) intervals of a process, in log order.
+    /// The top-level (unnested) intervals of a process, in log order —
+    /// an O(1)-amortized view over the interval index.
     pub fn top_level_intervals(&self, proc: ProcId) -> Vec<IntervalRef> {
-        let mut out: Vec<IntervalRef> = Vec::new();
-        let mut skip_until = 0usize;
-        for iv in self.execution.logs.intervals(proc) {
-            if iv.prelog_pos < skip_until {
-                continue;
-            }
-            skip_until = iv.postlog_pos.map(|p| p + 1).unwrap_or(usize::MAX);
-            out.push(iv);
-        }
-        out
+        self.engine.index().top_level(proc)
     }
 
     /// The direct child intervals of `parent`, in log order — the
-    /// nesting structure of Figure 5.2.
+    /// nesting structure of Figure 5.2, read off the index's links.
     pub fn direct_children(&self, parent: IntervalRef) -> Vec<IntervalRef> {
-        let end = parent.postlog_pos.unwrap_or(usize::MAX);
-        let mut out: Vec<IntervalRef> = Vec::new();
-        let mut skip_until = 0usize;
-        for iv in self.execution.logs.intervals(parent.proc) {
-            if iv.prelog_pos <= parent.prelog_pos || iv.prelog_pos >= end {
-                continue;
-            }
-            if iv.prelog_pos < skip_until {
-                continue; // nested inside a previous child
-            }
-            skip_until = iv.postlog_pos.map(|p| p + 1).unwrap_or(usize::MAX);
-            out.push(iv);
-        }
-        out
+        self.engine.index().direct_children(parent)
     }
 
     /// One flowback step (§1): the dependence predecessors of `node`.
     pub fn flowback(&self, node: DynNodeId) -> Vec<(DynNodeId, DynEdgeKind)> {
+        let _q = self.engine.query_timer();
         self.builder.graph().dependence_preds(node)
     }
 
     /// The full backward slice from `node`.
     pub fn backward_slice(&self, node: DynNodeId) -> Vec<DynNodeId> {
+        let _q = self.engine.query_timer();
         self.builder.graph().backward_slice(node)
     }
 
     /// One forward-flow step: the events `node` directly influenced.
     pub fn flow_forward(&self, node: DynNodeId) -> Vec<(DynNodeId, DynEdgeKind)> {
+        let _q = self.engine.query_timer();
         self.builder.graph().dependence_succs(node)
     }
 
@@ -241,6 +221,7 @@ impl<'p> Controller<'p> {
     /// determined by the screen size"): the inverted dependence tree of
     /// depth at most `depth` rooted at `root`, nodes in seq order.
     pub fn present(&self, root: DynNodeId, depth: usize) -> Vec<DynNodeId> {
+        let _q = self.engine.query_timer();
         let graph = self.builder.graph();
         let mut seen = std::collections::HashSet::new();
         let mut frontier = vec![root];
@@ -266,6 +247,7 @@ impl<'p> Controller<'p> {
 
     /// The full forward slice from `node` — everything it influenced.
     pub fn forward_slice(&self, node: DynNodeId) -> Vec<DynNodeId> {
+        let _q = self.engine.query_timer();
         self.builder.graph().forward_slice(node)
     }
 
@@ -289,6 +271,7 @@ impl<'p> Controller<'p> {
         node: DynNodeId,
         var: VarId,
     ) -> Result<DynNodeId, PpdError> {
+        let _q = self.engine.query_timer();
         let reader_proc = self.builder.graph().node(node).proc;
         // Upper time bound: the end of the fragment the node belongs to.
         let upper = self
@@ -323,18 +306,8 @@ impl<'p> Controller<'p> {
         // Locate the writer's innermost log interval overlapping that
         // window (interval boundaries are logged between the edge's
         // synchronization nodes, so containment cannot be required).
-        let interval = self
-            .execution
-            .logs
-            .intervals(writer_proc)
-            .into_iter()
-            .rfind(|iv| {
-                let start = self.execution.logs.prelog_of(*iv).time();
-                let end =
-                    self.execution.logs.postlog_of(*iv).map(LogEntry::time).unwrap_or(u64::MAX);
-                start <= w_end && end >= w_start
-            })
-            .ok_or_else(|| {
+        let interval =
+            self.engine.index().covering_window(writer_proc, w_start, w_end).ok_or_else(|| {
                 PpdError::Debugging(format!(
                     "no log interval of {} overlaps [{w_start}, {w_end}]",
                     self.session.rp().proc_name(writer_proc)
@@ -360,6 +333,7 @@ impl<'p> Controller<'p> {
     /// the real source. Returns `(var, writer_node)` pairs for the
     /// dependences that were resolved.
     pub fn auto_extend(&mut self, node: DynNodeId) -> Vec<(VarId, DynNodeId)> {
+        let _q = self.engine.query_timer();
         let rp = self.session.rp();
         let pending: Vec<VarId> = self
             .builder
@@ -400,22 +374,15 @@ impl<'p> Controller<'p> {
         &mut self,
         race: &ppd_graph::Race,
     ) -> Result<(DynNodeId, DynNodeId), PpdError> {
+        let _q = self.engine.query_timer();
         let mut access_node = |edge: ppd_graph::InternalEdgeId| -> Result<DynNodeId, PpdError> {
             let g = &self.execution.pgraph;
             let e = g.internal_edge(edge);
             let (w_start, w_end) = (g.node(e.from).time, g.node(e.to).time);
-            let interval = self
-                .execution
-                .logs
-                .intervals(e.proc)
-                .into_iter()
-                .rfind(|iv| {
-                    let start = self.execution.logs.prelog_of(*iv).time();
-                    let end =
-                        self.execution.logs.postlog_of(*iv).map(LogEntry::time).unwrap_or(u64::MAX);
-                    start <= w_end && end >= w_start
-                })
-                .ok_or_else(|| PpdError::Debugging(format!("no interval covers edge {edge}")))?;
+            let interval =
+                self.engine.index().covering_window(e.proc, w_start, w_end).ok_or_else(|| {
+                    PpdError::Debugging(format!("no interval covers edge {edge}"))
+                })?;
             let report = self.materialize(interval, None)?;
             report
                 .last_writes
@@ -433,6 +400,7 @@ impl<'p> Controller<'p> {
     /// static candidate index (GMOD/GREF cannot miss a dynamic access,
     /// so the pruned result equals the naive scan's).
     pub fn races(&self) -> Vec<RaceReport> {
+        let _q = self.engine.query_timer();
         let g = &self.execution.pgraph;
         let ord = VectorClocks::compute(g);
         detect_races_pruned(g, &ord, &self.session.analyses().race_candidates)

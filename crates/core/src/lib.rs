@@ -44,6 +44,7 @@
 
 pub mod builder;
 pub mod controller;
+pub mod replay;
 pub mod restore;
 pub mod session;
 
@@ -52,6 +53,7 @@ mod tests;
 
 pub use builder::{FeedReport, GraphBuilder, SubstitutedRef};
 pub use controller::{Controller, DeadlockEntry, RaceReport};
+pub use replay::{DebugStats, ReplayEngine};
 pub use restore::{faithful_replay, halt_stop_at, shared_state_at, what_if_replay, WhatIfResult};
 pub use session::{Execution, PpdSession, RunConfig};
 

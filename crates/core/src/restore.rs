@@ -7,11 +7,12 @@
 //! logs, and supports the paper's experiment of changing variable values
 //! and re-running from the same point.
 
+use crate::replay::ReplayEngine;
 use crate::session::{Execution, PpdSession};
 use crate::PpdError;
 use ppd_lang::{ProcId, Value, VarId};
 use ppd_log::{IntervalRef, LogEntry};
-use ppd_runtime::{Machine, NestedCalls, ReplayResult, TraceEvent, Tracer, VecTracer};
+use ppd_runtime::{ReplayResult, TraceEvent, Tracer};
 
 /// Rebuilds the values of all shared variables at logical time `t` by
 /// replaying the logs' value records in time order.
@@ -78,22 +79,7 @@ pub fn what_if_replay(
     interval: IntervalRef,
     changes: &[(VarId, Value)],
 ) -> Result<WhatIfResult, PpdError> {
-    let mut machine = Machine::new_replay(
-        session.rp(),
-        session.analyses(),
-        session.plan(),
-        &execution.logs,
-        interval,
-        NestedCalls::Expand,
-        10_000_000,
-    );
-    machine.set_what_if(true);
-    for (var, value) in changes {
-        machine.override_var(*var, value.clone());
-    }
-    let mut tracer = VecTracer::default();
-    let result = machine.run_replay(&mut tracer);
-    Ok(WhatIfResult { result, events: tracer.events })
+    ReplayEngine::new(session, execution).what_if(interval, changes)
 }
 
 /// Replays `interval` faithfully and streams its events into `tracer` —
@@ -106,17 +92,7 @@ pub fn faithful_replay(
     interval: IntervalRef,
     tracer: &mut dyn Tracer,
 ) -> ReplayResult {
-    let machine = Machine::new_replay_until(
-        session.rp(),
-        session.analyses(),
-        session.plan(),
-        &execution.logs,
-        interval,
-        NestedCalls::Expand,
-        10_000_000,
-        halt_stop_at(execution, interval),
-    );
-    machine.run_replay(tracer)
+    ReplayEngine::new(session, execution).faithful(interval, tracer)
 }
 
 /// Where a replay of `interval` must stop to mirror the original halt:

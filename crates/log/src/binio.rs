@@ -1,0 +1,366 @@
+//! Compact binary encoding of a [`LogStore`].
+//!
+//! The JSON format is convenient for inspection, but its byte count says
+//! nothing about what the paper's object code would actually write to
+//! disk. This module defines a dense format — one-byte entry tags,
+//! LEB128 varints, zigzag-encoded integers — so experiment E2 can report
+//! honest log volume, and round-trips exactly with the JSON encoding.
+//!
+//! Layout: `"PPDL"` magic, a format-version byte, the process count,
+//! then each process's entry list. Every integer is an unsigned LEB128
+//! varint; signed values are zigzag-mapped first.
+
+use crate::entry::LogEntry;
+use crate::store::LogStore;
+use ppd_analysis::EBlockId;
+use ppd_lang::{ProcId, StmtId, Value, VarId};
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"PPDL";
+const VERSION: u8 = 1;
+
+const TAG_PRELOG: u8 = 0;
+const TAG_POSTLOG: u8 = 1;
+const TAG_SHARED: u8 = 2;
+const TAG_INPUT: u8 = 3;
+const TAG_RECEIVE: u8 = 4;
+const TAG_ELEMENT: u8 = 5;
+
+const VAL_INT: u8 = 0;
+const VAL_ARRAY: u8 = 1;
+
+/// A binary decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BinError {
+    /// The input does not start with the `PPDL` magic.
+    BadMagic,
+    /// The format version byte is not one this build understands.
+    BadVersion(u8),
+    /// An entry or value tag byte was not recognized.
+    BadTag(u8),
+    /// The input ended mid-record.
+    UnexpectedEof,
+}
+
+impl fmt::Display for BinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinError::BadMagic => write!(f, "not a PPDL binary log (bad magic)"),
+            BinError::BadVersion(v) => write!(f, "unsupported binary log version {v}"),
+            BinError::BadTag(t) => write!(f, "unknown record tag {t}"),
+            BinError::UnexpectedEof => write!(f, "truncated binary log"),
+        }
+    }
+}
+
+impl std::error::Error for BinError {}
+
+// ---------------------------------------------------------------------
+// Primitive writers/readers
+// ---------------------------------------------------------------------
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn put_signed(out: &mut Vec<u8>, v: i64) {
+    // Zigzag: small magnitudes of either sign stay short.
+    put_varint(out, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn byte(&mut self) -> Result<u8, BinError> {
+        let b = *self.bytes.get(self.pos).ok_or(BinError::UnexpectedEof)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn varint(&mut self) -> Result<u64, BinError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.byte()?;
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift >= 64 {
+                return Err(BinError::BadTag(b));
+            }
+        }
+    }
+
+    fn signed(&mut self) -> Result<i64, BinError> {
+        let v = self.varint()?;
+        Ok(((v >> 1) as i64) ^ -((v & 1) as i64))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Values and entries
+// ---------------------------------------------------------------------
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Int(n) => {
+            out.push(VAL_INT);
+            put_signed(out, *n);
+        }
+        Value::Array(a) => {
+            out.push(VAL_ARRAY);
+            put_varint(out, a.len() as u64);
+            for &n in a {
+                put_signed(out, n);
+            }
+        }
+    }
+}
+
+fn get_value(r: &mut Reader<'_>) -> Result<Value, BinError> {
+    match r.byte()? {
+        VAL_INT => Ok(Value::Int(r.signed()?)),
+        VAL_ARRAY => {
+            let len = r.varint()? as usize;
+            let mut a = Vec::with_capacity(len.min(1 << 16));
+            for _ in 0..len {
+                a.push(r.signed()?);
+            }
+            Ok(Value::Array(a))
+        }
+        t => Err(BinError::BadTag(t)),
+    }
+}
+
+fn put_values(out: &mut Vec<u8>, vs: &[(VarId, Value)]) {
+    put_varint(out, vs.len() as u64);
+    for (var, value) in vs {
+        put_varint(out, u64::from(var.0));
+        put_value(out, value);
+    }
+}
+
+fn get_values(r: &mut Reader<'_>) -> Result<Vec<(VarId, Value)>, BinError> {
+    let len = r.varint()? as usize;
+    let mut vs = Vec::with_capacity(len.min(1 << 16));
+    for _ in 0..len {
+        let var = VarId(r.varint()? as u32);
+        vs.push((var, get_value(r)?));
+    }
+    Ok(vs)
+}
+
+fn put_entry(out: &mut Vec<u8>, e: &LogEntry) {
+    match e {
+        LogEntry::Prelog { eblock, instance, values, time } => {
+            out.push(TAG_PRELOG);
+            put_varint(out, u64::from(eblock.0));
+            put_varint(out, *instance);
+            put_values(out, values);
+            put_varint(out, *time);
+        }
+        LogEntry::Postlog { eblock, instance, values, ret, time } => {
+            out.push(TAG_POSTLOG);
+            put_varint(out, u64::from(eblock.0));
+            put_varint(out, *instance);
+            put_values(out, values);
+            match ret {
+                Some(v) => {
+                    out.push(1);
+                    put_value(out, v);
+                }
+                None => out.push(0),
+            }
+            put_varint(out, *time);
+        }
+        LogEntry::SharedSnapshot { at, values, time } => {
+            out.push(TAG_SHARED);
+            match at {
+                Some(stmt) => {
+                    out.push(1);
+                    put_varint(out, u64::from(stmt.0));
+                }
+                None => out.push(0),
+            }
+            put_values(out, values);
+            put_varint(out, *time);
+        }
+        LogEntry::Input { value, time } => {
+            out.push(TAG_INPUT);
+            put_signed(out, *value);
+            put_varint(out, *time);
+        }
+        LogEntry::Receive { value, time } => {
+            out.push(TAG_RECEIVE);
+            put_signed(out, *value);
+            put_varint(out, *time);
+        }
+        LogEntry::ElementRead { value, time } => {
+            out.push(TAG_ELEMENT);
+            put_signed(out, *value);
+            put_varint(out, *time);
+        }
+    }
+}
+
+fn get_entry(r: &mut Reader<'_>) -> Result<LogEntry, BinError> {
+    match r.byte()? {
+        TAG_PRELOG => Ok(LogEntry::Prelog {
+            eblock: EBlockId(r.varint()? as u32),
+            instance: r.varint()?,
+            values: get_values(r)?,
+            time: r.varint()?,
+        }),
+        TAG_POSTLOG => Ok(LogEntry::Postlog {
+            eblock: EBlockId(r.varint()? as u32),
+            instance: r.varint()?,
+            values: get_values(r)?,
+            ret: match r.byte()? {
+                0 => None,
+                _ => Some(get_value(r)?),
+            },
+            time: r.varint()?,
+        }),
+        TAG_SHARED => Ok(LogEntry::SharedSnapshot {
+            at: match r.byte()? {
+                0 => None,
+                _ => Some(StmtId(r.varint()? as u32)),
+            },
+            values: get_values(r)?,
+            time: r.varint()?,
+        }),
+        TAG_INPUT => Ok(LogEntry::Input { value: r.signed()?, time: r.varint()? }),
+        TAG_RECEIVE => Ok(LogEntry::Receive { value: r.signed()?, time: r.varint()? }),
+        TAG_ELEMENT => Ok(LogEntry::ElementRead { value: r.signed()?, time: r.varint()? }),
+        t => Err(BinError::BadTag(t)),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Store framing
+// ---------------------------------------------------------------------
+
+/// Encodes a whole store.
+pub fn encode(store: &LogStore) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    put_varint(&mut out, store.process_count() as u64);
+    for p in 0..store.process_count() {
+        let entries = &store.log(ProcId(p as u32)).entries;
+        put_varint(&mut out, entries.len() as u64);
+        for e in entries {
+            put_entry(&mut out, e);
+        }
+    }
+    out
+}
+
+/// Decodes a store.
+///
+/// # Errors
+///
+/// Returns a [`BinError`] on malformed input.
+pub fn decode(bytes: &[u8]) -> Result<LogStore, BinError> {
+    let mut r = Reader { bytes, pos: 0 };
+    for &m in MAGIC {
+        if r.byte()? != m {
+            return Err(BinError::BadMagic);
+        }
+    }
+    match r.byte()? {
+        VERSION => {}
+        v => return Err(BinError::BadVersion(v)),
+    }
+    let procs = r.varint()? as usize;
+    let mut store = LogStore::new(procs);
+    for p in 0..procs {
+        let n = r.varint()? as usize;
+        for _ in 0..n {
+            store.push(ProcId(p as u32), get_entry(&mut r)?);
+        }
+    }
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> LogStore {
+        let mut s = LogStore::new(2);
+        s.push(
+            ProcId(0),
+            LogEntry::Prelog {
+                eblock: EBlockId(0),
+                instance: 0,
+                values: vec![(VarId(0), Value::Int(-7)), (VarId(3), Value::Array(vec![1, -2, 3]))],
+                time: 1,
+            },
+        );
+        s.push(ProcId(0), LogEntry::Input { value: i64::MIN, time: 2 });
+        s.push(
+            ProcId(0),
+            LogEntry::SharedSnapshot {
+                at: Some(StmtId(9)),
+                values: vec![(VarId(1), Value::Int(0))],
+                time: 3,
+            },
+        );
+        s.push(
+            ProcId(0),
+            LogEntry::Postlog {
+                eblock: EBlockId(0),
+                instance: 0,
+                values: vec![(VarId(2), Value::Int(1 << 40))],
+                ret: Some(Value::Int(-1)),
+                time: 4,
+            },
+        );
+        s.push(ProcId(1), LogEntry::Receive { value: 99, time: 5 });
+        s.push(ProcId(1), LogEntry::ElementRead { value: -99, time: 6 });
+        s.push(ProcId(1), LogEntry::SharedSnapshot { at: None, values: vec![], time: 7 });
+        s
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_every_entry() {
+        let s = sample_store();
+        let bytes = encode(&s);
+        let back = decode(&bytes).expect("decodes");
+        assert_eq!(back.process_count(), s.process_count());
+        for p in 0..s.process_count() {
+            let pid = ProcId(p as u32);
+            assert_eq!(back.log(pid).entries, s.log(pid).entries);
+        }
+    }
+
+    #[test]
+    fn binary_is_denser_than_json() {
+        let s = sample_store();
+        assert!(encode(&s).len() < s.to_json().unwrap().len());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(decode(b"nope").unwrap_err(), BinError::BadMagic);
+        assert_eq!(decode(b"PPDL").unwrap_err(), BinError::UnexpectedEof);
+        assert_eq!(decode(b"PPDL\x09").unwrap_err(), BinError::BadVersion(9));
+        let mut ok = encode(&sample_store());
+        ok.truncate(ok.len() - 1);
+        assert_eq!(decode(&ok).unwrap_err(), BinError::UnexpectedEof);
+    }
+}

@@ -8,9 +8,13 @@
 //!
 //! This crate defines the log records ([`LogEntry`]), the per-process
 //! log files and whole-execution [`LogStore`] (§5.6), the log-interval
-//! index ([`IntervalRef`], §5.1) and the [`LogCursor`] that e-block
-//! replay consumes entries from — including the nested-interval
-//! postlog substitution of §5.2 / Figure 5.2.
+//! index ([`IntervalRef`] / [`IntervalIndex`], §5.1) and the
+//! [`LogCursor`] that e-block replay consumes entries from — including
+//! the nested-interval postlog substitution of §5.2 / Figure 5.2. The
+//! [`IntervalIndex`] is built once per execution by a single-pass stack
+//! matching of prelog/postlog pairs and serves all interval queries in
+//! O(1) amortized time; [`binio`] adds a compact binary serialization
+//! next to the JSON one.
 //!
 //! ## Example
 //!
@@ -28,8 +32,12 @@
 
 #![warn(missing_docs)]
 
+pub mod binio;
 pub mod entry;
+pub mod index;
 pub mod store;
 
+pub use binio::BinError;
 pub use entry::LogEntry;
+pub use index::IntervalIndex;
 pub use store::{IntervalRef, LogCursor, LogStore, ProcessLog};

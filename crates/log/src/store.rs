@@ -6,9 +6,12 @@
 //! [`LogCursor`] that the replayer consumes entries from in order.
 
 use crate::entry::LogEntry;
+use crate::index::IntervalIndex;
 use ppd_analysis::EBlockId;
 use ppd_lang::ProcId;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 /// The log of one process.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -43,20 +46,48 @@ pub struct IntervalRef {
 }
 
 /// All logs of one execution.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Default, Serialize, Deserialize)]
 pub struct LogStore {
     logs: Vec<ProcessLog>,
+    /// The interval index, built lazily on first structural query and
+    /// invalidated by [`LogStore::push`]. Never serialized: it is a pure
+    /// function of `logs`.
+    #[serde(skip)]
+    index: OnceLock<Arc<IntervalIndex>>,
+}
+
+impl Clone for LogStore {
+    fn clone(&self) -> LogStore {
+        // Share the already-built index if there is one; both copies are
+        // views over identical entries until one of them pushes.
+        let index = OnceLock::new();
+        if let Some(i) = self.index.get() {
+            let _ = index.set(Arc::clone(i));
+        }
+        LogStore { logs: self.logs.clone(), index }
+    }
 }
 
 impl LogStore {
     /// A store for `processes` processes.
     pub fn new(processes: usize) -> LogStore {
-        LogStore { logs: vec![ProcessLog::default(); processes] }
+        LogStore { logs: vec![ProcessLog::default(); processes], index: OnceLock::new() }
     }
 
-    /// Appends an entry to a process's log.
+    /// Appends an entry to a process's log, invalidating the cached
+    /// interval index.
     pub fn push(&mut self, proc: ProcId, entry: LogEntry) {
+        self.index.take();
         self.logs[proc.index()].entries.push(entry);
+    }
+
+    /// The interval index over the current entries (§5.1). Built once in
+    /// a single pass per process and cached; every structural query
+    /// ([`intervals`](Self::intervals), [`open_intervals`](Self::open_intervals),
+    /// [`find_interval`](Self::find_interval), nesting links) is a view
+    /// over it.
+    pub fn index(&self) -> Arc<IntervalIndex> {
+        Arc::clone(self.index.get_or_init(|| Arc::new(IntervalIndex::build(self))))
     }
 
     /// The log of one process.
@@ -79,15 +110,20 @@ impl LogStore {
         self.logs.iter().map(|l| l.entries.len()).sum()
     }
 
-    /// Entry counts by kind, for the statistics tables.
+    /// Entry counts by kind, for the statistics tables. First-seen order
+    /// is preserved; the per-kind lookup is a map, not a linear scan.
     pub fn counts_by_kind(&self) -> Vec<(&'static str, usize)> {
         let mut counts: Vec<(&'static str, usize)> = Vec::new();
+        let mut slot: HashMap<&'static str, usize> = HashMap::new();
         for log in &self.logs {
             for e in &log.entries {
                 let name = e.kind_name();
-                match counts.iter_mut().find(|(n, _)| *n == name) {
-                    Some((_, c)) => *c += 1,
-                    None => counts.push((name, 1)),
+                match slot.get(name) {
+                    Some(&i) => counts[i].1 += 1,
+                    None => {
+                        slot.insert(name, counts.len());
+                        counts.push((name, 1));
+                    }
                 }
             }
         }
@@ -96,41 +132,29 @@ impl LogStore {
 
     /// All log intervals of `proc`, in prelog order (outer intervals
     /// appear before the intervals nested inside them — Figure 5.1/5.2).
+    ///
+    /// A view over the cached [`IntervalIndex`]: the prelog/postlog
+    /// pairing is done once, by single-pass stack matching, instead of a
+    /// forward postlog search per prelog.
     pub fn intervals(&self, proc: ProcId) -> Vec<IntervalRef> {
-        let entries = &self.logs[proc.index()].entries;
-        let mut out = Vec::new();
-        for (pos, e) in entries.iter().enumerate() {
-            let LogEntry::Prelog { eblock, instance, .. } = e else { continue };
-            let postlog_pos = entries[pos + 1..].iter().position(|e2| {
-                matches!(e2, LogEntry::Postlog { eblock: b2, instance: i2, .. }
-                         if b2 == eblock && i2 == instance)
-            });
-            out.push(IntervalRef {
-                proc,
-                eblock: *eblock,
-                instance: *instance,
-                prelog_pos: pos,
-                postlog_pos: postlog_pos.map(|p| pos + 1 + p),
-            });
-        }
-        out
+        self.index().intervals(proc)
     }
 
     /// The intervals of `proc` still open when execution stopped —
     /// innermost last. The Controller starts debugging from the last
     /// prelog whose postlog has not yet been generated (§5.3).
     pub fn open_intervals(&self, proc: ProcId) -> Vec<IntervalRef> {
-        self.intervals(proc).into_iter().filter(|i| i.postlog_pos.is_none()).collect()
+        self.index().open_intervals(proc)
     }
 
-    /// Finds a specific interval.
+    /// Finds a specific interval — an O(1) table lookup.
     pub fn find_interval(
         &self,
         proc: ProcId,
         eblock: EBlockId,
         instance: u64,
     ) -> Option<IntervalRef> {
-        self.intervals(proc).into_iter().find(|i| i.eblock == eblock && i.instance == instance)
+        self.index().find(proc, eblock, instance)
     }
 
     /// The interval (of any process) whose span covers logical time `t`
@@ -138,14 +162,7 @@ impl LogStore {
     /// log interval of the second process" for cross-process dependences
     /// (§5.6).
     pub fn interval_covering(&self, proc: ProcId, eblock: EBlockId, t: u64) -> Option<IntervalRef> {
-        let entries = &self.logs[proc.index()].entries;
-        self.intervals(proc).into_iter().rfind(|i| {
-            i.eblock == eblock && {
-                let start = entries[i.prelog_pos].time();
-                let end = i.postlog_pos.map(|p| entries[p].time()).unwrap_or(u64::MAX);
-                start <= t && t <= end
-            }
-        })
+        self.index().interval_covering(proc, eblock, t)
     }
 
     /// A cursor positioned immediately after `interval`'s prelog, for
@@ -183,6 +200,23 @@ impl LogStore {
     /// Returns a deserialization error on malformed input.
     pub fn from_json(json: &str) -> Result<LogStore, serde_json::Error> {
         serde_json::from_str(json)
+    }
+
+    /// Serializes the store in the compact binary log format — the honest
+    /// on-disk byte count for experiment E2, typically several times
+    /// smaller than the JSON encoding.
+    pub fn to_binary(&self) -> Vec<u8> {
+        crate::binio::encode(self)
+    }
+
+    /// Loads a store from the compact binary format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BinError`](crate::binio::BinError) on a bad magic
+    /// number, unknown version/tag, or truncated input.
+    pub fn from_binary(bytes: &[u8]) -> Result<LogStore, crate::binio::BinError> {
+        crate::binio::decode(bytes)
     }
 }
 

@@ -181,6 +181,20 @@ pub struct VecTracer {
     pub events: Vec<TraceEvent>,
 }
 
+impl VecTracer {
+    /// Drops recorded events but keeps the allocation, so one tracer can
+    /// serve many replays as a reusable sink.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Takes the recorded events, leaving the tracer empty (allocation
+    /// handed to the caller).
+    pub fn take(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
 impl Tracer for VecTracer {
     fn event(&mut self, event: &TraceEvent) {
         self.events.push(event.clone());

@@ -84,6 +84,9 @@ pub struct ReplayResult {
     pub output: Vec<(ProcId, i64)>,
     /// Steps consumed.
     pub steps: u64,
+    /// Log entries read from the interval's cursor, counting the prelog
+    /// restored at construction — the replay's scan cost.
+    pub log_entries_consumed: u64,
 }
 
 /// How replay treats calls to functions that have their own e-blocks.
@@ -464,8 +467,15 @@ impl<'p> Machine<'p> {
     /// Runs a replay to the end of its region.
     pub fn run_replay(mut self, tracer: &mut dyn Tracer) -> ReplayResult {
         debug_assert!(self.is_replay());
+        let start = self.replay.as_ref().map_or(0, |r| r.cursor.position());
         let outcome = self.run_loop(tracer);
-        ReplayResult { outcome, output: self.output, steps: self.steps }
+        let end = self.replay.as_ref().map_or(start, |r| r.cursor.position());
+        ReplayResult {
+            outcome,
+            output: self.output,
+            steps: self.steps,
+            log_entries_consumed: (end - start) as u64 + 1,
+        }
     }
 
     fn run_loop(&mut self, tracer: &mut dyn Tracer) -> Outcome {

@@ -67,5 +67,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("\nEach expansion replayed exactly one e-block from its prelog —");
     println!("the rest of the execution was never re-run.");
+
+    // Generate-once: asking the same question again hits the replay
+    // engine's memoized trace instead of re-running the e-block.
+    let before = controller.stats();
+    controller.start_at(ProcId(0))?;
+    let after = controller.stats();
+    println!(
+        "\nrepeating the first query: {} new replays (served from cache,",
+        after.replays - before.replays
+    );
+    println!("{} hit(s) so far); engine counters:", after.cache_hits);
+    for line in after.render().lines() {
+        println!("    {line}");
+    }
     Ok(())
 }

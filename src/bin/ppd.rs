@@ -16,6 +16,8 @@
 //!   --what W            dot target: static | parallel | dynamic
 //!   --deny              lint: exit nonzero on any diagnostic, not just errors
 //!   --format F          lint output: human (default) | json
+//!   --stats             debug: print replay-engine counters (cache hits,
+//!                       replays, query timings) after the session
 //! ```
 
 use ppd::analysis::EBlockStrategy;
@@ -37,6 +39,7 @@ struct Options {
     load: Option<String>,
     deny: bool,
     format: String,
+    stats: bool,
 }
 
 fn usage() -> ExitCode {
@@ -45,7 +48,7 @@ fn usage() -> ExitCode {
          [--seed N] [--inputs a,b,c]... [--break LINE]... \
          [--strategy subroutine|loops|split|merge] [--what static|parallel|dynamic] \
          [--schedules N] [--save FILE] [--load FILE] \
-         [--deny] [--format human|json]"
+         [--deny] [--format human|json] [--stats]"
     );
     ExitCode::from(2)
 }
@@ -65,6 +68,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<(String, Options
         load: None,
         deny: false,
         format: "human".into(),
+        stats: false,
     };
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("{flag} needs a value"));
@@ -98,6 +102,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<(String, Options
             "--load" => opts.load = Some(value()?),
             "--deny" => opts.deny = true,
             "--format" => opts.format = value()?,
+            "--stats" => opts.stats = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -445,7 +450,14 @@ fn cmd_debug(session: &PpdSession, opts: &Options) -> ExitCode {
         }
     };
     println!("\ndebugging from: {}", controller.graph().node(root).label);
-    println!("commands: graph back <n> slice <n> forward <n> expand <n> races state dot quit\n");
+    if opts.stats {
+        // Non-interactive runs (stdin closed) still see the counters for
+        // the initial query before the REPL exits.
+        println!("\nreplay-engine stats after initial query:\n{}", controller.stats().render());
+    }
+    println!(
+        "commands: graph back <n> slice <n> forward <n> expand <n> races state stats dot quit\n"
+    );
     print!("ppd> ");
     let _ = io::stdout().flush();
     let stdin = io::stdin();
@@ -493,6 +505,7 @@ fn cmd_debug(session: &PpdSession, opts: &Options) -> ExitCode {
                     println!("  {}", r.description);
                 }
             }
+            ("stats", _) => println!("{}", controller.stats().render()),
             ("state", _) => {
                 let state = shared_state_at(session, &execution, u64::MAX);
                 for v in session.rp().shared_vars() {
@@ -505,6 +518,9 @@ fn cmd_debug(session: &PpdSession, opts: &Options) -> ExitCode {
         }
         print!("ppd> ");
         let _ = io::stdout().flush();
+    }
+    if opts.stats {
+        println!("\nreplay-engine stats at exit:\n{}", controller.stats().render());
     }
     ExitCode::SUCCESS
 }

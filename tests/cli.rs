@@ -99,6 +99,34 @@ fn debug_repl_flows_back_from_failure() {
 }
 
 #[test]
+fn debug_stats_flag_reports_replay_engine_counters() {
+    // Non-interactive (stdin closed): stats print after the initial
+    // query and again at exit.
+    let (stdout, _, ok) = run_ppd(&["debug", "programs/bank.ppd", "--stats"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("replay-engine stats after initial query"), "{stdout}");
+    assert!(stdout.contains("replays performed"), "{stdout}");
+    assert!(stdout.contains("hit rate"), "{stdout}");
+    assert!(stdout.contains("log entries scanned"), "{stdout}");
+}
+
+#[test]
+fn debug_repl_stats_command_prints_counters() {
+    let mut child = ppd()
+        .args(["debug", "programs/overdraw.ppd", "--inputs", "95"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    use std::io::Write;
+    child.stdin.as_mut().unwrap().write_all(b"back 7\nstats\nquit\n").unwrap();
+    let out = child.wait_with_output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("replays performed"), "{stdout}");
+    assert!(stdout.contains("cache hits"), "{stdout}");
+}
+
+#[test]
 fn unknown_command_prints_usage() {
     let (_, stderr, ok) = run_ppd(&["frobnicate", "programs/bank.ppd"]);
     assert!(!ok);
