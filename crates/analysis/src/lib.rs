@@ -42,6 +42,7 @@ pub mod eblock;
 pub mod interproc;
 pub mod lint;
 pub mod liveness;
+pub mod mhp;
 pub mod reaching;
 pub mod syncunit;
 pub mod usedef;
@@ -56,6 +57,7 @@ pub use eblock::{EBlock, EBlockId, EBlockPlan, EBlockStrategy, Region};
 pub use interproc::ModRef;
 pub use lint::{Diagnostic, LintContext, LintPass, Note, RaceCandidates, Severity};
 pub use liveness::Liveness;
+pub use mhp::MhpAnalysis;
 pub use reaching::{DefSite, ReachingDefs};
 pub use syncunit::{BodySyncUnits, SyncUnit, SyncUnits, UnitStart};
 pub use usedef::{ProgramEffects, StmtEffects};
@@ -87,6 +89,23 @@ impl fmt::Display for AnalysisError {
 
 impl Error for AnalysisError {}
 
+/// Knobs for the preparatory-phase pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisConfig {
+    /// Use the MHP relation to drop shared variables from sync-unit
+    /// snapshot read sets when every conflicting cross-process write is
+    /// statically ordered around the unit's reads (shrinks logs; replay
+    /// behaviour is unchanged because emission and consumption share
+    /// the same trimmed sets).
+    pub mhp_snapshot_trim: bool,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> AnalysisConfig {
+        AnalysisConfig { mhp_snapshot_trim: true }
+    }
+}
+
 /// Everything the preparatory phase (§3.2.1) computes, bundled.
 ///
 /// This corresponds to the artifacts the paper's Compiler/Linker emits
@@ -113,11 +132,22 @@ pub struct Analyses {
     pub database: ProgramDatabase,
     /// Static race candidates — the pruning index for dynamic detection.
     pub race_candidates: RaceCandidates,
+    /// The static may-happen-in-parallel relation (§6.2's static analogue).
+    pub mhp: MhpAnalysis,
+    /// MHP-refined race candidates — always a subset of
+    /// [`Analyses::race_candidates`], used as the second pruning stage.
+    pub mhp_candidates: RaceCandidates,
 }
 
 impl Analyses {
-    /// Runs the full preparatory-phase analysis pipeline on `rp`.
+    /// Runs the full preparatory-phase analysis pipeline on `rp` with
+    /// the default [`AnalysisConfig`].
     pub fn run(rp: &ResolvedProgram) -> Analyses {
+        Analyses::run_with(rp, AnalysisConfig::default())
+    }
+
+    /// Runs the full preparatory-phase analysis pipeline on `rp`.
+    pub fn run_with(rp: &ResolvedProgram, config: AnalysisConfig) -> Analyses {
         let effects = ProgramEffects::compute(rp);
         let callgraph = CallGraph::build(rp, &effects);
         let modref = ModRef::compute(rp, &effects, &callgraph);
@@ -141,9 +171,14 @@ impl Analyses {
             reaching.insert(body, rd);
             liveness.insert(body, lv);
         }
-        let sync_units = SyncUnits::compute(rp, &cfgs, &effects, &modref, &callgraph);
+        let mhp = MhpAnalysis::compute(rp, &cfgs, &doms, &callgraph);
+        let mut sync_units = SyncUnits::compute(rp, &cfgs, &effects, &modref, &callgraph);
+        if config.mhp_snapshot_trim {
+            sync_units.trim_with_mhp(rp, &effects, &modref, &callgraph, &mhp);
+        }
         let database = ProgramDatabase::build(rp, &effects, &modref);
         let race_candidates = RaceCandidates::from_modref(rp, &modref);
+        let mhp_candidates = mhp.refine_candidates(rp, &effects, &modref, &race_candidates);
         Analyses {
             effects,
             callgraph,
@@ -157,6 +192,8 @@ impl Analyses {
             sync_units,
             database,
             race_candidates,
+            mhp,
+            mhp_candidates,
         }
     }
 

@@ -19,6 +19,9 @@
 //! - **PPD004** `uninit-read` — a local read while only its
 //!   initializer-less declaration (implicit 0) reaches it (from the
 //!   reaching-definitions solution).
+//! - **PPD005** `inconsistent-lock` — a shared variable reached under
+//!   disjoint must-locksets (different locks, or one side lockless) on
+//!   two paths the MHP relation deems concurrent.
 //!
 //! Diagnostics carry a code, severity, a primary [`Span`] and labeled
 //! notes; [`Diagnostic::render`] produces compiler-style excerpts via
@@ -26,12 +29,14 @@
 
 pub mod candidates;
 mod dead_store;
+mod inconsistent_lock;
 mod race_candidate;
 mod uninit_read;
 mod unsync_shared;
 
 pub use candidates::RaceCandidates;
 pub use dead_store::DeadStorePass;
+pub use inconsistent_lock::InconsistentLockPass;
 pub use race_candidate::RaceCandidatePass;
 pub use uninit_read::UninitReadPass;
 pub use unsync_shared::UnsyncSharedPass;
@@ -171,11 +176,13 @@ pub fn default_passes() -> Vec<Box<dyn LintPass>> {
         Box::new(UnsyncSharedPass),
         Box::new(DeadStorePass),
         Box::new(UninitReadPass),
+        Box::new(InconsistentLockPass),
     ]
 }
 
 /// Runs `passes` over the program and returns the diagnostics sorted by
-/// source position (then code), for deterministic output.
+/// source position (then code) and with exact duplicates removed, for
+/// deterministic output.
 pub fn run_passes(
     rp: &ResolvedProgram,
     analyses: &Analyses,
@@ -191,6 +198,7 @@ pub fn run_passes(
             &b.message,
         ))
     });
+    diags.dedup();
     diags
 }
 

@@ -14,9 +14,10 @@
 use crate::callgraph::CallGraph;
 use crate::cfg::{Cfg, CfgNodeKind, NodeId};
 use crate::interproc::ModRef;
+use crate::mhp::{stmt_shared_accesses, MhpAnalysis};
 use crate::usedef::ProgramEffects;
 use crate::varset::{VarSet, VarSetRepr};
-use ppd_lang::{BodyId, ProcId, ResolvedProgram, StmtId};
+use ppd_lang::{BodyId, ProcId, ResolvedProgram, StmtId, VarId};
 use std::collections::HashMap;
 
 /// Where a synchronization unit starts.
@@ -38,6 +39,10 @@ pub struct SyncUnit {
     pub reads: VarSet,
     /// Shared variables the unit may write.
     pub writes: VarSet,
+    /// The statements whose effects the unit covers (everything the
+    /// unit-start BFS visits, including the boundary statements it stops
+    /// at — their pre-completion effects belong to this unit).
+    pub stmts: Vec<StmtId>,
 }
 
 /// All synchronization units of one body.
@@ -141,6 +146,77 @@ impl SyncUnits {
         SyncUnits { per_body }
     }
 
+    /// Drops shared variables from unit snapshot read sets when the MHP
+    /// relation proves the snapshot redundant.
+    ///
+    /// A unit's extra prelog records `v` because "other processes may
+    /// have changed the value" since the e-block prelog (§5.5). If every
+    /// cross-process write of `v` is [`MhpAnalysis::happens_before`]'d
+    /// **after** every statement in the unit that reads `v` — for every
+    /// process that can execute the body — then each such read observes
+    /// a value determined by the e-block prelog and the executing
+    /// process's own (replayed) writes, and the snapshot carries no
+    /// information. Replay safety is structural: record emission and
+    /// consumption both consult these same read sets, so trimming cannot
+    /// desynchronize them (asserted by the fingerprint test in
+    /// `tests/mhp.rs`).
+    pub fn trim_with_mhp(
+        &mut self,
+        rp: &ResolvedProgram,
+        effects: &ProgramEffects,
+        modref: &ModRef,
+        callgraph: &CallGraph,
+        mhp: &MhpAnalysis,
+    ) {
+        let universe = rp.var_count();
+        // All events writing each shared variable.
+        let mut write_events: HashMap<VarId, Vec<(ProcId, StmtId)>> = HashMap::new();
+        for &(p, s) in mhp.events() {
+            let (_, writes) = stmt_shared_accesses(rp, effects, modref, s);
+            for v in writes {
+                write_events.entry(v).or_default().push((p, s));
+            }
+        }
+        let mut executors: HashMap<BodyId, Vec<ProcId>> = HashMap::new();
+        for p in 0..rp.procs.len() as u32 {
+            for body in callgraph.reachable_from(BodyId::Proc(ProcId(p))) {
+                executors.entry(body).or_default().push(ProcId(p));
+            }
+        }
+        for (&body, units) in &mut self.per_body {
+            let Some(execs) = executors.get(&body) else { continue };
+            for unit in &mut units.units {
+                let kept: Vec<VarId> = unit
+                    .reads
+                    .to_vec()
+                    .into_iter()
+                    .filter(|&v| {
+                        let readers: Vec<StmtId> = unit
+                            .stmts
+                            .iter()
+                            .copied()
+                            .filter(|&r| {
+                                stmt_shared_accesses(rp, effects, modref, r).0.contains(&v)
+                            })
+                            .collect();
+                        let ordered_after_all_reads = write_events
+                            .get(&v)
+                            .map(|ws| {
+                                ws.iter().all(|&(q, sw)| {
+                                    execs.iter().filter(|&&p| p != q).all(|&p| {
+                                        readers.iter().all(|&r| mhp.happens_before((p, r), (q, sw)))
+                                    })
+                                })
+                            })
+                            .unwrap_or(true);
+                        !ordered_after_all_reads
+                    })
+                    .collect();
+                unit.reads = VarSet::from_iter(universe, kept);
+            }
+        }
+    }
+
     /// The units of `body`.
     pub fn of(&self, body: BodyId) -> &BodySyncUnits {
         &self.per_body[&body]
@@ -208,6 +284,7 @@ fn unit_from(
 ) -> SyncUnit {
     let mut reads = VarSet::empty(universe);
     let mut writes = VarSet::empty(universe);
+    let mut stmts = Vec::new();
 
     let add_effects = |stmt: StmtId, reads: &mut VarSet, writes: &mut VarSet| {
         let fx = effects.of(stmt);
@@ -239,12 +316,14 @@ fn unit_from(
         seen[n.index()] = true;
         let CfgNodeKind::Stmt(stmt) = cfg.node(n).kind else { continue };
         add_effects(stmt, &mut reads, &mut writes);
+        stmts.push(stmt);
         if is_boundary_stmt(effects, stmt) {
             continue; // effects after its completion are the next unit's
         }
         queue.extend(cfg.succs(n));
     }
-    SyncUnit { start, reads, writes }
+    stmts.sort_unstable();
+    SyncUnit { start, reads, writes, stmts }
 }
 
 #[cfg(test)]

@@ -8,9 +8,9 @@ use crate::workloads::{self, Workload};
 use ppd_analysis::{BitVarSet, EBlockStrategy, ListVarSet, VarSetRepr};
 use ppd_core::Controller;
 use ppd_graph::{
-    detect_races_indexed, detect_races_indexed_counted, detect_races_naive,
-    detect_races_naive_counted, detect_races_pruned, detect_races_pruned_counted,
-    TransitiveClosure, VectorClocks,
+    detect_races_indexed, detect_races_indexed_counted, detect_races_mhp, detect_races_mhp_counted,
+    detect_races_naive, detect_races_naive_counted, detect_races_pruned,
+    detect_races_pruned_counted, TransitiveClosure, VectorClocks,
 };
 use ppd_lang::{BodyId, ProcId, VarId};
 use ppd_runtime::CountingTracer;
@@ -137,9 +137,21 @@ pub fn e3_granularity_sweep() -> Table {
 // E4: ordering + all-pairs race detection cost (§7)
 // ---------------------------------------------------------------------
 
+/// Total `(variable, value)` pairs recorded in shared-variable snapshot
+/// entries across all process logs.
+fn snapshot_values(logs: &ppd_log::LogStore) -> usize {
+    (0..logs.process_count())
+        .flat_map(|p| &logs.log(ProcId(p as u32)).entries)
+        .map(|e| match e {
+            ppd_log::LogEntry::SharedSnapshot { values, .. } => values.len(),
+            _ => 0,
+        })
+        .sum()
+}
+
 /// E4 — the §7 concern: the cost of ordering events and of finding all
-/// conflicting edge pairs — naive vs indexed vs statically pruned — and
-/// closure vs vector clocks for the ordering oracle.
+/// conflicting edge pairs — naive vs indexed vs GMOD/GREF-pruned vs
+/// MHP-pruned — and closure vs vector clocks for the ordering oracle.
 pub fn e4_race_detection() -> Table {
     let mut t = Table::new(
         "E4 — event ordering & all-pairs race detection (§7)",
@@ -150,27 +162,45 @@ pub fn e4_race_detection() -> Table {
             "closure",
             "vclock",
             "naive",
-            "indexed",
             "pruned",
-            "pairs n/i/p",
+            "mhp",
+            "pairs n/i/p/m",
+            "snap skipped",
         ],
     );
-    for (n, iters) in [(2u32, 8u32), (4, 8), (6, 8), (8, 8)] {
-        let w = workloads::racy_workers(n, iters);
+    let sweep: Vec<Workload> = [(2u32, 8u32), (4, 8), (6, 8), (8, 8)]
+        .into_iter()
+        .map(|(n, iters)| workloads::racy_workers(n, iters))
+        .chain([workloads::handoff(2, 8), workloads::handoff(4, 8)])
+        .collect();
+    for w in sweep {
         let session = w.prepare(EBlockStrategy::per_subroutine());
         let cands = &session.analyses().race_candidates;
+        let mhp_cands = &session.analyses().mhp_candidates;
         let exec = session.execute(w.config());
         let g = &exec.pgraph;
         let t_closure = median_of(REPS, || TransitiveClosure::compute(g));
         let t_vclock = median_of(REPS, || VectorClocks::compute(g));
         let ord = VectorClocks::compute(g);
         let t_naive = median_of(REPS, || detect_races_naive(g, &ord));
-        let t_indexed = median_of(REPS, || detect_races_indexed(g, &ord));
         let t_pruned = median_of(REPS, || detect_races_pruned(g, &ord, cands));
+        let t_mhp = median_of(REPS, || detect_races_mhp(g, &ord, mhp_cands));
         let (races, naive_pairs) = detect_races_naive_counted(g, &ord);
         let (_, indexed_pairs) = detect_races_indexed_counted(g, &ord);
         let (pruned_races, pruned_pairs) = detect_races_pruned_counted(g, &ord, cands);
+        let (mhp_races, mhp_pairs) = detect_races_mhp_counted(g, &ord, mhp_cands);
         assert_eq!(races, pruned_races, "pruning changed the race set");
+        assert_eq!(races, mhp_races, "MHP pruning changed the race set");
+        // Snapshot entries the MHP trim avoided: same program prepared
+        // without the trim logs this many more (variable, value) pairs.
+        let untrimmed = ppd_core::PpdSession::prepare_with(
+            &w.source,
+            EBlockStrategy::per_subroutine(),
+            ppd_analysis::AnalysisConfig { mhp_snapshot_trim: false },
+        )
+        .expect("workload compiles");
+        let full = snapshot_values(&untrimmed.execute(w.config()).logs);
+        let skipped = full - snapshot_values(&exec.logs);
         t.row(vec![
             w.name.clone(),
             g.internal_edges().len().to_string(),
@@ -178,16 +208,19 @@ pub fn e4_race_detection() -> Table {
             fmt_duration(t_closure),
             fmt_duration(t_vclock),
             fmt_duration(t_naive),
-            fmt_duration(t_indexed),
             fmt_duration(t_pruned),
-            format!("{naive_pairs}/{indexed_pairs}/{pruned_pairs}"),
+            fmt_duration(t_mhp),
+            format!("{naive_pairs}/{indexed_pairs}/{pruned_pairs}/{mhp_pairs}"),
+            skipped.to_string(),
         ]);
     }
     t.note("closure/vclock: time to build the §6.1 happened-before oracle;");
-    t.note("naive/indexed/pruned: all-pairs conflict scan vs the per-variable");
-    t.note("index vs the same index filtered by the static GMOD/GREF race");
-    t.note("candidates (`ppd lint` PPD001). pairs n/i/p: distinct cross-process");
-    t.note("edge pairs each detector examined — identical races every time.");
+    t.note("naive/pruned/mhp: all-pairs conflict scan vs the GMOD/GREF race-candidate");
+    t.note("index (`ppd lint` PPD001) vs the same index refined by the static");
+    t.note("may-happen-in-parallel fixpoint. pairs n/i/p/m: distinct cross-process");
+    t.note("edge pairs examined by naive / per-variable index / GMOD-GREF / MHP —");
+    t.note("identical races every time. snap skipped: shared-snapshot values the");
+    t.note("MHP trim proved statically ordered and kept out of the logs.");
     t
 }
 

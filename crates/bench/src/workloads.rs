@@ -62,6 +62,38 @@ pub fn racy_workers(n: u32, iters: u32) -> Workload {
     fixed(&format!("workers_{n}x{iters}"), &corpus::gen_racy_workers(n, iters), vec![])
 }
 
+/// Check-then-update handoff workload for the E4 MHP columns: `n`
+/// reader processes sum `config` (and the deliberately unprotected
+/// `racy`) then signal the writer, which mutates `config` only after
+/// every reader is done. All reader accesses to `config` are therefore
+/// statically ordered before its only cross-process write — the MHP
+/// index prunes those pairs and the snapshot trim drops `config` from
+/// the readers' synchronization units — while the concurrent `racy`
+/// accesses keep a real race in the table.
+pub fn handoff(n: u32, iters: u32) -> Workload {
+    let mut src = String::from("shared int config;\nshared int racy;\n");
+    for i in 0..n {
+        src.push_str(&format!("sem go{i} = 0;\nsem done{i} = 0;\n"));
+    }
+    for i in 0..n {
+        src.push_str(&format!(
+            "process R{i} {{\n    int k;\n    int acc = 0;\n    p(go{i});\n    \
+             for (k = 0; k < {iters}; k = k + 1) {{ acc = acc + config + racy; }}\n    \
+             v(done{i});\n    print(acc);\n}}\n"
+        ));
+    }
+    src.push_str("process W {\n");
+    for i in 0..n {
+        src.push_str(&format!("    v(go{i});\n"));
+    }
+    src.push_str("    racy = racy + 1;\n");
+    for i in 0..n {
+        src.push_str(&format!("    p(done{i});\n"));
+    }
+    src.push_str("    config = 99;\n    print(config);\n}\n");
+    Workload { name: format!("handoff_{n}x{iters}"), source: src, inputs: vec![] }
+}
+
 /// Deep-call workloads for the E6 flowback-latency sweep.
 pub fn deep_calls(depth: u32) -> Workload {
     Workload {
@@ -86,7 +118,7 @@ mod tests {
 
     #[test]
     fn generated_workloads_run() {
-        for w in [loop_heavy(50), racy_workers(3, 4), deep_calls(6)] {
+        for w in [loop_heavy(50), racy_workers(3, 4), deep_calls(6), handoff(2, 4)] {
             let session = w.prepare(EBlockStrategy::per_subroutine());
             let exec = session.execute(w.config());
             assert!(exec.outcome.is_success(), "{}: {:?}", w.name, exec.outcome);

@@ -13,7 +13,7 @@ use crate::replay::{DebugStats, ReplayEngine};
 use crate::session::{Execution, PpdSession};
 use crate::PpdError;
 use ppd_analysis::VarSetRepr;
-use ppd_graph::{detect_races_pruned, DynEdgeKind, DynNodeId, DynamicGraph, Race, VectorClocks};
+use ppd_graph::{detect_races_mhp, DynEdgeKind, DynNodeId, DynamicGraph, Race, VectorClocks};
 use ppd_lang::{ProcId, VarId};
 use ppd_log::{IntervalRef, LogEntry};
 use ppd_runtime::Outcome;
@@ -397,13 +397,14 @@ impl<'p> Controller<'p> {
     }
 
     /// Race detection over the execution instance (§6.4), pruned by the
-    /// static candidate index (GMOD/GREF cannot miss a dynamic access,
-    /// so the pruned result equals the naive scan's).
+    /// static candidate index refined with the may-happen-in-parallel
+    /// relation (neither GMOD/GREF nor a static MHP ordering can miss a
+    /// dynamic race, so the pruned result equals the naive scan's).
     pub fn races(&self) -> Vec<RaceReport> {
         let _q = self.engine.query_timer();
         let g = &self.execution.pgraph;
         let ord = VectorClocks::compute(g);
-        detect_races_pruned(g, &ord, &self.session.analyses().race_candidates)
+        detect_races_mhp(g, &ord, &self.session.analyses().mhp_candidates)
             .into_iter()
             .map(|race| RaceReport {
                 race,

@@ -8,7 +8,7 @@
 //! the parallel dynamic graph.
 
 use crate::PpdError;
-use ppd_analysis::{Analyses, EBlockPlan, EBlockStrategy};
+use ppd_analysis::{Analyses, AnalysisConfig, EBlockPlan, EBlockStrategy};
 use ppd_graph::{ParallelGraph, StaticGraph};
 use ppd_lang::{ProcId, ResolvedProgram};
 use ppd_log::LogStore;
@@ -123,13 +123,36 @@ impl PpdSession {
     /// # }
     /// ```
     pub fn prepare(source: &str, strategy: EBlockStrategy) -> Result<PpdSession, PpdError> {
+        Self::prepare_with(source, strategy, AnalysisConfig::default())
+    }
+
+    /// Like [`prepare`](Self::prepare) with explicit analysis knobs
+    /// (e.g. disabling the MHP snapshot trim to measure its effect).
+    ///
+    /// # Errors
+    ///
+    /// Returns parse/resolution errors from the language front end.
+    pub fn prepare_with(
+        source: &str,
+        strategy: EBlockStrategy,
+        config: AnalysisConfig,
+    ) -> Result<PpdSession, PpdError> {
         let rp = ppd_lang::compile(source).map_err(PpdError::Lang)?;
-        Ok(Self::from_resolved(rp, strategy))
+        Ok(Self::from_resolved_with(rp, strategy, config))
     }
 
     /// Runs the preparatory phase on an already-resolved program.
     pub fn from_resolved(rp: ResolvedProgram, strategy: EBlockStrategy) -> PpdSession {
-        let analyses = Analyses::run(&rp);
+        Self::from_resolved_with(rp, strategy, AnalysisConfig::default())
+    }
+
+    /// [`from_resolved`](Self::from_resolved) with explicit analysis knobs.
+    pub fn from_resolved_with(
+        rp: ResolvedProgram,
+        strategy: EBlockStrategy,
+        config: AnalysisConfig,
+    ) -> PpdSession {
+        let analyses = Analyses::run_with(&rp, config);
         let plan = analyses.eblock_plan(&rp, strategy);
         let static_graph = StaticGraph::build(&rp, &analyses);
         PpdSession { rp, analyses, plan, static_graph }

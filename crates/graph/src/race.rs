@@ -192,6 +192,38 @@ pub fn detect_races_pruned_counted(
     scan_indexed(graph, ord, Some(candidates), true)
 }
 
+/// The MHP-pruned detector: the indexed scan restricted to the
+/// **MHP-refined** candidate index
+/// ([`ppd_analysis::Analyses::mhp_candidates`]) — the second static
+/// filter after GMOD/GREF pruning.
+///
+/// The refined index keeps a `(variable, process pair)` combination only
+/// if some conflicting access pair is statically
+/// *may-happen-in-parallel*. Every static ordering the MHP fixpoint
+/// derives corresponds to a chain of program-order and synchronization
+/// edges the runtime records in the dynamic graph, so a statically
+/// ordered access pair is always ordered by the execution's vector
+/// clocks too — dropping its combination can never hide a race, and the
+/// result stays **identical** to [`detect_races_naive`] (property-tested
+/// and asserted over the corpus in `tests/prune.rs` and `tests/mhp.rs`).
+pub fn detect_races_mhp(
+    graph: &ParallelGraph,
+    ord: &dyn Ordering,
+    mhp_candidates: &RaceCandidates,
+) -> Vec<Race> {
+    scan_indexed(graph, ord, Some(mhp_candidates), false).0
+}
+
+/// [`detect_races_mhp`] plus the number of distinct cross-process edge
+/// pairs that survived both static filters and were examined.
+pub fn detect_races_mhp_counted(
+    graph: &ParallelGraph,
+    ord: &dyn Ordering,
+    mhp_candidates: &RaceCandidates,
+) -> (Vec<Race>, usize) {
+    scan_indexed(graph, ord, Some(mhp_candidates), true)
+}
+
 /// The tightest candidate index derivable from an execution itself: a
 /// combination is included iff some edge of one process writes the
 /// variable while some edge of another touches it. Pruning with this
@@ -462,6 +494,24 @@ mod tests {
         // Fig 6.1 has edges with no shared accesses at all, so indexing
         // must drop some pairs the naive scan examines.
         assert!(i_pairs < n_pairs, "indexed {i_pairs} vs naive {n_pairs}");
+    }
+
+    #[test]
+    fn mhp_pruning_matches_naive_and_scans_fewer_pairs_on_fig61() {
+        // The static MHP index for the real Fig 6.1 program drops the
+        // message-ordered (SV, P1, P3) combination; the detector must
+        // still find exactly the races the naive scan finds, while
+        // examining strictly fewer pairs than GMOD/GREF pruning alone.
+        let rp = ppd_lang::corpus::FIG_6_1.compile();
+        let analyses = ppd_analysis::Analyses::run(&rp);
+        let (g, _) = fig61_graph();
+        let ord = VectorClocks::compute(&g);
+        let naive = detect_races_naive(&g, &ord);
+        let (mhp, m_pairs) = detect_races_mhp_counted(&g, &ord, &analyses.mhp_candidates);
+        let (pruned, p_pairs) = detect_races_pruned_counted(&g, &ord, &analyses.race_candidates);
+        assert_eq!(mhp, naive);
+        assert_eq!(pruned, naive);
+        assert!(m_pairs < p_pairs, "mhp {m_pairs} vs gmod/gref {p_pairs}");
     }
 
     #[test]

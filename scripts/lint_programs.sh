@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Lints every example program in deny-warnings mode against the
+# expected-diagnostics allowlist in programs/lint-allow.txt.
+#
+# A program passes when the set of diagnostic codes `ppd lint` emits is
+# exactly its allowlisted set; clean programs (no allowlist line) must
+# additionally survive `ppd lint --deny`. Any drift — a new diagnostic,
+# or a documented one disappearing — fails the script, so the allowlist
+# is forced to stay in sync with the lint passes.
+set -u
+
+PPD=${PPD:-target/debug/ppd}
+ALLOW=programs/lint-allow.txt
+fail=0
+
+for f in programs/*.ppd; do
+    name=$(basename "$f")
+    expected=$(sed -n "s/^$name: *//p" "$ALLOW")
+    actual=$("$PPD" lint "$f" --format json \
+        | grep -o '"code": "PPD[0-9]*"' \
+        | grep -o 'PPD[0-9]*' | sort -u | paste -sd, -)
+    if [ "${actual:-}" != "$expected" ]; then
+        echo "FAIL $name: emitted [${actual:-}] but allowlist says [$expected]" >&2
+        fail=1
+    else
+        echo "ok   $name: [${actual:-none}]"
+    fi
+    if [ -z "$expected" ]; then
+        if ! "$PPD" lint "$f" --deny >/dev/null; then
+            echo "FAIL $name: clean program rejected by --deny" >&2
+            fail=1
+        fi
+    fi
+done
+
+exit $fail

@@ -15,7 +15,7 @@
 //!   --strategy S        e-blocks: subroutine | loops | split | merge
 //!   --what W            dot target: static | parallel | dynamic
 //!   --deny              lint: exit nonzero on any diagnostic, not just errors
-//!   --format F          lint output: human (default) | json
+//!   --format F          lint output: human (default) | json | sarif
 //!   --stats             debug: print replay-engine counters (cache hits,
 //!                       replays, query timings) after the session
 //! ```
@@ -48,7 +48,7 @@ fn usage() -> ExitCode {
          [--seed N] [--inputs a,b,c]... [--break LINE]... \
          [--strategy subroutine|loops|split|merge] [--what static|parallel|dynamic] \
          [--schedules N] [--save FILE] [--load FILE] \
-         [--deny] [--format human|json] [--stats]"
+         [--deny] [--format human|json|sarif] [--stats]"
     );
     ExitCode::from(2)
 }
@@ -266,8 +266,11 @@ fn cmd_lint(session: &PpdSession, opts: &Options, source: &str) -> ExitCode {
                 }
             }
         }
+        "sarif" => {
+            println!("{}", ppd::sarif::to_sarif(&diags, &file));
+        }
         other => {
-            eprintln!("unknown --format `{other}` (human | json)");
+            eprintln!("unknown --format `{other}` (human | json | sarif)");
             return ExitCode::FAILURE;
         }
     }

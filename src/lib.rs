@@ -46,6 +46,8 @@
 
 #![warn(missing_docs)]
 
+pub mod sarif;
+
 pub use ppd_analysis as analysis;
 pub use ppd_core as core;
 pub use ppd_graph as graph;

@@ -127,6 +127,25 @@ fn debug_repl_stats_command_prints_counters() {
 }
 
 #[test]
+fn lint_allowlist_script_stays_in_sync() {
+    // The CI gate: every example program's diagnostic codes must match
+    // programs/lint-allow.txt exactly, so lint changes are forced to
+    // update the allowlist (and reviewers see the drift).
+    let out = Command::new("bash")
+        .arg("scripts/lint_programs.sh")
+        .env("PPD", env!("CARGO_BIN_EXE_ppd"))
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("bash runs");
+    assert!(
+        out.status.success(),
+        "lint_programs.sh failed:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
 fn unknown_command_prints_usage() {
     let (_, stderr, ok) = run_ppd(&["frobnicate", "programs/bank.ppd"]);
     assert!(!ok);

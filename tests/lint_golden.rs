@@ -77,7 +77,7 @@ fn phils_lint_human() {
 fn lintdemo_exercises_every_pass() {
     let (stdout, _, ok) = run_ppd(&["lint", "programs/lintdemo.ppd"]);
     assert!(!ok, "PPD004 is an error and must fail the lint");
-    for code in ["PPD001", "PPD002", "PPD003", "PPD004"] {
+    for code in ["PPD001", "PPD002", "PPD003", "PPD004", "PPD005"] {
         assert!(stdout.contains(code), "missing {code} in:\n{stdout}");
     }
     check_golden("lintdemo.lint.txt", &stdout);
@@ -89,9 +89,94 @@ fn lintdemo_json_parses_back() {
     check_golden("lintdemo.lint.json", &stdout);
     // Structural sanity without relying on a JSON parser dev-dependency:
     // one object per diagnostic, each with the required keys.
-    assert_eq!(stdout.matches("\"code\"").count(), 7, "{stdout}");
-    assert_eq!(stdout.matches("\"severity\"").count(), 7);
+    assert_eq!(stdout.matches("\"code\"").count(), 8, "{stdout}");
+    assert_eq!(stdout.matches("\"severity\"").count(), 8);
     assert_eq!(stdout.matches("\"error\"").count(), 1);
+}
+
+#[test]
+fn lintdemo_sarif_golden() {
+    let (stdout, _, _) = run_ppd(&["lint", "programs/lintdemo.ppd", "--format", "sarif"]);
+    check_golden("lintdemo.lint.sarif", &stdout);
+}
+
+/// SARIF shape mirrored just far enough to compare against the JSON
+/// formatter (the vendored deserializer ignores unknown keys).
+mod sarif_shape {
+    #[derive(serde::Deserialize)]
+    pub struct Doc {
+        pub version: String,
+        pub runs: Vec<Run>,
+    }
+    #[derive(serde::Deserialize)]
+    pub struct Run {
+        pub results: Vec<SarifResult>,
+    }
+    #[allow(non_snake_case)]
+    #[derive(serde::Deserialize)]
+    pub struct SarifResult {
+        pub ruleId: String,
+        pub level: String,
+        pub message: Message,
+        pub locations: Vec<Location>,
+    }
+    #[derive(serde::Deserialize)]
+    pub struct Message {
+        pub text: String,
+    }
+    #[allow(non_snake_case)]
+    #[derive(serde::Deserialize)]
+    pub struct Location {
+        pub physicalLocation: PhysicalLocation,
+    }
+    #[allow(non_snake_case)]
+    #[derive(serde::Deserialize)]
+    pub struct PhysicalLocation {
+        pub artifactLocation: ArtifactLocation,
+        pub region: Region,
+    }
+    #[derive(serde::Deserialize)]
+    pub struct ArtifactLocation {
+        pub uri: String,
+    }
+    #[allow(non_snake_case)]
+    #[derive(serde::Deserialize)]
+    pub struct Region {
+        pub startLine: u32,
+        pub startColumn: u32,
+    }
+}
+
+#[derive(serde::Deserialize)]
+struct JsonDiag {
+    code: String,
+    severity: String,
+    message: String,
+    file: String,
+    line: u32,
+    col: u32,
+}
+
+#[test]
+fn sarif_round_trips_against_json_formatter() {
+    // Both formatters must describe the identical diagnostics: same
+    // codes, levels, messages and primary locations, in the same order.
+    let (json_out, _, _) = run_ppd(&["lint", "programs/lintdemo.ppd", "--format", "json"]);
+    let (sarif_out, _, _) = run_ppd(&["lint", "programs/lintdemo.ppd", "--format", "sarif"]);
+    let json: Vec<JsonDiag> = serde_json::from_str(&json_out).expect("json parses");
+    let sarif: sarif_shape::Doc = serde_json::from_str(&sarif_out).expect("sarif parses");
+    assert_eq!(sarif.version, "2.1.0");
+    let results = &sarif.runs[0].results;
+    assert_eq!(results.len(), json.len());
+    for (r, d) in results.iter().zip(&json) {
+        assert_eq!(r.ruleId, d.code);
+        assert_eq!(r.level, d.severity);
+        assert_eq!(r.message.text, d.message);
+        let loc = &r.locations[0].physicalLocation;
+        assert_eq!(loc.artifactLocation.uri, d.file);
+        assert_eq!(loc.region.startLine, d.line);
+        assert_eq!(loc.region.startColumn, d.col);
+    }
 }
 
 #[test]
