@@ -169,8 +169,11 @@ pub trait LintPass {
     fn run(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic>;
 }
 
+/// A registered pass, shareable across lint worker threads.
+pub type BoxedLintPass = Box<dyn LintPass + Send + Sync>;
+
 /// The built-in pass registry, in code order.
-pub fn default_passes() -> Vec<Box<dyn LintPass>> {
+pub fn default_passes() -> Vec<BoxedLintPass> {
     vec![
         Box::new(RaceCandidatePass),
         Box::new(UnsyncSharedPass),
@@ -186,10 +189,42 @@ pub fn default_passes() -> Vec<Box<dyn LintPass>> {
 pub fn run_passes(
     rp: &ResolvedProgram,
     analyses: &Analyses,
-    passes: &[Box<dyn LintPass>],
+    passes: &[BoxedLintPass],
 ) -> Vec<Diagnostic> {
     let ctx = LintContext { rp, analyses };
-    let mut diags: Vec<Diagnostic> = passes.iter().flat_map(|p| p.run(&ctx)).collect();
+    let per_pass: Vec<Vec<Diagnostic>> = passes.iter().map(|p| p.run(&ctx)).collect();
+    finalize(per_pass)
+}
+
+/// Runs `passes` with one work-stealing task per pass across `jobs`
+/// threads. Passes only read the shared analyses, and per-pass results
+/// are concatenated in registration order before the same sort + dedup
+/// as [`run_passes`] — so the output is **bit-identical** to the
+/// sequential runner at any thread count.
+pub fn run_passes_par(
+    rp: &ResolvedProgram,
+    analyses: &Analyses,
+    passes: &[BoxedLintPass],
+    jobs: usize,
+) -> Vec<Diagnostic> {
+    if jobs <= 1 || passes.len() <= 1 {
+        return run_passes(rp, analyses, passes);
+    }
+    use rayon::prelude::*;
+    let ctx = LintContext { rp, analyses };
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(jobs)
+        .build()
+        .expect("thread pool build is infallible");
+    let per_pass: Vec<Vec<Diagnostic>> =
+        pool.install(|| passes.par_iter().map(|p| p.run(&ctx)).collect());
+    finalize(per_pass)
+}
+
+/// The shared deterministic finalization: flatten in registration
+/// order, sort by source position (then code, then message), dedup.
+fn finalize(per_pass: Vec<Vec<Diagnostic>>) -> Vec<Diagnostic> {
+    let mut diags: Vec<Diagnostic> = per_pass.into_iter().flatten().collect();
     diags.sort_by(|a, b| {
         (a.span.start, a.span.end, a.code, &a.message).cmp(&(
             b.span.start,
@@ -205,6 +240,12 @@ pub fn run_passes(
 /// Runs the default registry.
 pub fn run_default(rp: &ResolvedProgram, analyses: &Analyses) -> Vec<Diagnostic> {
     run_passes(rp, analyses, &default_passes())
+}
+
+/// Runs the default registry across `jobs` worker threads; output is
+/// identical to [`run_default`].
+pub fn run_default_par(rp: &ResolvedProgram, analyses: &Analyses, jobs: usize) -> Vec<Diagnostic> {
+    run_passes_par(rp, analyses, &default_passes(), jobs)
 }
 
 /// The shared variables `stmt` may read and write, including its

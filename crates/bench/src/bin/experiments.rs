@@ -2,12 +2,100 @@
 //!
 //! Run with: `cargo run -p ppd-bench --bin experiments --release`
 //! (a debug build works but inflates absolute times).
+//!
+//! ```text
+//! --only e4,e6,e7     run a subset of experiments (ids: e1..e8 f41 f53 f61)
+//! --jobs N | -j N     thread ceiling for the E7 scaling sweep (default 8)
+//! --json FILE         also write the E4/E6/E7 tables as machine-readable
+//!                     JSON (the BENCH_parallel.json committed at the root)
+//! ```
+
+use ppd_bench::experiments as ex;
+use ppd_bench::Table;
+
+/// Experiments whose tables are emitted by `--json` — the perf-trajectory
+/// set: race-scan cost (E4), flowback latency (E6), parallel scaling (E7).
+const JSON_IDS: &[&str] = &["e4", "e6", "e7"];
 
 fn main() {
+    let mut only: Option<Vec<String>> = None;
+    let mut jobs: usize = 8;
+    let mut json: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--only" => {
+                only = Some(value("--only").split(',').map(|s| s.trim().to_lowercase()).collect());
+            }
+            "--jobs" | "-j" => {
+                jobs = value("--jobs").parse::<usize>().unwrap_or_else(|_| {
+                    eprintln!("error: --jobs wants a number");
+                    std::process::exit(2);
+                });
+                jobs = jobs.max(1);
+            }
+            "--json" => json = Some(value("--json")),
+            other => {
+                eprintln!("error: unknown flag `{other}`");
+                eprintln!("usage: experiments [--only e4,e6,e7] [--jobs N] [--json FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    type Entry = (&'static str, Box<dyn Fn() -> Table>);
+    let suite: Vec<Entry> = vec![
+        ("e1", Box::new(ex::e1_logging_overhead)),
+        ("e2", Box::new(ex::e2_log_vs_trace)),
+        ("e3", Box::new(ex::e3_granularity_sweep)),
+        ("e4", Box::new(ex::e4_race_detection)),
+        ("e5", Box::new(ex::e5_varset)),
+        ("e6", Box::new(ex::e6_flowback_latency)),
+        ("e7", Box::new(move || ex::e7_parallel_scaling_with(jobs))),
+        ("e8", Box::new(ex::e8_array_logging)),
+        ("f41", Box::new(ex::f41_figure)),
+        ("f53", Box::new(ex::f53_figure)),
+        ("f61", Box::new(ex::f61_figure)),
+    ];
+
     println!("# PPD evaluation — regenerated tables\n");
     println!("(Miller & Choi, PLDI 1988; shapes, not absolute numbers, are the claim.)\n");
-    for table in ppd_bench::experiments::all() {
+    let mut json_tables: Vec<String> = Vec::new();
+    for (id, run) in &suite {
+        if let Some(ids) = &only {
+            if !ids.iter().any(|x| x == id) {
+                continue;
+            }
+        }
+        let table = run();
         println!("{}", table.render());
         println!();
+        if json.is_some() && JSON_IDS.contains(id) {
+            json_tables.push(format!("{}:{}", quoted(id), table.to_json()));
+        }
     }
+    if let Some(path) = json {
+        let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let body = format!(
+            "{{\"generator\":\"ppd-bench experiments\",\"host_parallelism\":{host},\
+             \"e7_jobs_ceiling\":{jobs},\"tables\":{{{}}}}}\n",
+            json_tables.join(",")
+        );
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path} ({} table(s))", json_tables.len());
+    }
+}
+
+/// Wraps a known-safe id in JSON quotes.
+fn quoted(id: &str) -> String {
+    format!("\"{id}\"")
 }

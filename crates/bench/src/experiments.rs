@@ -9,11 +9,12 @@ use ppd_analysis::{BitVarSet, EBlockStrategy, ListVarSet, VarSetRepr};
 use ppd_core::Controller;
 use ppd_graph::{
     detect_races_indexed, detect_races_indexed_counted, detect_races_mhp, detect_races_mhp_counted,
-    detect_races_naive, detect_races_naive_counted, detect_races_pruned,
+    detect_races_naive, detect_races_naive_counted, detect_races_par, detect_races_pruned,
     detect_races_pruned_counted, TransitiveClosure, VectorClocks,
 };
 use ppd_lang::{BodyId, ProcId, VarId};
 use ppd_runtime::CountingTracer;
+use std::time::Duration;
 
 /// Number of timing repetitions (median taken).
 const REPS: usize = 9;
@@ -349,14 +350,164 @@ pub fn e6_flowback_latency() -> Table {
 }
 
 // ---------------------------------------------------------------------
-// E7: whole-array snapshots vs §7 "record all uses" element logging
+// E7: parallel debugging backend scaling (replay fan-out, race scan)
 // ---------------------------------------------------------------------
 
-/// E7 — the paper's two answers to aliased data, compared: conservative
-/// whole-array USED/DEFINED snapshots vs element-granular read logging.
-pub fn e7_array_logging() -> Table {
+/// Worker-thread sweep for E7: powers of two up to `max`, plus `max`.
+fn jobs_sweep(max: usize) -> Vec<usize> {
+    let mut v = vec![1];
+    let mut j = 2;
+    while j < max {
+        v.push(j);
+        j *= 2;
+    }
+    if max > 1 {
+        v.push(max);
+    }
+    v
+}
+
+/// E7 — scaling of the parallel debugging backend at the default sweep
+/// (1/2/4/8 worker threads).
+pub fn e7_parallel_scaling() -> Table {
+    e7_parallel_scaling_with(8)
+}
+
+/// A dense synthetic parallel dynamic graph for the race-scan row:
+/// `procs` unsynchronized processes, each with `syncs_per_proc + 1`
+/// internal edges reading and writing a few hot shared variables —
+/// every conflicting cross-process pair is a candidate.
+fn dense_graph(procs: u32, syncs_per_proc: u32, vars: u32) -> ppd_graph::ParallelGraph {
+    use ppd_graph::{SyncEdgeLabel, SyncNodeKind};
+    let mut g = ppd_graph::ParallelGraph::new(vars as usize);
+    let mut t = 0u64;
+    let mut nodes: Vec<Vec<ppd_graph::SyncNodeId>> = Vec::new();
+    for p in 0..procs {
+        t += 1;
+        nodes.push(vec![g.start_process(ProcId(p), t)]);
+    }
+    for s in 0..syncs_per_proc {
+        for p in 0..procs {
+            g.record_write(ProcId(p), VarId((s + p) % vars));
+            g.record_read(ProcId(p), VarId((s * 7 + p + 1) % vars));
+            t += 1;
+            let kind = if (s + p) % 2 == 0 { SyncNodeKind::V } else { SyncNodeKind::P };
+            nodes[p as usize].push(g.sync_point(ProcId(p), kind, None, t));
+        }
+    }
+    // Loose barriers between adjacent processes order all but the
+    // near-diagonal pairs, so the scan does its full pairwise work but
+    // the merged race set stays small — the realistic shape for a
+    // mostly-synchronized run.
+    for s in 0..syncs_per_proc as usize {
+        for p in 0..procs.saturating_sub(1) as usize {
+            if s + 1 < nodes[p].len() && s + 1 < nodes[p + 1].len() {
+                g.add_sync_edge(nodes[p][s], nodes[p + 1][s + 1], SyncEdgeLabel::Semaphore);
+                g.add_sync_edge(nodes[p + 1][s], nodes[p][s + 1], SyncEdgeLabel::Semaphore);
+            }
+        }
+    }
+    for p in 0..procs {
+        t += 1;
+        g.end_process(ProcId(p), t);
+    }
+    g
+}
+
+/// E7 with an explicit thread ceiling (the bench binary's `--jobs`):
+/// cold flowback prefetch (work-stealing e-block replay), warm prefetch
+/// (sharded concurrent trace cache) and the Definition 6.4 race scan,
+/// each timed at every thread count in the sweep.
+pub fn e7_parallel_scaling_with(max_jobs: usize) -> Table {
     let mut t = Table::new(
-        "E7 — whole-array snapshots vs element-granular logging (§7 aliasing)",
+        "E7 — parallel backend scaling: replay fan-out, trace cache, race scan",
+        &[
+            "jobs",
+            "cold prefetch",
+            "speedup",
+            "eff %",
+            "warm prefetch",
+            "race scan",
+            "speedup",
+            "eff %",
+        ],
+    );
+    // Replay workload: several processes, each an e-block interval with
+    // hundreds of logged iterations — the independent replays of §5
+    // "need-to-generate", heavy enough to amortize thread start-up.
+    let w = workloads::racy_workers(8, 256);
+    let session = w.prepare(EBlockStrategy::per_subroutine());
+    let exec = session.execute(w.config());
+    let interval_count = {
+        let c = Controller::new(&session, &exec);
+        c.all_intervals().len()
+    };
+    // Race-scan workload: a dense synthetic parallel dynamic graph
+    // (tens of thousands of candidate pairs).
+    let sg = dense_graph(8, 96, 8);
+    let ord = VectorClocks::compute(&sg);
+    let races_seq = detect_races_indexed(&sg, &ord);
+
+    let mut cold_base = Duration::ZERO;
+    let mut scan_base = Duration::ZERO;
+    for jobs in jobs_sweep(max_jobs.max(1)) {
+        let cold = median_of(REPS, || {
+            let mut c = Controller::new(&session, &exec);
+            c.set_jobs(jobs);
+            c.prefetch_all().expect("prefetch succeeds")
+        });
+        let mut warm_c = Controller::new(&session, &exec);
+        warm_c.set_jobs(jobs);
+        warm_c.prefetch_all().expect("prefetch succeeds");
+        let warm = median_of(REPS, || warm_c.prefetch_all().expect("prefetch succeeds"));
+        let races_par = detect_races_par(&sg, &ord, None, jobs);
+        assert_eq!(races_seq, races_par, "parallel scan changed the race set");
+        let scan = median_of(REPS, || detect_races_par(&sg, &ord, None, jobs));
+        if jobs == 1 {
+            cold_base = cold;
+            scan_base = scan;
+        }
+        let cold_speedup = cold_base.as_secs_f64() / cold.as_secs_f64().max(f64::EPSILON);
+        let scan_speedup = scan_base.as_secs_f64() / scan.as_secs_f64().max(f64::EPSILON);
+        t.row(vec![
+            jobs.to_string(),
+            fmt_duration(cold),
+            format!("{cold_speedup:.2}x"),
+            format!("{:.0}%", 100.0 * cold_speedup / jobs as f64),
+            fmt_duration(warm),
+            fmt_duration(scan),
+            format!("{scan_speedup:.2}x"),
+            format!("{:.0}%", 100.0 * scan_speedup / jobs as f64),
+        ]);
+    }
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    t.note(format!(
+        "host parallelism: {host} hardware thread(s). Speedup/efficiency are \
+         relative to jobs=1; curves above the host's thread count cannot rise."
+    ));
+    t.note(format!(
+        "cold prefetch = fresh Controller replaying all {interval_count} e-block intervals \
+         through the work-stealing pool; warm prefetch = same query again, served"
+    ));
+    t.note("entirely from the sharded concurrent trace cache; race scan =");
+    t.note(format!(
+        "`detect_races_par` over a dense synthetic graph ({} internal edges, \
+         {} races). Parallel results are asserted identical to sequential each run.",
+        sg.internal_edges().len(),
+        races_seq.len()
+    ));
+    t
+}
+
+// ---------------------------------------------------------------------
+// E8: whole-array snapshots vs §7 "record all uses" element logging
+// ---------------------------------------------------------------------
+
+/// E8 — the paper's two answers to aliased data, compared: conservative
+/// whole-array USED/DEFINED snapshots vs element-granular read logging.
+pub fn e8_array_logging() -> Table {
+    let mut t = Table::new(
+        "E8 — whole-array snapshots vs element-granular logging (§7 aliasing)",
         &["workload", "mode", "exec ovh %", "log bytes", "first-query latency"],
     );
     let quicksort = Workload {
@@ -518,7 +669,8 @@ pub fn all() -> Vec<Table> {
         e4_race_detection(),
         e5_varset(),
         e6_flowback_latency(),
-        e7_array_logging(),
+        e7_parallel_scaling(),
+        e8_array_logging(),
         f41_figure(),
         f53_figure(),
         f61_figure(),

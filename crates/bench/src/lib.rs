@@ -10,11 +10,16 @@
 //! - **E4** — event ordering & all-pairs race detection cost (§7);
 //! - **E5** — bit-mask vs list variable sets (§7);
 //! - **E6** — incremental tracing vs full re-execution (§5.1/§5.3);
+//! - **E7** — parallel debugging-backend scaling: work-stealing replay
+//!   fan-out, sharded trace cache, parallel race scan (1/2/4/8 threads);
+//! - **E8** — whole-array snapshots vs element-granular logging (§7);
 //! - **F4.1 / F5.3 / F6.1** — the worked figures, regenerated.
 //!
 //! `cargo run -p ppd-bench --bin experiments --release` prints every
-//! table; the `benches/` directory holds criterion versions of the
-//! hot kernels.
+//! table (`--only e4,e6,e7` selects a subset, `--jobs N` caps the E7
+//! thread sweep, `--json FILE` additionally writes the E4/E6/E7 tables
+//! as machine-readable JSON); the `benches/` directory holds criterion
+//! versions of the hot kernels.
 
 pub mod experiments;
 pub mod table;

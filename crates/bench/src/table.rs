@@ -36,6 +36,23 @@ impl Table {
         self.notes.push(text.into());
     }
 
+    /// Renders as a JSON object (`{"title", "headers", "rows", "notes"}`)
+    /// — hand-rolled so the bench crate stays dependency-free.
+    pub fn to_json(&self) -> String {
+        let arr = |items: &[String]| {
+            let cells: Vec<String> = items.iter().map(|s| json_string(s)).collect();
+            format!("[{}]", cells.join(","))
+        };
+        let rows: Vec<String> = self.rows.iter().map(|r| arr(r)).collect();
+        format!(
+            "{{\"title\":{},\"headers\":{},\"rows\":[{}],\"notes\":{}}}",
+            json_string(&self.title),
+            arr(&self.headers),
+            rows.join(","),
+            arr(&self.notes)
+        )
+    }
+
     /// Renders with aligned columns.
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
@@ -72,6 +89,25 @@ impl Table {
     }
 }
 
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,6 +122,18 @@ mod tests {
         assert!(s.contains("## E0 demo"));
         assert!(s.contains("| longer | 2"));
         assert!(s.contains("> a note"));
+    }
+
+    #[test]
+    fn json_round_trips_specials() {
+        let mut t = Table::new("E0 \"quoted\"", &["a"]);
+        t.row(vec!["line\nbreak".into()]);
+        t.note("back\\slash");
+        let j = t.to_json();
+        assert!(j.contains("\"E0 \\\"quoted\\\"\""));
+        assert!(j.contains("\"line\\nbreak\""));
+        assert!(j.contains("\"back\\\\slash\""));
+        assert!(j.starts_with('{') && j.ends_with('}'));
     }
 
     #[test]

@@ -13,7 +13,9 @@ use crate::replay::{DebugStats, ReplayEngine};
 use crate::session::{Execution, PpdSession};
 use crate::PpdError;
 use ppd_analysis::VarSetRepr;
-use ppd_graph::{detect_races_mhp, DynEdgeKind, DynNodeId, DynamicGraph, Race, VectorClocks};
+use ppd_graph::{
+    detect_races_mhp, detect_races_par, DynEdgeKind, DynNodeId, DynamicGraph, Race, VectorClocks,
+};
 use ppd_lang::{ProcId, VarId};
 use ppd_log::{IntervalRef, LogEntry};
 use ppd_runtime::Outcome;
@@ -89,6 +91,62 @@ impl<'p> Controller<'p> {
     /// Sets the replay cache's byte budget.
     pub fn set_cache_budget(&mut self, bytes: usize) {
         self.engine.set_cache_budget(bytes);
+    }
+
+    /// Sets the worker-thread count used by parallel queries (replay
+    /// prefetch fan-out, race scan). 1 means fully sequential; results
+    /// are bit-identical at any setting, only the cost changes.
+    pub fn set_jobs(&mut self, jobs: usize) {
+        self.engine.set_jobs(jobs);
+    }
+
+    /// The configured worker-thread count.
+    pub fn jobs(&self) -> usize {
+        self.engine.jobs()
+    }
+
+    /// Warms the replay cache for a batch of intervals by fanning the
+    /// replays out across the worker pool — each e-block replay depends
+    /// only on its own prelog (§5), so the batch is embarrassingly
+    /// parallel. Subsequent `materialize` calls for these intervals are
+    /// cache hits. Returns the number of intervals warmed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first (by batch position) replay failure.
+    pub fn prefetch(&mut self, intervals: &[IntervalRef]) -> Result<usize, PpdError> {
+        let _q = self.engine.query_timer();
+        self.engine.replay_intervals_par(intervals)?;
+        Ok(intervals.len())
+    }
+
+    /// Warms the replay cache for every logged interval of every
+    /// process — the whole `(proc, eblock, instance)` set a flowback
+    /// session could need.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first replay failure.
+    pub fn prefetch_all(&mut self) -> Result<usize, PpdError> {
+        let intervals = self.all_intervals();
+        self.prefetch(&intervals)
+    }
+
+    /// Every replayable interval of every process, in (process, log)
+    /// order: all closed intervals plus each process's innermost open
+    /// interval (the halt interval `start_at` replays). Outer open
+    /// intervals are excluded — their nested calls never produced the
+    /// postlogs that §5.2 substitution would need.
+    pub fn all_intervals(&self) -> Vec<IntervalRef> {
+        let index = self.engine.index();
+        (0..index.process_count())
+            .flat_map(|p| {
+                let proc = ProcId(p as u32);
+                let closed =
+                    index.intervals(proc).into_iter().filter(|iv| iv.postlog_pos.is_some());
+                closed.chain(index.open_intervals(proc).last().copied())
+            })
+            .collect()
     }
 
     /// Starts a debugging session (§5.3): locates the innermost open
@@ -404,7 +462,14 @@ impl<'p> Controller<'p> {
         let _q = self.engine.query_timer();
         let g = &self.execution.pgraph;
         let ord = VectorClocks::compute(g);
-        detect_races_mhp(g, &ord, &self.session.analyses().mhp_candidates)
+        let mhp = &self.session.analyses().mhp_candidates;
+        let jobs = self.engine.jobs();
+        let races = if jobs > 1 {
+            detect_races_par(g, &ord, Some(mhp), jobs)
+        } else {
+            detect_races_mhp(g, &ord, mhp)
+        };
+        races
             .into_iter()
             .map(|race| RaceReport {
                 race,

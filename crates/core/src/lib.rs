@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod cache;
 pub mod controller;
 pub mod replay;
 pub mod restore;
@@ -52,8 +53,9 @@ pub mod session;
 mod tests;
 
 pub use builder::{FeedReport, GraphBuilder, SubstitutedRef};
+pub use cache::{CacheStats, ShardedTraceCache, SHARD_COUNT};
 pub use controller::{Controller, DeadlockEntry, RaceReport};
-pub use replay::{DebugStats, ReplayEngine};
+pub use replay::{ratio, DebugStats, ReplayEngine};
 pub use restore::{faithful_replay, halt_stop_at, shared_state_at, what_if_replay, WhatIfResult};
 pub use session::{Execution, PpdSession, RunConfig};
 

@@ -23,6 +23,7 @@ use crate::parallel::{InternalEdgeId, ParallelGraph};
 pub use ppd_analysis::RaceCandidates;
 use ppd_analysis::VarSetRepr;
 use ppd_lang::VarId;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -222,6 +223,129 @@ pub fn detect_races_mhp_counted(
     mhp_candidates: &RaceCandidates,
 ) -> (Vec<Race>, usize) {
     scan_indexed(graph, ord, Some(mhp_candidates), true)
+}
+
+/// The parallel detector: the MHP/GMOD/GREF-surviving candidate pairs
+/// are partitioned into chunks and order-checked across a work-stealing
+/// pool of `jobs` threads ([`rayon`]); per-chunk results are merged and
+/// finalized with the same stable sort + dedup every sequential
+/// detector uses, so the output is **bit-identical** to
+/// [`detect_races_mhp`] / [`detect_races_pruned`] /
+/// [`detect_races_indexed`] on the same inputs regardless of schedule
+/// (asserted over the corpus and randomized graphs in
+/// `tests/parallel_backend.rs`).
+///
+/// `candidates = None` parallelizes the plain indexed scan; `jobs <= 1`
+/// degenerates to the sequential scan.
+pub fn detect_races_par<O: Ordering + Sync>(
+    graph: &ParallelGraph,
+    ord: &O,
+    candidates: Option<&RaceCandidates>,
+    jobs: usize,
+) -> Vec<Race> {
+    detect_races_par_counted(graph, ord, candidates, jobs).0
+}
+
+/// [`detect_races_par`] plus the number of distinct cross-process edge
+/// pairs examined (identical to the sequential counted variants).
+pub fn detect_races_par_counted<O: Ordering + Sync>(
+    graph: &ParallelGraph,
+    ord: &O,
+    candidates: Option<&RaceCandidates>,
+    jobs: usize,
+) -> (Vec<Race>, usize) {
+    let pairs = collect_candidate_pairs(graph, candidates);
+    let examined: HashSet<(InternalEdgeId, InternalEdgeId)> =
+        pairs.iter().map(|p| (p.race.first, p.race.second)).collect();
+    let jobs = jobs.max(1);
+    let check = |p: &CandidatePair| -> Option<Race> {
+        simultaneous(graph, ord, p.race.first, p.race.second).then_some(p.race)
+    };
+    let mut races: Vec<Race> = if jobs == 1 || pairs.len() <= 1 {
+        pairs.iter().filter_map(check).collect()
+    } else {
+        // Chunk so each stealable task amortizes scheduling overhead;
+        // chunks are re-concatenated in input order before the final
+        // sort, keeping the merge deterministic.
+        let chunk = (pairs.len().div_ceil(jobs * 4)).max(16);
+        let chunks: Vec<&[CandidatePair]> = pairs.chunks(chunk).collect();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(jobs)
+            .build()
+            .expect("thread pool build is infallible");
+        let per_chunk: Vec<Vec<Race>> = pool.install(|| {
+            chunks.par_iter().map(|c| c.iter().filter_map(check).collect::<Vec<Race>>()).collect()
+        });
+        per_chunk.into_iter().flatten().collect()
+    };
+    races.sort();
+    races.dedup();
+    (races, examined.len())
+}
+
+/// One statically surviving comparison the scan must order-check: the
+/// race it would report if the edges turn out simultaneous.
+struct CandidatePair {
+    race: Race,
+}
+
+/// Enumerates exactly the `(variable, edge pair)` comparisons
+/// [`scan_indexed`] performs (post static filter, pre ordering query),
+/// each normalized to `first < second`.
+fn collect_candidate_pairs(
+    graph: &ParallelGraph,
+    candidates: Option<&RaceCandidates>,
+) -> Vec<CandidatePair> {
+    let mut writers: HashMap<VarId, Vec<InternalEdgeId>> = HashMap::new();
+    let mut readers: HashMap<VarId, Vec<InternalEdgeId>> = HashMap::new();
+    for e in graph.internal_edges() {
+        for v in e.writes.to_vec() {
+            writers.entry(v).or_default().push(e.id);
+        }
+        for v in e.reads.to_vec() {
+            readers.entry(v).or_default().push(e.id);
+        }
+    }
+    let mut out = Vec::new();
+    for (&var, ws) in &writers {
+        for i in 0..ws.len() {
+            for j in (i + 1)..ws.len() {
+                let (a, b) = (ws[i], ws[j]);
+                let (pa, pb) = (graph.internal_edge(a).proc, graph.internal_edge(b).proc);
+                if pa == pb {
+                    continue;
+                }
+                if candidates.is_some_and(|c| !c.allows(var, pa, pb)) {
+                    continue;
+                }
+                let (first, second) = if a < b { (a, b) } else { (b, a) };
+                out.push(CandidatePair {
+                    race: Race { var, first, second, kind: ConflictKind::WriteWrite },
+                });
+            }
+        }
+        if let Some(rs) = readers.get(&var) {
+            for &w in ws {
+                for &r in rs {
+                    if w == r {
+                        continue;
+                    }
+                    let (pw, pr) = (graph.internal_edge(w).proc, graph.internal_edge(r).proc);
+                    if pw == pr || candidates.is_some_and(|c| !c.allows(var, pw, pr)) {
+                        continue;
+                    }
+                    if graph.internal_edge(r).writes.contains(var) {
+                        continue;
+                    }
+                    let (first, second) = if w < r { (w, r) } else { (r, w) };
+                    out.push(CandidatePair {
+                        race: Race { var, first, second, kind: ConflictKind::ReadWrite },
+                    });
+                }
+            }
+        }
+    }
+    out
 }
 
 /// The tightest candidate index derivable from an execution itself: a
@@ -512,6 +636,38 @@ mod tests {
         assert_eq!(mhp, naive);
         assert_eq!(pruned, naive);
         assert!(m_pairs < p_pairs, "mhp {m_pairs} vs gmod/gref {p_pairs}");
+    }
+
+    #[test]
+    fn par_detector_matches_sequential_on_fig61() {
+        let (g, _) = fig61_graph();
+        let ord = VectorClocks::compute(&g);
+        let cands = candidates_from_graph(&g);
+        for jobs in [1, 2, 8] {
+            assert_eq!(detect_races_par(&g, &ord, None, jobs), detect_races_indexed(&g, &ord));
+            assert_eq!(
+                detect_races_par(&g, &ord, Some(&cands), jobs),
+                detect_races_pruned(&g, &ord, &cands),
+            );
+        }
+        let (races, pairs) = detect_races_par_counted(&g, &ord, None, 4);
+        let (seq_races, seq_pairs) = detect_races_indexed_counted(&g, &ord);
+        assert_eq!((races, pairs), (seq_races, seq_pairs));
+    }
+
+    #[test]
+    fn par_detector_matches_sequential_on_random_graphs() {
+        for seed in 0..15u64 {
+            let g = random_graph(seed, 4, 6);
+            let ord = VectorClocks::compute(&g);
+            for jobs in [2, 8] {
+                assert_eq!(
+                    detect_races_par(&g, &ord, None, jobs),
+                    detect_races_indexed(&g, &ord),
+                    "seed {seed} jobs {jobs}"
+                );
+            }
+        }
     }
 
     #[test]

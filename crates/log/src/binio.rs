@@ -9,6 +9,12 @@
 //! Layout: `"PPDL"` magic, a format-version byte, the process count,
 //! then each process's entry list. Every integer is an unsigned LEB128
 //! varint; signed values are zigzag-mapped first.
+//!
+//! Version 2 (current) prefixes each process's entry blob with its
+//! **byte length**, so a decoder can locate every process's records
+//! without parsing its predecessors' — that's what lets
+//! [`decode_par`] fan per-process decoding out across a thread pool.
+//! Version 1 streams (no length prefixes) still decode, sequentially.
 
 use crate::entry::LogEntry;
 use crate::store::LogStore;
@@ -17,7 +23,11 @@ use ppd_lang::{ProcId, StmtId, Value, VarId};
 use std::fmt;
 
 const MAGIC: &[u8; 4] = b"PPDL";
-const VERSION: u8 = 1;
+/// The version written by [`encode`]: per-process length-prefixed
+/// frames enabling parallel decode.
+const VERSION: u8 = 2;
+/// Oldest version [`decode`] still reads (unframed, sequential only).
+const VERSION_UNFRAMED: u8 = 1;
 
 const TAG_PRELOG: u8 = 0;
 const TAG_POSTLOG: u8 = 1;
@@ -253,47 +263,112 @@ fn get_entry(r: &mut Reader<'_>) -> Result<LogEntry, BinError> {
 // Store framing
 // ---------------------------------------------------------------------
 
-/// Encodes a whole store.
+/// Encodes a whole store (version 2: length-prefixed process frames).
 pub fn encode(store: &LogStore) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(MAGIC);
     out.push(VERSION);
     put_varint(&mut out, store.process_count() as u64);
+    let mut frame = Vec::new();
     for p in 0..store.process_count() {
         let entries = &store.log(ProcId(p as u32)).entries;
-        put_varint(&mut out, entries.len() as u64);
+        frame.clear();
         for e in entries {
-            put_entry(&mut out, e);
+            put_entry(&mut frame, e);
         }
+        put_varint(&mut out, entries.len() as u64);
+        put_varint(&mut out, frame.len() as u64);
+        out.extend_from_slice(&frame);
     }
     out
 }
 
-/// Decodes a store.
+/// Decodes a store (sequentially; reads versions 1 and 2).
 ///
 /// # Errors
 ///
 /// Returns a [`BinError`] on malformed input.
 pub fn decode(bytes: &[u8]) -> Result<LogStore, BinError> {
+    decode_with_jobs(bytes, 1)
+}
+
+/// Decodes a store, fanning per-process frames out across a
+/// work-stealing pool of `jobs` threads. Version-2 inputs decode in
+/// parallel; version-1 inputs (no frame lengths) fall back to the
+/// sequential path. The result is identical to [`decode`] — frames are
+/// independent and reassembled in process order.
+///
+/// # Errors
+///
+/// Returns the first (by process order) [`BinError`] on malformed
+/// input.
+pub fn decode_par(bytes: &[u8], jobs: usize) -> Result<LogStore, BinError> {
+    decode_with_jobs(bytes, jobs)
+}
+
+fn decode_with_jobs(bytes: &[u8], jobs: usize) -> Result<LogStore, BinError> {
     let mut r = Reader { bytes, pos: 0 };
     for &m in MAGIC {
         if r.byte()? != m {
             return Err(BinError::BadMagic);
         }
     }
-    match r.byte()? {
-        VERSION => {}
+    let version = match r.byte()? {
+        v @ (VERSION_UNFRAMED | VERSION) => v,
         v => return Err(BinError::BadVersion(v)),
-    }
+    };
     let procs = r.varint()? as usize;
-    let mut store = LogStore::new(procs);
-    for p in 0..procs {
+
+    if version == VERSION_UNFRAMED {
+        // v1: entries stream back to back; only a sequential scan can
+        // find the process boundaries.
+        let mut store = LogStore::new(procs);
+        for p in 0..procs {
+            let n = r.varint()? as usize;
+            for _ in 0..n {
+                store.push(ProcId(p as u32), get_entry(&mut r)?);
+            }
+        }
+        return Ok(store);
+    }
+
+    // v2: slice out each process's frame first…
+    let mut frames: Vec<(usize, &[u8])> = Vec::with_capacity(procs);
+    for _ in 0..procs {
         let n = r.varint()? as usize;
-        for _ in 0..n {
-            store.push(ProcId(p as u32), get_entry(&mut r)?);
+        let len = r.varint()? as usize;
+        let end = r.pos.checked_add(len).ok_or(BinError::UnexpectedEof)?;
+        let frame = bytes.get(r.pos..end).ok_or(BinError::UnexpectedEof)?;
+        r.pos = end;
+        frames.push((n, frame));
+    }
+    // …then decode the frames, concurrently when asked to.
+    let decoded: Vec<Result<Vec<LogEntry>, BinError>> = if jobs <= 1 || procs <= 1 {
+        frames.iter().map(|&(n, frame)| decode_frame(frame, n)).collect()
+    } else {
+        use rayon::prelude::*;
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(jobs)
+            .build()
+            .expect("thread pool build is infallible");
+        pool.install(|| frames.par_iter().map(|&(n, frame)| decode_frame(frame, n)).collect())
+    };
+    let mut store = LogStore::new(procs);
+    for (p, entries) in decoded.into_iter().enumerate() {
+        for e in entries? {
+            store.push(ProcId(p as u32), e);
         }
     }
     Ok(store)
+}
+
+fn decode_frame(frame: &[u8], count: usize) -> Result<Vec<LogEntry>, BinError> {
+    let mut r = Reader { bytes: frame, pos: 0 };
+    let mut entries = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        entries.push(get_entry(&mut r)?);
+    }
+    Ok(entries)
 }
 
 #[cfg(test)]
@@ -352,6 +427,56 @@ mod tests {
     fn binary_is_denser_than_json() {
         let s = sample_store();
         assert!(encode(&s).len() < s.to_json().unwrap().len());
+    }
+
+    /// Encodes in the retired v1 framing (entry streams with no byte
+    /// lengths) so compatibility stays covered.
+    fn encode_v1(store: &LogStore) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION_UNFRAMED);
+        put_varint(&mut out, store.process_count() as u64);
+        for p in 0..store.process_count() {
+            let entries = &store.log(ProcId(p as u32)).entries;
+            put_varint(&mut out, entries.len() as u64);
+            for e in entries {
+                put_entry(&mut out, e);
+            }
+        }
+        out
+    }
+
+    fn stores_equal(a: &LogStore, b: &LogStore) {
+        assert_eq!(a.process_count(), b.process_count());
+        for p in 0..a.process_count() {
+            let pid = ProcId(p as u32);
+            assert_eq!(a.log(pid).entries, b.log(pid).entries);
+        }
+    }
+
+    #[test]
+    fn v1_streams_still_decode() {
+        let s = sample_store();
+        let v1 = encode_v1(&s);
+        stores_equal(&decode(&v1).expect("v1 decodes"), &s);
+        // The parallel entry point degrades to the sequential path.
+        stores_equal(&decode_par(&v1, 8).expect("v1 decodes in par API"), &s);
+    }
+
+    #[test]
+    fn parallel_decode_matches_sequential() {
+        let s = sample_store();
+        let bytes = encode(&s);
+        for jobs in [1, 2, 8] {
+            stores_equal(&decode_par(&bytes, jobs).expect("decodes"), &s);
+        }
+    }
+
+    #[test]
+    fn truncated_frame_is_rejected() {
+        let mut bytes = encode(&sample_store());
+        bytes.truncate(bytes.len() - 1);
+        assert_eq!(decode_par(&bytes, 4).unwrap_err(), BinError::UnexpectedEof);
     }
 
     #[test]

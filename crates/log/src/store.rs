@@ -90,6 +90,13 @@ impl LogStore {
         Arc::clone(self.index.get_or_init(|| Arc::new(IntervalIndex::build(self))))
     }
 
+    /// Like [`index`](Self::index), but a cold build is sharded by
+    /// process across `jobs` worker threads. The cached result (and any
+    /// already-cached one) is identical to the sequential build.
+    pub fn index_par(&self, jobs: usize) -> Arc<IntervalIndex> {
+        Arc::clone(self.index.get_or_init(|| Arc::new(IntervalIndex::build_par(self, jobs))))
+    }
+
     /// The log of one process.
     pub fn log(&self, proc: ProcId) -> &ProcessLog {
         &self.logs[proc.index()]
@@ -217,6 +224,18 @@ impl LogStore {
     /// number, unknown version/tag, or truncated input.
     pub fn from_binary(bytes: &[u8]) -> Result<LogStore, crate::binio::BinError> {
         crate::binio::decode(bytes)
+    }
+
+    /// Loads a store from the compact binary format, decoding the
+    /// per-process frames across `jobs` worker threads. Identical
+    /// result to [`from_binary`](Self::from_binary).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BinError`](crate::binio::BinError) on a bad magic
+    /// number, unknown version/tag, or truncated input.
+    pub fn from_binary_par(bytes: &[u8], jobs: usize) -> Result<LogStore, crate::binio::BinError> {
+        crate::binio::decode_par(bytes, jobs)
     }
 }
 

@@ -18,6 +18,8 @@
 //!   --format F          lint output: human (default) | json | sarif
 //!   --stats             debug: print replay-engine counters (cache hits,
 //!                       replays, query timings) after the session
+//!   --jobs N | -j N     worker threads for replay prefetch, race scan and
+//!                       lint passes (default: available parallelism)
 //! ```
 
 use ppd::analysis::EBlockStrategy;
@@ -40,6 +42,12 @@ struct Options {
     deny: bool,
     format: String,
     stats: bool,
+    jobs: usize,
+}
+
+/// Default `--jobs`: every hardware thread the host will give us.
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
 fn usage() -> ExitCode {
@@ -48,7 +56,7 @@ fn usage() -> ExitCode {
          [--seed N] [--inputs a,b,c]... [--break LINE]... \
          [--strategy subroutine|loops|split|merge] [--what static|parallel|dynamic] \
          [--schedules N] [--save FILE] [--load FILE] \
-         [--deny] [--format human|json|sarif] [--stats]"
+         [--deny] [--format human|json|sarif] [--stats] [--jobs N]"
     );
     ExitCode::from(2)
 }
@@ -69,6 +77,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<(String, Options
         deny: false,
         format: "human".into(),
         stats: false,
+        jobs: default_jobs(),
     };
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("{flag} needs a value"));
@@ -103,6 +112,10 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<(String, Options
             "--deny" => opts.deny = true,
             "--format" => opts.format = value()?,
             "--stats" => opts.stats = true,
+            "--jobs" | "-j" => {
+                let n: usize = value()?.parse().map_err(|_| "--jobs wants a number")?;
+                opts.jobs = n.max(1);
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -215,9 +228,9 @@ struct JsonNote {
 }
 
 fn cmd_lint(session: &PpdSession, opts: &Options, source: &str) -> ExitCode {
-    use ppd::analysis::lint::{run_default, Severity};
+    use ppd::analysis::lint::{run_default_par, Severity};
     let file = ppd::lang::SourceFile::new(opts.file.clone(), source);
-    let diags = run_default(session.rp(), session.analyses());
+    let diags = run_default_par(session.rp(), session.analyses(), opts.jobs);
     let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
     let warnings = diags.len() - errors;
     match opts.format.as_str() {
@@ -386,7 +399,8 @@ fn cmd_races(session: &PpdSession, opts: &Options) -> ExitCode {
             inputs: opts.inputs.clone(),
             ..RunConfig::default()
         });
-        let controller = Controller::new(session, &execution);
+        let mut controller = Controller::new(session, &execution);
+        controller.set_jobs(opts.jobs);
         let races = controller.races();
         if races.is_empty() {
             println!("seed {seed}: race-free ({})", describe_outcome(session, &execution.outcome));
@@ -445,6 +459,7 @@ fn cmd_dot(session: &PpdSession, opts: &Options, _source: &str) -> ExitCode {
 fn cmd_debug(session: &PpdSession, opts: &Options) -> ExitCode {
     let (execution, _) = cmd_run(session, opts, true);
     let mut controller = Controller::new(session, &execution);
+    controller.set_jobs(opts.jobs);
     let root = match controller.start() {
         Ok(r) => r,
         Err(e) => {

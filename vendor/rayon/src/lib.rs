@@ -1,0 +1,396 @@
+//! Vendored offline stand-in for `rayon`.
+//!
+//! The build container has no crates-io access, so this crate provides
+//! the small slice of the rayon API the workspace uses, implemented
+//! with safe `std::thread::scope` threads and atomic index-range work
+//! stealing:
+//!
+//! - [`ThreadPoolBuilder`] / [`ThreadPool`] with [`ThreadPool::install`];
+//! - [`current_num_threads`], honouring `RAYON_NUM_THREADS`;
+//! - `slice.par_iter().map(f).collect::<Vec<_>>()` via [`prelude`];
+//! - [`join`] for two-way forks.
+//!
+//! Scheduling: each parallel map splits the input index space into one
+//! contiguous range per worker; every worker owns an atomic cursor into
+//! its range and, when its own range drains, steals indices from the
+//! busiest remaining victim. Results are assembled **in input index
+//! order**, so output is deterministic regardless of the schedule.
+//!
+//! Stand-in extensions (not in real rayon): [`ThreadPool::pool_stats`]
+//! exposes the task and steal counters the bench tables report, and
+//! workers are scoped threads spawned per call rather than a persistent
+//! pool — adequate for the coarse-grained replay/scan tasks here.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Counters accumulated by a pool across all parallel calls run in it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Individual items executed by workers.
+    pub tasks: u64,
+    /// Items executed by a worker that stole them from another
+    /// worker's range.
+    pub steals: u64,
+}
+
+#[derive(Debug)]
+struct PoolInner {
+    threads: usize,
+    tasks: AtomicU64,
+    steals: AtomicU64,
+}
+
+thread_local! {
+    /// Stack of installed pools; `install` pushes, its guard pops.
+    static CURRENT: RefCell<Vec<Arc<PoolInner>>> = const { RefCell::new(Vec::new()) };
+}
+
+fn global_pool() -> &'static Arc<PoolInner> {
+    static GLOBAL: OnceLock<Arc<PoolInner>> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        Arc::new(PoolInner {
+            threads: default_threads(),
+            tasks: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+        })
+    })
+}
+
+fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn current_pool() -> Arc<PoolInner> {
+    CURRENT.with(|c| c.borrow().last().cloned()).unwrap_or_else(|| Arc::clone(global_pool()))
+}
+
+/// Number of threads the currently installed (or global) pool uses.
+pub fn current_num_threads() -> usize {
+    current_pool().threads
+}
+
+/// Error from [`ThreadPoolBuilder::build`]. The stand-in never fails
+/// to build, but the type keeps call sites source-compatible.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the worker count; 0 (rayon's convention) means "default".
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = self.num_threads.unwrap_or_else(default_threads).max(1);
+        Ok(ThreadPool {
+            inner: Arc::new(PoolInner {
+                threads,
+                tasks: AtomicU64::new(0),
+                steals: AtomicU64::new(0),
+            }),
+        })
+    }
+}
+
+/// A pool of `num_threads` workers (spawned per parallel call).
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    inner: Arc<PoolInner>,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool installed as the current pool: parallel
+    /// iterators inside `op` use this pool's thread count and counters.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        CURRENT.with(|c| c.borrow_mut().push(Arc::clone(&self.inner)));
+        struct Guard;
+        impl Drop for Guard {
+            fn drop(&mut self) {
+                CURRENT.with(|c| {
+                    c.borrow_mut().pop();
+                });
+            }
+        }
+        let _guard = Guard;
+        op()
+    }
+
+    /// This pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.inner.threads
+    }
+
+    /// Task/steal counters accumulated so far (stand-in extension).
+    pub fn pool_stats(&self) -> PoolStats {
+        PoolStats {
+            tasks: self.inner.tasks.load(Ordering::Relaxed),
+            steals: self.inner.steals.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Two-way fork-join. The stand-in runs the closures on the calling
+/// thread (the coarse-grained callers here fan out via `par_iter`).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    let pool = current_pool();
+    pool.tasks.fetch_add(2, Ordering::Relaxed);
+    (a(), b())
+}
+
+/// The work-stealing parallel map every `par_iter` chain bottoms out
+/// in: applies `f` to each index, returning results in index order.
+fn parallel_map<'a, T, R, F>(pool: &PoolInner, items: &'a [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = pool.threads.min(n);
+    pool.tasks.fetch_add(n as u64, Ordering::Relaxed);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    // One contiguous index range per worker, each with an atomic
+    // cursor. A worker drains its own range first, then steals from
+    // whichever victim has the most remaining work.
+    let mut starts = Vec::with_capacity(workers);
+    let mut ends = Vec::with_capacity(workers);
+    let chunk = n / workers;
+    let extra = n % workers;
+    let mut lo = 0usize;
+    for w in 0..workers {
+        let len = chunk + usize::from(w < extra);
+        starts.push(AtomicUsize::new(lo));
+        ends.push(lo + len);
+        lo += len;
+    }
+    let cursors = &starts;
+    let ends = &ends;
+    let f = &f;
+    let steals = &pool.steals;
+
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let out: Vec<Mutex<Vec<(usize, R)>>> = (0..workers).map(|_| Mutex::new(Vec::new())).collect();
+    let out_ref = &out;
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            scope.spawn(move || {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                // Own range.
+                loop {
+                    let i = cursors[w].fetch_add(1, Ordering::Relaxed);
+                    if i >= ends[w] {
+                        break;
+                    }
+                    local.push((i, f(&items[i])));
+                }
+                // Steal until every range is drained.
+                loop {
+                    let mut victim = None;
+                    let mut most_left = 0usize;
+                    for (v, end) in ends.iter().enumerate() {
+                        if v == w {
+                            continue;
+                        }
+                        let cur = cursors[v].load(Ordering::Relaxed);
+                        let left = end.saturating_sub(cur);
+                        if left > most_left {
+                            most_left = left;
+                            victim = Some(v);
+                        }
+                    }
+                    let Some(v) = victim else { break };
+                    let i = cursors[v].fetch_add(1, Ordering::Relaxed);
+                    if i < ends[v] {
+                        steals.fetch_add(1, Ordering::Relaxed);
+                        local.push((i, f(&items[i])));
+                    }
+                }
+                *out_ref[w].lock().unwrap() = local;
+            });
+        }
+    });
+
+    for m in out {
+        for (i, r) in m.into_inner().unwrap() {
+            slots[i] = Some(r);
+        }
+    }
+    slots.into_iter().map(|s| s.expect("every index executed exactly once")).collect()
+}
+
+/// `use rayon::prelude::*;` — brings the parallel-iterator traits in.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+/// `.par_iter()` on slices (and, by deref, `Vec`s).
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Sync + 'a;
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+#[derive(Debug)]
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+}
+
+/// A mapped parallel iterator, ready to collect.
+#[derive(Debug)]
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+/// The subset of rayon's `ParallelIterator` the workspace consumes.
+pub trait ParallelIterator {
+    type Output;
+    /// Runs the pipeline on the current pool; results arrive in input
+    /// index order.
+    fn collect<C: From<Vec<Self::Output>>>(self) -> C;
+}
+
+impl<'a, T, R, F> ParallelIterator for ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    type Output = R;
+    fn collect<C: From<Vec<R>>>(self) -> C {
+        let pool = current_pool();
+        let out = parallel_map(&pool, self.items, &self.f);
+        C::from(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn collect_preserves_input_order() {
+        let items: Vec<u64> = (0..997).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        let doubled: Vec<u64> = pool.install(|| items.par_iter().map(|x| x * 2).collect());
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tasks_counted_and_single_thread_runs_inline() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let v: Vec<usize> = pool.install(|| [1, 2, 3].par_iter().map(|x| x + 1).collect());
+        assert_eq!(v, vec![2, 3, 4]);
+        assert_eq!(pool.pool_stats().tasks, 3);
+        assert_eq!(pool.pool_stats().steals, 0);
+    }
+
+    #[test]
+    fn uneven_work_steals_without_losing_items() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let items: Vec<u64> = (0..256).collect();
+        // Front-loaded work so later ranges finish first and steal.
+        let out: Vec<u64> = pool.install(|| {
+            items
+                .par_iter()
+                .map(|&x| {
+                    let mut acc = x;
+                    let spin = if x < 32 { 20_000 } else { 10 };
+                    for i in 0..spin {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                    }
+                    let _ = acc;
+                    x
+                })
+                .collect()
+        });
+        assert_eq!(out, items);
+        assert_eq!(pool.pool_stats().tasks, 256);
+    }
+
+    #[test]
+    fn install_nests_and_restores() {
+        let outer = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let inner = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        outer.install(|| {
+            assert_eq!(current_num_threads(), 3);
+            inner.install(|| assert_eq!(current_num_threads(), 5));
+            assert_eq!(current_num_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+    }
+
+    #[test]
+    fn builder_zero_means_default() {
+        let pool = ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+    }
+}
