@@ -192,8 +192,17 @@ pub fn run_passes(
     passes: &[BoxedLintPass],
 ) -> Vec<Diagnostic> {
     let ctx = LintContext { rp, analyses };
-    let per_pass: Vec<Vec<Diagnostic>> = passes.iter().map(|p| p.run(&ctx)).collect();
+    let per_pass: Vec<Vec<Diagnostic>> =
+        passes.iter().map(|p| run_pass_instrumented(p, &ctx)).collect();
     finalize(per_pass)
+}
+
+/// Runs one pass under a span naming it, so `--trace-out` shows where
+/// lint wall time goes pass by pass (free when spans are disabled).
+fn run_pass_instrumented(pass: &BoxedLintPass, ctx: &LintContext) -> Vec<Diagnostic> {
+    let _span = ppd_obs::spans_enabled()
+        .then(|| ppd_obs::span_dyn("lint", format!("pass:{}", pass.name())));
+    pass.run(ctx)
 }
 
 /// Runs `passes` with one work-stealing task per pass across `jobs`
@@ -217,7 +226,7 @@ pub fn run_passes_par(
         .build()
         .expect("thread pool build is infallible");
     let per_pass: Vec<Vec<Diagnostic>> =
-        pool.install(|| passes.par_iter().map(|p| p.run(&ctx)).collect());
+        pool.install(|| passes.par_iter().map(|p| run_pass_instrumented(p, &ctx)).collect());
     finalize(per_pass)
 }
 

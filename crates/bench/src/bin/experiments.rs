@@ -4,14 +4,20 @@
 //! (a debug build works but inflates absolute times).
 //!
 //! ```text
-//! --only e4,e6,e7     run a subset of experiments (ids: e1..e8 f41 f53 f61)
+//! --only e4,e6,e7     run a subset of experiments (ids: e1..e9 f41 f53 f61)
 //! --jobs N | -j N     thread ceiling for the E7 scaling sweep (default 8)
 //! --json FILE         also write the E4/E6/E7 tables as machine-readable
-//!                     JSON (the BENCH_parallel.json committed at the root)
+//!                     JSON (the BENCH_parallel.json committed at the root).
+//!                     When E9 runs, its §7 overhead report is additionally
+//!                     written to BENCH_overhead.json beside FILE — so
+//!                     `--only e9 --json BENCH_overhead.json` produces
+//!                     exactly that artifact.
 //! ```
 
 use ppd_bench::experiments as ex;
 use ppd_bench::Table;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Experiments whose tables are emitted by `--json` — the perf-trajectory
 /// set: race-scan cost (E4), flowback latency (E6), parallel scaling (E7).
@@ -49,6 +55,11 @@ fn main() {
         }
     }
 
+    // E9 produces a table for stdout plus the BENCH_overhead.json body;
+    // the suite interface only carries tables, so the body rides out in
+    // this slot.
+    let e9_report: Rc<RefCell<Option<String>>> = Rc::new(RefCell::new(None));
+
     type Entry = (&'static str, Box<dyn Fn() -> Table>);
     let suite: Vec<Entry> = vec![
         ("e1", Box::new(ex::e1_logging_overhead)),
@@ -59,6 +70,14 @@ fn main() {
         ("e6", Box::new(ex::e6_flowback_latency)),
         ("e7", Box::new(move || ex::e7_parallel_scaling_with(jobs))),
         ("e8", Box::new(ex::e8_array_logging)),
+        ("e9", {
+            let slot = Rc::clone(&e9_report);
+            Box::new(move || {
+                let (table, report) = ex::e9_overhead_meter_full();
+                *slot.borrow_mut() = Some(report);
+                table
+            })
+        }),
         ("f41", Box::new(ex::f41_figure)),
         ("f53", Box::new(ex::f53_figure)),
         ("f61", Box::new(ex::f61_figure)),
@@ -81,17 +100,32 @@ fn main() {
         }
     }
     if let Some(path) = json {
-        let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        let body = format!(
-            "{{\"generator\":\"ppd-bench experiments\",\"host_parallelism\":{host},\
-             \"e7_jobs_ceiling\":{jobs},\"tables\":{{{}}}}}\n",
-            json_tables.join(",")
-        );
-        if let Err(e) = std::fs::write(&path, body) {
-            eprintln!("error: cannot write {path}: {e}");
-            std::process::exit(1);
+        if !json_tables.is_empty() {
+            let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+            let body = format!(
+                "{{\"generator\":\"ppd-bench experiments\",\"host_parallelism\":{host},\
+                 \"e7_jobs_ceiling\":{jobs},\"tables\":{{{}}}}}\n",
+                json_tables.join(",")
+            );
+            write_or_die(&path, &body);
+            eprintln!("wrote {path} ({} table(s))", json_tables.len());
         }
-        eprintln!("wrote {path} ({} table(s))", json_tables.len());
+        if let Some(report) = e9_report.borrow().as_ref() {
+            let overhead = std::path::Path::new(&path)
+                .with_file_name("BENCH_overhead.json")
+                .to_string_lossy()
+                .into_owned();
+            write_or_die(&overhead, report);
+            eprintln!("wrote {overhead} (E9 overhead report)");
+        }
+    }
+}
+
+/// Writes `body` to `path`, exiting non-zero on failure.
+fn write_or_die(path: &str, body: &str) {
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
     }
 }
 

@@ -13,6 +13,10 @@
 //! - **E7** — parallel debugging-backend scaling: work-stealing replay
 //!   fan-out, sharded trace cache, parallel race scan (1/2/4/8 threads);
 //! - **E8** — whole-array snapshots vs element-granular logging (§7);
+//! - **E9** — the §7 overhead meter: logging on/off ratio checked
+//!   against the paper's < 15% claim, with per-e-block prelog/postlog
+//!   attribution from the runtime's [`LogMeter`](ppd_runtime::LogMeter)
+//!   (machine-readable as `BENCH_overhead.json`);
 //! - **F4.1 / F5.3 / F6.1** — the worked figures, regenerated.
 //!
 //! `cargo run -p ppd-bench --bin experiments --release` prints every

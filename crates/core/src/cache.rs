@@ -119,9 +119,17 @@ impl ShardedTraceCache {
     /// Looks up a memoized trace, bumping its LRU stamp. Records a hit
     /// or miss against the key's shard; a disabled cache always misses.
     pub fn get(&self, key: &CacheKey) -> Option<Arc<Vec<TraceEvent>>> {
+        // Probes are the hottest instrumented site (one per warm
+        // replay), so a *hit* records no span — hits are counted in
+        // the shard counters and surface as `cache.hits` — and a warm
+        // query pays one clock read. Misses record retroactively.
+        let probe_start = ppd_obs::spans_enabled().then(ppd_obs::now_ns);
         let s = Self::shard_of(key);
         if !self.enabled.load(Ordering::Relaxed) {
             self.misses[s].fetch_add(1, Ordering::Relaxed);
+            if let Some(t0) = probe_start {
+                ppd_obs::record_span_since("cache", "probe_disabled", t0);
+            }
             return None;
         }
         let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
@@ -134,6 +142,10 @@ impl ShardedTraceCache {
             }
             None => {
                 self.misses[s].fetch_add(1, Ordering::Relaxed);
+                drop(shard);
+                if let Some(t0) = probe_start {
+                    ppd_obs::record_span_since("cache", "probe_miss", t0);
+                }
                 None
             }
         }
@@ -143,6 +155,8 @@ impl ShardedTraceCache {
     /// Returns whether the entry was stored (false only when the cache
     /// is disabled or the single trace exceeds the whole budget).
     pub fn insert(&self, key: CacheKey, events: Arc<Vec<TraceEvent>>, bytes: usize) -> bool {
+        let mut span = ppd_obs::span("cache", "insert");
+        span.arg("bytes", bytes);
         if !self.enabled.load(Ordering::Relaxed) {
             return false;
         }
@@ -192,6 +206,7 @@ impl ShardedTraceCache {
                 let entry = shard.map.remove(&victim).expect("victim present under lock");
                 self.bytes.fetch_sub(entry.bytes, Ordering::Relaxed);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
+                ppd_obs::instant("cache", "evict");
                 return true;
             }
         }
@@ -244,6 +259,18 @@ impl ShardedTraceCache {
     /// Whether the cache holds no traces.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Zeroes the hit/miss/eviction counters without touching held
+    /// traces (used by `stats reset` to time a warm query from zero).
+    pub fn reset_counters(&self) {
+        for h in &self.hits {
+            h.store(0, Ordering::Relaxed);
+        }
+        for m in &self.misses {
+            m.store(0, Ordering::Relaxed);
+        }
+        self.evictions.store(0, Ordering::Relaxed);
     }
 
     /// A snapshot of the counters and gauges.

@@ -82,6 +82,20 @@ impl<'p> Controller<'p> {
         self.engine.stats()
     }
 
+    /// The same counters as [`Controller::stats`] in raw registry form,
+    /// rendered as single-line JSON (`--stats --format json`).
+    pub fn metrics_json(&self) -> String {
+        self.engine.metrics_snapshot().to_json()
+    }
+
+    /// Zeroes every debugging-phase counter (queries, replays, cache
+    /// hit/miss/eviction tallies) while keeping cached traces warm, so
+    /// an interactive session can measure a single query in isolation
+    /// (the `stats reset` command).
+    pub fn reset_stats(&self) {
+        self.engine.reset_stats();
+    }
+
     /// Enables or disables replay memoization. Results are identical
     /// either way (replay is deterministic); only the cost changes.
     pub fn set_cache_enabled(&mut self, enabled: bool) {

@@ -12,7 +12,7 @@ use ppd_analysis::{Analyses, AnalysisConfig, EBlockPlan, EBlockStrategy};
 use ppd_graph::{ParallelGraph, StaticGraph};
 use ppd_lang::{ProcId, ResolvedProgram};
 use ppd_log::LogStore;
-use ppd_runtime::{ExecConfig, Machine, NullTracer, Outcome, SchedulerSpec, Tracer};
+use ppd_runtime::{ExecConfig, LogMeter, Machine, NullTracer, Outcome, SchedulerSpec, Tracer};
 
 /// Parameters of one execution-phase run.
 #[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
@@ -216,6 +216,19 @@ impl PpdSession {
         let plan = logging.then_some(&self.plan);
         let machine = Machine::new(&self.rp, &self.analyses, plan, config.to_exec(pgraph));
         machine.run(&mut NullTracer).outcome
+    }
+
+    /// Runs the instrumented object code with the §7 logging meter
+    /// attached: every prelog/postlog/snapshot write is timed and sized,
+    /// attributed per e-block. Used by experiment E9; the metering
+    /// clock reads perturb the run, so overhead *ratios* come from
+    /// [`measure_run`](Self::measure_run) pairs instead.
+    pub fn execute_metered(&self, config: RunConfig) -> (Outcome, LogMeter) {
+        let mut exec = config.to_exec(false);
+        exec.meter_logging = true;
+        let machine = Machine::new(&self.rp, &self.analyses, Some(&self.plan), exec);
+        let result = machine.run(&mut NullTracer);
+        (result.outcome, result.log_meter.expect("metering enabled with a plan"))
     }
 }
 

@@ -123,6 +123,7 @@ pub fn detect_races_naive(graph: &ParallelGraph, ord: &dyn Ordering) -> Vec<Race
 /// [`detect_races_naive`] plus the number of distinct cross-process edge
 /// pairs it examined (every such pair — the naive baseline).
 pub fn detect_races_naive_counted(graph: &ParallelGraph, ord: &dyn Ordering) -> (Vec<Race>, usize) {
+    let _span = ppd_obs::span("race", "scan_naive");
     let edges = graph.internal_edges();
     let mut races = Vec::new();
     let mut examined = 0usize;
@@ -254,7 +255,10 @@ pub fn detect_races_par_counted<O: Ordering + Sync>(
     candidates: Option<&RaceCandidates>,
     jobs: usize,
 ) -> (Vec<Race>, usize) {
+    let mut span = ppd_obs::span("race", "scan_par");
+    span.arg("jobs", jobs);
     let pairs = collect_candidate_pairs(graph, candidates);
+    span.arg("pairs", pairs.len());
     let examined: HashSet<(InternalEdgeId, InternalEdgeId)> =
         pairs.iter().map(|p| (p.race.first, p.race.second)).collect();
     let jobs = jobs.max(1);
@@ -385,6 +389,8 @@ fn scan_indexed(
     candidates: Option<&RaceCandidates>,
     count: bool,
 ) -> (Vec<Race>, usize) {
+    let mut span = ppd_obs::span("race", "scan_indexed");
+    span.arg("pruned", candidates.is_some());
     // var -> (writers, readers)
     let mut writers: HashMap<VarId, Vec<InternalEdgeId>> = HashMap::new();
     let mut readers: HashMap<VarId, Vec<InternalEdgeId>> = HashMap::new();

@@ -265,6 +265,8 @@ fn get_entry(r: &mut Reader<'_>) -> Result<LogEntry, BinError> {
 
 /// Encodes a whole store (version 2: length-prefixed process frames).
 pub fn encode(store: &LogStore) -> Vec<u8> {
+    let mut span = ppd_obs::span("log", "encode");
+    span.arg("procs", store.process_count());
     let mut out = Vec::new();
     out.extend_from_slice(MAGIC);
     out.push(VERSION);
@@ -307,6 +309,9 @@ pub fn decode_par(bytes: &[u8], jobs: usize) -> Result<LogStore, BinError> {
 }
 
 fn decode_with_jobs(bytes: &[u8], jobs: usize) -> Result<LogStore, BinError> {
+    let mut span = ppd_obs::span("log", "decode");
+    span.arg("bytes", bytes.len());
+    span.arg("jobs", jobs);
     let mut r = Reader { bytes, pos: 0 };
     for &m in MAGIC {
         if r.byte()? != m {

@@ -61,6 +61,8 @@ impl IntervalIndex {
     /// Builds the index for every process of `store` — one O(entries)
     /// pass per log.
     pub fn build(store: &LogStore) -> IntervalIndex {
+        let mut span = ppd_obs::span("log", "index_build");
+        span.arg("procs", store.process_count());
         let procs = (0..store.process_count())
             .map(|p| {
                 let proc = ProcId(p as u32);
@@ -79,6 +81,9 @@ impl IntervalIndex {
         if jobs <= 1 || store.process_count() <= 1 {
             return Self::build(store);
         }
+        let mut span = ppd_obs::span("log", "index_build_par");
+        span.arg("procs", store.process_count());
+        span.arg("jobs", jobs);
         use rayon::prelude::*;
         let procs_in: Vec<ProcId> = (0..store.process_count()).map(|p| ProcId(p as u32)).collect();
         let pool = rayon::ThreadPoolBuilder::new()

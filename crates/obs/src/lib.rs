@@ -1,0 +1,59 @@
+//! # ppd-obs — the unified instrumentation layer
+//!
+//! Low-overhead observability for every phase of the debugger: RAII
+//! **spans** recorded into lock-free-on-the-hot-path thread-local
+//! buffers, a **metrics** registry of counters / gauges / fixed-bucket
+//! histograms, and three sinks over both:
+//!
+//! - a Chrome trace-event JSON writer ([`chrome`]) whose output loads
+//!   in Perfetto / `chrome://tracing`, one track per thread (so one
+//!   track per pool worker, with steal annotations);
+//! - a JSON metrics snapshot ([`metrics::Snapshot::to_json`]);
+//! - an in-terminal summary table ([`summary`]).
+//!
+//! ## Cost model
+//!
+//! Span recording is globally gated by a single [`AtomicBool`]
+//! (relaxed load): with spans **disabled** — the default — every
+//! instrumentation point is one load and a branch, so the instrumented
+//! hot paths (runtime prelog/postlog writes, replay, cache probes,
+//! race scans, pool tasks) run at full speed. With spans **enabled**,
+//! each span costs two monotonic-clock reads and one push into the
+//! recording thread's own buffer (a thread-private `Mutex` that is
+//! only contended during final collection).
+//!
+//! Metrics handles ([`metrics::Counter`], [`metrics::Gauge`],
+//! [`metrics::Histogram`]) are plain shared atomics: always on, no
+//! gate needed.
+//!
+//! [`AtomicBool`]: std::sync::atomic::AtomicBool
+//!
+//! ## Example
+//!
+//! ```
+//! // Spans nest by RAII; the Chrome writer emits one slice per span.
+//! ppd_obs::enable_spans(true);
+//! {
+//!     let _outer = ppd_obs::span("demo", "outer");
+//!     let mut inner = ppd_obs::span("demo", "inner");
+//!     inner.arg("detail", 42);
+//! }
+//! ppd_obs::enable_spans(false);
+//! let records = ppd_obs::take_spans();
+//! assert_eq!(records.len(), 2);
+//! let json = ppd_obs::chrome::trace_json(&records, &ppd_obs::thread_names());
+//! assert!(json.contains("\"traceEvents\""));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod metrics;
+pub mod span;
+pub mod summary;
+
+pub use metrics::{global, Counter, Gauge, Histogram, Registry, Snapshot};
+pub use span::{
+    enable_spans, instant, now_ns, record_span_since, reset_spans, set_thread_name, span, span_dyn,
+    spans_enabled, take_spans, thread_names, SpanGuard, SpanRecord,
+};

@@ -1,0 +1,110 @@
+//! In-terminal summary sink: aggregates drained spans per
+//! `(category, name)` site into a table sorted by total time.
+
+use crate::span::SpanRecord;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregate statistics for one instrumentation site.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SiteStats {
+    /// Number of spans recorded at this site.
+    pub count: u64,
+    /// Total nanoseconds across all spans.
+    pub total_ns: u64,
+    /// Longest single span in nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Aggregates spans by `(cat, name)`; instants count with zero time.
+pub fn aggregate(records: &[SpanRecord]) -> BTreeMap<(String, String), SiteStats> {
+    let mut map: BTreeMap<(String, String), SiteStats> = BTreeMap::new();
+    for rec in records {
+        let stats = map.entry((rec.cat.to_string(), rec.name.clone().into_owned())).or_default();
+        stats.count += 1;
+        stats.total_ns += rec.dur_ns;
+        stats.max_ns = stats.max_ns.max(rec.dur_ns);
+    }
+    map
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders the per-site table, heaviest total first.
+pub fn render(records: &[SpanRecord]) -> String {
+    let agg = aggregate(records);
+    let mut rows: Vec<(&(String, String), &SiteStats)> = agg.iter().collect();
+    rows.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then_with(|| a.0.cmp(b.0)));
+    let name_w = rows
+        .iter()
+        .map(|((cat, name), _)| cat.len() + name.len() + 1)
+        .chain(std::iter::once("span".len()))
+        .max()
+        .unwrap_or(4);
+    let mut out = String::new();
+    let _ = writeln!(out, "{:name_w$}  {:>8}  {:>10}  {:>10}", "span", "count", "total", "max");
+    for ((cat, name), s) in rows {
+        let _ = writeln!(
+            out,
+            "{:name_w$}  {:>8}  {:>10}  {:>10}",
+            format!("{cat}/{name}"),
+            s.count,
+            fmt_ns(s.total_ns),
+            fmt_ns(s.max_ns)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::borrow::Cow;
+
+    fn rec(cat: &'static str, name: &'static str, dur_ns: u64) -> SpanRecord {
+        SpanRecord {
+            cat,
+            name: Cow::Borrowed(name),
+            tid: 0,
+            seq: 0,
+            depth: 0,
+            start_ns: 0,
+            dur_ns,
+            instant: false,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn aggregates_by_site_and_sorts_by_total() {
+        let records = vec![rec("a", "fast", 10), rec("a", "fast", 20), rec("b", "slow", 2_500_000)];
+        let agg = aggregate(&records);
+        let fast = &agg[&("a".to_string(), "fast".to_string())];
+        assert_eq!(fast.count, 2);
+        assert_eq!(fast.total_ns, 30);
+        assert_eq!(fast.max_ns, 20);
+        let table = render(&records);
+        let slow_at = table.find("b/slow").unwrap();
+        let fast_at = table.find("a/fast").unwrap();
+        assert!(slow_at < fast_at, "heaviest first:\n{table}");
+        assert!(table.contains("2.50ms"), "{table}");
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(17), "17ns");
+        assert_eq!(fmt_ns(1_700), "1.7us");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_200_000_000), "3.20s");
+    }
+}

@@ -39,5 +39,7 @@ pub use event::{
     CellRef, CountingTracer, EventKind, NullTracer, ReadSource, SyncKind, TraceEvent, Tracer,
     VecTracer,
 };
-pub use machine::{ExecConfig, ExecResult, Machine, NestedCalls, ReplayResult};
+pub use machine::{
+    EBlockLogCost, ExecConfig, ExecResult, LogMeter, Machine, NestedCalls, ReplayResult,
+};
 pub use sched::{Scheduler, SchedulerSpec};

@@ -28,6 +28,7 @@ use ppd_lang::ast::*;
 use ppd_lang::{BodyId, FuncId, ProcId, ResolvedProgram, Value, VarId};
 use ppd_log::{IntervalRef, LogCursor, LogEntry, LogStore};
 use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
 
 /// Configuration for a normal (execution-phase) run.
 #[derive(Debug, Clone)]
@@ -44,6 +45,12 @@ pub struct ExecConfig {
     /// the paper's user-intervention halt (\[24\], §3.2.2). Every process
     /// stops, leaving open log intervals for the debugging phase.
     pub breakpoints: Vec<ppd_lang::StmtId>,
+    /// Meter the instrumented object code: attribute wall time and
+    /// bytes to every prelog/postlog/snapshot write, per e-block (the
+    /// §7 overhead meter). Off by default — metering itself reads the
+    /// clock twice per log write, which would perturb the very
+    /// measurements experiment E1 makes.
+    pub meter_logging: bool,
 }
 
 impl Default for ExecConfig {
@@ -54,7 +61,79 @@ impl Default for ExecConfig {
             max_steps: 2_000_000,
             build_parallel_graph: true,
             breakpoints: Vec::new(),
+            meter_logging: false,
         }
+    }
+}
+
+/// Logging cost attributed to one e-block by the §7 overhead meter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EBlockLogCost {
+    /// Prelogs written for this e-block.
+    pub prelog_count: u64,
+    /// Bytes those prelogs occupy in the log.
+    pub prelog_bytes: u64,
+    /// Wall time spent capturing and writing them, in nanoseconds.
+    pub prelog_ns: u64,
+    /// Postlogs written for this e-block.
+    pub postlog_count: u64,
+    /// Bytes those postlogs occupy in the log.
+    pub postlog_bytes: u64,
+    /// Wall time spent capturing and writing them, in nanoseconds.
+    pub postlog_ns: u64,
+}
+
+/// Per-e-block attribution of the instrumented object code's logging
+/// cost (prelog vs. postlog bytes and time), filled in when
+/// [`ExecConfig::meter_logging`] is set.
+#[derive(Debug, Clone, Default)]
+pub struct LogMeter {
+    /// Cost per e-block.
+    pub per_eblock: HashMap<EBlockId, EBlockLogCost>,
+    /// Shared-snapshot writes (§5.5), not attributable to one e-block.
+    pub snapshot_count: u64,
+    /// Bytes those snapshots occupy.
+    pub snapshot_bytes: u64,
+    /// Wall time spent writing them, in nanoseconds.
+    pub snapshot_ns: u64,
+}
+
+impl LogMeter {
+    /// Total nanoseconds spent in logging instrumentation.
+    pub fn total_ns(&self) -> u64 {
+        self.snapshot_ns + self.per_eblock.values().map(|c| c.prelog_ns + c.postlog_ns).sum::<u64>()
+    }
+
+    /// Total bytes written to the logs.
+    pub fn total_bytes(&self) -> u64 {
+        self.snapshot_bytes
+            + self.per_eblock.values().map(|c| c.prelog_bytes + c.postlog_bytes).sum::<u64>()
+    }
+
+    /// Total log records written.
+    pub fn total_count(&self) -> u64 {
+        self.snapshot_count
+            + self.per_eblock.values().map(|c| c.prelog_count + c.postlog_count).sum::<u64>()
+    }
+
+    fn note_prelog(&mut self, eb: EBlockId, bytes: u64, ns: u64) {
+        let c = self.per_eblock.entry(eb).or_default();
+        c.prelog_count += 1;
+        c.prelog_bytes += bytes;
+        c.prelog_ns += ns;
+    }
+
+    fn note_postlog(&mut self, eb: EBlockId, bytes: u64, ns: u64) {
+        let c = self.per_eblock.entry(eb).or_default();
+        c.postlog_count += 1;
+        c.postlog_bytes += bytes;
+        c.postlog_ns += ns;
+    }
+
+    fn note_snapshot(&mut self, bytes: u64, ns: u64) {
+        self.snapshot_count += 1;
+        self.snapshot_bytes += bytes;
+        self.snapshot_ns += ns;
     }
 }
 
@@ -73,6 +152,9 @@ pub struct ExecResult {
     pub steps: u64,
     /// Trace events emitted (even if the tracer discarded them).
     pub events: u64,
+    /// Per-e-block logging cost, when [`ExecConfig::meter_logging`] was
+    /// set (and a plan was supplied).
+    pub log_meter: Option<LogMeter>,
 }
 
 /// Result of an e-block replay.
@@ -245,6 +327,7 @@ pub struct Machine<'p> {
     steps: u64,
     max_steps: u64,
     events: u64,
+    log_meter: Option<LogMeter>,
 }
 
 impl<'p> Machine<'p> {
@@ -285,6 +368,7 @@ impl<'p> Machine<'p> {
             steps: 0,
             max_steps: config.max_steps,
             events: 0,
+            log_meter: (config.meter_logging && plan.is_some()).then(LogMeter::default),
         };
         for i in 0..nprocs {
             let pid = ProcId(i as u32);
@@ -393,6 +477,7 @@ impl<'p> Machine<'p> {
             steps: 0,
             max_steps,
             events: 0,
+            log_meter: None,
         };
         // Restore the prelog: USED-set values at interval start (§5.1).
         if let LogEntry::Prelog { values, .. } = store.prelog_of(interval) {
@@ -453,7 +538,10 @@ impl<'p> Machine<'p> {
     /// limit.
     pub fn run(mut self, tracer: &mut dyn Tracer) -> ExecResult {
         debug_assert!(!self.is_replay());
+        let mut span = ppd_obs::span("runtime", "execute");
+        span.arg("logged", self.plan.is_some());
         let outcome = self.run_loop(tracer);
+        span.arg("steps", self.steps);
         ExecResult {
             outcome,
             output: self.output,
@@ -461,12 +549,14 @@ impl<'p> Machine<'p> {
             pgraph: self.pgraph,
             steps: self.steps,
             events: self.events,
+            log_meter: self.log_meter,
         }
     }
 
     /// Runs a replay to the end of its region.
     pub fn run_replay(mut self, tracer: &mut dyn Tracer) -> ReplayResult {
         debug_assert!(self.is_replay());
+        let _span = ppd_obs::span("runtime", "run_replay");
         let start = self.replay.as_ref().map_or(0, |r| r.cursor.position());
         let outcome = self.run_loop(tracer);
         let end = self.replay.as_ref().map_or(start, |r| r.cursor.position());
@@ -1758,12 +1848,22 @@ impl<'p> Machine<'p> {
             self.procs[ix].frames.last().expect("frame").body
         };
         let Some(eb) = plan.body_eblock(body) else { return };
+        let _span = ppd_obs::span("runtime", "prelog");
+        let meter_start = self.log_meter.as_ref().map(|_| Instant::now());
         let used = plan.eblock(eb).used.clone();
         let values = self.capture_set(pid, &used);
         let instance = self.next_instance(pid, eb);
         let t = self.tick();
+        let entry = LogEntry::Prelog { eblock: eb, instance, values, time: t };
+        let bytes = self.log_meter.as_ref().map(|_| entry.size_bytes() as u64);
         if let Some(logs) = self.logs.as_mut() {
-            logs.push(pid, LogEntry::Prelog { eblock: eb, instance, values, time: t });
+            logs.push(pid, entry);
+        }
+        if let (Some(start), Some(bytes)) = (meter_start, bytes) {
+            let ns = start.elapsed().as_nanos() as u64;
+            if let Some(meter) = self.log_meter.as_mut() {
+                meter.note_prelog(eb, bytes, ns);
+            }
         }
         self.frame_mut(pid).open_intervals.push((eb, instance));
     }
@@ -1774,12 +1874,22 @@ impl<'p> Machine<'p> {
         if self.is_replay() {
             return; // handled by substitution in dispatch_stmt
         }
+        let _span = ppd_obs::span("runtime", "prelog");
+        let meter_start = self.log_meter.as_ref().map(|_| Instant::now());
         let used = plan.eblock(eb).used.clone();
         let values = self.capture_set(pid, &used);
         let instance = self.next_instance(pid, eb);
         let t = self.tick();
+        let entry = LogEntry::Prelog { eblock: eb, instance, values, time: t };
+        let bytes = self.log_meter.as_ref().map(|_| entry.size_bytes() as u64);
         if let Some(logs) = self.logs.as_mut() {
-            logs.push(pid, LogEntry::Prelog { eblock: eb, instance, values, time: t });
+            logs.push(pid, entry);
+        }
+        if let (Some(start), Some(bytes)) = (meter_start, bytes) {
+            let ns = start.elapsed().as_nanos() as u64;
+            if let Some(meter) = self.log_meter.as_mut() {
+                meter.note_prelog(eb, bytes, ns);
+            }
         }
         let frame = self.frame_mut(pid);
         frame.open_intervals.push((eb, instance));
@@ -1797,12 +1907,22 @@ impl<'p> Machine<'p> {
             }
         }
         let Some(plan) = self.plan else { return };
+        let _span = ppd_obs::span("runtime", "prelog");
+        let meter_start = self.log_meter.as_ref().map(|_| Instant::now());
         let used = plan.eblock(eb).used.clone();
         let values = self.capture_set(pid, &used);
         let instance = self.next_instance(pid, eb);
         let t = self.tick();
+        let entry = LogEntry::Prelog { eblock: eb, instance, values, time: t };
+        let bytes = self.log_meter.as_ref().map(|_| entry.size_bytes() as u64);
         if let Some(logs) = self.logs.as_mut() {
-            logs.push(pid, LogEntry::Prelog { eblock: eb, instance, values, time: t });
+            logs.push(pid, entry);
+        }
+        if let (Some(start), Some(bytes)) = (meter_start, bytes) {
+            let ns = start.elapsed().as_nanos() as u64;
+            if let Some(meter) = self.log_meter.as_mut() {
+                meter.note_prelog(eb, bytes, ns);
+            }
         }
         self.frame_mut(pid).open_intervals.push((eb, instance));
     }
@@ -1812,20 +1932,22 @@ impl<'p> Machine<'p> {
             return;
         }
         let Some(plan) = self.plan else { return };
+        let _span = ppd_obs::span("runtime", "postlog");
+        let meter_start = self.log_meter.as_ref().map(|_| Instant::now());
         let defined = plan.eblock(eb).defined.clone();
         let values = self.capture_set(pid, &defined);
         let t = self.tick();
+        let entry =
+            LogEntry::Postlog { eblock: eb, instance, values, ret: ret.map(Value::Int), time: t };
+        let bytes = self.log_meter.as_ref().map(|_| entry.size_bytes() as u64);
         if let Some(logs) = self.logs.as_mut() {
-            logs.push(
-                pid,
-                LogEntry::Postlog {
-                    eblock: eb,
-                    instance,
-                    values,
-                    ret: ret.map(Value::Int),
-                    time: t,
-                },
-            );
+            logs.push(pid, entry);
+        }
+        if let (Some(start), Some(bytes)) = (meter_start, bytes) {
+            let ns = start.elapsed().as_nanos() as u64;
+            if let Some(meter) = self.log_meter.as_mut() {
+                meter.note_postlog(eb, bytes, ns);
+            }
         }
         let frame = self.frame_mut(pid);
         if let Some(pos) = frame.open_intervals.iter().position(|&(b, i)| b == eb && i == instance)
@@ -1864,10 +1986,20 @@ impl<'p> Machine<'p> {
             }
         }; // at=None is currently never emitted: the e-block prelog covers it
         if let Some(reads) = unit_reads {
+            let _span = ppd_obs::span("runtime", "snapshot");
+            let meter_start = self.log_meter.as_ref().map(|_| Instant::now());
             let values = self.capture_set(pid, &reads);
             let t = self.tick();
+            let entry = LogEntry::SharedSnapshot { at, values, time: t };
+            let bytes = self.log_meter.as_ref().map(|_| entry.size_bytes() as u64);
             if let Some(logs) = self.logs.as_mut() {
-                logs.push(pid, LogEntry::SharedSnapshot { at, values, time: t });
+                logs.push(pid, entry);
+            }
+            if let (Some(start), Some(bytes)) = (meter_start, bytes) {
+                let ns = start.elapsed().as_nanos() as u64;
+                if let Some(meter) = self.log_meter.as_mut() {
+                    meter.note_snapshot(bytes, ns);
+                }
             }
         }
         Ok(())

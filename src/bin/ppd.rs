@@ -17,9 +17,19 @@
 //!   --deny              lint: exit nonzero on any diagnostic, not just errors
 //!   --format F          lint output: human (default) | json | sarif
 //!   --stats             debug: print replay-engine counters (cache hits,
-//!                       replays, query timings) after the session
+//!                       replays, query timings) after the session; with
+//!                       `--format json`, emit the raw metrics registry
+//!                       as a JSON snapshot instead of the table
+//!   --trace-out FILE    record hierarchical spans from every layer
+//!                       (runtime logging, log codec, replay, cache,
+//!                       race scan, lint passes, pool workers) and write
+//!                       a Chrome trace-event JSON loadable in Perfetto
 //!   --jobs N | -j N     worker threads for replay prefetch, race scan and
 //!                       lint passes (default: available parallelism)
+//!
+//! interactive debug commands include `stats` (counters so far) and
+//! `stats reset` (zero them, keeping cached traces warm, to measure a
+//! single query in a warm session).
 //! ```
 
 use ppd::analysis::EBlockStrategy;
@@ -42,6 +52,7 @@ struct Options {
     deny: bool,
     format: String,
     stats: bool,
+    trace_out: Option<String>,
     jobs: usize,
 }
 
@@ -56,7 +67,7 @@ fn usage() -> ExitCode {
          [--seed N] [--inputs a,b,c]... [--break LINE]... \
          [--strategy subroutine|loops|split|merge] [--what static|parallel|dynamic] \
          [--schedules N] [--save FILE] [--load FILE] \
-         [--deny] [--format human|json|sarif] [--stats] [--jobs N]"
+         [--deny] [--format human|json|sarif] [--stats] [--trace-out FILE] [--jobs N]"
     );
     ExitCode::from(2)
 }
@@ -77,6 +88,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<(String, Options
         deny: false,
         format: "human".into(),
         stats: false,
+        trace_out: None,
         jobs: default_jobs(),
     };
     while let Some(flag) = args.next() {
@@ -112,6 +124,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<(String, Options
             "--deny" => opts.deny = true,
             "--format" => opts.format = value()?,
             "--stats" => opts.stats = true,
+            "--trace-out" => opts.trace_out = Some(value()?),
             "--jobs" | "-j" => {
                 let n: usize = value()?.parse().map_err(|_| "--jobs wants a number")?;
                 opts.jobs = n.max(1);
@@ -151,7 +164,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match cmd.as_str() {
+    if opts.trace_out.is_some() {
+        ppd::obs::enable_spans(true);
+    }
+    let code = match cmd.as_str() {
         "check" => cmd_check(&session),
         "lint" => cmd_lint(&session, &opts, &source),
         "run" => cmd_run(&session, &opts, true).1,
@@ -159,7 +175,20 @@ fn main() -> ExitCode {
         "races" => cmd_races(&session, &opts),
         "dot" => cmd_dot(&session, &opts, &source),
         _ => usage(),
+    };
+    if let Some(path) = &opts.trace_out {
+        ppd::obs::enable_spans(false);
+        let records = ppd::obs::take_spans();
+        let json = ppd::obs::chrome::trace_json(&records, &ppd::obs::thread_names());
+        match std::fs::write(path, json) {
+            Ok(()) => eprintln!("trace: {} span(s) written to {path}", records.len()),
+            Err(e) => {
+                eprintln!("error: cannot write trace to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
+    code
 }
 
 fn run_config(session: &PpdSession, opts: &Options) -> RunConfig {
@@ -468,13 +497,19 @@ fn cmd_debug(session: &PpdSession, opts: &Options) -> ExitCode {
         }
     };
     println!("\ndebugging from: {}", controller.graph().node(root).label);
+    if opts.trace_out.is_some() {
+        // With a trace attached, exercise the race-scan layer once so
+        // the exported timeline shows every debugging-phase subsystem.
+        println!("races: {} (race scan recorded in trace)", controller.races().len());
+    }
     if opts.stats {
         // Non-interactive runs (stdin closed) still see the counters for
         // the initial query before the REPL exits.
-        println!("\nreplay-engine stats after initial query:\n{}", controller.stats().render());
+        println!("\nreplay-engine stats after initial query:\n{}", render_stats(&controller, opts));
     }
     println!(
-        "commands: graph back <n> slice <n> forward <n> expand <n> races state stats dot quit\n"
+        "commands: graph back <n> slice <n> forward <n> expand <n> races state stats \
+         [reset] dot quit\n"
     );
     print!("ppd> ");
     let _ = io::stdout().flush();
@@ -483,8 +518,8 @@ fn cmd_debug(session: &PpdSession, opts: &Options) -> ExitCode {
         let line = line.unwrap_or_default();
         let mut parts = line.split_whitespace();
         let cmd = parts.next().unwrap_or("");
-        let node = parts
-            .next()
+        let arg = parts.next();
+        let node = arg
             .and_then(|s| s.parse::<u32>().ok())
             .map(DynNodeId)
             .filter(|n| n.index() < controller.graph().len());
@@ -523,7 +558,11 @@ fn cmd_debug(session: &PpdSession, opts: &Options) -> ExitCode {
                     println!("  {}", r.description);
                 }
             }
-            ("stats", _) => println!("{}", controller.stats().render()),
+            ("stats", _) if arg == Some("reset") => {
+                controller.reset_stats();
+                println!("stats reset (cached traces kept warm)");
+            }
+            ("stats", _) => println!("{}", render_stats(&controller, opts)),
             ("state", _) => {
                 let state = shared_state_at(session, &execution, u64::MAX);
                 for v in session.rp().shared_vars() {
@@ -538,9 +577,19 @@ fn cmd_debug(session: &PpdSession, opts: &Options) -> ExitCode {
         let _ = io::stdout().flush();
     }
     if opts.stats {
-        println!("\nreplay-engine stats at exit:\n{}", controller.stats().render());
+        println!("\nreplay-engine stats at exit:\n{}", render_stats(&controller, opts));
     }
     ExitCode::SUCCESS
+}
+
+/// `--stats` rendering: the human table, or the raw metrics-registry
+/// snapshot as single-line JSON under `--format json`.
+fn render_stats(controller: &Controller<'_>, opts: &Options) -> String {
+    if opts.format == "json" {
+        controller.metrics_json()
+    } else {
+        controller.stats().render()
+    }
 }
 
 fn print_node(controller: &Controller<'_>, id: DynNodeId) {

@@ -17,7 +17,10 @@
 //! - [`runtime`] — a deterministic shared-memory multiprocessor
 //!   simulation: the object code and the emulation package;
 //! - [`core`] — the debugger: preparatory / execution / debugging
-//!   phases, the PPD Controller, flowback analysis, what-if replay.
+//!   phases, the PPD Controller, flowback analysis, what-if replay;
+//! - [`obs`] — the unified instrumentation layer: hierarchical spans,
+//!   counters/gauges/histograms, Chrome-trace export (`--trace-out`),
+//!   JSON metrics snapshots (`--stats --format json`).
 //!
 //! ## Quickstart
 //!
@@ -53,4 +56,5 @@ pub use ppd_core as core;
 pub use ppd_graph as graph;
 pub use ppd_lang as lang;
 pub use ppd_log as log;
+pub use ppd_obs as obs;
 pub use ppd_runtime as runtime;

@@ -204,3 +204,60 @@ fn dot_pdg_outputs_full_static_graph() {
     assert!(stdout.contains("digraph static_TellerA"), "{stdout}");
     assert!(stdout.contains("style=dashed"), "{stdout}");
 }
+
+#[test]
+fn debug_trace_out_writes_chrome_trace_with_all_layers() {
+    let dir = std::env::temp_dir().join("ppd_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.json");
+    let path_s = path.to_str().unwrap();
+    let (_, stderr, ok) = run_ppd(&["debug", "programs/lintdemo.ppd", "--trace-out", path_s]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("span(s) written to"), "{stderr}");
+    let trace = std::fs::read_to_string(&path).expect("trace file written");
+    assert!(trace.starts_with("{\"traceEvents\":[\n"), "bad envelope: {trace}");
+    assert!(trace.trim_end().ends_with("]}"), "unterminated envelope");
+    // The timeline must show every debugging-phase subsystem: the
+    // runtime's logging, replay (cold replays miss the cache, so both
+    // layers appear), and the race scan --trace-out triggers.
+    for cat in ["runtime", "replay", "cache", "race"] {
+        assert!(trace.contains(&format!("\"cat\":\"{cat}\"")), "layer {cat} missing:\n{trace}");
+    }
+    assert!(trace.contains("\"pid\":1"), "{trace}");
+    assert!(trace.contains("\"ph\":\"X\""), "{trace}");
+}
+
+#[test]
+fn debug_stats_json_emits_metrics_snapshot() {
+    let (stdout, _, ok) = run_ppd(&["debug", "programs/bank.ppd", "--stats", "--format", "json"]);
+    assert!(ok, "{stdout}");
+    // The snapshot is one JSON object per `--stats` print, exposing the
+    // raw metrics registry sections and the core counters by name.
+    let line = stdout.lines().find(|l| l.starts_with('{')).expect("json snapshot line");
+    for key in ["\"counters\"", "\"gauges\"", "\"histograms\""] {
+        assert!(line.contains(key), "missing {key}: {line}");
+    }
+    for metric in ["\"replay.replays\"", "\"cache.hits\"", "\"query.latency_ns\""] {
+        assert!(line.contains(metric), "missing {metric}: {line}");
+    }
+}
+
+#[test]
+fn debug_repl_stats_reset_zeroes_counters_but_keeps_cache_warm() {
+    let mut child = ppd()
+        .args(["debug", "programs/overdraw.ppd", "--inputs", "95"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    use std::io::Write;
+    child.stdin.as_mut().unwrap().write_all(b"back 7\nstats reset\nstats\nquit\n").unwrap();
+    let out = child.wait_with_output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("stats reset (cached traces kept warm)"), "{stdout}");
+    // The post-reset `stats` print starts from zero queries/replays…
+    let after = stdout.split("stats reset").nth(1).expect("output after reset");
+    assert!(after.contains("replays performed     0"), "{after}");
+    // …while the memoized traces stay resident for warm re-queries.
+    assert!(!after.contains("cached traces         0 (0 bytes)"), "cache was dropped: {after}");
+}

@@ -212,6 +212,11 @@ where
     std::thread::scope(|scope| {
         for w in 0..workers {
             scope.spawn(move || {
+                // One Chrome track per worker; scoped threads are fresh
+                // per call, so name the track every time.
+                if ppd_obs::spans_enabled() {
+                    ppd_obs::set_thread_name(format!("pool-worker-{w}"));
+                }
                 let mut local: Vec<(usize, R)> = Vec::new();
                 // Own range.
                 loop {
@@ -219,6 +224,7 @@ where
                     if i >= ends[w] {
                         break;
                     }
+                    let _task = ppd_obs::span("pool", "task");
                     local.push((i, f(&items[i])));
                 }
                 // Steal until every range is drained.
@@ -240,6 +246,8 @@ where
                     let i = cursors[v].fetch_add(1, Ordering::Relaxed);
                     if i < ends[v] {
                         steals.fetch_add(1, Ordering::Relaxed);
+                        let mut task = ppd_obs::span("pool", "task");
+                        task.arg_str("stolen", "true");
                         local.push((i, f(&items[i])));
                     }
                 }
