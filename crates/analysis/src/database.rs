@@ -10,8 +10,9 @@ use crate::interproc::ModRef;
 use crate::usedef::ProgramEffects;
 use crate::varset::{VarSet, VarSetRepr};
 use ppd_lang::ast::walk_stmts;
+use ppd_lang::types::{Ty, TypeInfo};
 use ppd_lang::{BodyId, ResolvedProgram, Span, StmtId, VarId};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A reference to a program-text site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,16 +36,32 @@ pub struct ProgramDatabase {
     shared_writers: HashMap<VarId, Vec<BodyId>>,
     /// Bodies that may read each shared variable (from GREF).
     shared_readers: HashMap<VarId, Vec<BodyId>>,
+    /// Inferred type of every variable (`int`-defaulted when the
+    /// program does not type-check, so queries always answer).
+    var_ty: Vec<Ty>,
+    /// Type-indexed GMOD/GREF: shared variables grouped by inferred
+    /// type, in deterministic `(type, var)` order.
+    shared_by_type: BTreeMap<Ty, Vec<VarId>>,
 }
 
 impl ProgramDatabase {
-    /// Builds the database from the per-statement effects and the
-    /// interprocedural summaries.
+    /// Builds the database from the per-statement effects, the
+    /// interprocedural summaries and (when available) the checker's
+    /// inferred types.
     pub fn build(
         rp: &ResolvedProgram,
         effects: &ProgramEffects,
         modref: &ModRef,
+        types: Option<&TypeInfo>,
     ) -> ProgramDatabase {
+        let var_ty: Vec<Ty> = match types {
+            Some(ti) => ti.var_ty.clone(),
+            None => vec![Ty::Int; rp.var_count()],
+        };
+        let mut shared_by_type: BTreeMap<Ty, Vec<VarId>> = BTreeMap::new();
+        for v in rp.shared_vars() {
+            shared_by_type.entry(var_ty[v.index()].clone()).or_default().push(v);
+        }
         let mut db = ProgramDatabase {
             def_sites: HashMap::new(),
             use_sites: HashMap::new(),
@@ -52,6 +69,8 @@ impl ProgramDatabase {
             span_of: HashMap::new(),
             shared_writers: HashMap::new(),
             shared_readers: HashMap::new(),
+            var_ty,
+            shared_by_type,
         };
         for body in rp.bodies() {
             walk_stmts(rp.body_block(body), &mut |stmt| {
@@ -126,6 +145,51 @@ impl ProgramDatabase {
         self.shared_readers.get(&var).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    /// The inferred type of `var` (`int` when the program did not
+    /// type-check).
+    pub fn var_type(&self, var: VarId) -> &Ty {
+        &self.var_ty[var.index()]
+    }
+
+    /// All shared variables of the given inferred type, in id order —
+    /// the type-indexed view of the GMOD/GREF universe.
+    pub fn shared_of_type(&self, ty: &Ty) -> &[VarId] {
+        self.shared_by_type.get(ty).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The distinct inferred types of shared variables, with their
+    /// member counts, in deterministic type order.
+    pub fn shared_type_index(&self) -> impl Iterator<Item = (&Ty, &[VarId])> {
+        self.shared_by_type.iter().map(|(t, vs)| (t, vs.as_slice()))
+    }
+
+    /// Bodies that may write any shared variable of type `ty` — the
+    /// type-indexed GMOD query (§3.2.1 database, sharpened by `ppd
+    /// check`).
+    pub fn shared_writers_of_type(&self, ty: &Ty) -> Vec<BodyId> {
+        let mut out: Vec<BodyId> = self
+            .shared_of_type(ty)
+            .iter()
+            .flat_map(|v| self.shared_writers(*v).iter().copied())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Bodies that may read any shared variable of type `ty` — the
+    /// type-indexed GREF query.
+    pub fn shared_readers_of_type(&self, ty: &Ty) -> Vec<BodyId> {
+        let mut out: Vec<BodyId> = self
+            .shared_of_type(ty)
+            .iter()
+            .flat_map(|v| self.shared_readers(*v).iter().copied())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
     /// The variables both read and written somewhere — a quick index the
     /// race detector uses to prune candidates.
     pub fn read_write_vars(&self, rp: &ResolvedProgram) -> VarSet {
@@ -149,7 +213,9 @@ mod tests {
         let effects = ProgramEffects::compute(&rp);
         let cg = CallGraph::build(&rp, &effects);
         let mr = ModRef::compute(&rp, &effects, &cg);
-        let db = ProgramDatabase::build(&rp, &effects, &mr);
+        let tc = ppd_lang::types::check(&rp);
+        let types = tc.is_ok().then_some(&tc.info);
+        let db = ProgramDatabase::build(&rp, &effects, &mr, types);
         (rp, db)
     }
 
@@ -199,6 +265,28 @@ mod tests {
         assert!(set.contains(var(&rp, "rw")));
         assert!(!set.contains(var(&rp, "wo")));
         assert!(!set.contains(var(&rp, "ro")));
+    }
+
+    #[test]
+    fn type_index_partitions_shared_variables() {
+        let (rp, db) = build(
+            "shared int n; shared int flag; shared int a[4]; \
+             process M { n = 1; flag = true; a[0] = 2; } \
+             process O { print(n); }",
+        );
+        assert_eq!(*db.var_type(var(&rp, "n")), Ty::Int);
+        assert_eq!(*db.var_type(var(&rp, "flag")), Ty::Bool);
+        assert_eq!(*db.var_type(var(&rp, "a")), Ty::Array(Box::new(Ty::Int)));
+        assert_eq!(db.shared_of_type(&Ty::Int), &[var(&rp, "n")]);
+        assert_eq!(db.shared_of_type(&Ty::Bool), &[var(&rp, "flag")]);
+        assert_eq!(db.shared_type_index().count(), 3);
+        // Typed GMOD/GREF: M writes ints, O only reads them.
+        let writers: Vec<&str> =
+            db.shared_writers_of_type(&Ty::Int).iter().map(|b| rp.body_name(*b)).collect();
+        assert_eq!(writers, vec!["M"]);
+        let readers: Vec<&str> =
+            db.shared_readers_of_type(&Ty::Int).iter().map(|b| rp.body_name(*b)).collect();
+        assert_eq!(readers, vec!["O"]);
     }
 
     #[test]

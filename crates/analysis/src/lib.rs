@@ -98,11 +98,16 @@ pub struct AnalysisConfig {
     /// behaviour is unchanged because emission and consumption share
     /// the same trimmed sets).
     pub mhp_snapshot_trim: bool,
+    /// Run the static type checker and, when it reports no errors, also
+    /// compute the type-refined MHP relation ([`Analyses::mhp_typed`])
+    /// and candidate index ([`Analyses::typed_candidates`]). The untyped
+    /// [`Analyses::mhp`] baseline is always computed.
+    pub typed_sync_groups: bool,
 }
 
 impl Default for AnalysisConfig {
     fn default() -> AnalysisConfig {
-        AnalysisConfig { mhp_snapshot_trim: true }
+        AnalysisConfig { mhp_snapshot_trim: true, typed_sync_groups: true }
     }
 }
 
@@ -137,6 +142,16 @@ pub struct Analyses {
     /// MHP-refined race candidates — always a subset of
     /// [`Analyses::race_candidates`], used as the second pruning stage.
     pub mhp_candidates: RaceCandidates,
+    /// The type checker's result: `Some` only when the program
+    /// type-checks with no errors (and typed analysis is enabled).
+    pub types: Option<ppd_lang::types::TypeInfo>,
+    /// The type-refined MHP relation (typed channel aliasing); `Some`
+    /// exactly when [`Analyses::types`] is.
+    pub mhp_typed: Option<MhpAnalysis>,
+    /// Race candidates refined by [`Analyses::mhp_typed`] — a subset of
+    /// [`Analyses::mhp_candidates`]; equal to it when the program does
+    /// not type-check (the untyped index is the sound fallback).
+    pub typed_candidates: RaceCandidates,
 }
 
 impl Analyses {
@@ -176,9 +191,22 @@ impl Analyses {
         if config.mhp_snapshot_trim {
             sync_units.trim_with_mhp(rp, &effects, &modref, &callgraph, &mhp);
         }
-        let database = ProgramDatabase::build(rp, &effects, &modref);
         let race_candidates = RaceCandidates::from_modref(rp, &modref);
         let mhp_candidates = mhp.refine_candidates(rp, &effects, &modref, &race_candidates);
+        // Typed layer: only trusted when the program type-checks clean.
+        let types = if config.typed_sync_groups {
+            let tc = ppd_lang::types::check(rp);
+            tc.is_ok().then_some(tc.info)
+        } else {
+            None
+        };
+        let mhp_typed =
+            types.as_ref().map(|ti| MhpAnalysis::compute_typed(rp, &cfgs, &doms, &callgraph, ti));
+        let typed_candidates = match &mhp_typed {
+            Some(mt) => mt.refine_candidates(rp, &effects, &modref, &mhp_candidates),
+            None => mhp_candidates.clone(),
+        };
+        let database = ProgramDatabase::build(rp, &effects, &modref, types.as_ref());
         Analyses {
             effects,
             callgraph,
@@ -194,6 +222,9 @@ impl Analyses {
             race_candidates,
             mhp,
             mhp_candidates,
+            types,
+            mhp_typed,
+            typed_candidates,
         }
     }
 

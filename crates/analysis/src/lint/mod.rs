@@ -22,22 +22,33 @@
 //! - **PPD005** `inconsistent-lock` — a shared variable reached under
 //!   disjoint must-locksets (different locks, or one side lockless) on
 //!   two paths the MHP relation deems concurrent.
+//! - **PPD006** `type-confused-shared` — a shared global written at
+//!   incompatible inferred types from different processes (each write
+//!   re-inferred with a fresh type variable, so the lint works even when
+//!   `ppd check` would reject the program).
+//! - **PPD007** `dead-channel` — a channel with no reachable sender, no
+//!   reachable receiver, or no uses at all, under the checker's typed
+//!   channel-parameter aliasing when the program type-checks.
 //!
 //! Diagnostics carry a code, severity, a primary [`Span`] and labeled
 //! notes; [`Diagnostic::render`] produces compiler-style excerpts via
 //! [`ppd_lang::diag`].
 
 pub mod candidates;
+mod dead_channel;
 mod dead_store;
 mod inconsistent_lock;
 mod race_candidate;
+mod type_confusion;
 mod uninit_read;
 mod unsync_shared;
 
 pub use candidates::RaceCandidates;
+pub use dead_channel::DeadChannelPass;
 pub use dead_store::DeadStorePass;
 pub use inconsistent_lock::InconsistentLockPass;
 pub use race_candidate::RaceCandidatePass;
+pub use type_confusion::TypeConfusionPass;
 pub use uninit_read::UninitReadPass;
 pub use unsync_shared::UnsyncSharedPass;
 
@@ -180,6 +191,8 @@ pub fn default_passes() -> Vec<BoxedLintPass> {
         Box::new(DeadStorePass),
         Box::new(UninitReadPass),
         Box::new(InconsistentLockPass),
+        Box::new(TypeConfusionPass),
+        Box::new(DeadChannelPass),
     ]
 }
 

@@ -7,11 +7,12 @@
 //! a unit of process `Q` have conflicting shared sets, some execution
 //! may schedule them simultaneously and the pair is a race candidate.
 //! Two refinements cut false positives before anything is reported:
-//! the may-happen-in-parallel fixpoint ([`crate::mhp`]) drops pairs
-//! whose every conflicting access is provably ordered by the program's
-//! synchronization structure, and each surviving diagnostic carries a
-//! *witness*: a concrete pair of statements that no synchronization
-//! chain orders. The dynamic detector then decides, per execution,
+//! the may-happen-in-parallel fixpoint ([`crate::mhp`]) — sharpened by
+//! per-payload-type channel sync groups whenever the program passes
+//! `ppd check` — drops pairs whose every conflicting access is provably
+//! ordered by the program's synchronization structure, and each
+//! surviving diagnostic carries a *witness*: a concrete pair of
+//! statements that no synchronization chain orders. The dynamic detector then decides, per execution,
 //! whether the ordering edges actually separate them.
 
 use super::{first_access, Diagnostic, LintContext, LintPass, Severity};
@@ -71,8 +72,10 @@ impl LintPass for RaceCandidatePass {
                 vars.sort_unstable();
                 for v in vars {
                     // Second stage: drop the pair when the MHP fixpoint
-                    // proves every conflicting access ordered.
-                    if !ctx.analyses.mhp_candidates.allows(v, a, b) {
+                    // proves every conflicting access ordered. The typed
+                    // index degenerates to the untyped one when the
+                    // program fails `ppd check`.
+                    if !ctx.analyses.typed_candidates.allows(v, a, b) {
                         continue;
                     }
                     diags.push(self.diagnose(ctx, &spans, v, a, b, conflicts[&v]));
@@ -95,7 +98,7 @@ impl RaceCandidatePass {
     /// Finds a statically-concurrent conflicting access pair on `var`
     /// between `a` and `b`, preferring write/write witnesses.
     fn witness(ctx: &LintContext<'_>, var: VarId, a: ProcId, b: ProcId) -> Option<Witness> {
-        let mhp = &ctx.analyses.mhp;
+        let mhp = ctx.analyses.mhp_typed.as_ref().unwrap_or(&ctx.analyses.mhp);
         let accesses = |p: ProcId| -> Vec<(StmtId, bool)> {
             mhp.events()
                 .iter()

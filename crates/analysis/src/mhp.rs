@@ -69,6 +69,20 @@
 //!   matches the runtime, which records a V → P edge only for a 0 → 1
 //!   count handoff; locks and positive-initial semaphores provide
 //!   mutual exclusion, not ordering, and contribute nothing.
+//! - **channel message / channel ack**: channels get *per-site* groups,
+//!   because a `recv(c, x)` through a `chan` parameter may read several
+//!   channels — its completion only implies that *some* send which
+//!   could deliver to *some* channel it may read ran. For each channel
+//!   recv site `r`: producers = every send site whose channel may alias
+//!   `r`'s, consumers = `r`'s events; for each *blocking* channel send
+//!   site `s`: producers = every recv site whose channel may alias
+//!   `s`'s, consumers = `s`'s events. Aliasing is what the type checker
+//!   sharpens: untyped, a `chan` parameter may alias every channel;
+//!   typed ([`MhpAnalysis::compute_typed`]), it may only alias channels
+//!   of its payload class — monomorphic signatures (see
+//!   `ppd_lang::types`) guarantee one class per parameter. Smaller
+//!   producer sets make the `∀`-producers rule fire more often, so the
+//!   typed analysis orders strictly more and reports fewer MHP pairs.
 //!
 //! Over-approximation direction: every rule *adds* orderings only under
 //! proof, so MHP (the complement) over-approximates true concurrency —
@@ -82,8 +96,9 @@ use crate::lint::RaceCandidates;
 use crate::usedef::ProgramEffects;
 use crate::varset::VarSetRepr;
 use ppd_lang::ast::{walk_stmts, SemKind, Stmt, StmtKind, SyncStmt};
-use ppd_lang::{BodyId, ProcId, ResolvedProgram, StmtId, VarId};
-use std::collections::HashMap;
+use ppd_lang::types::{Ty, TypeInfo};
+use ppd_lang::{BodyId, ChanId, ChanRef, ProcId, ResolvedProgram, StmtId, VarId};
+use std::collections::{BTreeMap, HashMap};
 
 /// A dense bit matrix over interned events.
 #[derive(Debug, Clone)]
@@ -166,6 +181,30 @@ impl MhpAnalysis {
         doms: &HashMap<BodyId, DomTree>,
         callgraph: &CallGraph,
     ) -> MhpAnalysis {
+        Self::compute_inner(rp, cfgs, doms, callgraph, None)
+    }
+
+    /// Like [`Self::compute`], but with channel aliasing refined by the
+    /// type checker's payload classes. Only sound for programs on which
+    /// `ppd_lang::types::check` reports no errors — callers must gate on
+    /// that (see `Analyses::run_with`).
+    pub fn compute_typed(
+        rp: &ResolvedProgram,
+        cfgs: &HashMap<BodyId, Cfg>,
+        doms: &HashMap<BodyId, DomTree>,
+        callgraph: &CallGraph,
+        types: &TypeInfo,
+    ) -> MhpAnalysis {
+        Self::compute_inner(rp, cfgs, doms, callgraph, Some(types))
+    }
+
+    fn compute_inner(
+        rp: &ResolvedProgram,
+        cfgs: &HashMap<BodyId, Cfg>,
+        doms: &HashMap<BodyId, DomTree>,
+        callgraph: &CallGraph,
+        types: Option<&TypeInfo>,
+    ) -> MhpAnalysis {
         // ---- events: (proc, stmt) for every body the proc may execute.
         let nprocs = rp.procs.len() as u32;
         let mut proc_bodies: Vec<Vec<BodyId>> = Vec::new();
@@ -228,7 +267,7 @@ impl MhpAnalysis {
         }
 
         // ---- sync groups.
-        let groups = build_groups(rp, cfgs, &reach, &proc_bodies, &index);
+        let groups = build_groups(rp, cfgs, &reach, &proc_bodies, &index, types);
 
         // ---- fixpoint: group rules plus hb·seq ⊆ hb, seq·seq ⊆ seq.
         let words = hb.words;
@@ -362,16 +401,23 @@ impl MhpAnalysis {
         modref: &ModRef,
         base: &RaceCandidates,
     ) -> RaceCandidates {
-        // Per shared variable: events writing / accessing it.
+        // Per shared variable: events writing / accessing it. Only each
+        // event's *direct* effects count: a callee's accesses happen at
+        // the callee's statements, and every statement of every body a
+        // process may reach is itself an interned event — charging the
+        // callee's GMOD/GREF closure to the call site again would pin
+        // the (never recv-ordered) call statement as an accessor and
+        // block pruning through function bodies.
+        let _ = modref;
         let mut writers: HashMap<VarId, Vec<usize>> = HashMap::new();
         let mut accessors: HashMap<VarId, Vec<usize>> = HashMap::new();
         for (i, &(_, s)) in self.events.iter().enumerate() {
-            let (reads, writes) = stmt_shared_accesses(rp, effects, modref, s);
-            for v in writes {
+            let fx = effects.of(s);
+            for v in fx.defs.to_vec().into_iter().filter(|&v| rp.is_shared(v)) {
                 writers.entry(v).or_default().push(i);
                 accessors.entry(v).or_default().push(i);
             }
-            for v in reads {
+            for v in fx.uses.to_vec().into_iter().filter(|&v| rp.is_shared(v)) {
                 accessors.entry(v).or_default().push(i);
             }
         }
@@ -439,6 +485,85 @@ pub(crate) fn stmt_shared_accesses(
     (reads, writes)
 }
 
+/// Channel aliasing for the per-site channel groups: which channels a
+/// send/recv site's [`ChanRef`] may name. Untyped, a `chan` parameter
+/// may alias every channel; typed, only channels of its payload class.
+struct ChanAliasing {
+    /// Payload-class index of each channel, typed mode only.
+    chan_class: Option<Vec<usize>>,
+    /// Alias class of each variable that is a `chan` parameter, typed
+    /// mode only (`None` entry: no channel of that payload class exists).
+    var_class: Option<Vec<Option<usize>>>,
+}
+
+/// The channels one [`ChanRef`] may name, as a comparable class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AliasClass {
+    /// Exactly this channel (a static reference).
+    Exact(ChanId),
+    /// Any channel of this payload class (a typed `chan` parameter).
+    Class(usize),
+    /// Any channel at all (an untyped `chan` parameter).
+    All,
+    /// No channel (a typed parameter with no matching channel).
+    Empty,
+}
+
+impl ChanAliasing {
+    fn new(rp: &ResolvedProgram, types: Option<&TypeInfo>) -> ChanAliasing {
+        let Some(ti) = types else { return ChanAliasing { chan_class: None, var_class: None } };
+        let mut classes: BTreeMap<Ty, usize> = BTreeMap::new();
+        let chan_class: Vec<usize> = ti
+            .chan_payload
+            .iter()
+            .map(|t| {
+                let next = classes.len();
+                *classes.entry(t.clone()).or_insert(next)
+            })
+            .collect();
+        let var_class: Vec<Option<usize>> = rp
+            .vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                if !v.is_chan {
+                    return None;
+                }
+                let payload = ti.chan_ref_payload(ChanRef::Var(VarId(i as u32)));
+                classes.get(&payload).copied()
+            })
+            .collect();
+        ChanAliasing { chan_class: Some(chan_class), var_class: Some(var_class) }
+    }
+
+    fn class_of(&self, cref: ChanRef) -> AliasClass {
+        match cref {
+            ChanRef::Static(c) => AliasClass::Exact(c),
+            ChanRef::Var(v) => match &self.var_class {
+                None => AliasClass::All,
+                Some(vc) => match vc[v.index()] {
+                    Some(k) => AliasClass::Class(k),
+                    None => AliasClass::Empty,
+                },
+            },
+        }
+    }
+
+    /// Whether the two references may name a common channel.
+    fn may_alias(&self, a: ChanRef, b: ChanRef) -> bool {
+        use AliasClass::*;
+        match (self.class_of(a), self.class_of(b)) {
+            (Empty, _) | (_, Empty) => false,
+            (All, _) | (_, All) => true,
+            (Exact(c1), Exact(c2)) => c1 == c2,
+            (Exact(c), Class(k)) | (Class(k), Exact(c)) => {
+                self.chan_class.as_ref().expect("typed mode")[c.index()] == k
+            }
+            (Class(k1), Class(k2)) => k1 == k2,
+        }
+    }
+}
+
 /// Collects the sync-group catalogue (see module docs).
 fn build_groups(
     rp: &ResolvedProgram,
@@ -446,6 +571,7 @@ fn build_groups(
     reach: &HashMap<BodyId, Vec<Vec<u64>>>,
     proc_bodies: &[Vec<BodyId>],
     index: &HashMap<(ProcId, StmtId), usize>,
+    types: Option<&TypeInfo>,
 ) -> Vec<SyncGroup> {
     // Classify every sync site, remembering its body.
     struct Sites<'a> {
@@ -455,6 +581,8 @@ fn build_groups(
         recv_sites: Vec<StmtId>,
         rdv_sites: HashMap<ProcId, Vec<StmtId>>,
         accept_sites: Vec<(BodyId, &'a Stmt)>,
+        chan_send_sites: Vec<(StmtId, ChanRef, bool)>, // (site, chan, blocking)
+        chan_recv_sites: Vec<(StmtId, ChanRef)>,
     }
     let mut sites = Sites {
         v_sites: HashMap::new(),
@@ -463,6 +591,8 @@ fn build_groups(
         recv_sites: Vec::new(),
         rdv_sites: HashMap::new(),
         accept_sites: Vec::new(),
+        chan_send_sites: Vec::new(),
+        chan_recv_sites: Vec::new(),
     };
     for body in rp.bodies() {
         walk_stmts(rp.body_block(body), &mut |stmt| {
@@ -482,20 +612,28 @@ fn build_groups(
                 }
                 SyncStmt::Lock(_) | SyncStmt::Unlock(_) => {} // mutual exclusion only
                 SyncStmt::Send { .. } => {
-                    sites
-                        .send_sites
-                        .entry(rp.msg_target[&stmt.id])
-                        .or_default()
-                        .push((stmt.id, true));
+                    if let Some(&q) = rp.msg_target.get(&stmt.id) {
+                        sites.send_sites.entry(q).or_default().push((stmt.id, true));
+                    } else if let Some(&cref) = rp.send_chan.get(&stmt.id) {
+                        sites.chan_send_sites.push((stmt.id, cref, true));
+                    }
                 }
                 SyncStmt::ASend { .. } => {
-                    sites
-                        .send_sites
-                        .entry(rp.msg_target[&stmt.id])
-                        .or_default()
-                        .push((stmt.id, false));
+                    if let Some(&q) = rp.msg_target.get(&stmt.id) {
+                        sites.send_sites.entry(q).or_default().push((stmt.id, false));
+                    } else if let Some(&cref) = rp.send_chan.get(&stmt.id) {
+                        sites.chan_send_sites.push((stmt.id, cref, false));
+                    }
                 }
-                SyncStmt::Recv { .. } => sites.recv_sites.push(stmt.id),
+                // A channel recv consumes a channel queue, not the
+                // process mailbox: it must not join the mailbox groups.
+                SyncStmt::Recv { .. } => {
+                    if let Some(&cref) = rp.recv_chan.get(&stmt.id) {
+                        sites.chan_recv_sites.push((stmt.id, cref));
+                    } else {
+                        sites.recv_sites.push(stmt.id);
+                    }
+                }
                 SyncStmt::Rendezvous { .. } => {
                     sites.rdv_sites.entry(rp.msg_target[&stmt.id]).or_default().push(stmt.id);
                 }
@@ -613,6 +751,44 @@ fn build_groups(
                     producers_complete: true,
                 });
             }
+        }
+    }
+
+    // Channel groups, per site (see module docs). A recv site's
+    // completion implies some send that may alias its channel ran; a
+    // blocking send site's completion implies some aliasing recv ran.
+    let alias = ChanAliasing::new(rp, types);
+    for &(r, rref) in &sites.chan_recv_sites {
+        let consumers = events_of_site(r);
+        if consumers.is_empty() {
+            continue;
+        }
+        let producers: Vec<usize> = sites
+            .chan_send_sites
+            .iter()
+            .filter(|&&(_, sref, _)| alias.may_alias(sref, rref))
+            .flat_map(|&(s, _, _)| events_of_site(s))
+            .collect();
+        if !producers.is_empty() {
+            groups.push(SyncGroup { producers, consumers, producers_complete: false });
+        }
+    }
+    for &(s, sref, blocking) in &sites.chan_send_sites {
+        if !blocking {
+            continue;
+        }
+        let consumers = events_of_site(s);
+        if consumers.is_empty() {
+            continue;
+        }
+        let producers: Vec<usize> = sites
+            .chan_recv_sites
+            .iter()
+            .filter(|&&(_, rref)| alias.may_alias(sref, rref))
+            .flat_map(|&(r, _)| events_of_site(r))
+            .collect();
+        if !producers.is_empty() {
+            groups.push(SyncGroup { producers, consumers, producers_complete: false });
         }
     }
     groups
@@ -825,5 +1001,67 @@ mod tests {
         assert!(a.mhp.may_happen_in_parallel((pa, f_stmts[0]), stmt(&rp, "B", 0)));
         // And A's own call statements are parallel with B's write.
         assert!(a.mhp.may_happen_in_parallel(stmt(&rp, "A", 0), (pb, stmt(&rp, "B", 0).1)));
+    }
+
+    /// Two payload classes flowing through one shape of `chan`-parameter
+    /// function each: the untyped analysis must assume `recv(q, _)` may
+    /// read either channel, the typed one knows the class.
+    const TWO_CLASS_PIPELINE: &str = "\
+        chan ints; chan flags; shared int g; \
+        void draini(chan q) { int x; recv(q, x); g = x; } \
+        void drainb(chan q) { int b; recv(q, b); print(b); } \
+        process P { g = 1; send(ints, 2); } \
+        process Q { draini(ints); } \
+        process R { send(flags, true); } \
+        process S { drainb(flags); }";
+
+    #[test]
+    fn typed_channel_aliasing_orders_strictly_more() {
+        let (rp, a) = mhp_of(TWO_CLASS_PIPELINE);
+        let mt = a.mhp_typed.as_ref().expect("pipeline type-checks");
+        // Untyped: the recv in draini may have been fed by R's bool
+        // send, so P's pre-send write stays unordered against Q.
+        let g_write_p = stmt(&rp, "P", 0);
+        let f = rp.func_by_name("draini").unwrap();
+        let mut f_stmts = Vec::new();
+        walk_stmts(rp.body_block(BodyId::Func(f)), &mut |s| f_stmts.push(s.id));
+        let g_write_q = (proc(&rp, "Q"), f_stmts[2]);
+        assert!(a.mhp.may_happen_in_parallel(g_write_p, g_write_q), "untyped: either sender");
+        // Typed: `q` has payload class int, so only P's send can
+        // release the recv — the message edge orders the writes.
+        assert!(mt.happens_before(g_write_p, g_write_q), "typed: int class only");
+        assert!(!mt.may_happen_in_parallel(g_write_p, g_write_q));
+        // Globally the typed relation orders strictly more pairs…
+        assert!(mt.ordered_cross_pairs() > a.mhp.ordered_cross_pairs());
+        // …which shows up as a strictly smaller candidate index.
+        let g = (0..rp.var_count() as u32).map(VarId).find(|&v| rp.var_name(v) == "g").unwrap();
+        let (p, q) = (proc(&rp, "P"), proc(&rp, "Q"));
+        assert!(a.mhp_candidates.allows(g, p, q), "untyped index keeps the pair");
+        assert!(!a.typed_candidates.allows(g, p, q), "typed index prunes it");
+        assert!(a.typed_candidates.len() < a.mhp_candidates.len());
+    }
+
+    #[test]
+    fn typed_mhp_is_subset_of_untyped_on_corpus() {
+        let mut progs: Vec<(String, ResolvedProgram)> =
+            ppd_lang::corpus::all().iter().map(|p| (p.name.to_owned(), p.compile())).collect();
+        progs.push(("two_class_pipeline".into(), ppd_lang::compile(TWO_CLASS_PIPELINE).unwrap()));
+        for (name, rp) in &progs {
+            let a = Analyses::run(rp);
+            let Some(mt) = &a.mhp_typed else { continue };
+            for (i, &ea) in a.mhp.events().iter().enumerate() {
+                for &eb in &a.mhp.events()[i + 1..] {
+                    if mt.may_happen_in_parallel(ea, eb) {
+                        assert!(
+                            a.mhp.may_happen_in_parallel(ea, eb),
+                            "{name}: typed MHP outside untyped MHP"
+                        );
+                    }
+                }
+            }
+            for (v, p, q) in a.typed_candidates.to_vec() {
+                assert!(a.mhp_candidates.allows(v, p, q), "{name}: typed pair outside untyped");
+            }
+        }
     }
 }

@@ -120,10 +120,19 @@ fn effects_of(rp: &ResolvedProgram, stmt: &Stmt, universe: usize) -> StmtEffects
                 SyncStmt::P(_) | SyncStmt::V(_) | SyncStmt::Lock(_) | SyncStmt::Unlock(_) => {}
                 SyncStmt::Send { value, .. }
                 | SyncStmt::ASend { value, .. }
-                | SyncStmt::Rendezvous { value, .. } => expr_effects(rp, value, &mut fx),
-                SyncStmt::Recv { into } => {
+                | SyncStmt::Rendezvous { value, .. } => {
+                    expr_effects(rp, value, &mut fx);
+                    // A send through a `chan` parameter reads the binding.
+                    if let Some(&ppd_lang::ChanRef::Var(v)) = rp.send_chan.get(&stmt.id) {
+                        fx.uses.insert(v);
+                    }
+                }
+                SyncStmt::Recv { into, .. } => {
                     fx.reads_external = true;
                     lvalue_effects(rp, into, &mut fx);
+                    if let Some(&ppd_lang::ChanRef::Var(v)) = rp.recv_chan.get(&stmt.id) {
+                        fx.uses.insert(v);
+                    }
                 }
                 SyncStmt::Accept { param_expr, .. } => {
                     fx.reads_external = true;

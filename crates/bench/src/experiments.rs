@@ -10,7 +10,8 @@ use ppd_core::Controller;
 use ppd_graph::{
     detect_races_indexed, detect_races_indexed_counted, detect_races_mhp, detect_races_mhp_counted,
     detect_races_naive, detect_races_naive_counted, detect_races_par, detect_races_pruned,
-    detect_races_pruned_counted, TransitiveClosure, VectorClocks,
+    detect_races_pruned_counted, detect_races_typed, detect_races_typed_counted, TransitiveClosure,
+    VectorClocks,
 };
 use ppd_lang::{BodyId, ProcId, VarId};
 use ppd_runtime::CountingTracer;
@@ -165,7 +166,8 @@ pub fn e4_race_detection() -> Table {
             "naive",
             "pruned",
             "mhp",
-            "pairs n/i/p/m",
+            "typed",
+            "pairs n/i/p/m/t",
             "snap skipped",
         ],
     );
@@ -173,11 +175,13 @@ pub fn e4_race_detection() -> Table {
         .into_iter()
         .map(|(n, iters)| workloads::racy_workers(n, iters))
         .chain([workloads::handoff(2, 8), workloads::handoff(4, 8)])
+        .chain([workloads::typed_pipeline(2, 6), workloads::typed_pipeline(4, 6)])
         .collect();
     for w in sweep {
         let session = w.prepare(EBlockStrategy::per_subroutine());
         let cands = &session.analyses().race_candidates;
         let mhp_cands = &session.analyses().mhp_candidates;
+        let typed_cands = &session.analyses().typed_candidates;
         let exec = session.execute(w.config());
         let g = &exec.pgraph;
         let t_closure = median_of(REPS, || TransitiveClosure::compute(g));
@@ -186,18 +190,24 @@ pub fn e4_race_detection() -> Table {
         let t_naive = median_of(REPS, || detect_races_naive(g, &ord));
         let t_pruned = median_of(REPS, || detect_races_pruned(g, &ord, cands));
         let t_mhp = median_of(REPS, || detect_races_mhp(g, &ord, mhp_cands));
+        let t_typed = median_of(REPS, || detect_races_typed(g, &ord, typed_cands));
         let (races, naive_pairs) = detect_races_naive_counted(g, &ord);
         let (_, indexed_pairs) = detect_races_indexed_counted(g, &ord);
         let (pruned_races, pruned_pairs) = detect_races_pruned_counted(g, &ord, cands);
         let (mhp_races, mhp_pairs) = detect_races_mhp_counted(g, &ord, mhp_cands);
+        let (typed_races, typed_pairs) = detect_races_typed_counted(g, &ord, typed_cands);
         assert_eq!(races, pruned_races, "pruning changed the race set");
         assert_eq!(races, mhp_races, "MHP pruning changed the race set");
+        assert_eq!(races, typed_races, "typed-channel pruning changed the race set");
         // Snapshot entries the MHP trim avoided: same program prepared
         // without the trim logs this many more (variable, value) pairs.
         let untrimmed = ppd_core::PpdSession::prepare_with(
             &w.source,
             EBlockStrategy::per_subroutine(),
-            ppd_analysis::AnalysisConfig { mhp_snapshot_trim: false },
+            ppd_analysis::AnalysisConfig {
+                mhp_snapshot_trim: false,
+                ..ppd_analysis::AnalysisConfig::default()
+            },
         )
         .expect("workload compiles");
         let full = snapshot_values(&untrimmed.execute(w.config()).logs);
@@ -211,15 +221,17 @@ pub fn e4_race_detection() -> Table {
             fmt_duration(t_naive),
             fmt_duration(t_pruned),
             fmt_duration(t_mhp),
-            format!("{naive_pairs}/{indexed_pairs}/{pruned_pairs}/{mhp_pairs}"),
+            fmt_duration(t_typed),
+            format!("{naive_pairs}/{indexed_pairs}/{pruned_pairs}/{mhp_pairs}/{typed_pairs}"),
             skipped.to_string(),
         ]);
     }
     t.note("closure/vclock: time to build the §6.1 happened-before oracle;");
-    t.note("naive/pruned/mhp: all-pairs conflict scan vs the GMOD/GREF race-candidate");
-    t.note("index (`ppd lint` PPD001) vs the same index refined by the static");
-    t.note("may-happen-in-parallel fixpoint. pairs n/i/p/m: distinct cross-process");
-    t.note("edge pairs examined by naive / per-variable index / GMOD-GREF / MHP —");
+    t.note("naive/pruned/mhp/typed: all-pairs conflict scan vs the GMOD/GREF");
+    t.note("race-candidate index (`ppd lint` PPD001) vs the same index refined by the");
+    t.note("static may-happen-in-parallel fixpoint, then by per-payload-type channel");
+    t.note("sync groups from `ppd check`. pairs n/i/p/m/t: distinct cross-process edge");
+    t.note("pairs examined by naive / per-variable index / GMOD-GREF / MHP / typed —");
     t.note("identical races every time. snap skipped: shared-snapshot values the");
     t.note("MHP trim proved statically ordered and kept out of the logs.");
     t

@@ -94,6 +94,38 @@ pub fn handoff(n: u32, iters: u32) -> Workload {
     Workload { name: format!("handoff_{n}x{iters}"), source: src, inputs: vec![] }
 }
 
+/// Typed two-payload-class pipeline for the E4 typed column: one
+/// producer writes `g` and then streams `iters` ints to a channel
+/// drained inside a function, while `n` bool lanes stream alongside
+/// through their own channels and drain function. Untyped channel
+/// aliasing must assume each drain's `chan` parameter may name any
+/// channel, so the write/read pair on `g` survives MHP pruning; the
+/// per-payload-type sync groups inferred by `ppd check` separate the
+/// int lane from the bool lanes, recover the ordering, and drop it.
+pub fn typed_pipeline(n: u32, iters: u32) -> Workload {
+    let mut src = String::from("chan ints;\nshared int g;\n");
+    for i in 0..n {
+        src.push_str(&format!("chan flags{i};\n"));
+    }
+    src.push_str(&format!(
+        "void draini(chan q) {{\n    int k;\n    int x;\n    \
+         for (k = 0; k < {iters}; k = k + 1) {{ recv(q, x); print(g + x); }}\n}}\n\
+         void drainb(chan q) {{\n    int k;\n    int b;\n    \
+         for (k = 0; k < {iters}; k = k + 1) {{ recv(q, b); print(b); }}\n}}\n\
+         process P {{\n    int k;\n    g = 7;\n    \
+         for (k = 0; k < {iters}; k = k + 1) {{ send(ints, k); }}\n}}\n\
+         process Q {{ draini(ints); }}\n"
+    ));
+    for i in 0..n {
+        src.push_str(&format!(
+            "process R{i} {{\n    int k;\n    \
+             for (k = 0; k < {iters}; k = k + 1) {{ send(flags{i}, true); }}\n}}\n\
+             process S{i} {{ drainb(flags{i}); }}\n"
+        ));
+    }
+    Workload { name: format!("typed_pipe_{n}x{iters}"), source: src, inputs: vec![] }
+}
+
 /// Deep-call workloads for the E6 flowback-latency sweep.
 pub fn deep_calls(depth: u32) -> Workload {
     Workload {
@@ -118,10 +150,23 @@ mod tests {
 
     #[test]
     fn generated_workloads_run() {
-        for w in [loop_heavy(50), racy_workers(3, 4), deep_calls(6), handoff(2, 4)] {
+        for w in
+            [loop_heavy(50), racy_workers(3, 4), deep_calls(6), handoff(2, 4), typed_pipeline(2, 3)]
+        {
             let session = w.prepare(EBlockStrategy::per_subroutine());
             let exec = session.execute(w.config());
             assert!(exec.outcome.is_success(), "{}: {:?}", w.name, exec.outcome);
         }
+    }
+
+    #[test]
+    fn typed_pipeline_is_well_typed_and_shrinks_candidates() {
+        let w = typed_pipeline(3, 4);
+        let rp = ppd_lang::compile(&w.source).unwrap();
+        assert!(ppd_lang::types::check(&rp).is_ok(), "typed_pipeline must pass `ppd check`");
+        let session = w.prepare(EBlockStrategy::per_subroutine());
+        let mhp = session.analyses().mhp_candidates.len();
+        let typed = session.analyses().typed_candidates.len();
+        assert!(typed < mhp, "expected strict candidate shrink, got {typed} vs {mhp}");
     }
 }

@@ -226,6 +226,35 @@ pub fn detect_races_mhp_counted(
     scan_indexed(graph, ord, Some(mhp_candidates), true)
 }
 
+/// The type-pruned detector: the indexed scan restricted to the
+/// **type-refined** candidate index
+/// ([`ppd_analysis::Analyses::typed_candidates`]) — the third static
+/// filter. When the program passes `ppd check`, channel aliasing in the
+/// MHP fixpoint is narrowed to payload classes, ordering strictly more
+/// access pairs; the refinement chain `typed ⊆ mhp ⊆ gmod/gref` holds
+/// by construction, and since every static ordering is still witnessed
+/// by recorded sync edges, the result stays **identical** to
+/// [`detect_races_naive`] (asserted over the corpus in `tests/mhp.rs`).
+/// On unchecked programs `typed_candidates` equals `mhp_candidates`,
+/// so this degenerates to [`detect_races_mhp`].
+pub fn detect_races_typed(
+    graph: &ParallelGraph,
+    ord: &dyn Ordering,
+    typed_candidates: &RaceCandidates,
+) -> Vec<Race> {
+    scan_indexed(graph, ord, Some(typed_candidates), false).0
+}
+
+/// [`detect_races_typed`] plus the number of distinct cross-process edge
+/// pairs that survived all three static filters and were examined.
+pub fn detect_races_typed_counted(
+    graph: &ParallelGraph,
+    ord: &dyn Ordering,
+    typed_candidates: &RaceCandidates,
+) -> (Vec<Race>, usize) {
+    scan_indexed(graph, ord, Some(typed_candidates), true)
+}
+
 /// The parallel detector: the MHP/GMOD/GREF-surviving candidate pairs
 /// are partitioned into chunks and order-checked across a work-stealing
 /// pool of `jobs` threads ([`rayon`]); per-chunk results are merged and

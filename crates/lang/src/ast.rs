@@ -107,6 +107,14 @@ impl Program {
         })
     }
 
+    /// Iterates over all channel declarations.
+    pub fn chans(&self) -> impl Iterator<Item = &ChanDecl> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Chan(c) => Some(c),
+            _ => None,
+        })
+    }
+
     /// Finds a function by name.
     pub fn func(&self, name: &str) -> Option<&FuncDecl> {
         let sym = self.interner.get(name)?;
@@ -127,6 +135,8 @@ pub enum Item {
     Global(GlobalDecl),
     /// `sem s = 1;` or `lockvar m;`
     Sem(SemDecl),
+    /// `chan c;` — a typed message channel (payload type inferred).
+    Chan(ChanDecl),
     /// `int f(int a, int b) { ... }` or `void g() { ... }`
     Func(FuncDecl),
     /// `process P { ... }`
@@ -173,13 +183,34 @@ pub struct SemDecl {
     pub span: Span,
 }
 
+/// A channel declaration. Channels are top-level, like semaphores; the
+/// payload type is not written in the source — `ppd check` infers it
+/// from the send/recv sites (unification, see `types`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChanDecl {
+    /// Channel name (usable as a `send`/`recv` endpoint and as an
+    /// argument to a `chan` parameter).
+    pub name: Ident,
+    /// Declaration site.
+    pub span: Span,
+}
+
+/// A function parameter: `int x` or `chan q`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Param {
+    /// Parameter name.
+    pub name: Ident,
+    /// Whether the parameter is a channel (`chan q`) rather than `int`.
+    pub is_chan: bool,
+}
+
 /// A function (the paper's "subroutine" — the natural e-block unit, §5.4).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FuncDecl {
     /// Function name.
     pub name: Ident,
-    /// Parameter names (all parameters are `int`).
-    pub params: Vec<Ident>,
+    /// Parameters (`int` scalars or `chan` channel references).
+    pub params: Vec<Param>,
     /// Whether the function returns a value (`int` vs `void`).
     pub returns_value: bool,
     /// Body.
@@ -290,23 +321,29 @@ pub enum SyncStmt {
     Lock(Ident),
     /// `unlock(m);`
     Unlock(Ident),
-    /// `send(Proc, e);` — blocking send (§6.2.2): the sender waits until
-    /// the receiver has taken the message.
+    /// `send(Proc, e);` / `send(c, e);` — blocking send (§6.2.2): the
+    /// sender waits until the receiver has taken the message. The
+    /// destination is a process mailbox or a typed channel; the resolver
+    /// decides which.
     Send {
-        /// Destination process.
+        /// Destination process or channel.
         to: Ident,
         /// Message payload.
         value: Expr,
     },
-    /// `asend(Proc, e);` — non-blocking (asynchronous) send.
+    /// `asend(Proc, e);` / `asend(c, e);` — non-blocking send.
     ASend {
-        /// Destination process.
+        /// Destination process or channel.
         to: Ident,
         /// Message payload.
         value: Expr,
     },
-    /// `recv(lv);` — blocking receive into an l-value.
+    /// `recv(lv);` — blocking receive from the process mailbox, or
+    /// `recv(c, lv);` — blocking receive from channel `c`.
     Recv {
+        /// The channel received from, or `None` for the legacy
+        /// process-mailbox form.
+        from: Option<Ident>,
         /// Where the payload is stored.
         into: LValue,
     },
@@ -359,6 +396,9 @@ pub struct Expr {
 pub enum ExprKind {
     /// Integer literal.
     IntLit(i64),
+    /// Boolean literal (`true` / `false`). Statically `bool`; at runtime
+    /// booleans are represented as the integers 1 / 0.
+    BoolLit(bool),
     /// Scalar variable read.
     Var(Ident),
     /// Array element read `a[e]`.
@@ -523,7 +563,7 @@ pub fn walk_stmt_exprs<'a>(stmt: &'a Stmt, f: &mut dyn FnMut(&'a Expr)) {
             SyncStmt::Send { value, .. }
             | SyncStmt::ASend { value, .. }
             | SyncStmt::Rendezvous { value, .. } => walk_expr(value, f),
-            SyncStmt::Recv { into } => {
+            SyncStmt::Recv { into, .. } => {
                 if let Some(ix) = &into.index {
                     walk_expr(ix, f);
                 }
@@ -536,7 +576,7 @@ pub fn walk_stmt_exprs<'a>(stmt: &'a Stmt, f: &mut dyn FnMut(&'a Expr)) {
 /// Walks `expr` and all sub-expressions, post-order.
 pub fn walk_expr<'a>(expr: &'a Expr, f: &mut dyn FnMut(&'a Expr)) {
     match &expr.kind {
-        ExprKind::IntLit(_) | ExprKind::Var(_) | ExprKind::Input => {}
+        ExprKind::IntLit(_) | ExprKind::BoolLit(_) | ExprKind::Var(_) | ExprKind::Input => {}
         ExprKind::Index(_, e) | ExprKind::Unary(_, e) => walk_expr(e, f),
         ExprKind::Binary(_, l, r) => {
             walk_expr(l, f);

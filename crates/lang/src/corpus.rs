@@ -1055,6 +1055,39 @@ mod tests {
     }
 
     #[test]
+    fn every_corpus_program_type_checks() {
+        // The Issue 6 acceptance bar: the whole corpus — fixed programs
+        // and generator output alike — passes `ppd check` clean.
+        for p in all() {
+            let tc = crate::types::check(&p.compile());
+            assert!(
+                tc.is_ok(),
+                "{} fails type check: {:?}",
+                p.name,
+                tc.errors.iter().map(|e| e.to_string()).collect::<Vec<_>>()
+            );
+        }
+        for src in [
+            gen_loop_heavy(5),
+            gen_deep_calls(4),
+            gen_racy_workers(3, 2),
+            gen_wide_vars(10),
+            gen_prodcons(6),
+            gen_bank(4),
+            gen_token_ring(3),
+            gen_quicksort(12),
+        ] {
+            let rp = compile(&src).unwrap();
+            let tc = crate::types::check(&rp);
+            assert!(
+                tc.is_ok(),
+                "generated program fails type check: {:?}\n{src}",
+                tc.errors.iter().map(|e| e.to_string()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
     fn fig41_has_subd_and_sqrt() {
         let rp = FIG_4_1.compile();
         assert!(rp.func_by_name("SubD").is_some());

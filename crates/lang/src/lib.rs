@@ -45,6 +45,7 @@ pub mod resolve;
 pub mod span;
 pub mod symbol;
 pub mod token;
+pub mod types;
 pub mod value;
 
 pub use ast::{
@@ -55,9 +56,10 @@ pub use diag::SourceFile;
 pub use error::{LangError, LangErrorKind};
 pub use parser::parse;
 pub use resolve::{
-    compile, resolve, BodyId, FuncId, FuncInfo, ProcId, ProcInfo, ResolvedProgram, SemId, SemInfo,
-    VarId, VarInfo, VarScope,
+    compile, resolve, BodyId, ChanId, ChanInfo, ChanRef, FuncId, FuncInfo, ProcId, ProcInfo,
+    ResolvedProgram, SemId, SemInfo, VarId, VarInfo, VarScope,
 };
 pub use span::Span;
 pub use symbol::{Interner, Symbol};
+pub use types::{check, SharedWrite, Ty, TypeCheck, TypeError, TypeErrorKind, TypeInfo};
 pub use value::Value;

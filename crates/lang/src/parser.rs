@@ -7,9 +7,11 @@
 //! item     := "shared" "int" IDENT ("[" INT "]")? ("=" ("-")? INT)? ";"
 //!           | "sem" IDENT "=" INT ";"
 //!           | "lockvar" IDENT ";"
+//!           | "chan" IDENT ";"
 //!           | ("int" | "void") IDENT "(" params? ")" block
 //!           | "process" IDENT block
-//! params   := "int" IDENT ("," "int" IDENT)*
+//! params   := ptype IDENT ("," ptype IDENT)*
+//! ptype    := "int" | "chan"
 //! block    := "{" stmt* "}"
 //! stmt     := "int" IDENT ("[" INT "]")? ("=" expr)? ";"
 //!           | lvalue "=" expr ";"
@@ -22,7 +24,7 @@
 //!           | "lock" "(" IDENT ")" ";"     | "unlock" "(" IDENT ")" ";"
 //!           | "send" "(" IDENT "," expr ")" ";"
 //!           | "asend" "(" IDENT "," expr ")" ";"
-//!           | "recv" "(" lvalue ")" ";"
+//!           | "recv" "(" (IDENT ",")? lvalue ")" ";"
 //!           | "rendezvous" "(" IDENT "," expr ")" ";"
 //!           | "accept" "(" IDENT ")" block
 //!           | "print" "(" expr ")" ";"
@@ -36,7 +38,7 @@
 //! add      := mul (("+"|"-") mul)*
 //! mul      := unary (("*"|"/"|"%") unary)*
 //! unary    := ("-"|"!") unary | primary
-//! primary  := INT | "input" "(" ")" | IDENT "(" args? ")"
+//! primary  := INT | "true" | "false" | "input" "(" ")" | IDENT "(" args? ")"
 //!           | IDENT ("[" expr "]")? | "(" expr ")"
 //! ```
 
@@ -180,10 +182,12 @@ impl Parser {
             TokenKind::KwShared => self.global_decl(),
             TokenKind::KwSem => self.sem_decl(SemKind::Semaphore),
             TokenKind::KwLockVar => self.sem_decl(SemKind::Lock),
+            TokenKind::KwChan => self.chan_decl(),
             TokenKind::KwInt | TokenKind::KwVoid => self.func_decl(),
             TokenKind::KwProcess => self.process_decl(),
-            _ => Err(self
-                .err_expected("an item (`shared`, `sem`, `lockvar`, `int`, `void`, or `process`)")),
+            _ => Err(self.err_expected(
+                "an item (`shared`, `sem`, `lockvar`, `chan`, `int`, `void`, or `process`)",
+            )),
         }
     }
 
@@ -243,6 +247,13 @@ impl Parser {
         Ok(Item::Sem(SemDecl { name, init, kind, span: start.merge(end) }))
     }
 
+    fn chan_decl(&mut self) -> Result<Item, LangError> {
+        let start = self.bump().span; // `chan`
+        let name = self.ident("a channel name")?;
+        let end = self.expect(&TokenKind::Semi, "`;`")?.span;
+        Ok(Item::Chan(ChanDecl { name, span: start.merge(end) }))
+    }
+
     fn func_decl(&mut self) -> Result<Item, LangError> {
         let ret_tok = self.bump(); // `int` or `void`
         let returns_value = ret_tok.kind == TokenKind::KwInt;
@@ -251,8 +262,14 @@ impl Parser {
         let mut params = Vec::new();
         if !self.at(&TokenKind::RParen) {
             loop {
-                self.expect(&TokenKind::KwInt, "`int` (parameter type)")?;
-                params.push(self.ident("a parameter name")?);
+                let is_chan = if self.eat(&TokenKind::KwChan) {
+                    true
+                } else {
+                    self.expect(&TokenKind::KwInt, "`int` or `chan` (parameter type)")?;
+                    false
+                };
+                let name = self.ident("a parameter name")?;
+                params.push(Param { name, is_chan });
                 if !self.eat(&TokenKind::Comma) {
                     break;
                 }
@@ -466,10 +483,17 @@ impl Parser {
         let id = self.fresh_stmt();
         let start = self.bump().span; // `recv`
         self.expect(&TokenKind::LParen, "`(`")?;
-        let into = self.lvalue()?;
+        // `recv(c, lv)` names the source channel; `recv(lv)` reads the
+        // process mailbox. Disambiguated by the comma after the first name.
+        let first = self.ident("a channel or variable name")?;
+        let (from, into) = if self.eat(&TokenKind::Comma) {
+            (Some(first), self.lvalue()?)
+        } else {
+            (None, self.lvalue_tail(first)?)
+        };
         self.expect(&TokenKind::RParen, "`)`")?;
         let end = self.expect(&TokenKind::Semi, "`;`")?.span;
-        Ok(Stmt { id, kind: StmtKind::Sync(SyncStmt::Recv { into }), span: start.merge(end) })
+        Ok(Stmt { id, kind: StmtKind::Sync(SyncStmt::Recv { from, into }), span: start.merge(end) })
     }
 
     fn rendezvous_stmt(&mut self) -> Result<Stmt, LangError> {
@@ -523,6 +547,11 @@ impl Parser {
 
     fn lvalue(&mut self) -> Result<LValue, LangError> {
         let name = self.ident("a variable name")?;
+        self.lvalue_tail(name)
+    }
+
+    /// Finishes an lvalue whose leading identifier has already been read.
+    fn lvalue_tail(&mut self, name: Ident) -> Result<LValue, LangError> {
         let id = self.fresh_expr();
         let index = if self.eat(&TokenKind::LBracket) {
             let e = self.expr()?;
@@ -635,6 +664,12 @@ impl Parser {
                 self.bump();
                 let id = self.fresh_expr();
                 Ok(Expr { id, kind: ExprKind::IntLit(*n), span: tok.span })
+            }
+            TokenKind::KwTrue | TokenKind::KwFalse => {
+                let value = tok.kind == TokenKind::KwTrue;
+                self.bump();
+                let id = self.fresh_expr();
+                Ok(Expr { id, kind: ExprKind::BoolLit(value), span: tok.span })
             }
             TokenKind::KwInput => {
                 self.bump();
@@ -871,5 +906,52 @@ mod tests {
     fn input_expression() {
         let p = parse_ok("process Main { int x = input(); print(x); }");
         assert_eq!(p.processes().count(), 1);
+    }
+
+    #[test]
+    fn parses_channel_declarations() {
+        let p = parse_ok("chan c; chan done; process Main { send(c, 1); }");
+        let chans: Vec<_> = p.chans().collect();
+        assert_eq!(chans.len(), 2);
+    }
+
+    #[test]
+    fn parses_chan_params() {
+        let p = parse_ok("void f(chan q, int n) { send(q, n); }");
+        let f = p.func("f").unwrap();
+        assert!(f.params[0].is_chan);
+        assert!(!f.params[1].is_chan);
+    }
+
+    #[test]
+    fn parses_recv_forms() {
+        let p = parse_ok(
+            "chan c; shared int a[2];\
+             process Main { int x; recv(x); recv(c, x); recv(c, a[1]); recv(a[0]); }",
+        );
+        let proc_ = p.processes().next().unwrap();
+        let forms: Vec<(bool, bool)> = proc_.body.stmts[1..]
+            .iter()
+            .map(|s| match &s.kind {
+                StmtKind::Sync(SyncStmt::Recv { from, into }) => {
+                    (from.is_some(), into.index.is_some())
+                }
+                other => panic!("expected recv, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(forms, vec![(false, false), (true, false), (true, true), (false, true)]);
+    }
+
+    #[test]
+    fn parses_bool_literals() {
+        let p = parse_ok("process Main { int x = 0; if (true) { x = 1; } assert(x == 1); }");
+        let proc_ = p.processes().next().unwrap();
+        let StmtKind::If { cond, .. } = &proc_.body.stmts[1].kind else { panic!("expected if") };
+        assert!(matches!(cond.kind, ExprKind::BoolLit(true)));
+    }
+
+    #[test]
+    fn error_on_chan_initializer() {
+        assert!(parse("chan c = 1;").is_err());
     }
 }

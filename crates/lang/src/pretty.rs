@@ -83,10 +83,17 @@ impl<'a> Printer<'a> {
                 }
                 SemKind::Lock => self.line(&format!("lockvar {};", self.name(sd.name))),
             },
+            Item::Chan(c) => self.line(&format!("chan {};", self.name(c.name))),
             Item::Func(f) => {
                 let ret = if f.returns_value { "int" } else { "void" };
-                let params: Vec<String> =
-                    f.params.iter().map(|p| format!("int {}", self.name(*p))).collect();
+                let params: Vec<String> = f
+                    .params
+                    .iter()
+                    .map(|p| {
+                        let ty = if p.is_chan { "chan" } else { "int" };
+                        format!("{ty} {}", self.name(p.name))
+                    })
+                    .collect();
                 self.open(&format!("{ret} {}({})", self.name(f.name), params.join(", ")));
                 for s in &f.body.stmts {
                     self.full_stmt(s);
@@ -240,8 +247,11 @@ impl<'a> Printer<'a> {
                     self.expr(value);
                     self.out.push(')');
                 }
-                SyncStmt::Recv { into } => {
+                SyncStmt::Recv { from, into } => {
                     self.out.push_str("recv(");
+                    if let Some(from) = from {
+                        let _ = write!(self.out, "{}, ", self.name(*from));
+                    }
                     self.lvalue(into);
                     self.out.push(')');
                 }
@@ -270,6 +280,9 @@ impl<'a> Printer<'a> {
         match &expr.kind {
             ExprKind::IntLit(n) => {
                 let _ = write!(self.out, "{n}");
+            }
+            ExprKind::BoolLit(b) => {
+                let _ = write!(self.out, "{b}");
             }
             ExprKind::Var(name) => self.out.push_str(self.name(*name)),
             ExprKind::Index(name, ix) => {
@@ -376,6 +389,12 @@ mod tests {
         );
         round_trip("process S { accept (x) { print(x); } } process C { rendezvous(S, 9); }");
         round_trip("process M { int x = input(); while (x > 0) { x = x - 1; } assert(x == 0); }");
+        round_trip(
+            "chan c; chan done;\
+             void pump(chan q, int n) { send(q, n); }\
+             process P { pump(c, 5); send(done, true); }\
+             process Q { int x; recv(c, x); int f; recv(done, f); assert(f == true); }",
+        );
     }
 
     #[test]

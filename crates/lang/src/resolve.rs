@@ -37,6 +37,10 @@ pub struct ProcId(pub u32);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct SemId(pub u32);
 
+/// Dense id of a top-level channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ChanId(pub u32);
+
 impl VarId {
     /// Index form for side tables.
     pub fn index(self) -> usize {
@@ -56,6 +60,12 @@ impl ProcId {
     }
 }
 impl SemId {
+    /// Index form for side tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+impl ChanId {
     /// Index form for side tables.
     pub fn index(self) -> usize {
         self.0 as usize
@@ -81,6 +91,22 @@ impl fmt::Display for SemId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "sem#{}", self.0)
     }
+}
+impl fmt::Display for ChanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chan#{}", self.0)
+    }
+}
+
+/// A reference to a channel at a send/recv site: either a top-level
+/// channel named directly, or a `chan` parameter whose value names the
+/// channel at run time (channel values are their dense ids).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChanRef {
+    /// A top-level `chan` declaration named directly.
+    Static(ChanId),
+    /// A `chan` parameter; the channel id flows in as the value.
+    Var(VarId),
 }
 
 /// The executable body a local variable belongs to: a function or a
@@ -127,6 +153,8 @@ pub struct VarInfo {
     pub decl_span: Span,
     /// Whether this is a function parameter (`%n` display, §4.2).
     pub param_index: Option<usize>,
+    /// Whether this is a `chan` parameter (holds a channel id).
+    pub is_chan: bool,
 }
 
 impl VarInfo {
@@ -169,6 +197,15 @@ pub struct SemInfo {
     pub kind: SemKind,
 }
 
+/// Everything known about one top-level channel.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChanInfo {
+    /// Name.
+    pub name: Symbol,
+    /// Declaration site.
+    pub decl_span: Span,
+}
+
 /// A parsed program plus all name-binding tables.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ResolvedProgram {
@@ -184,8 +221,18 @@ pub struct ResolvedProgram {
     pub procs: Vec<ProcInfo>,
     /// All semaphores and locks.
     pub sems: Vec<SemInfo>,
+    /// All top-level channels.
+    pub chans: Vec<ChanInfo>,
     /// Variable binding for each `Var`/`Index` expression and `LValue`.
     pub expr_var: HashMap<ExprId, VarId>,
+    /// Channel binding for each `Var` expression naming a top-level
+    /// channel (channel values passed as `chan` arguments).
+    pub expr_chan: HashMap<ExprId, ChanId>,
+    /// Channel destination of each `send`/`asend` that targets a channel
+    /// rather than a process.
+    pub send_chan: HashMap<StmtId, ChanRef>,
+    /// Channel source of each two-argument `recv(c, lv)`.
+    pub recv_chan: HashMap<StmtId, ChanRef>,
     /// Variable introduced by each `Decl` statement (and `accept` binders,
     /// keyed by the accept's `param_expr`).
     pub decl_var: HashMap<StmtId, VarId>,
@@ -226,6 +273,17 @@ impl ResolvedProgram {
     /// Name text of a semaphore.
     pub fn sem_name(&self, sem: SemId) -> &str {
         self.program.interner.resolve(self.sems[sem.index()].name)
+    }
+
+    /// Name text of a channel.
+    pub fn chan_name(&self, chan: ChanId) -> &str {
+        self.program.interner.resolve(self.chans[chan.index()].name)
+    }
+
+    /// Looks up a channel by name.
+    pub fn chan_by_name(&self, name: &str) -> Option<ChanId> {
+        let sym = self.program.interner.get(name)?;
+        self.chans.iter().position(|c| c.name == sym).map(|i| ChanId(i as u32))
     }
 
     /// The AST of a function.
@@ -346,6 +404,8 @@ struct Resolver {
     proc_ids: HashMap<Symbol, ProcId>,
     /// Map from name to semaphore id.
     sem_ids: HashMap<Symbol, SemId>,
+    /// Map from name to channel id.
+    chan_ids: HashMap<Symbol, ChanId>,
     /// Map from name to shared-global id.
     global_ids: HashMap<Symbol, VarId>,
 }
@@ -360,7 +420,11 @@ impl Resolver {
                 funcs: Vec::new(),
                 procs: Vec::new(),
                 sems: Vec::new(),
+                chans: Vec::new(),
                 expr_var: HashMap::new(),
+                expr_chan: HashMap::new(),
+                send_chan: HashMap::new(),
+                recv_chan: HashMap::new(),
                 decl_var: HashMap::new(),
                 call_target: HashMap::new(),
                 msg_target: HashMap::new(),
@@ -370,6 +434,7 @@ impl Resolver {
             func_ids: HashMap::new(),
             proc_ids: HashMap::new(),
             sem_ids: HashMap::new(),
+            chan_ids: HashMap::new(),
             global_ids: HashMap::new(),
         }
     }
@@ -393,6 +458,7 @@ impl Resolver {
                         init: g.init,
                         decl_span: g.span,
                         param_index: None,
+                        is_chan: false,
                     });
                 }
                 Item::Sem(s) => {
@@ -400,6 +466,12 @@ impl Resolver {
                     self.declare_unique_top(s.name, "semaphore")?;
                     self.sem_ids.insert(s.name.sym, id);
                     self.out.sems.push(SemInfo { name: s.name.sym, init: s.init, kind: s.kind });
+                }
+                Item::Chan(c) => {
+                    let id = ChanId(self.out.chans.len() as u32);
+                    self.declare_unique_top(c.name, "channel")?;
+                    self.chan_ids.insert(c.name.sym, id);
+                    self.out.chans.push(ChanInfo { name: c.name.sym, decl_span: c.span });
                 }
                 Item::Func(f) => {
                     let id = FuncId(self.out.funcs.len() as u32);
@@ -439,7 +511,13 @@ impl Resolver {
                     let body = BodyId::Func(fid);
                     let mut params = Vec::with_capacity(f.params.len());
                     for (pi, param) in f.params.iter().enumerate() {
-                        let vid = self.declare_local(*param, None, body, Some(pi + 1))?;
+                        let vid = self.declare_local(
+                            param.name,
+                            None,
+                            body,
+                            Some(pi + 1),
+                            param.is_chan,
+                        )?;
                         params.push(vid);
                     }
                     self.out.funcs[fid.index()].params = params;
@@ -462,6 +540,7 @@ impl Resolver {
     fn declare_unique_top(&mut self, name: Ident, _what: &str) -> Result<(), LangError> {
         let taken = self.global_ids.contains_key(&name.sym)
             || self.sem_ids.contains_key(&name.sym)
+            || self.chan_ids.contains_key(&name.sym)
             || self.func_ids.contains_key(&name.sym)
             || self.proc_ids.contains_key(&name.sym);
         if taken {
@@ -477,6 +556,7 @@ impl Resolver {
         size: Option<usize>,
         body: BodyId,
         param_index: Option<usize>,
+        is_chan: bool,
     ) -> Result<VarId, LangError> {
         let scope = self.scopes.last_mut().expect("scope stack never empty");
         if scope.contains_key(&name.sym) {
@@ -491,16 +571,24 @@ impl Resolver {
             init: None,
             decl_span: name.span,
             param_index,
+            is_chan,
         });
         scope.insert(name.sym, id);
         Ok(id)
     }
 
-    fn lookup_var(&self, name: Ident) -> Result<VarId, LangError> {
+    fn scope_lookup(&self, sym: Symbol) -> Option<VarId> {
         for scope in self.scopes.iter().rev() {
-            if let Some(&id) = scope.get(&name.sym) {
-                return Ok(id);
+            if let Some(&id) = scope.get(&sym) {
+                return Some(id);
             }
+        }
+        None
+    }
+
+    fn lookup_var(&self, name: Ident) -> Result<VarId, LangError> {
+        if let Some(id) = self.scope_lookup(name.sym) {
+            return Ok(id);
         }
         if let Some(&id) = self.global_ids.get(&name.sym) {
             return Ok(id);
@@ -510,8 +598,37 @@ impl Resolver {
             LangErrorKind::KindMismatch { name: text, expected: "variable", found: "function" }
         } else if self.sem_ids.contains_key(&name.sym) {
             LangErrorKind::KindMismatch { name: text, expected: "variable", found: "semaphore" }
+        } else if self.chan_ids.contains_key(&name.sym) {
+            LangErrorKind::KindMismatch { name: text, expected: "variable", found: "channel" }
         } else if self.proc_ids.contains_key(&name.sym) {
             LangErrorKind::KindMismatch { name: text, expected: "variable", found: "process" }
+        } else {
+            LangErrorKind::Undeclared(text)
+        };
+        Err(LangError::new(kind, name.span))
+    }
+
+    /// Resolves a name used where a channel is expected: a top-level
+    /// channel or an in-scope `chan` parameter.
+    fn lookup_chan(&self, name: Ident) -> Result<ChanRef, LangError> {
+        if let Some(vid) = self.scope_lookup(name.sym) {
+            if self.out.vars[vid.index()].is_chan {
+                return Ok(ChanRef::Var(vid));
+            }
+            let text = self.out.program.interner.resolve(name.sym).to_owned();
+            return Err(LangError::new(
+                LangErrorKind::KindMismatch { name: text, expected: "channel", found: "variable" },
+                name.span,
+            ));
+        }
+        if let Some(&cid) = self.chan_ids.get(&name.sym) {
+            return Ok(ChanRef::Static(cid));
+        }
+        let text = self.out.program.interner.resolve(name.sym).to_owned();
+        let kind = if self.global_ids.contains_key(&name.sym) {
+            LangErrorKind::KindMismatch { name: text, expected: "channel", found: "variable" }
+        } else if self.sem_ids.contains_key(&name.sym) {
+            LangErrorKind::KindMismatch { name: text, expected: "channel", found: "semaphore" }
         } else {
             LangErrorKind::Undeclared(text)
         };
@@ -543,7 +660,7 @@ impl Resolver {
                 if let Some(e) = init {
                     self.resolve_expr(e)?; // initializer sees the outer binding
                 }
-                let vid = self.declare_local(*name, *size, body, None)?;
+                let vid = self.declare_local(*name, *size, body, None, false)?;
                 self.out.decl_var.insert(stmt.id, vid);
             }
             StmtKind::Assign { target, value } => {
@@ -636,11 +753,21 @@ impl Resolver {
                 self.out.sem_ref.insert(stmt.id, id);
             }
             SyncStmt::Send { to, value } | SyncStmt::ASend { to, value } => {
-                let pid = self.lookup_proc(*to)?;
-                self.out.msg_target.insert(stmt.id, pid);
+                // The destination is a process (legacy mailbox form) or a
+                // channel; processes win name lookup for compatibility.
+                if let Some(&pid) = self.proc_ids.get(&to.sym) {
+                    self.out.msg_target.insert(stmt.id, pid);
+                } else {
+                    let dest = self.lookup_chan(*to)?;
+                    self.out.send_chan.insert(stmt.id, dest);
+                }
                 self.resolve_expr(value)?;
             }
-            SyncStmt::Recv { into } => {
+            SyncStmt::Recv { from, into } => {
+                if let Some(from) = from {
+                    let src = self.lookup_chan(*from)?;
+                    self.out.recv_chan.insert(stmt.id, src);
+                }
                 self.resolve_lvalue(into)?;
             }
             SyncStmt::Rendezvous { callee, value } => {
@@ -658,7 +785,7 @@ impl Resolver {
                     ));
                 }
                 self.scopes.push(HashMap::new());
-                let vid = self.declare_local(*param, None, body, None)?;
+                let vid = self.declare_local(*param, None, body, None, false)?;
                 self.out.decl_var.insert(stmt.id, vid);
                 self.out.expr_var.insert(*param_expr, vid);
                 for s in &b.stmts {
@@ -708,6 +835,13 @@ impl Resolver {
         let vid = self.lookup_var(lv.name)?;
         let info = &self.out.vars[vid.index()];
         let text = self.out.program.interner.resolve(lv.name.sym).to_owned();
+        if info.is_chan {
+            // Channels are immutable bindings: never a write target.
+            return Err(LangError::new(
+                LangErrorKind::KindMismatch { name: text, expected: "variable", found: "channel" },
+                lv.span,
+            ));
+        }
         match (&lv.index, info.size) {
             (Some(_), None) => {
                 return Err(LangError::new(
@@ -732,8 +866,17 @@ impl Resolver {
 
     fn resolve_expr(&mut self, expr: &Expr) -> Result<(), LangError> {
         match &expr.kind {
-            ExprKind::IntLit(_) | ExprKind::Input => Ok(()),
+            ExprKind::IntLit(_) | ExprKind::BoolLit(_) | ExprKind::Input => Ok(()),
             ExprKind::Var(name) => {
+                // A top-level channel name is a first-class channel value
+                // (unless shadowed by a local or global variable).
+                if self.scope_lookup(name.sym).is_none() && !self.global_ids.contains_key(&name.sym)
+                {
+                    if let Some(&cid) = self.chan_ids.get(&name.sym) {
+                        self.out.expr_chan.insert(expr.id, cid);
+                        return Ok(());
+                    }
+                }
                 let vid = self.lookup_var(*name)?;
                 let info = &self.out.vars[vid.index()];
                 if info.size.is_some() {
@@ -975,6 +1118,57 @@ mod tests {
         // an undeclared f is the common user error.
         let e = err("process Main { g(); }");
         assert!(matches!(e.kind(), LangErrorKind::Undeclared(_)));
+    }
+
+    #[test]
+    fn channels_resolve_at_send_and_recv() {
+        let rp = ok("chan c; process P { send(c, 1); } process Q { int x; recv(c, x); }");
+        assert_eq!(rp.chans.len(), 1);
+        assert_eq!(rp.chan_by_name("c"), Some(ChanId(0)));
+        assert_eq!(rp.send_chan.len(), 1);
+        assert_eq!(rp.recv_chan.len(), 1);
+        assert!(rp.send_chan.values().all(|r| *r == ChanRef::Static(ChanId(0))));
+        assert!(rp.msg_target.is_empty());
+    }
+
+    #[test]
+    fn chan_params_bind_and_flow() {
+        let rp = ok("chan c;\
+             void produce(chan q, int n) { send(q, n); }\
+             process P { produce(c, 3); }\
+             process Q { int x; recv(c, x); }");
+        let fid = rp.func_by_name("produce").unwrap();
+        let q = rp.funcs[fid.index()].params[0];
+        assert!(rp.vars[q.index()].is_chan);
+        assert!(rp.send_chan.values().any(|r| *r == ChanRef::Var(q)));
+        // The call argument `c` binds as a channel value expression.
+        assert_eq!(rp.expr_chan.len(), 1);
+    }
+
+    #[test]
+    fn process_name_wins_send_lookup() {
+        let rp = ok("process P { send(Q, 1); } process Q { int x; recv(x); }");
+        assert_eq!(rp.msg_target.len(), 1);
+        assert!(rp.send_chan.is_empty());
+    }
+
+    #[test]
+    fn channel_misuses_rejected() {
+        // Assignment to a channel binding.
+        let e = err("chan c; void f(chan q) { q = 1; } process Main { f(c); }");
+        assert!(matches!(e.kind(), LangErrorKind::KindMismatch { .. }));
+        // Receiving into a channel binding.
+        let e = err("chan c; void f(chan q) { recv(c, q); } process Main { f(c); }");
+        assert!(matches!(e.kind(), LangErrorKind::KindMismatch { .. }));
+        // Sending to a plain int variable.
+        let e = err("process Main { int x; send(x, 1); }");
+        assert!(matches!(e.kind(), LangErrorKind::KindMismatch { .. }));
+        // Receiving from a semaphore.
+        let e = err("sem s = 0; process Main { int x; recv(s, x); }");
+        assert!(matches!(e.kind(), LangErrorKind::KindMismatch { .. }));
+        // Duplicate top-level name.
+        let e = err("chan c; shared int c; process Main { }");
+        assert!(matches!(e.kind(), LangErrorKind::Redeclared(_)));
     }
 
     #[test]

@@ -31,6 +31,8 @@ pub enum TokenKind {
     KwSem,
     /// `lockvar`
     KwLockVar,
+    /// `chan`
+    KwChan,
     /// `process`
     KwProcess,
     /// `if`
@@ -67,6 +69,10 @@ pub enum TokenKind {
     KwAssert,
     /// `input`
     KwInput,
+    /// `true`
+    KwTrue,
+    /// `false`
+    KwFalse,
 
     // Punctuation and operators.
     /// `(`
@@ -130,6 +136,7 @@ impl TokenKind {
             "shared" => KwShared,
             "sem" => KwSem,
             "lockvar" => KwLockVar,
+            "chan" => KwChan,
             "process" => KwProcess,
             "if" => KwIf,
             "else" => KwElse,
@@ -148,6 +155,8 @@ impl TokenKind {
             "print" => KwPrint,
             "assert" => KwAssert,
             "input" => KwInput,
+            "true" => KwTrue,
+            "false" => KwFalse,
             _ => return None,
         })
     }
@@ -163,6 +172,7 @@ impl TokenKind {
             KwShared => "`shared`".into(),
             KwSem => "`sem`".into(),
             KwLockVar => "`lockvar`".into(),
+            KwChan => "`chan`".into(),
             KwProcess => "`process`".into(),
             KwIf => "`if`".into(),
             KwElse => "`else`".into(),
@@ -181,6 +191,8 @@ impl TokenKind {
             KwPrint => "`print`".into(),
             KwAssert => "`assert`".into(),
             KwInput => "`input`".into(),
+            KwTrue => "`true`".into(),
+            KwFalse => "`false`".into(),
             LParen => "`(`".into(),
             RParen => "`)`".into(),
             LBrace => "`{`".into(),

@@ -28,6 +28,10 @@ pub enum RuntimeError {
     /// (possible only via replay of a mid-body region with an
     /// incomplete prelog — indicates a plan bug).
     UninitializedLocal,
+    /// A `chan` parameter held a value that names no channel. The
+    /// resolver and `ppd check` rule this out for well-formed programs;
+    /// it can only arise from a corrupted binding.
+    InvalidChannel(i64),
     /// Replay needed a log entry that was not found where expected.
     LogMismatch(String),
 }
@@ -43,6 +47,9 @@ impl fmt::Display for RuntimeError {
             RuntimeError::AssertFailed => write!(f, "assertion failed"),
             RuntimeError::InputExhausted => write!(f, "input stream exhausted"),
             RuntimeError::UninitializedLocal => write!(f, "read of uninitialized local"),
+            RuntimeError::InvalidChannel(v) => {
+                write!(f, "value {v} does not name a channel")
+            }
             RuntimeError::LogMismatch(m) => write!(f, "log mismatch during replay: {m}"),
         }
     }
@@ -59,6 +66,8 @@ pub enum BlockReason {
     LockWait(ppd_lang::SemId),
     /// Waiting for a message to arrive.
     AwaitMessage,
+    /// Waiting for a message on a specific channel.
+    AwaitChannel(ppd_lang::ChanId),
     /// A blocking send waiting for its receiver.
     AwaitDelivery,
     /// A rendezvous caller waiting for accept (or the accept body).
@@ -73,6 +82,7 @@ impl fmt::Display for BlockReason {
             BlockReason::Semaphore(s) => write!(f, "waiting on semaphore {s}"),
             BlockReason::LockWait(s) => write!(f, "waiting on lock {s}"),
             BlockReason::AwaitMessage => write!(f, "waiting for a message"),
+            BlockReason::AwaitChannel(c) => write!(f, "waiting on channel {}", c.0),
             BlockReason::AwaitDelivery => write!(f, "blocking send awaiting receiver"),
             BlockReason::AwaitRendezvous => write!(f, "rendezvous call awaiting completion"),
             BlockReason::AwaitRendezvousCall => write!(f, "accept awaiting a caller"),

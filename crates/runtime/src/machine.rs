@@ -25,7 +25,7 @@ use crate::sched::{Scheduler, SchedulerSpec};
 use ppd_analysis::{Analyses, EBlockId, EBlockPlan, Region, VarSet, VarSetRepr};
 use ppd_graph::parallel::{ParallelGraph, SyncEdgeLabel, SyncNodeId, SyncNodeKind};
 use ppd_lang::ast::*;
-use ppd_lang::{BodyId, FuncId, ProcId, ResolvedProgram, Value, VarId};
+use ppd_lang::{BodyId, ChanId, ChanRef, FuncId, ProcId, ResolvedProgram, Value, VarId};
 use ppd_log::{IntervalRef, LogCursor, LogEntry, LogStore};
 use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
@@ -211,6 +211,8 @@ enum Task<'p> {
     CallAfter { expr: &'p Expr, func: FuncId, argc: usize },
     SendAfter { stmt: &'p Stmt, to: ProcId, blocking: bool },
     RecvAfter { stmt: &'p Stmt, target: &'p LValue, has_index: bool },
+    ChanSendAfter { stmt: &'p Stmt, chan: ChanRef, blocking: bool },
+    ChanRecvAfter { stmt: &'p Stmt, chan: ChanRef, target: &'p LValue, has_index: bool },
     RendezvousAfter { stmt: &'p Stmt, callee: ProcId },
     AcceptEnd { caller: ProcId, caller_stmt: Option<ppd_lang::StmtId> },
     CloseLoopInterval { eblock: EBlockId, instance: u64 },
@@ -310,6 +312,7 @@ pub struct Machine<'p> {
     shared: Vec<Value>,
     sems: Vec<SemState>,
     mailboxes: Vec<VecDeque<Message>>,
+    chan_queues: Vec<VecDeque<Message>>,
     rdv_queues: Vec<VecDeque<RdvCall>>,
     scheduler: Scheduler,
     inputs: Vec<(Vec<i64>, usize)>,
@@ -353,6 +356,7 @@ impl<'p> Machine<'p> {
             shared: init_shared(rp),
             sems: init_sems(rp),
             mailboxes: vec![VecDeque::new(); nprocs],
+            chan_queues: vec![VecDeque::new(); rp.chans.len()],
             rdv_queues: vec![VecDeque::new(); nprocs],
             scheduler: config.scheduler.build(),
             inputs,
@@ -462,6 +466,7 @@ impl<'p> Machine<'p> {
             shared: init_shared(rp),
             sems: init_sems(rp),
             mailboxes: Vec::new(),
+            chan_queues: Vec::new(),
             rdv_queues: Vec::new(),
             scheduler: SchedulerSpec::PreferLowest.build(),
             inputs: Vec::new(),
@@ -858,6 +863,12 @@ impl<'p> Machine<'p> {
             Task::RecvAfter { stmt, target, has_index } => {
                 self.do_recv(pid, stmt, target, has_index, tracer)
             }
+            Task::ChanSendAfter { stmt, chan, blocking } => {
+                self.do_chan_send(pid, stmt, chan, blocking, tracer)
+            }
+            Task::ChanRecvAfter { stmt, chan, target, has_index } => {
+                self.do_chan_recv(pid, stmt, chan, target, has_index, tracer)
+            }
             Task::RendezvousAfter { stmt, callee } => self.do_rendezvous(pid, stmt, callee, tracer),
             Task::AcceptEnd { caller, caller_stmt } => {
                 if !self.is_replay() {
@@ -1059,16 +1070,26 @@ impl<'p> Machine<'p> {
             }
             SyncStmt::Send { value, .. } | SyncStmt::ASend { value, .. } => {
                 let blocking = matches!(sync, SyncStmt::Send { .. });
-                let to = self.rp.msg_target[&stmt.id];
+                let after = match self.rp.msg_target.get(&stmt.id) {
+                    Some(&to) => Task::SendAfter { stmt, to, blocking },
+                    None => {
+                        let chan = self.rp.send_chan[&stmt.id];
+                        Task::ChanSendAfter { stmt, chan, blocking }
+                    }
+                };
                 let frame = self.frame_mut(pid);
-                frame.tasks.push(Task::SendAfter { stmt, to, blocking });
+                frame.tasks.push(after);
                 frame.tasks.push(Task::Eval(value));
                 Ok(())
             }
-            SyncStmt::Recv { into } => {
-                let frame = self.frame_mut(pid);
+            SyncStmt::Recv { into, .. } => {
                 let has_index = into.index.is_some();
-                frame.tasks.push(Task::RecvAfter { stmt, target: into, has_index });
+                let after = match self.rp.recv_chan.get(&stmt.id) {
+                    Some(&chan) => Task::ChanRecvAfter { stmt, chan, target: into, has_index },
+                    None => Task::RecvAfter { stmt, target: into, has_index },
+                };
+                let frame = self.frame_mut(pid);
+                frame.tasks.push(after);
                 if let Some(ix) = &into.index {
                     frame.tasks.push(Task::Eval(ix));
                 }
@@ -1258,6 +1279,139 @@ impl<'p> Machine<'p> {
         }
     }
 
+    /// The channel a reference names right now: direct for a channel
+    /// literal, the current value of the binding for a `chan` parameter.
+    fn resolve_chan(&self, pid: ProcId, cref: ChanRef) -> Result<ChanId, RuntimeError> {
+        let raw = match cref {
+            ChanRef::Static(c) => return Ok(c),
+            ChanRef::Var(v) => {
+                let ix = self.proc_ix(pid);
+                let frame = self.procs[ix].frames.last().expect("frame");
+                match frame.locals.get(&v) {
+                    Some(Value::Int(n)) => *n,
+                    Some(Value::Array(_)) => i64::MIN,
+                    None => return Err(RuntimeError::UninitializedLocal),
+                }
+            }
+        };
+        if raw < 0 || raw as usize >= self.rp.chans.len() {
+            return Err(RuntimeError::InvalidChannel(raw));
+        }
+        Ok(ChanId(raw as u32))
+    }
+
+    fn do_chan_send(
+        &mut self,
+        pid: ProcId,
+        stmt: &'p Stmt,
+        cref: ChanRef,
+        blocking: bool,
+        tracer: &mut dyn Tracer,
+    ) -> Result<(), RuntimeError> {
+        let value = self.pop_value(pid);
+        let kind = if blocking { SyncKind::Send } else { SyncKind::ASend };
+        if self.is_replay() {
+            self.emit(pid, stmt.id, EventKind::Sync { kind }, None, Some(value), tracer);
+            return self.consume_snapshot_inner(Some(stmt.id));
+        }
+        let chan = self.resolve_chan(pid, cref)?;
+        let t = self.tick();
+        let send_node =
+            self.pgraph.as_mut().map(|g| g.sync_point(pid, SyncNodeKind::Send, Some(stmt.id), t));
+        self.chan_queues[chan.index()].push_back(Message {
+            value,
+            sender: pid,
+            send_node,
+            blocking,
+            send_stmt: stmt.id,
+        });
+        self.emit(pid, stmt.id, EventKind::Sync { kind }, None, Some(value), tracer);
+        if blocking {
+            let ix = self.proc_ix(pid);
+            self.procs[ix].status = Status::Blocked(BlockReason::AwaitDelivery);
+        } else {
+            self.unit_snapshot_point(pid, Some(stmt.id))?;
+        }
+        // Wake every process waiting on this channel to retry its recv.
+        for p in &mut self.procs {
+            if p.status == Status::Blocked(BlockReason::AwaitChannel(chan)) {
+                p.status = Status::Runnable;
+            }
+        }
+        Ok(())
+    }
+
+    fn do_chan_recv(
+        &mut self,
+        pid: ProcId,
+        stmt: &'p Stmt,
+        cref: ChanRef,
+        target: &'p LValue,
+        has_index: bool,
+        tracer: &mut dyn Tracer,
+    ) -> Result<(), RuntimeError> {
+        let value = if self.is_replay() {
+            let replay = self.replay.as_mut().expect("replay mode");
+            match replay.cursor.seek(|e| matches!(e, LogEntry::Receive { .. })) {
+                Some(LogEntry::Receive { value, .. }) => *value,
+                _ => {
+                    return Err(RuntimeError::LogMismatch(
+                        "expected a Receive entry for channel recv".into(),
+                    ))
+                }
+            }
+        } else {
+            let chan = self.resolve_chan(pid, cref)?;
+            if self.chan_queues[chan.index()].is_empty() {
+                let frame = self.frame_mut(pid);
+                frame.tasks.push(Task::ChanRecvAfter { stmt, chan: cref, target, has_index });
+                let ix = self.proc_ix(pid);
+                self.procs[ix].status = Status::Blocked(BlockReason::AwaitChannel(chan));
+                return Ok(());
+            }
+            let msg = self.chan_queues[chan.index()].pop_front().expect("checked");
+            let t = self.tick();
+            if let Some(g) = self.pgraph.as_mut() {
+                let recv_node = g.sync_point(pid, SyncNodeKind::Recv, Some(stmt.id), t);
+                if let Some(sn) = msg.send_node {
+                    g.add_sync_edge(sn, recv_node, SyncEdgeLabel::Message);
+                }
+                if msg.blocking {
+                    let un = g.sync_point(msg.sender, SyncNodeKind::Unblock, None, t);
+                    g.add_sync_edge(recv_node, un, SyncEdgeLabel::SendUnblock);
+                }
+            }
+            if msg.blocking {
+                let six = self.proc_ix(msg.sender);
+                self.procs[six].status = Status::Runnable;
+                // The sender's unit resumes now; snapshot at unblock.
+                self.unit_snapshot_point(msg.sender, Some(msg.send_stmt))?;
+            }
+            if let Some(logs) = self.logs.as_mut() {
+                let t2 = self.clock;
+                logs.push(pid, LogEntry::Receive { value: msg.value, time: t2 });
+            }
+            msg.value
+        };
+        let index = if has_index { Some(self.pop_value(pid)) } else { None };
+        let var = self.rp.expr_var[&target.id];
+        let cell = self.write_var(pid, var, index, value)?;
+        self.frame_mut(pid).pending_reads.push(ReadSource::External);
+        self.emit(
+            pid,
+            stmt.id,
+            EventKind::Sync { kind: SyncKind::Recv },
+            Some((cell, value)),
+            Some(value),
+            tracer,
+        );
+        if self.is_replay() {
+            self.consume_snapshot_inner(Some(stmt.id))
+        } else {
+            self.unit_snapshot_point(pid, Some(stmt.id))
+        }
+    }
+
     fn do_rendezvous(
         &mut self,
         pid: ProcId,
@@ -1401,7 +1555,17 @@ impl<'p> Machine<'p> {
                 self.frame_mut(pid).values.push(*n);
                 Ok(())
             }
+            ExprKind::BoolLit(b) => {
+                self.frame_mut(pid).values.push(*b as i64);
+                Ok(())
+            }
             ExprKind::Var(_) => {
+                // A channel name in argument position evaluates to the
+                // channel's id — how `chan` parameters are passed.
+                if let Some(&c) = self.rp.expr_chan.get(&expr.id) {
+                    self.frame_mut(pid).values.push(c.index() as i64);
+                    return Ok(());
+                }
                 let var = self.rp.expr_var[&expr.id];
                 let v = self.read_var(pid, var, None)?;
                 self.frame_mut(pid).values.push(v);
@@ -2129,9 +2293,16 @@ fn read_value(value: &Value, index: Option<i64>) -> Result<i64, RuntimeError> {
                 Ok(a[i as usize])
             }
         }
-        // The resolver rules these out; defensive anyway.
-        (Value::Int(n), Some(_)) => Ok(*n),
-        (Value::Array(_), None) => Ok(0),
+        // Unreachable for programs that pass `ppd check` (TYP001 rejects
+        // scalar/array shape confusion); defensive for unchecked runs.
+        (Value::Int(n), Some(_)) => {
+            debug_assert!(false, "indexed read of a scalar — `ppd check` would reject this");
+            Ok(*n)
+        }
+        (Value::Array(_), None) => {
+            debug_assert!(false, "scalar read of an array — `ppd check` would reject this");
+            Ok(0)
+        }
     }
 }
 
@@ -2149,8 +2320,10 @@ fn write_value(value: &mut Value, index: Option<i64>, new: i64) -> Result<(), Ru
                 Ok(())
             }
         }
-        // The resolver rules these out; treat as a scalar overwrite.
+        // Unreachable for programs that pass `ppd check` (TYP001 rejects
+        // scalar/array shape confusion); treat as a scalar overwrite.
         (v, _) => {
+            debug_assert!(false, "shape-confused write — `ppd check` would reject this");
             *v = Value::Int(new);
             Ok(())
         }

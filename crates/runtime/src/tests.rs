@@ -990,3 +990,101 @@ fn element_logging_prelogs_exclude_arrays() {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Typed channels (chan declarations, chan parameters)
+// ---------------------------------------------------------------------
+
+#[test]
+fn channel_send_recv_is_fifo() {
+    let s = setup(
+        "chan q; \
+         process P { send(q, 7); send(q, 8); } \
+         process C { int a; int b; recv(q, a); recv(q, b); print(a); print(b); }",
+    );
+    let r = run(&s);
+    assert!(r.outcome.is_success(), "{:?}", r.outcome);
+    assert_eq!(outputs(&r), vec![7, 8]);
+}
+
+#[test]
+fn channel_through_parameter() {
+    // The channel id flows through the `chan` parameter binding.
+    let s = setup(
+        "chan q; \
+         void produce(chan c, int n) { int i; for (i = 0; i < n; i = i + 1) { asend(c, i); } } \
+         process P { produce(q, 3); } \
+         process C { int x; int sum = 0; int i; \
+                     for (i = 0; i < 3; i = i + 1) { recv(q, x); sum = sum + x; } print(sum); }",
+    );
+    let r = run(&s);
+    assert!(r.outcome.is_success(), "{:?}", r.outcome);
+    assert_eq!(outputs(&r), vec![3]);
+}
+
+#[test]
+fn channel_recv_into_array_element() {
+    let s = setup(
+        "chan q; shared int a[2]; \
+         process P { asend(q, 5); asend(q, 6); } \
+         process C { int i; for (i = 0; i < 2; i = i + 1) { recv(q, a[i]); } print(a[0] + a[1]); }",
+    );
+    let r = run(&s);
+    assert!(r.outcome.is_success(), "{:?}", r.outcome);
+    assert_eq!(outputs(&r), vec![11]);
+}
+
+#[test]
+fn blocking_channel_send_blocks_until_receipt() {
+    // Same contract as process-addressed sends: the sender's print must
+    // happen-after the receive, via the recv → unblock ack edge.
+    let s = setup(
+        "chan q; \
+         process S { send(q, 5); print(1); } \
+         process C { int i = 0; while (i < 3) { i = i + 1; } int m; recv(q, m); print(m); }",
+    );
+    let mut tracer = VecTracer::default();
+    let r = Machine::new(&s.rp, &s.analyses, None, ExecConfig::default()).run(&mut tracer);
+    assert!(r.outcome.is_success(), "{:?}", r.outcome);
+    let recv_seq = tracer
+        .events
+        .iter()
+        .find(|e| matches!(e.kind, EventKind::Sync { kind: crate::SyncKind::Recv }))
+        .map(|e| e.seq)
+        .expect("recv event");
+    let sender_print_seq = tracer
+        .events
+        .iter()
+        .find(|e| e.proc == ProcId(0) && matches!(e.kind, EventKind::Print))
+        .map(|e| e.seq)
+        .expect("sender print");
+    assert!(recv_seq < sender_print_seq, "sender resumed before receipt");
+    let g = r.pgraph.expect("graph");
+    assert_eq!(g.sync_edges().len(), 2, "message + unblock edges");
+}
+
+#[test]
+fn recv_on_silent_channel_deadlocks() {
+    let s = setup("chan q; process C { int x; recv(q, x); print(x); } process P { print(0); }");
+    let r = run(&s);
+    let Outcome::Deadlock { blocked } = &r.outcome else {
+        panic!("expected deadlock, got {:?}", r.outcome)
+    };
+    assert_eq!(blocked.len(), 1);
+    let crate::error::BlockReason::AwaitChannel(c) = blocked[0].1 else {
+        panic!("expected AwaitChannel, got {:?}", blocked[0].1)
+    };
+    assert_eq!(s.rp.chan_name(c), "q");
+}
+
+#[test]
+fn replay_fidelity_channels() {
+    assert_replay_fidelity(
+        "chan q; \
+         void pump(chan c) { send(c, 11); send(c, 22); } \
+         process P { pump(q); print(0); } \
+         process C { int a; recv(q, a); int b; recv(q, b); print(a + b); }",
+        vec![],
+        EBlockStrategy::per_subroutine(),
+    );
+}

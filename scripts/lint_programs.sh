@@ -1,22 +1,66 @@
 #!/usr/bin/env bash
-# Lints every example program in deny-warnings mode against the
-# expected-diagnostics allowlist in programs/lint-allow.txt.
+# Gates every example program in programs/ on the two static frontends:
 #
-# A program passes when the set of diagnostic codes `ppd lint` emits is
-# exactly its allowlisted set; clean programs (no allowlist line) must
-# additionally survive `ppd lint --deny`. Any drift — a new diagnostic,
-# or a documented one disappearing — fails the script, so the allowlist
-# is forced to stay in sync with the lint passes.
+# 1. `ppd check` in deny-errors mode: every program must type-check,
+#    unless listed in programs/check-allow.txt (programs that
+#    deliberately fail inference, none today). The SARIF rendering of
+#    the check result must also be structurally valid.
+# 2. `ppd lint` against the expected-diagnostics allowlist in
+#    programs/lint-allow.txt: a program passes when the set of
+#    diagnostic codes `ppd lint` emits is exactly its allowlisted set;
+#    clean programs (no allowlist line) must additionally survive
+#    `ppd lint --deny`.
+#
+# Any drift — a new diagnostic, a documented one disappearing, or a
+# program that stops type-checking — fails the script, so both
+# allowlists are forced to stay in sync with the analyses.
 set -u
 
 PPD=${PPD:-target/debug/ppd}
 ALLOW=programs/lint-allow.txt
+CHECK_ALLOW=programs/check-allow.txt
 fail=0
 
 for f in programs/*.ppd; do
     name=$(basename "$f")
+
+    # --- ppd check: deny type errors unless allowlisted -----------------
+    allowed_fail=0
+    if [ -f "$CHECK_ALLOW" ] && grep -q "^$name\$" "$CHECK_ALLOW"; then
+        allowed_fail=1
+    fi
+    if "$PPD" check "$f" >/dev/null 2>&1; then
+        if [ "$allowed_fail" = 1 ]; then
+            echo "FAIL $name: type-checks but is allowlisted as failing in $CHECK_ALLOW" >&2
+            fail=1
+        else
+            echo "ok   $name: ppd check clean"
+        fi
+    else
+        if [ "$allowed_fail" = 1 ]; then
+            echo "ok   $name: ppd check fails (allowlisted)"
+        else
+            echo "FAIL $name: ppd check reports type errors:" >&2
+            "$PPD" check "$f" 2>&1 | sed 's/^/    /' >&2
+            fail=1
+        fi
+    fi
+
+    # --- ppd check --format sarif: must emit a well-formed SARIF doc ----
+    sarif=$("$PPD" check "$f" --format sarif 2>/dev/null)
+    for key in '"version": "2.1.0"' '"runs"' '"results"' '"driver"'; do
+        case "$sarif" in
+            *"$key"*) ;;
+            *)
+                echo "FAIL $name: check --format sarif output lacks $key" >&2
+                fail=1
+                ;;
+        esac
+    done
+
+    # --- ppd lint: exact allowlisted diagnostic codes -------------------
     expected=$(sed -n "s/^$name: *//p" "$ALLOW")
-    actual=$("$PPD" lint "$f" --format json \
+    actual=$("$PPD" lint "$f" --no-check --format json \
         | grep -o '"code": "PPD[0-9]*"' \
         | grep -o 'PPD[0-9]*' | sort -u | paste -sd, -)
     if [ "${actual:-}" != "$expected" ]; then

@@ -1,7 +1,7 @@
 //! The `ppd` command-line debugger.
 //!
 //! ```text
-//! ppd check  <file>                      parse, analyze, summarize
+//! ppd check  <file> [options]            static type inference, then summarize
 //! ppd lint   <file> [options]            static race & misuse diagnostics
 //! ppd run    <file> [options]            execute as instrumented object code
 //! ppd debug  <file> [options]            run, then open the interactive debugger
@@ -15,7 +15,9 @@
 //!   --strategy S        e-blocks: subroutine | loops | split | merge
 //!   --what W            dot target: static | parallel | dynamic
 //!   --deny              lint: exit nonzero on any diagnostic, not just errors
-//!   --format F          lint output: human (default) | json | sarif
+//!   --format F          check/lint output: text (default) | json | sarif
+//!   --no-check          lint/debug: proceed even if `ppd check` reports
+//!                       type errors (they gate both commands by default)
 //!   --stats             debug: print replay-engine counters (cache hits,
 //!                       replays, query timings) after the session; with
 //!                       `--format json`, emit the raw metrics registry
@@ -50,6 +52,7 @@ struct Options {
     save: Option<String>,
     load: Option<String>,
     deny: bool,
+    no_check: bool,
     format: String,
     stats: bool,
     trace_out: Option<String>,
@@ -67,7 +70,7 @@ fn usage() -> ExitCode {
          [--seed N] [--inputs a,b,c]... [--break LINE]... \
          [--strategy subroutine|loops|split|merge] [--what static|parallel|dynamic] \
          [--schedules N] [--save FILE] [--load FILE] \
-         [--deny] [--format human|json|sarif] [--stats] [--trace-out FILE] [--jobs N]"
+         [--deny] [--no-check] [--format text|json|sarif] [--stats] [--trace-out FILE] [--jobs N]"
     );
     ExitCode::from(2)
 }
@@ -86,7 +89,8 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<(String, Options
         save: None,
         load: None,
         deny: false,
-        format: "human".into(),
+        no_check: false,
+        format: "text".into(),
         stats: false,
         trace_out: None,
         jobs: default_jobs(),
@@ -122,6 +126,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<(String, Options
             "--save" => opts.save = Some(value()?),
             "--load" => opts.load = Some(value()?),
             "--deny" => opts.deny = true,
+            "--no-check" => opts.no_check = true,
             "--format" => opts.format = value()?,
             "--stats" => opts.stats = true,
             "--trace-out" => opts.trace_out = Some(value()?),
@@ -168,10 +173,13 @@ fn main() -> ExitCode {
         ppd::obs::enable_spans(true);
     }
     let code = match cmd.as_str() {
-        "check" => cmd_check(&session),
-        "lint" => cmd_lint(&session, &opts, &source),
+        "check" => cmd_check(&session, &opts, &source),
+        "lint" => check_gate(&session, &opts, &source)
+            .unwrap_or_else(|| cmd_lint(&session, &opts, &source)),
         "run" => cmd_run(&session, &opts, true).1,
-        "debug" => cmd_debug(&session, &opts),
+        "debug" => {
+            check_gate(&session, &opts, &source).unwrap_or_else(|| cmd_debug(&session, &opts))
+        }
         "races" => cmd_races(&session, &opts),
         "dot" => cmd_dot(&session, &opts, &source),
         _ => usage(),
@@ -205,34 +213,115 @@ fn run_config(session: &PpdSession, opts: &Options) -> RunConfig {
     }
 }
 
-fn cmd_check(session: &PpdSession) -> ExitCode {
-    let rp = session.rp();
-    println!(
-        "ok: {} process(es), {} function(s), {} shared variable(s), {} semaphore(s)/lock(s)",
-        rp.procs.len(),
-        rp.funcs.len(),
-        rp.shared_count,
-        rp.sems.len()
-    );
-    println!(
-        "preparatory phase: {} e-blocks, {} static-graph edges, {} sync units",
-        session.plan().eblocks().len(),
-        session.static_graph().edge_count(),
-        session.analyses().sync_units.total()
-    );
-    for eb in session.plan().eblocks() {
-        println!(
-            "  {}: {:?} region of {}",
-            eb.id,
-            match &eb.region {
-                ppd::analysis::Region::Body(_) => "body",
-                ppd::analysis::Region::Loop { .. } => "loop",
-                ppd::analysis::Region::Chunk { .. } => "chunk",
-            },
-            rp.body_name(eb.region.body())
-        );
+/// Converts the type checker's errors into lint-style diagnostics so the
+/// text/json/sarif renderers can be shared with `ppd lint`. The checker
+/// already emits them stable-sorted by `(span, code, message)` and
+/// deduplicated; the conversion preserves that order.
+fn type_error_diags(
+    errors: &[ppd::lang::types::TypeError],
+) -> Vec<ppd::analysis::lint::Diagnostic> {
+    use ppd::analysis::lint::{Diagnostic, Severity};
+    errors.iter().map(|e| Diagnostic::new(e.code(), Severity::Error, e.message(), e.span)).collect()
+}
+
+/// The `--no-check` gate: `ppd lint` and `ppd debug` refuse to run on a
+/// program the type checker rejects — inferred channel payloads feed the
+/// typed sync groups both commands rely on, so diagnostics computed from
+/// an ill-typed program would be unreliable. Returns `Some(exit)` when
+/// the gate trips.
+fn check_gate(session: &PpdSession, opts: &Options, source: &str) -> Option<ExitCode> {
+    if opts.no_check {
+        return None;
     }
-    ExitCode::SUCCESS
+    let tc = ppd::lang::types::check(session.rp());
+    if tc.is_ok() {
+        return None;
+    }
+    let file = ppd::lang::SourceFile::new(opts.file.clone(), source.to_owned());
+    for d in type_error_diags(&tc.errors) {
+        eprintln!("{}\n", d.render(&file));
+    }
+    eprintln!(
+        "error: {} type error(s); fix them or pass --no-check to proceed anyway",
+        tc.errors.len()
+    );
+    Some(ExitCode::FAILURE)
+}
+
+fn cmd_check(session: &PpdSession, opts: &Options, source: &str) -> ExitCode {
+    let rp = session.rp();
+    let file = ppd::lang::SourceFile::new(opts.file.clone(), source.to_owned());
+    let tc = ppd::lang::types::check(rp);
+    let diags = type_error_diags(&tc.errors);
+    match opts.format.as_str() {
+        "text" | "human" => {
+            for d in &diags {
+                println!("{}\n", d.render(&file));
+            }
+            if !tc.is_ok() {
+                println!("check: {} type error(s)", diags.len());
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "ok: {} process(es), {} function(s), {} shared variable(s), \
+                 {} semaphore(s)/lock(s), {} channel(s)",
+                rp.procs.len(),
+                rp.funcs.len(),
+                rp.shared_count,
+                rp.sems.len(),
+                rp.chans.len()
+            );
+            for i in 0..rp.chans.len() {
+                let c = ppd::lang::ChanId(i as u32);
+                println!("  chan {}: carries `{}`", rp.chan_name(c), tc.info.chan_payload[i]);
+            }
+            println!(
+                "preparatory phase: {} e-blocks, {} static-graph edges, {} sync units",
+                session.plan().eblocks().len(),
+                session.static_graph().edge_count(),
+                session.analyses().sync_units.total()
+            );
+            for eb in session.plan().eblocks() {
+                println!(
+                    "  {}: {:?} region of {}",
+                    eb.id,
+                    match &eb.region {
+                        ppd::analysis::Region::Body(_) => "body",
+                        ppd::analysis::Region::Loop { .. } => "loop",
+                        ppd::analysis::Region::Chunk { .. } => "chunk",
+                    },
+                    rp.body_name(eb.region.body())
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "json" => match diags_json(&diags, &file) {
+            Ok(json) => {
+                println!("{json}");
+                if tc.is_ok() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("error: cannot serialize diagnostics: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "sarif" => {
+            println!("{}", ppd::sarif::to_sarif(&diags, &file));
+            if tc.is_ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        other => {
+            eprintln!("unknown --format `{other}` (text | json | sarif)");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// JSON shape of one diagnostic (stable output for tooling). Owned
@@ -256,6 +345,41 @@ struct JsonNote {
     col: Option<u32>,
 }
 
+/// Serializes diagnostics to the stable JSON shape shared by `ppd lint`
+/// and `ppd check`.
+fn diags_json(
+    diags: &[ppd::analysis::lint::Diagnostic],
+    file: &ppd::lang::SourceFile,
+) -> Result<String, serde_json::Error> {
+    let list: Vec<JsonDiagnostic> = diags
+        .iter()
+        .map(|d| {
+            let (line, col) = file.line_col(d.span.start);
+            JsonDiagnostic {
+                code: d.code.to_owned(),
+                severity: d.severity.to_string(),
+                message: d.message.clone(),
+                file: file.name().to_owned(),
+                line,
+                col,
+                notes: d
+                    .notes
+                    .iter()
+                    .map(|n| {
+                        let pos = n.span.map(|s| file.line_col(s.start));
+                        JsonNote {
+                            label: n.label.clone(),
+                            line: pos.map(|p| p.0),
+                            col: pos.map(|p| p.1),
+                        }
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
+    serde_json::to_string_pretty(&list)
+}
+
 fn cmd_lint(session: &PpdSession, opts: &Options, source: &str) -> ExitCode {
     use ppd::analysis::lint::{run_default_par, Severity};
     let file = ppd::lang::SourceFile::new(opts.file.clone(), source);
@@ -263,7 +387,7 @@ fn cmd_lint(session: &PpdSession, opts: &Options, source: &str) -> ExitCode {
     let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
     let warnings = diags.len() - errors;
     match opts.format.as_str() {
-        "human" => {
+        "text" | "human" => {
             for d in &diags {
                 println!("{}\n", d.render(&file));
             }
@@ -273,46 +397,18 @@ fn cmd_lint(session: &PpdSession, opts: &Options, source: &str) -> ExitCode {
                 println!("lint: {warnings} warning(s), {errors} error(s)");
             }
         }
-        "json" => {
-            let list: Vec<JsonDiagnostic> = diags
-                .iter()
-                .map(|d| {
-                    let (line, col) = file.line_col(d.span.start);
-                    JsonDiagnostic {
-                        code: d.code.to_owned(),
-                        severity: d.severity.to_string(),
-                        message: d.message.clone(),
-                        file: file.name().to_owned(),
-                        line,
-                        col,
-                        notes: d
-                            .notes
-                            .iter()
-                            .map(|n| {
-                                let pos = n.span.map(|s| file.line_col(s.start));
-                                JsonNote {
-                                    label: n.label.clone(),
-                                    line: pos.map(|p| p.0),
-                                    col: pos.map(|p| p.1),
-                                }
-                            })
-                            .collect(),
-                    }
-                })
-                .collect();
-            match serde_json::to_string_pretty(&list) {
-                Ok(json) => println!("{json}"),
-                Err(e) => {
-                    eprintln!("error: cannot serialize diagnostics: {e}");
-                    return ExitCode::FAILURE;
-                }
+        "json" => match diags_json(&diags, &file) {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                eprintln!("error: cannot serialize diagnostics: {e}");
+                return ExitCode::FAILURE;
             }
-        }
+        },
         "sarif" => {
             println!("{}", ppd::sarif::to_sarif(&diags, &file));
         }
         other => {
-            eprintln!("unknown --format `{other}` (human | json | sarif)");
+            eprintln!("unknown --format `{other}` (text | json | sarif)");
             return ExitCode::FAILURE;
         }
     }

@@ -1,0 +1,163 @@
+//! Golden-file tests for `ppd check` — the static type checker CLI.
+//!
+//! Fixtures under `tests/fixtures/` are deliberately ill-typed, one per
+//! error kind plus a five-error program that pins the stable
+//! `(file, span, code)` ordering. Run with `PPD_UPDATE_GOLDEN=1` to
+//! regenerate after an intentional diagnostic change.
+
+use std::path::Path;
+use std::process::Command;
+
+fn run_ppd(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_ppd"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("run ppd");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name);
+    if std::env::var_os("PPD_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+    assert_eq!(
+        actual, expected,
+        "`{name}` drifted from its golden file; \
+         re-run with PPD_UPDATE_GOLDEN=1 if the change is intentional"
+    );
+}
+
+#[test]
+fn typ001_mismatch_golden() {
+    let (stdout, _, ok) = run_ppd(&["check", "tests/fixtures/typ001_mismatch.ppd"]);
+    assert!(!ok, "type errors must fail the check");
+    assert!(stdout.contains("error[TYP001]"), "{stdout}");
+    check_golden("typ001_mismatch.check.txt", &stdout);
+}
+
+#[test]
+fn typ002_infinite_type_golden() {
+    let (stdout, _, ok) = run_ppd(&["check", "tests/fixtures/typ002_infinite.ppd"]);
+    assert!(!ok);
+    assert!(stdout.contains("error[TYP002]"), "{stdout}");
+    assert!(stdout.contains("infinite type"), "{stdout}");
+    check_golden("typ002_infinite.check.txt", &stdout);
+}
+
+#[test]
+fn typ003_not_scalar_golden() {
+    let (stdout, _, ok) = run_ppd(&["check", "tests/fixtures/typ003_not_scalar.ppd"]);
+    assert!(!ok);
+    assert!(stdout.contains("error[TYP003]"), "{stdout}");
+    check_golden("typ003_not_scalar.check.txt", &stdout);
+}
+
+#[test]
+fn five_errors_stable_order_golden() {
+    // The satellite acceptance bar: a deliberately five-error program
+    // whose diagnostics come out stable-sorted by (file, span, code)
+    // and deduplicated, covering all three error codes.
+    let (stdout, _, ok) = run_ppd(&["check", "tests/fixtures/five_errors.ppd"]);
+    assert!(!ok);
+    assert!(stdout.contains("check: 5 type error(s)"), "{stdout}");
+    for code in ["TYP001", "TYP002", "TYP003"] {
+        assert!(stdout.contains(code), "missing {code} in:\n{stdout}");
+    }
+    check_golden("five_errors.check.txt", &stdout);
+}
+
+#[derive(serde::Deserialize)]
+struct JsonDiag {
+    code: String,
+    severity: String,
+    line: u32,
+    col: u32,
+}
+
+#[test]
+fn five_errors_json_sorted() {
+    let (stdout, _, ok) = run_ppd(&["check", "tests/fixtures/five_errors.ppd", "--format", "json"]);
+    assert!(!ok);
+    check_golden("five_errors.check.json", &stdout);
+    let diags: Vec<JsonDiag> = serde_json::from_str(&stdout).expect("json parses");
+    assert_eq!(diags.len(), 5);
+    let positions: Vec<(u32, u32)> = diags.iter().map(|d| (d.line, d.col)).collect();
+    let mut sorted = positions.clone();
+    sorted.sort_unstable();
+    assert_eq!(positions, sorted, "diagnostics not sorted by source position");
+    assert!(diags.iter().all(|d| d.severity == "error"));
+    assert!(diags.iter().all(|d| d.code.starts_with("TYP")));
+}
+
+#[test]
+fn five_errors_sarif_is_valid() {
+    let (stdout, _, ok) =
+        run_ppd(&["check", "tests/fixtures/five_errors.ppd", "--format", "sarif"]);
+    assert!(!ok, "sarif format must preserve the failure exit code");
+    check_golden("five_errors.check.sarif", &stdout);
+    // Structural sanity: a 2.1.0 doc with one result per diagnostic and
+    // rules registered for every emitted code.
+    assert!(stdout.contains("\"version\": \"2.1.0\""), "{stdout}");
+    assert_eq!(stdout.matches("\"ruleId\"").count(), 5, "{stdout}");
+    for code in ["TYP001", "TYP002", "TYP003"] {
+        assert!(stdout.contains(&format!("\"id\": \"{code}\"")), "missing rule {code}");
+    }
+}
+
+#[test]
+fn clean_typed_program_summarizes_payloads() {
+    let (stdout, _, ok) = run_ppd(&["check", "programs/pipeline.ppd"]);
+    assert!(ok, "{stdout}");
+    check_golden("pipeline.check.txt", &stdout);
+    assert!(stdout.contains("chan raw: carries `int`"), "{stdout}");
+    assert!(stdout.contains("chan done: carries `bool`"), "{stdout}");
+}
+
+#[test]
+fn every_example_program_type_checks() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("programs");
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "ppd") {
+            let (stdout, _, ok) = run_ppd(&["check", path.to_str().unwrap()]);
+            assert!(ok, "{} fails ppd check:\n{stdout}", path.display());
+        }
+    }
+}
+
+#[test]
+fn lint_is_gated_on_type_check() {
+    let (_, stderr, ok) = run_ppd(&["lint", "tests/fixtures/five_errors.ppd"]);
+    assert!(!ok, "lint must refuse ill-typed programs");
+    assert!(stderr.contains("TYP001"), "{stderr}");
+    assert!(stderr.contains("--no-check"), "gate message must name the escape hatch: {stderr}");
+}
+
+#[test]
+fn no_check_escape_hatch_unlocks_lint() {
+    let (stdout, _, _) = run_ppd(&["lint", "tests/fixtures/five_errors.ppd", "--no-check"]);
+    assert!(stdout.contains("lint:"), "lint must run under --no-check: {stdout}");
+}
+
+#[test]
+fn debug_is_gated_on_type_check() {
+    let (_, stderr, ok) = run_ppd(&["debug", "tests/fixtures/five_errors.ppd"]);
+    assert!(!ok, "debug must refuse ill-typed programs");
+    assert!(stderr.contains("type error(s)"), "{stderr}");
+}
+
+#[test]
+fn unknown_check_format_is_rejected() {
+    let (_, stderr, ok) = run_ppd(&["check", "programs/pipeline.ppd", "--format", "yaml"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown --format"), "{stderr}");
+}

@@ -18,25 +18,28 @@ use ppd::analysis::{AnalysisConfig, EBlockStrategy};
 use ppd::core::{Controller, PpdSession, RunConfig};
 use ppd::graph::{
     detect_races_mhp, detect_races_mhp_counted, detect_races_naive, detect_races_naive_counted,
-    detect_races_pruned, detect_races_pruned_counted, VectorClocks,
+    detect_races_pruned, detect_races_pruned_counted, detect_races_typed,
+    detect_races_typed_counted, VectorClocks,
 };
 use ppd::lang::{corpus, ProcId};
 use ppd::log::LogEntry;
 use ppd::runtime::SchedulerSpec;
 use proptest::prelude::*;
 
-/// Runs `source` and checks naive/pruned/MHP agreement; returns
-/// `(naive_pairs, pruned_pairs, mhp_pairs)` for shrinkage assertions.
+/// Runs `source` and checks naive/pruned/MHP/typed agreement; returns
+/// `(naive_pairs, pruned_pairs, mhp_pairs, typed_pairs)` for shrinkage
+/// assertions.
 fn check(
     name: &str,
     source: &str,
     inputs: Vec<Vec<i64>>,
     seed: Option<u64>,
-) -> (usize, usize, usize) {
+) -> (usize, usize, usize, usize) {
     let session = PpdSession::prepare(source, EBlockStrategy::per_subroutine())
         .unwrap_or_else(|e| panic!("{name}: {e}"));
     let gmod_index = &session.analyses().race_candidates;
     let mhp_index = &session.analyses().mhp_candidates;
+    let typed_index = &session.analyses().typed_candidates;
     let scheduler = seed.map_or(SchedulerSpec::RoundRobin, |seed| SchedulerSpec::Random { seed });
     let execution = session.execute(RunConfig { inputs, scheduler, ..RunConfig::default() });
     let g = &execution.pgraph;
@@ -53,16 +56,24 @@ fn check(
         naive,
         "{name}: MHP pruning changed the race set"
     );
+    assert_eq!(
+        detect_races_typed(g, &ord, typed_index),
+        naive,
+        "{name}: typed-channel pruning changed the race set"
+    );
 
     let (_, naive_pairs) = detect_races_naive_counted(g, &ord);
     let (_, pruned_pairs) = detect_races_pruned_counted(g, &ord, gmod_index);
     let (also_mhp, mhp_pairs) = detect_races_mhp_counted(g, &ord, mhp_index);
+    let (also_typed, typed_pairs) = detect_races_typed_counted(g, &ord, typed_index);
     assert_eq!(also_mhp, naive, "{name}: counted MHP variant disagrees");
+    assert_eq!(also_typed, naive, "{name}: counted typed variant disagrees");
     assert!(
-        mhp_pairs <= pruned_pairs && pruned_pairs <= naive_pairs,
-        "{name}: pair counts not monotone ({naive_pairs} / {pruned_pairs} / {mhp_pairs})"
+        typed_pairs <= mhp_pairs && mhp_pairs <= pruned_pairs && pruned_pairs <= naive_pairs,
+        "{name}: pair counts not monotone \
+         ({naive_pairs} / {pruned_pairs} / {mhp_pairs} / {typed_pairs})"
     );
-    (naive_pairs, pruned_pairs, mhp_pairs)
+    (naive_pairs, pruned_pairs, mhp_pairs, typed_pairs)
 }
 
 fn inputs_for(name: &str) -> Vec<Vec<i64>> {
@@ -84,7 +95,15 @@ fn corpus_mhp_equals_naive() {
 #[test]
 fn example_programs_mhp_equals_naive() {
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("programs");
-    for file in ["bank.ppd", "overdraw.ppd", "phils.ppd", "lintdemo.ppd"] {
+    for file in [
+        "bank.ppd",
+        "overdraw.ppd",
+        "phils.ppd",
+        "lintdemo.ppd",
+        "pipeline.ppd",
+        "stencil.ppd",
+        "workqueue.ppd",
+    ] {
         let source = std::fs::read_to_string(dir.join(file)).unwrap();
         check(file, &source, inputs_for(file), None);
     }
@@ -97,12 +116,51 @@ fn fig61_mhp_strictly_beats_gmod_gref_pruning() {
     // that program — `P1` and `P3` conflict on `SV` but their accesses
     // are ordered by the message, so MHP drops the (SV, P1, P3) entry
     // the shared-set comparison keeps.
-    let (naive_pairs, pruned_pairs, mhp_pairs) =
+    let (naive_pairs, pruned_pairs, mhp_pairs, _) =
         check(corpus::FIG_6_1.name, corpus::FIG_6_1.source, Vec::new(), None);
     assert!(naive_pairs > 0);
     assert!(
         mhp_pairs < pruned_pairs,
         "expected strict shrink over GMOD/GREF, got {mhp_pairs} vs {pruned_pairs}"
+    );
+}
+
+/// A two-payload-class channel program: `ints` carries `int`, `flags`
+/// carries `bool`, and both drains `recv` inside functions. Untyped
+/// channel aliasing must assume the `chan` parameters of `draini` and
+/// `drainb` may name either channel, so the write to `g` in `P` is not
+/// provably ordered before the read in `draini`; the typed sync groups
+/// split the sites by payload class and recover the ordering.
+const TWO_CLASS_PIPELINE: &str = "chan ints;\n\
+                                  chan flags;\n\
+                                  shared int g;\n\
+                                  void draini(chan q) { int x; recv(q, x); g = x; }\n\
+                                  void drainb(chan q) { int b; recv(q, b); print(b); }\n\
+                                  process P { g = 1; send(ints, 2); }\n\
+                                  process Q { draini(ints); }\n\
+                                  process R { send(flags, true); }\n\
+                                  process S { drainb(flags); }\n";
+
+#[test]
+fn typed_channels_strictly_shrink_candidates_and_preserve_races() {
+    // The Issue 6 acceptance bar: on a typed-channel workload the typed
+    // candidate index is strictly smaller than the untyped MHP index,
+    // while the reported race set stays bit-identical across all
+    // detector variants (asserted inside `check`).
+    let session =
+        PpdSession::prepare(TWO_CLASS_PIPELINE, EBlockStrategy::per_subroutine()).unwrap();
+    let mhp_len = session.analyses().mhp_candidates.len();
+    let typed_len = session.analyses().typed_candidates.len();
+    assert!(
+        typed_len < mhp_len,
+        "expected typed sync groups to strictly shrink the candidate \
+         index, got {typed_len} vs {mhp_len}"
+    );
+    let (_, _, mhp_pairs, typed_pairs) =
+        check("two_class_pipeline", TWO_CLASS_PIPELINE, Vec::new(), None);
+    assert!(
+        typed_pairs <= mhp_pairs,
+        "typed scan examined more pairs than untyped ({typed_pairs} vs {mhp_pairs})"
     );
 }
 
@@ -155,12 +213,57 @@ fn gen_synced_program(bytes: &[u8], nprocs: u32) -> String {
     src
 }
 
+/// Generates a well-typed, terminating channel program: `lanes`
+/// producer/consumer pairs, each with its own channel randomly carrying
+/// `int` or `bool`, drained through shared functions whose `chan`
+/// parameters force payload-class aliasing. Lane 0's producer seeds the
+/// shared global `g` before sending; consumers read `g` after their
+/// receives, so some lanes are provably ordered (same payload class as
+/// lane 0 permitting) and the rest stay racy — the detectors just have
+/// to agree.
+fn gen_typed_chan_program(bytes: &[u8], lanes: u32) -> String {
+    let mut pos = 0usize;
+    let mut next = |d: u8| {
+        let b = if bytes.is_empty() { 0 } else { bytes[pos % bytes.len()] };
+        pos += 1;
+        b % d
+    };
+    let mut src = String::from("shared int g;\n");
+    let payloads: Vec<bool> = (0..lanes).map(|_| next(2) == 0).collect();
+    let counts: Vec<u8> = (0..lanes).map(|_| next(3) + 1).collect();
+    for i in 0..lanes as usize {
+        src.push_str(&format!("chan ch{i};\n"));
+    }
+    src.push_str(
+        "void drain_int(chan q, int n) {\n    int k;\n    int x;\n    \
+         for (k = 0; k < n; k = k + 1) { recv(q, x); print(x + g); }\n}\n\
+         void drain_bool(chan q, int n) {\n    int k;\n    int b;\n    \
+         for (k = 0; k < n; k = k + 1) { recv(q, b); print(b); print(g); }\n}\n",
+    );
+    for i in 0..lanes as usize {
+        let count = counts[i];
+        let blocking = next(2) == 0;
+        let op = if blocking { "send" } else { "asend" };
+        src.push_str(&format!("process P{i} {{\n    int k;\n"));
+        if i == 0 {
+            src.push_str(&format!("    g = {};\n", next(9) + 1));
+        }
+        let value = if payloads[i] { "k + 1" } else { "(k < 2)" };
+        src.push_str(&format!(
+            "    for (k = 0; k < {count}; k = k + 1) {{ {op}(ch{i}, {value}); }}\n}}\n"
+        ));
+        let drain = if payloads[i] { "drain_int" } else { "drain_bool" };
+        src.push_str(&format!("process C{i} {{ {drain}(ch{i}, {count}); }}\n"));
+    }
+    src
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
 
     /// On randomized synchronized programs under random schedules, the
-    /// three detectors report the identical race set and the pair
-    /// counts shrink monotonically naive ≥ pruned ≥ mhp.
+    /// four detectors report the identical race set and the pair
+    /// counts shrink monotonically naive ≥ pruned ≥ mhp ≥ typed.
     #[test]
     fn random_programs_mhp_equals_naive(
         bytes in proptest::collection::vec(any::<u8>(), 4..48),
@@ -169,6 +272,34 @@ proptest! {
     ) {
         let src = gen_synced_program(&bytes, nprocs);
         check("generated", &src, Vec::new(), Some(seed));
+    }
+
+    /// Generated well-typed channel programs pass `ppd check`, execute
+    /// to completion with no runtime type mismatch (the machine's
+    /// debug assertions fire inside this debug-profile test if typed
+    /// replay ever disagrees with the checker), and keep all detector
+    /// variants in agreement.
+    #[test]
+    fn random_typed_programs_run_clean(
+        bytes in proptest::collection::vec(any::<u8>(), 4..48),
+        lanes in 1u32..4,
+        seed in 0u64..1000,
+    ) {
+        let src = gen_typed_chan_program(&bytes, lanes);
+        let rp = ppd::lang::compile(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        let tc = ppd::lang::types::check(&rp);
+        prop_assert!(tc.is_ok(), "generated program is ill-typed: {:?}\n{src}", tc.errors);
+        let session = PpdSession::prepare(&src, EBlockStrategy::per_subroutine()).unwrap();
+        let execution = session.execute(RunConfig {
+            scheduler: SchedulerSpec::Random { seed },
+            ..RunConfig::default()
+        });
+        prop_assert!(
+            execution.outcome.is_success(),
+            "well-typed program failed: {:?}\n{src}",
+            execution.outcome
+        );
+        check("generated-typed", &src, Vec::new(), Some(seed));
     }
 }
 
@@ -189,7 +320,7 @@ fn run_fingerprint(src: &str, trim: bool) -> (String, usize) {
     let session = PpdSession::prepare_with(
         src,
         EBlockStrategy::per_subroutine(),
-        AnalysisConfig { mhp_snapshot_trim: trim },
+        AnalysisConfig { mhp_snapshot_trim: trim, ..AnalysisConfig::default() },
     )
     .unwrap();
     let execution = session.execute(RunConfig::default());
@@ -268,7 +399,7 @@ fn snapshot_trim_is_invisible_on_corpus() {
             let session = PpdSession::prepare_with(
                 prog.source,
                 EBlockStrategy::per_subroutine(),
-                AnalysisConfig { mhp_snapshot_trim: true },
+                AnalysisConfig { mhp_snapshot_trim: true, ..AnalysisConfig::default() },
             )
             .unwrap();
             session.execute(RunConfig { inputs: inputs.clone(), ..RunConfig::default() }).output
@@ -277,7 +408,7 @@ fn snapshot_trim_is_invisible_on_corpus() {
             let session = PpdSession::prepare_with(
                 prog.source,
                 EBlockStrategy::per_subroutine(),
-                AnalysisConfig { mhp_snapshot_trim: false },
+                AnalysisConfig { mhp_snapshot_trim: false, ..AnalysisConfig::default() },
             )
             .unwrap();
             session.execute(RunConfig { inputs, ..RunConfig::default() }).output
