@@ -4,14 +4,19 @@
 //! (a debug build works but inflates absolute times).
 //!
 //! ```text
-//! --only e4,e6,e7     run a subset of experiments (ids: e1..e9 f41 f53 f61)
+//! --only e4,e6,e7     run a subset of experiments (ids: e1..e10 f41 f53 f61)
 //! --jobs N | -j N     thread ceiling for the E7 scaling sweep (default 8)
+//! --e10-bytes N       cap the E10 store-size sweep at N file bytes
+//!                     (default: the full sweep up to 1 GB; CI uses a
+//!                     small cap)
 //! --json FILE         also write the E4/E6/E7 tables as machine-readable
 //!                     JSON (the BENCH_parallel.json committed at the root).
 //!                     When E9 runs, its §7 overhead report is additionally
-//!                     written to BENCH_overhead.json beside FILE — so
-//!                     `--only e9 --json BENCH_overhead.json` produces
-//!                     exactly that artifact.
+//!                     written to BENCH_overhead.json beside FILE, and when
+//!                     E10 runs, its segmented-store report is written to
+//!                     BENCH_logstream.json beside FILE — so
+//!                     `--only e9,e10 --json BENCH_overhead.json` produces
+//!                     both artifacts.
 //! ```
 
 use ppd_bench::experiments as ex;
@@ -27,6 +32,7 @@ fn main() {
     let mut only: Option<Vec<String>> = None;
     let mut jobs: usize = 8;
     let mut json: Option<String> = None;
+    let mut e10_bytes: u64 = u64::MAX;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |flag: &str| {
@@ -47,9 +53,17 @@ fn main() {
                 jobs = jobs.max(1);
             }
             "--json" => json = Some(value("--json")),
+            "--e10-bytes" => {
+                e10_bytes = value("--e10-bytes").parse::<u64>().unwrap_or_else(|_| {
+                    eprintln!("error: --e10-bytes wants a number");
+                    std::process::exit(2);
+                });
+            }
             other => {
                 eprintln!("error: unknown flag `{other}`");
-                eprintln!("usage: experiments [--only e4,e6,e7] [--jobs N] [--json FILE]");
+                eprintln!(
+                    "usage: experiments [--only e4,e6,e7] [--jobs N] [--e10-bytes N] [--json FILE]"
+                );
                 std::process::exit(2);
             }
         }
@@ -59,6 +73,8 @@ fn main() {
     // the suite interface only carries tables, so the body rides out in
     // this slot.
     let e9_report: Rc<RefCell<Option<String>>> = Rc::new(RefCell::new(None));
+    // Same carriage for E10's BENCH_logstream.json body.
+    let e10_report: Rc<RefCell<Option<String>>> = Rc::new(RefCell::new(None));
 
     type Entry = (&'static str, Box<dyn Fn() -> Table>);
     let suite: Vec<Entry> = vec![
@@ -74,6 +90,14 @@ fn main() {
             let slot = Rc::clone(&e9_report);
             Box::new(move || {
                 let (table, report) = ex::e9_overhead_meter_full();
+                *slot.borrow_mut() = Some(report);
+                table
+            })
+        }),
+        ("e10", {
+            let slot = Rc::clone(&e10_report);
+            Box::new(move || {
+                let (table, report) = ex::e10_logstream_full(e10_bytes);
                 *slot.borrow_mut() = Some(report);
                 table
             })
@@ -117,6 +141,14 @@ fn main() {
                 .into_owned();
             write_or_die(&overhead, report);
             eprintln!("wrote {overhead} (E9 overhead report)");
+        }
+        if let Some(report) = e10_report.borrow().as_ref() {
+            let logstream = std::path::Path::new(&path)
+                .with_file_name("BENCH_logstream.json")
+                .to_string_lossy()
+                .into_owned();
+            write_or_die(&logstream, report);
+            eprintln!("wrote {logstream} (E10 segmented-store report)");
         }
     }
 }

@@ -860,6 +860,231 @@ pub fn f61_figure() -> Table {
     t
 }
 
+// ---------------------------------------------------------------------
+// E10: out-of-core segmented store — open-and-first-query vs log size
+// ---------------------------------------------------------------------
+
+/// The tentpole target: opening a segmented store and answering the
+/// first structural query must stay well under this, at any size.
+const E10_BUDGET: Duration = Duration::from_secs(1);
+
+/// Default E10 sweep: target store sizes in file bytes, up to 1 GB.
+pub const E10_DEFAULT_SIZES: &[u64] = &[1 << 20, 8 << 20, 64 << 20, 256 << 20, 1 << 30];
+
+/// Synthesizes a segmented store of roughly `target_bytes` file bytes:
+/// four processes writing interleaved prelog/snapshot/input/postlog
+/// records through the streaming [`ppd_log::SegmentWriter`], exactly
+/// as the runtime sink does. Deterministic (seeded LCG values).
+fn e10_write_store(dir: &std::path::Path, target_bytes: u64) -> ppd_log::SinkReport {
+    use ppd_analysis::EBlockId;
+    use ppd_lang::Value;
+    use ppd_log::LogEntry;
+    const PROCS: usize = 4;
+    let mut w = ppd_log::SegmentWriter::create(dir, PROCS, 1 << 20).expect("create E10 store");
+    let mut written = 0u64;
+    let mut rng = 0x2545_F491_4F6C_DD1Du64;
+    let mut next = move || {
+        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        rng >> 33
+    };
+    let mut time = 0u64;
+    let mut instance = [0u64; PROCS];
+    while written < target_bytes {
+        for (p, inst) in instance.iter_mut().enumerate() {
+            let pid = ProcId(p as u32);
+            let eb = EBlockId((*inst % 8) as u32);
+            // Interval shape modeled on the corpus workloads: a prelog
+            // carrying a dozen scalars (plus, every fourth interval, a
+            // snapshotted array — the §7 whole-array mode), a shared
+            // snapshot, an input read, a matching postlog.
+            let mut values: Vec<(VarId, Value)> =
+                (0..12).map(|j| (VarId(j), Value::Int(next() as i64))).collect();
+            if *inst % 4 == 0 {
+                values.push((VarId(12), Value::Array((0..64).map(|_| next() as i64).collect())));
+            }
+            time += 1;
+            let pre = LogEntry::Prelog { eblock: eb, instance: *inst, values, time };
+            let snap = LogEntry::SharedSnapshot {
+                at: None,
+                values: (0..6).map(|j| (VarId(j), Value::Int(next() as i64))).collect(),
+                time: time + 1,
+            };
+            let input = LogEntry::Input { value: next() as i64, time: time + 2 };
+            let post = LogEntry::Postlog {
+                eblock: eb,
+                instance: *inst,
+                values: (0..6).map(|j| (VarId(j), Value::Int(next() as i64))).collect(),
+                ret: None,
+                time: time + 3,
+            };
+            time += 3;
+            *inst += 1;
+            for e in [&pre, &snap, &input, &post] {
+                written += e.size_bytes() as u64;
+                w.append(pid, e);
+            }
+        }
+    }
+    w.finish().expect("finish E10 store")
+}
+
+/// One E10 measurement over an existing store directory: cold open
+/// (mmap + footer decode), footer-index build, and the first structural
+/// queries — plus the full-decode contrast (what a rescan would cost)
+/// and how many entries the fast path decoded (must be zero).
+fn e10_measure(dir: &std::path::Path) -> (Duration, Duration, u64, Duration) {
+    use ppd_analysis::EBlockId;
+    let open_d = median_of(3, || {
+        let s = ppd_log::SegmentedLog::open(dir).expect("open E10 store");
+        std::hint::black_box(s.total_entries())
+    });
+    let mut decoded = u64::MAX;
+    let first_query = median_of(3, || {
+        let s = ppd_log::SegmentedLog::open(dir).expect("open E10 store");
+        let idx = s.index();
+        let mut found = 0usize;
+        for p in 0..s.process_count() {
+            let pid = ProcId(p as u32);
+            found += idx.open_intervals(pid).len();
+            found += usize::from(idx.interval_covering(pid, EBlockId(0), u64::MAX / 2).is_some());
+        }
+        decoded = s.entries_decoded();
+        std::hint::black_box(found)
+    });
+    let (_, full_decode) = time_once(|| {
+        let s = ppd_log::SegmentedLog::open(dir).expect("open E10 store");
+        s.verify().expect("E10 store verifies")
+    });
+    (open_d, first_query, decoded, full_decode)
+}
+
+/// E10 — out-of-core segmented log store: open-and-first-query latency
+/// vs store size. Synthetic multi-process stores are streamed through
+/// the segment writer up to `max_bytes` (the full sweep reaches 1 GB),
+/// then opened cold: mmap + CRC-checked footer decode rebuilds the
+/// interval index from footer digests with **zero entries decoded**.
+/// The `full decode` column is the rescan the footers avoid. A real
+/// corpus run (streamed by the runtime sink, reopened via the same
+/// path) anchors the synthetic rows.
+pub fn e10_logstream_full(max_bytes: u64) -> (Table, String) {
+    let mut t = Table::new(
+        "E10 — segmented log store: open + first query vs size (budget: < 1 s at 1 GB)",
+        &[
+            "store",
+            "file bytes",
+            "segments",
+            "entries",
+            "write",
+            "open",
+            "open+first query",
+            "decoded",
+            "full decode",
+        ],
+    );
+    let tmp = std::env::temp_dir().join(format!("ppd-e10-{}", std::process::id()));
+    let mut rows_json: Vec<String> = Vec::new();
+    let mut all_within = true;
+    for &target in E10_DEFAULT_SIZES.iter().filter(|&&s| s <= max_bytes) {
+        let mib = target >> 20;
+        let dir = tmp.join(format!("size-{target}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (report, write_d) = time_once(|| e10_write_store(&dir, target));
+        let (open_d, first_query, decoded, full_decode) = e10_measure(&dir);
+        let within = first_query < E10_BUDGET;
+        all_within &= within;
+        assert_eq!(decoded, 0, "footer-indexed first query must decode no entries");
+        t.row(vec![
+            format!("{mib} MiB"),
+            report.bytes.to_string(),
+            report.segments.to_string(),
+            report.entries.to_string(),
+            fmt_duration(write_d),
+            fmt_duration(open_d),
+            fmt_duration(first_query),
+            decoded.to_string(),
+            fmt_duration(full_decode),
+        ]);
+        rows_json.push(format!(
+            "{{\"store\":\"{mib} MiB synthetic\",\"target_bytes\":{target},\
+             \"file_bytes\":{},\"segments\":{},\"entries\":{},\
+             \"write_ms\":{:.3},\"open_us\":{:.1},\"first_query_us\":{:.1},\
+             \"entries_decoded\":{decoded},\"full_decode_ms\":{:.3},\
+             \"within_budget\":{within}}}",
+            report.bytes,
+            report.segments,
+            report.entries,
+            write_d.as_secs_f64() * 1e3,
+            open_d.as_secs_f64() * 1e6,
+            first_query.as_secs_f64() * 1e6,
+            full_decode.as_secs_f64() * 1e3,
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    // Anchor row: a real run streamed by the runtime sink.
+    {
+        let w = workloads::loop_heavy(400);
+        let session = w.prepare(EBlockStrategy::with_loops(4));
+        let dir = tmp.join("corpus");
+        let _ = std::fs::remove_dir_all(&dir);
+        let (streamed, write_d) =
+            time_once(|| session.execute_streaming(w.config(), &dir, 1 << 14));
+        let streamed = streamed.expect("stream corpus run");
+        let seg = streamed.logs.segmented().expect("segment-backed").clone();
+        let (open_d, first_query, decoded, full_decode) = e10_measure(&dir);
+        assert_eq!(decoded, 0, "corpus-run first query must decode no entries");
+        let within = first_query < E10_BUDGET;
+        all_within &= within;
+        t.row(vec![
+            w.name.clone(),
+            seg.total_file_bytes().to_string(),
+            (0..seg.process_count())
+                .map(|p| seg.segments(ProcId(p as u32)).count())
+                .sum::<usize>()
+                .to_string(),
+            seg.total_entries().to_string(),
+            fmt_duration(write_d),
+            fmt_duration(open_d),
+            fmt_duration(first_query),
+            decoded.to_string(),
+            fmt_duration(full_decode),
+        ]);
+        rows_json.push(format!(
+            "{{\"store\":{},\"target_bytes\":null,\"file_bytes\":{},\"segments\":{},\
+             \"entries\":{},\"write_ms\":{:.3},\"open_us\":{:.1},\"first_query_us\":{:.1},\
+             \"entries_decoded\":{decoded},\"full_decode_ms\":{:.3},\"within_budget\":{within}}}",
+            ppd_obs::metrics::json_string(&w.name),
+            seg.total_file_bytes(),
+            (0..seg.process_count()).map(|p| seg.segments(ProcId(p as u32)).count()).sum::<usize>(),
+            seg.total_entries(),
+            write_d.as_secs_f64() * 1e3,
+            open_d.as_secs_f64() * 1e6,
+            first_query.as_secs_f64() * 1e6,
+            full_decode.as_secs_f64() * 1e3,
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&tmp);
+    t.note("`open` = mmap + CRC-checked footer decode; `open+first query` additionally");
+    t.note("rebuilds the interval index from footer digests and answers open-interval +");
+    t.note("covering queries for every process. `decoded` counts entries decoded by the");
+    t.note("fast path (always 0: indexes come from footers, not a rescan); `full decode`");
+    t.note("is the rescan cost the footers avoid. The corpus row is streamed by the");
+    t.note("runtime sink during a real instrumented run, then reopened the same way.");
+    let json = format!(
+        "{{\"generator\":\"ppd-bench experiments (E10 segmented log store)\",\
+         \"budget_ms\":{},\"max_bytes\":{max_bytes},\"rows\":[{}],\
+         \"all_within_budget\":{all_within}}}\n",
+        E10_BUDGET.as_millis(),
+        rows_json.join(","),
+    );
+    (t, json)
+}
+
+/// E10, table only, full sweep (the experiment-suite entry point).
+pub fn e10_logstream() -> Table {
+    e10_logstream_full(u64::MAX).0
+}
+
 /// Every experiment, in presentation order.
 pub fn all() -> Vec<Table> {
     vec![
@@ -872,6 +1097,7 @@ pub fn all() -> Vec<Table> {
         e7_parallel_scaling(),
         e8_array_logging(),
         e9_overhead_meter(),
+        e10_logstream(),
         f41_figure(),
         f53_figure(),
         f61_figure(),

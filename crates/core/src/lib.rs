@@ -69,6 +69,8 @@ pub enum PpdError {
     Lang(ppd_lang::LangError),
     /// A debugging-phase failure (missing interval, bad expansion, ...).
     Debugging(String),
+    /// A failure saving or loading the on-disk log store.
+    Store(String),
 }
 
 impl fmt::Display for PpdError {
@@ -76,6 +78,7 @@ impl fmt::Display for PpdError {
         match self {
             PpdError::Lang(e) => write!(f, "language error: {e}"),
             PpdError::Debugging(m) => write!(f, "debugging error: {m}"),
+            PpdError::Store(m) => write!(f, "log store error: {m}"),
         }
     }
 }
@@ -84,8 +87,14 @@ impl Error for PpdError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             PpdError::Lang(e) => Some(e),
-            PpdError::Debugging(_) => None,
+            PpdError::Debugging(_) | PpdError::Store(_) => None,
         }
+    }
+}
+
+impl From<ppd_log::SegError> for PpdError {
+    fn from(e: ppd_log::SegError) -> Self {
+        PpdError::Store(e.to_string())
     }
 }
 

@@ -69,6 +69,27 @@ pub struct Execution {
     pub config: RunConfig,
 }
 
+/// Everything `run.json` carries next to the segments: the execution
+/// record minus the logs (which live in the `.seg` files).
+#[derive(serde::Serialize, serde::Deserialize)]
+struct RunRecord {
+    outcome: Outcome,
+    output: Vec<(ProcId, i64)>,
+    pgraph: ParallelGraph,
+    steps: u64,
+    config: RunConfig,
+}
+
+/// Name of the sidecar record in a log directory.
+const RUN_RECORD_NAME: &str = "run.json";
+
+fn write_run_record(dir: &std::path::Path, record: &RunRecord) -> Result<(), PpdError> {
+    let json = serde_json::to_string(record)
+        .map_err(|e| PpdError::Store(format!("serialize {RUN_RECORD_NAME}: {e}")))?;
+    std::fs::write(dir.join(RUN_RECORD_NAME), json)
+        .map_err(|e| PpdError::Store(format!("write {RUN_RECORD_NAME}: {e}")))
+}
+
 impl Execution {
     /// Serializes the execution record (outcome, output, logs, parallel
     /// graph, config) for offline debugging.
@@ -87,6 +108,61 @@ impl Execution {
     /// Returns a deserialization error on malformed input.
     pub fn from_json(json: &str) -> Result<Execution, serde_json::Error> {
         serde_json::from_str(json)
+    }
+
+    /// Persists this execution to `dir` as a segmented log store (one
+    /// `.seg` file per sealed segment, CRC-guarded footers) plus a
+    /// `run.json` sidecar holding everything but the logs. The
+    /// directory can be reopened with [`Execution::load_dir`] — or by
+    /// `ppd debug/races/lint --log-dir` — without rescanning the logs.
+    ///
+    /// `segment_bytes` is the per-segment payload capacity; `0` uses
+    /// [`ppd_log::DEFAULT_SEGMENT_BYTES`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpdError::Store`] on IO or serialization failure.
+    pub fn save_dir(
+        &self,
+        dir: &std::path::Path,
+        segment_bytes: usize,
+    ) -> Result<ppd_log::SinkReport, PpdError> {
+        let report = self.logs.write_dir(dir, segment_bytes)?;
+        let record = RunRecord {
+            outcome: self.outcome.clone(),
+            output: self.output.clone(),
+            pgraph: self.pgraph.clone(),
+            steps: self.steps,
+            config: self.config.clone(),
+        };
+        write_run_record(dir, &record)?;
+        Ok(report)
+    }
+
+    /// Opens an execution saved by [`Execution::save_dir`] (or streamed
+    /// by [`PpdSession::execute_streaming`]): the logs come back
+    /// segment-backed — `mmap` + footer decode, no full rescan — and
+    /// entries decode lazily per process as debugging touches them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpdError::Store`] if the directory is missing, the
+    /// store is corrupt, or `run.json` is absent/malformed.
+    pub fn load_dir(dir: &std::path::Path) -> Result<Execution, PpdError> {
+        let logs = LogStore::open_dir(dir)?;
+        let path = dir.join(RUN_RECORD_NAME);
+        let json = std::fs::read_to_string(&path)
+            .map_err(|e| PpdError::Store(format!("read {}: {e}", path.display())))?;
+        let record: RunRecord = serde_json::from_str(&json)
+            .map_err(|e| PpdError::Store(format!("parse {}: {e}", path.display())))?;
+        Ok(Execution {
+            outcome: record.outcome,
+            output: record.output,
+            logs,
+            pgraph: record.pgraph,
+            steps: record.steps,
+            config: record.config,
+        })
     }
 }
 
@@ -201,6 +277,56 @@ impl PpdSession {
         }
     }
 
+    /// Execution phase with a streaming log sink (§5.6 out-of-core
+    /// logs): every log record is teed into a segmented on-disk store
+    /// in `dir` *while the program runs* — full segments are sealed and
+    /// flushed mid-execution, not at the end. When the run finishes,
+    /// a `run.json` sidecar is written and the execution is returned
+    /// with its logs **reopened from the directory**, so subsequent
+    /// debugging exercises the mapped, lazily-decoded path. The
+    /// directory can also be reopened later with
+    /// [`Execution::load_dir`].
+    ///
+    /// `segment_bytes` as in [`Execution::save_dir`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpdError::Store`] if the sink hit an IO error during
+    /// the run or the finished store cannot be reopened.
+    pub fn execute_streaming(
+        &self,
+        config: RunConfig,
+        dir: &std::path::Path,
+        segment_bytes: usize,
+    ) -> Result<Execution, PpdError> {
+        let mut exec = config.to_exec(true);
+        exec.log_dir = Some(dir.to_path_buf());
+        exec.segment_bytes = segment_bytes;
+        let machine = Machine::new(&self.rp, &self.analyses, Some(&self.plan), exec);
+        let result = machine.run(&mut NullTracer);
+        if let Some(e) = result.sink_error {
+            return Err(PpdError::Store(e));
+        }
+        let execution = Execution {
+            outcome: result.outcome,
+            output: result.output,
+            logs: result.logs.expect("logging enabled"),
+            pgraph: result.pgraph.expect("parallel graph enabled"),
+            steps: result.steps,
+            config,
+        };
+        let record = RunRecord {
+            outcome: execution.outcome.clone(),
+            output: execution.output.clone(),
+            pgraph: execution.pgraph.clone(),
+            steps: execution.steps,
+            config: execution.config.clone(),
+        };
+        write_run_record(dir, &record)?;
+        let logs = LogStore::open_dir(dir)?;
+        Ok(Execution { logs, ..execution })
+    }
+
     /// Runs the program *uninstrumented* — no logs, no parallel graph —
     /// the baseline of the overhead experiment E1.
     pub fn execute_baseline(&self, config: RunConfig) -> (Outcome, Vec<(ProcId, i64)>, u64) {
@@ -266,6 +392,54 @@ mod tests {
     #[test]
     fn prepare_rejects_invalid_source() {
         assert!(PpdSession::prepare("process M { x = 1; }", EBlockStrategy::default()).is_err());
+    }
+
+    #[test]
+    fn save_dir_load_dir_round_trips_everything() {
+        let session = PpdSession::prepare(
+            ppd_lang::corpus::PRODUCER_CONSUMER.source,
+            EBlockStrategy::per_subroutine(),
+        )
+        .unwrap();
+        let exec = session.execute(RunConfig::default());
+        let dir = std::env::temp_dir().join(format!("ppd-session-save-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        exec.save_dir(&dir, 512).unwrap();
+        let loaded = Execution::load_dir(&dir).unwrap();
+        assert!(loaded.logs.is_segmented());
+        assert_eq!(loaded.outcome, exec.outcome);
+        assert_eq!(loaded.output, exec.output);
+        assert_eq!(loaded.steps, exec.steps);
+        assert_eq!(loaded.logs.total_entries(), exec.logs.total_entries());
+        for p in 0..exec.logs.process_count() {
+            let p = ProcId(p as u32);
+            assert_eq!(loaded.logs.log(p), exec.logs.log(p));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn execute_streaming_matches_in_memory_run() {
+        let session = PpdSession::prepare(
+            ppd_lang::corpus::PRODUCER_CONSUMER.source,
+            EBlockStrategy::per_subroutine(),
+        )
+        .unwrap();
+        let mem = session.execute(RunConfig::default());
+        let dir = std::env::temp_dir().join(format!("ppd-session-stream-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let streamed = session.execute_streaming(RunConfig::default(), &dir, 256).unwrap();
+        assert!(streamed.logs.is_segmented(), "streamed logs reopen segment-backed");
+        assert_eq!(streamed.outcome, mem.outcome);
+        assert_eq!(streamed.output, mem.output);
+        for p in 0..mem.logs.process_count() {
+            let p = ProcId(p as u32);
+            assert_eq!(streamed.logs.log(p), mem.logs.log(p), "identical entries for {p:?}");
+        }
+        // The sidecar makes the directory self-contained.
+        let reloaded = Execution::load_dir(&dir).unwrap();
+        assert_eq!(reloaded.output, mem.output);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

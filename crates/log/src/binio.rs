@@ -5,6 +5,8 @@
 //! disk. This module defines a dense format — one-byte entry tags,
 //! LEB128 varints, zigzag-encoded integers — so experiment E2 can report
 //! honest log volume, and round-trips exactly with the JSON encoding.
+//! The same entry codec is the payload format of the segmented on-disk
+//! log ([`crate::segment`]).
 //!
 //! Layout: `"PPDL"` magic, a format-version byte, the process count,
 //! then each process's entry list. Every integer is an unsigned LEB128
@@ -39,9 +41,9 @@ const TAG_ELEMENT: u8 = 5;
 const VAL_INT: u8 = 0;
 const VAL_ARRAY: u8 = 1;
 
-/// A binary decoding failure.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum BinError {
+/// What went wrong while decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinErrorKind {
     /// The input does not start with the `PPDL` magic.
     BadMagic,
     /// The format version byte is not one this build understands.
@@ -52,24 +54,57 @@ pub enum BinError {
     UnexpectedEof,
 }
 
+/// A binary decoding failure: the failure kind, the absolute byte
+/// offset in the decoded input where it was detected, and — when the
+/// failing bytes belong to a per-process frame or an on-disk segment —
+/// which one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinError {
+    /// The failure itself.
+    pub kind: BinErrorKind,
+    /// Absolute byte offset (into the full input blob or segment file)
+    /// at which decoding failed.
+    pub offset: usize,
+    /// Enclosing container, e.g. `process 2 frame` or a segment file
+    /// name, when known.
+    pub context: Option<String>,
+}
+
+impl BinError {
+    pub(crate) fn new(kind: BinErrorKind, offset: usize) -> BinError {
+        BinError { kind, offset, context: None }
+    }
+
+    /// Attaches (or replaces) the container context.
+    pub(crate) fn with_context(mut self, context: impl Into<String>) -> BinError {
+        self.context = Some(context.into());
+        self
+    }
+}
+
 impl fmt::Display for BinError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            BinError::BadMagic => write!(f, "not a PPDL binary log (bad magic)"),
-            BinError::BadVersion(v) => write!(f, "unsupported binary log version {v}"),
-            BinError::BadTag(t) => write!(f, "unknown record tag {t}"),
-            BinError::UnexpectedEof => write!(f, "truncated binary log"),
+        match self.kind {
+            BinErrorKind::BadMagic => write!(f, "not a PPDL binary log (bad magic)")?,
+            BinErrorKind::BadVersion(v) => write!(f, "unsupported binary log version {v}")?,
+            BinErrorKind::BadTag(t) => write!(f, "unknown record tag {t}")?,
+            BinErrorKind::UnexpectedEof => write!(f, "truncated binary log")?,
         }
+        write!(f, " at byte {}", self.offset)?;
+        if let Some(ctx) = &self.context {
+            write!(f, " in {ctx}")?;
+        }
+        Ok(())
     }
 }
 
 impl std::error::Error for BinError {}
 
 // ---------------------------------------------------------------------
-// Primitive writers/readers
+// Primitive writers/readers (shared with the segment codec)
 // ---------------------------------------------------------------------
 
-fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -81,40 +116,69 @@ fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn put_signed(out: &mut Vec<u8>, v: i64) {
+pub(crate) fn put_signed(out: &mut Vec<u8>, v: i64) {
     // Zigzag: small magnitudes of either sign stay short.
     put_varint(out, ((v << 1) ^ (v >> 63)) as u64);
 }
 
-struct Reader<'a> {
+/// A bounds-checked byte reader that knows its absolute position inside
+/// the containing blob or file, so every error carries a real offset.
+pub(crate) struct Reader<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Absolute offset of `bytes[0]` within the containing input.
+    base: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn byte(&mut self) -> Result<u8, BinError> {
-        let b = *self.bytes.get(self.pos).ok_or(BinError::UnexpectedEof)?;
+    pub(crate) fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { bytes, pos: 0, base: 0 }
+    }
+
+    /// A reader over a slice that starts `base` bytes into the
+    /// containing input (error offsets stay absolute).
+    pub(crate) fn with_base(bytes: &'a [u8], base: usize) -> Reader<'a> {
+        Reader { bytes, pos: 0, base }
+    }
+
+    /// Absolute offset of the next unread byte.
+    pub(crate) fn offset(&self) -> usize {
+        self.base + self.pos
+    }
+
+    /// Bytes remaining.
+    pub(crate) fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn err(&self, kind: BinErrorKind) -> BinError {
+        BinError::new(kind, self.offset())
+    }
+
+    pub(crate) fn byte(&mut self) -> Result<u8, BinError> {
+        let b = *self.bytes.get(self.pos).ok_or_else(|| self.err(BinErrorKind::UnexpectedEof))?;
         self.pos += 1;
         Ok(b)
     }
 
-    fn varint(&mut self) -> Result<u64, BinError> {
+    pub(crate) fn varint(&mut self) -> Result<u64, BinError> {
         let mut v = 0u64;
         let mut shift = 0u32;
         loop {
+            let at = self.offset();
             let b = self.byte()?;
+            if shift >= 64 {
+                return Err(BinError::new(BinErrorKind::BadTag(b), at));
+            }
             v |= u64::from(b & 0x7f) << shift;
             if b & 0x80 == 0 {
                 return Ok(v);
             }
             shift += 7;
-            if shift >= 64 {
-                return Err(BinError::BadTag(b));
-            }
         }
     }
 
-    fn signed(&mut self) -> Result<i64, BinError> {
+    pub(crate) fn signed(&mut self) -> Result<i64, BinError> {
         let v = self.varint()?;
         Ok(((v >> 1) as i64) ^ -((v & 1) as i64))
     }
@@ -141,6 +205,7 @@ fn put_value(out: &mut Vec<u8>, v: &Value) {
 }
 
 fn get_value(r: &mut Reader<'_>) -> Result<Value, BinError> {
+    let at = r.offset();
     match r.byte()? {
         VAL_INT => Ok(Value::Int(r.signed()?)),
         VAL_ARRAY => {
@@ -151,7 +216,7 @@ fn get_value(r: &mut Reader<'_>) -> Result<Value, BinError> {
             }
             Ok(Value::Array(a))
         }
-        t => Err(BinError::BadTag(t)),
+        t => Err(BinError::new(BinErrorKind::BadTag(t), at)),
     }
 }
 
@@ -173,7 +238,9 @@ fn get_values(r: &mut Reader<'_>) -> Result<Vec<(VarId, Value)>, BinError> {
     Ok(vs)
 }
 
-fn put_entry(out: &mut Vec<u8>, e: &LogEntry) {
+/// Appends one entry in the tagged wire format. Shared by the whole-store
+/// encoding and the segment writer.
+pub(crate) fn put_entry(out: &mut Vec<u8>, e: &LogEntry) {
     match e {
         LogEntry::Prelog { eblock, instance, values, time } => {
             out.push(TAG_PRELOG);
@@ -226,7 +293,9 @@ fn put_entry(out: &mut Vec<u8>, e: &LogEntry) {
     }
 }
 
-fn get_entry(r: &mut Reader<'_>) -> Result<LogEntry, BinError> {
+/// Reads one entry in the tagged wire format.
+pub(crate) fn get_entry(r: &mut Reader<'_>) -> Result<LogEntry, BinError> {
+    let at = r.offset();
     match r.byte()? {
         TAG_PRELOG => Ok(LogEntry::Prelog {
             eblock: EBlockId(r.varint()? as u32),
@@ -255,7 +324,7 @@ fn get_entry(r: &mut Reader<'_>) -> Result<LogEntry, BinError> {
         TAG_INPUT => Ok(LogEntry::Input { value: r.signed()?, time: r.varint()? }),
         TAG_RECEIVE => Ok(LogEntry::Receive { value: r.signed()?, time: r.varint()? }),
         TAG_ELEMENT => Ok(LogEntry::ElementRead { value: r.signed()?, time: r.varint()? }),
-        t => Err(BinError::BadTag(t)),
+        t => Err(BinError::new(BinErrorKind::BadTag(t), at)),
     }
 }
 
@@ -289,7 +358,9 @@ pub fn encode(store: &LogStore) -> Vec<u8> {
 ///
 /// # Errors
 ///
-/// Returns a [`BinError`] on malformed input.
+/// Returns a [`BinError`] on malformed input, carrying the absolute
+/// byte offset of the failure and, for version-2 inputs, which process
+/// frame it fell in.
 pub fn decode(bytes: &[u8]) -> Result<LogStore, BinError> {
     decode_with_jobs(bytes, 1)
 }
@@ -312,15 +383,17 @@ fn decode_with_jobs(bytes: &[u8], jobs: usize) -> Result<LogStore, BinError> {
     let mut span = ppd_obs::span("log", "decode");
     span.arg("bytes", bytes.len());
     span.arg("jobs", jobs);
-    let mut r = Reader { bytes, pos: 0 };
+    let mut r = Reader::new(bytes);
     for &m in MAGIC {
+        let at = r.offset();
         if r.byte()? != m {
-            return Err(BinError::BadMagic);
+            return Err(BinError::new(BinErrorKind::BadMagic, at));
         }
     }
+    let at = r.offset();
     let version = match r.byte()? {
         v @ (VERSION_UNFRAMED | VERSION) => v,
-        v => return Err(BinError::BadVersion(v)),
+        v => return Err(BinError::new(BinErrorKind::BadVersion(v), at)),
     };
     let procs = r.varint()? as usize;
 
@@ -331,32 +404,43 @@ fn decode_with_jobs(bytes: &[u8], jobs: usize) -> Result<LogStore, BinError> {
         for p in 0..procs {
             let n = r.varint()? as usize;
             for _ in 0..n {
-                store.push(ProcId(p as u32), get_entry(&mut r)?);
+                let e = get_entry(&mut r)
+                    .map_err(|err| err.with_context(format!("process {p} entries")))?;
+                store.push(ProcId(p as u32), e);
             }
         }
         return Ok(store);
     }
 
     // v2: slice out each process's frame first…
-    let mut frames: Vec<(usize, &[u8])> = Vec::with_capacity(procs);
-    for _ in 0..procs {
+    let mut frames: Vec<(usize, usize, usize, &[u8])> = Vec::with_capacity(procs);
+    for p in 0..procs {
         let n = r.varint()? as usize;
         let len = r.varint()? as usize;
-        let end = r.pos.checked_add(len).ok_or(BinError::UnexpectedEof)?;
-        let frame = bytes.get(r.pos..end).ok_or(BinError::UnexpectedEof)?;
-        r.pos = end;
-        frames.push((n, frame));
+        let start = r.offset();
+        let end = start.checked_add(len).ok_or_else(|| {
+            BinError::new(BinErrorKind::UnexpectedEof, start)
+                .with_context(format!("process {p} frame header"))
+        })?;
+        let frame = bytes.get(start..end).ok_or_else(|| {
+            BinError::new(BinErrorKind::UnexpectedEof, bytes.len())
+                .with_context(format!("process {p} frame"))
+        })?;
+        r = Reader::with_base(&bytes[end..], end);
+        frames.push((p, n, start, frame));
     }
     // …then decode the frames, concurrently when asked to.
     let decoded: Vec<Result<Vec<LogEntry>, BinError>> = if jobs <= 1 || procs <= 1 {
-        frames.iter().map(|&(n, frame)| decode_frame(frame, n)).collect()
+        frames.iter().map(|&(p, n, base, frame)| decode_frame(frame, n, base, p)).collect()
     } else {
         use rayon::prelude::*;
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(jobs)
             .build()
             .expect("thread pool build is infallible");
-        pool.install(|| frames.par_iter().map(|&(n, frame)| decode_frame(frame, n)).collect())
+        pool.install(|| {
+            frames.par_iter().map(|&(p, n, base, frame)| decode_frame(frame, n, base, p)).collect()
+        })
     };
     let mut store = LogStore::new(procs);
     for (p, entries) in decoded.into_iter().enumerate() {
@@ -367,11 +451,19 @@ fn decode_with_jobs(bytes: &[u8], jobs: usize) -> Result<LogStore, BinError> {
     Ok(store)
 }
 
-fn decode_frame(frame: &[u8], count: usize) -> Result<Vec<LogEntry>, BinError> {
-    let mut r = Reader { bytes: frame, pos: 0 };
+/// Decodes one process frame. `base` is the frame's absolute byte
+/// offset and `proc` its process number; both flow into any error.
+fn decode_frame(
+    frame: &[u8],
+    count: usize,
+    base: usize,
+    proc: usize,
+) -> Result<Vec<LogEntry>, BinError> {
+    let mut r = Reader::with_base(frame, base);
     let mut entries = Vec::with_capacity(count.min(1 << 16));
     for _ in 0..count {
-        entries.push(get_entry(&mut r)?);
+        entries
+            .push(get_entry(&mut r).map_err(|e| e.with_context(format!("process {proc} frame")))?);
     }
     Ok(entries)
 }
@@ -481,16 +573,61 @@ mod tests {
     fn truncated_frame_is_rejected() {
         let mut bytes = encode(&sample_store());
         bytes.truncate(bytes.len() - 1);
-        assert_eq!(decode_par(&bytes, 4).unwrap_err(), BinError::UnexpectedEof);
+        let err = decode_par(&bytes, 4).unwrap_err();
+        assert_eq!(err.kind, BinErrorKind::UnexpectedEof);
+        assert_eq!(err.offset, bytes.len(), "offset names the truncation point");
+        assert_eq!(err.context.as_deref(), Some("process 1 frame"));
     }
 
     #[test]
     fn decode_rejects_garbage() {
-        assert_eq!(decode(b"nope").unwrap_err(), BinError::BadMagic);
-        assert_eq!(decode(b"PPDL").unwrap_err(), BinError::UnexpectedEof);
-        assert_eq!(decode(b"PPDL\x09").unwrap_err(), BinError::BadVersion(9));
+        assert_eq!(decode(b"nope").unwrap_err().kind, BinErrorKind::BadMagic);
+        assert_eq!(decode(b"nope").unwrap_err().offset, 0);
+        assert_eq!(decode(b"PPDL").unwrap_err().kind, BinErrorKind::UnexpectedEof);
+        assert_eq!(decode(b"PPDL\x09").unwrap_err().kind, BinErrorKind::BadVersion(9));
+        assert_eq!(decode(b"PPDL\x09").unwrap_err().offset, 4);
         let mut ok = encode(&sample_store());
         ok.truncate(ok.len() - 1);
-        assert_eq!(decode(&ok).unwrap_err(), BinError::UnexpectedEof);
+        assert_eq!(decode(&ok).unwrap_err().kind, BinErrorKind::UnexpectedEof);
+    }
+
+    /// Finds the absolute byte offset where process `proc`'s v2 frame
+    /// payload begins, by walking the framing exactly as the decoder
+    /// does.
+    fn frame_start(bytes: &[u8], proc: usize) -> usize {
+        let mut r = Reader::new(bytes);
+        for _ in 0..5 {
+            r.byte().unwrap(); // magic + version
+        }
+        let procs = r.varint().unwrap() as usize;
+        assert!(proc < procs);
+        let mut start = 0;
+        for p in 0..=proc {
+            r.varint().unwrap(); // entry count
+            let len = r.varint().unwrap() as usize;
+            start = r.offset();
+            if p < proc {
+                r = Reader::with_base(&bytes[start + len..], start + len);
+            }
+        }
+        start
+    }
+
+    #[test]
+    fn bit_flipped_entry_reports_offset_and_frame() {
+        let s = sample_store();
+        let mut bytes = encode(&s);
+        // Corrupt the first entry tag of process 1's frame.
+        let at = frame_start(&bytes, 1);
+        bytes[at] ^= 0xE0;
+        let err = decode(&bytes).unwrap_err();
+        assert_eq!(err.kind, BinErrorKind::BadTag(TAG_RECEIVE ^ 0xE0));
+        assert_eq!(err.offset, at, "error pinpoints the flipped byte");
+        assert_eq!(err.context.as_deref(), Some("process 1 frame"));
+        let msg = err.to_string();
+        assert!(msg.contains(&format!("at byte {at}")), "{msg}");
+        assert!(msg.contains("process 1 frame"), "{msg}");
+        // The parallel path reports the same error.
+        assert_eq!(decode_par(&bytes, 4).unwrap_err(), err);
     }
 }

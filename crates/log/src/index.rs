@@ -19,6 +19,51 @@ use ppd_analysis::EBlockId;
 use ppd_lang::ProcId;
 use std::collections::HashMap;
 
+/// One structural event of a process log: a prelog or postlog together
+/// with its entry position and logical time. The stack-matching index
+/// build consumes these — extracted either from the raw entry stream or
+/// from the digests persisted in segment footers
+/// ([`crate::segment::SegmentMeta`]), so both paths share one builder
+/// and cannot disagree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct StructEvent {
+    /// Entry position within the process log.
+    pub pos: usize,
+    /// `true` for a prelog, `false` for a postlog.
+    pub is_prelog: bool,
+    /// The e-block.
+    pub eblock: EBlockId,
+    /// The per-process instance number.
+    pub instance: u64,
+    /// Logical time of the entry.
+    pub time: u64,
+}
+
+impl StructEvent {
+    /// The structural event of `entry` at position `pos`, if it is a
+    /// prelog or postlog (other entry kinds carry no interval
+    /// structure).
+    pub(crate) fn of_entry(pos: usize, entry: &LogEntry) -> Option<StructEvent> {
+        match entry {
+            LogEntry::Prelog { eblock, instance, time, .. } => Some(StructEvent {
+                pos,
+                is_prelog: true,
+                eblock: *eblock,
+                instance: *instance,
+                time: *time,
+            }),
+            LogEntry::Postlog { eblock, instance, time, .. } => Some(StructEvent {
+                pos,
+                is_prelog: false,
+                eblock: *eblock,
+                instance: *instance,
+                time: *time,
+            }),
+            _ => None,
+        }
+    }
+}
+
 /// Per-interval index record: the interval itself plus its nesting links
 /// and time span.
 #[derive(Debug, Clone)]
@@ -36,13 +81,45 @@ struct IndexedInterval {
     end_time: u64,
 }
 
+/// Multiply-rotate hasher (rustc's FxHash scheme). `by_key` takes one
+/// insert per interval — millions when a large store's index is rebuilt
+/// from segment footers — and the default SipHash dominates that build,
+/// while HashDoS resistance buys nothing against our own log files.
+#[derive(Default)]
+struct FxHasher(u64);
+
+impl std::hash::Hasher for FxHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.mix(u64::from(b));
+        }
+    }
+    fn write_u32(&mut self, v: u32) {
+        self.mix(u64::from(v));
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl FxHasher {
+    fn mix(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+type FxMap<K, V> = HashMap<K, V, std::hash::BuildHasherDefault<FxHasher>>;
+
 /// The index of one process's log.
 #[derive(Debug, Clone, Default)]
 struct ProcIndex {
     /// All intervals in prelog order (outer before nested — Figure 5.1).
     intervals: Vec<IndexedInterval>,
     /// `(eblock, instance)` → position in `intervals`.
-    by_key: HashMap<(EBlockId, u64), usize>,
+    by_key: FxMap<(EBlockId, u64), usize>,
     /// Positions of intervals with no postlog, outermost first.
     open: Vec<usize>,
     /// Positions of the unnested (top-level) intervals, in log order.
@@ -100,57 +177,99 @@ impl IntervalIndex {
     }
 
     fn build_proc(proc: ProcId, entries: &[LogEntry]) -> ProcIndex {
+        Self::build_proc_events(
+            proc,
+            entries.iter().enumerate().filter_map(|(pos, e)| StructEvent::of_entry(pos, e)),
+        )
+    }
+
+    /// Builds one process's index from its structural-event stream —
+    /// the single shared implementation behind both the raw-entry scan
+    /// and the footer-digest load.
+    fn build_proc_events(proc: ProcId, events: impl IntoIterator<Item = StructEvent>) -> ProcIndex {
+        let events = events.into_iter();
+        let hint = events.size_hint().0;
+        Self::build_proc_events_hinted(proc, events, hint)
+    }
+
+    /// [`Self::build_proc_events`] with an explicit event-count hint,
+    /// for streams (like chained segment digests) whose iterators
+    /// cannot report their length.
+    fn build_proc_events_hinted(
+        proc: ProcId,
+        events: impl IntoIterator<Item = StructEvent>,
+        hint: usize,
+    ) -> ProcIndex {
         let mut idx = ProcIndex::default();
+        // Every prelog becomes one interval; a paired stream is half
+        // prelogs, so this reserve is exact for complete logs.
+        let guess = hint / 2 + 1;
+        idx.intervals.reserve(guess);
+        idx.by_key.reserve(guess);
         // Stack of positions (into `idx.intervals`) of currently open
         // intervals; the top is the innermost.
         let mut stack: Vec<usize> = Vec::new();
-        for (pos, e) in entries.iter().enumerate() {
-            match e {
-                LogEntry::Prelog { eblock, instance, time, .. } => {
-                    let slot = idx.intervals.len();
-                    let parent = stack.last().copied();
-                    idx.intervals.push(IndexedInterval {
-                        interval: IntervalRef {
-                            proc,
-                            eblock: *eblock,
-                            instance: *instance,
-                            prelog_pos: pos,
-                            postlog_pos: None,
-                        },
-                        parent,
-                        children: Vec::new(),
-                        start_time: *time,
-                        end_time: u64::MAX,
-                    });
-                    match parent {
-                        Some(p) => idx.intervals[p].children.push(slot),
-                        None => idx.top_level.push(slot),
-                    }
-                    idx.by_key.insert((*eblock, *instance), slot);
-                    stack.push(slot);
+        for ev in events {
+            if ev.is_prelog {
+                let slot = idx.intervals.len();
+                let parent = stack.last().copied();
+                idx.intervals.push(IndexedInterval {
+                    interval: IntervalRef {
+                        proc,
+                        eblock: ev.eblock,
+                        instance: ev.instance,
+                        prelog_pos: ev.pos,
+                        postlog_pos: None,
+                    },
+                    parent,
+                    children: Vec::new(),
+                    start_time: ev.time,
+                    end_time: u64::MAX,
+                });
+                match parent {
+                    Some(p) => idx.intervals[p].children.push(slot),
+                    None => idx.top_level.push(slot),
                 }
-                LogEntry::Postlog { eblock, instance, time, .. } => {
-                    // Intervals nest, so the matching prelog is normally
-                    // the stack top; search downward anyway so a corrupt
-                    // log degrades to unmatched intervals instead of a
-                    // mis-paired index.
-                    let found = stack.iter().rposition(|&slot| {
-                        let iv = &idx.intervals[slot].interval;
-                        iv.eblock == *eblock && iv.instance == *instance
-                    });
-                    if let Some(depth) = found {
-                        let slot = stack.remove(depth);
-                        idx.intervals[slot].interval.postlog_pos = Some(pos);
-                        idx.intervals[slot].end_time = *time;
-                    }
+                idx.by_key.insert((ev.eblock, ev.instance), slot);
+                stack.push(slot);
+            } else {
+                // Intervals nest, so the matching prelog is normally
+                // the stack top; search downward anyway so a corrupt
+                // log degrades to unmatched intervals instead of a
+                // mis-paired index.
+                let found = stack.iter().rposition(|&slot| {
+                    let iv = &idx.intervals[slot].interval;
+                    iv.eblock == ev.eblock && iv.instance == ev.instance
+                });
+                if let Some(depth) = found {
+                    let slot = stack.remove(depth);
+                    idx.intervals[slot].interval.postlog_pos = Some(ev.pos);
+                    idx.intervals[slot].end_time = ev.time;
                 }
-                _ => {}
             }
         }
         // Whatever is still on the stack was open at the halt,
         // outermost first (§5.3 starts from the innermost = last).
         idx.open = stack;
         idx
+    }
+
+    /// Builds the whole-execution index from per-process
+    /// structural-event streams — how a [`crate::segment::SegmentedLog`]
+    /// turns its footer digests into the same index a full entry scan
+    /// would produce, without decoding a single entry.
+    pub(crate) fn build_from_events<I>(streams: Vec<(ProcId, usize, I)>) -> IntervalIndex
+    where
+        I: IntoIterator<Item = StructEvent>,
+    {
+        let mut span = ppd_obs::span("log", "index_from_digests");
+        span.arg("procs", streams.len());
+        IntervalIndex {
+            procs: streams
+                .into_iter()
+                .map(|(proc, hint, events)| Self::build_proc_events_hinted(proc, events, hint))
+                .collect(),
+        }
     }
 
     /// Number of indexed processes.

@@ -16,6 +16,13 @@
 //! O(1) amortized time; [`binio`] adds a compact binary serialization
 //! next to the JSON one.
 //!
+//! For out-of-core logs, [`segment`] defines an append-only segmented
+//! on-disk format whose CRC-guarded footers carry counts, offsets and a
+//! structural digest: [`SegmentedLog`] opens a directory by `mmap` +
+//! footer decode (no full rescan — the [`IntervalIndex`] rebuilds from
+//! digests), and decodes a process's entries lazily from the mapped
+//! bytes. [`LogSource`] is the common query surface over both backings.
+//!
 //! ## Example
 //!
 //! ```
@@ -35,9 +42,17 @@
 pub mod binio;
 pub mod entry;
 pub mod index;
+pub mod mmap;
+pub mod segment;
+pub mod source;
 pub mod store;
 
-pub use binio::BinError;
+pub use binio::{BinError, BinErrorKind};
 pub use entry::LogEntry;
 pub use index::IntervalIndex;
+pub use segment::{
+    SegError, SegmentMeta, SegmentWriter, SegmentedLog, SinkReport, VerifyReport,
+    DEFAULT_SEGMENT_BYTES,
+};
+pub use source::LogSource;
 pub use store::{IntervalRef, LogCursor, LogStore, ProcessLog};

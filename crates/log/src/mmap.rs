@@ -1,0 +1,256 @@
+//! Read-only file mappings for the segmented log reader.
+//!
+//! Opening a multi-GB log must not copy it into the heap: segment
+//! payloads are decoded directly out of the page cache. The workspace
+//! vendors no `libc`/`memmap2`, so on Linux the `mmap`/`munmap` system
+//! calls are issued directly; everywhere else (and whenever the map
+//! fails) [`Mapping::open`] degrades to reading the file into an owned
+//! buffer, which keeps every caller correct if slower.
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::path::Path;
+
+/// The bytes of one file, either memory-mapped (`PROT_READ`,
+/// `MAP_PRIVATE`) or, on the fallback path, read into the heap.
+pub struct Mapping {
+    repr: Repr,
+}
+
+enum Repr {
+    /// A live read-only mapping; unmapped on drop.
+    #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+    Mapped { ptr: *const u8, len: usize },
+    /// Owned copy of the file (empty files, non-Linux hosts, map failures).
+    Heap(Vec<u8>),
+}
+
+// SAFETY: a `Mapped` region is private and read-only for its whole
+// lifetime — no writer exists, so sharing the pointer across threads is
+// no different from sharing a `&[u8]`.
+unsafe impl Send for Mapping {}
+unsafe impl Sync for Mapping {}
+
+impl Mapping {
+    /// Maps `path` read-only, falling back to an in-heap read when
+    /// mapping is unavailable. Empty files yield an empty slice without
+    /// touching `mmap` (zero-length maps are an `EINVAL`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be opened or
+    /// (on the fallback path) read.
+    pub fn open(path: &Path) -> io::Result<Mapping> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len() as usize;
+        if len == 0 {
+            return Ok(Mapping { repr: Repr::Heap(Vec::new()) });
+        }
+        #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+        {
+            use std::os::unix::io::AsRawFd;
+            if let Some(ptr) = sys::mmap_readonly(file.as_raw_fd(), len) {
+                return Ok(Mapping { repr: Repr::Mapped { ptr, len } });
+            }
+        }
+        let mut buf = Vec::with_capacity(len);
+        file.read_to_end(&mut buf)?;
+        Ok(Mapping { repr: Repr::Heap(buf) })
+    }
+
+    /// The mapped (or read) bytes.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.repr {
+            #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+            Repr::Mapped { ptr, len } => {
+                // SAFETY: the mapping stays valid until drop and is never
+                // written through.
+                unsafe { std::slice::from_raw_parts(*ptr, *len) }
+            }
+            Repr::Heap(v) => v,
+        }
+    }
+
+    /// Whether the bytes live in a real `mmap` region (false on the
+    /// heap-read fallback). Tests use this to assert the zero-copy path
+    /// is actually taken on Linux.
+    pub fn is_mapped(&self) -> bool {
+        match &self.repr {
+            #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+            Repr::Mapped { .. } => true,
+            Repr::Heap(_) => false,
+        }
+    }
+}
+
+impl std::ops::Deref for Mapping {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.bytes()
+    }
+}
+
+impl std::fmt::Debug for Mapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mapping")
+            .field("len", &self.bytes().len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+        if let Repr::Mapped { ptr, len } = self.repr {
+            // SAFETY: `ptr`/`len` came from a successful mmap and are
+            // unmapped exactly once.
+            unsafe { sys::munmap(ptr, len) };
+        }
+    }
+}
+
+/// Raw `mmap(2)`/`munmap(2)` via inline-syscall stubs. The vendored
+/// dependency set has no `libc`, so the two calls the mapping needs are
+/// issued directly with the Linux syscall ABI.
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+mod sys {
+    const PROT_READ: usize = 1;
+    const MAP_PRIVATE: usize = 2;
+
+    #[cfg(target_arch = "x86_64")]
+    const SYS_MMAP: usize = 9;
+    #[cfg(target_arch = "x86_64")]
+    const SYS_MUNMAP: usize = 11;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_MMAP: usize = 222;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_MUNMAP: usize = 215;
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall6(
+        nr: usize,
+        a: usize,
+        b: usize,
+        c: usize,
+        d: usize,
+        e: usize,
+        f: usize,
+    ) -> isize {
+        let ret: isize;
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") nr as isize => ret,
+                in("rdi") a,
+                in("rsi") b,
+                in("rdx") c,
+                in("r10") d,
+                in("r8") e,
+                in("r9") f,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall6(
+        nr: usize,
+        a: usize,
+        b: usize,
+        c: usize,
+        d: usize,
+        e: usize,
+        f: usize,
+    ) -> isize {
+        let ret: isize;
+        unsafe {
+            std::arch::asm!(
+                "svc #0",
+                in("x8") nr,
+                inlateout("x0") a => ret,
+                in("x1") b,
+                in("x2") c,
+                in("x3") d,
+                in("x4") e,
+                in("x5") f,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    /// Maps `len` bytes of `fd` read-only/private; `None` on any kernel
+    /// error (the caller falls back to a heap read).
+    pub(super) fn mmap_readonly(fd: i32, len: usize) -> Option<*const u8> {
+        // SAFETY: arguments follow the mmap(2) contract; the fd is open
+        // and owned by the caller for the duration of the call.
+        let ret = unsafe { syscall6(SYS_MMAP, 0, len, PROT_READ, MAP_PRIVATE, fd as usize, 0) };
+        // Kernel errors come back as -errno in [-4095, -1].
+        if (-4095..0).contains(&ret) {
+            None
+        } else {
+            Some(ret as *const u8)
+        }
+    }
+
+    /// Releases a mapping produced by [`mmap_readonly`].
+    ///
+    /// # Safety
+    ///
+    /// `ptr`/`len` must be exactly the values a successful
+    /// [`mmap_readonly`] returned, unmapped at most once.
+    pub(super) unsafe fn munmap(ptr: *const u8, len: usize) {
+        unsafe {
+            syscall6(SYS_MUNMAP, ptr as usize, len, 0, 0, 0, 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_file(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("ppd-mmap-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = tmp_file("basic.bin", b"segmented logs");
+        let m = Mapping::open(&path).unwrap();
+        assert_eq!(&*m, b"segmented logs");
+        #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+        assert!(m.is_mapped(), "expected the real mmap path on Linux");
+    }
+
+    #[test]
+    fn empty_file_yields_empty_slice() {
+        let path = tmp_file("empty.bin", b"");
+        let m = Mapping::open(&path).unwrap();
+        assert!(m.is_empty());
+        assert!(!m.is_mapped());
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        assert!(Mapping::open(Path::new("/nonexistent/ppd.seg")).is_err());
+    }
+
+    #[test]
+    fn large_mapping_survives_scan() {
+        let data: Vec<u8> = (0..1 << 20).map(|i| (i % 251) as u8).collect();
+        let path = tmp_file("large.bin", &data);
+        let m = Mapping::open(&path).unwrap();
+        assert_eq!(m.len(), data.len());
+        assert_eq!(m.iter().map(|&b| b as u64).sum::<u64>(), data.iter().map(|&b| b as u64).sum());
+    }
+}

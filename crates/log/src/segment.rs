@@ -1,0 +1,1273 @@
+//! The on-disk segmented log format (out-of-core log store).
+//!
+//! A production debugger must open the log of a long run without
+//! rescanning it. A log directory holds one append-only **segment
+//! file** per (process, sequence-number) pair plus a tiny
+//! `manifest.json`; each segment carries, in a CRC-guarded footer,
+//! everything the structural queries need — entry/byte counts, a time
+//! span, per-entry payload offsets, and a **digest** of its prelog and
+//! postlog events. Opening a directory is therefore `mmap` + footer
+//! decode: the global [`IntervalIndex`] is rebuilt from the digests by
+//! the same stack-matching builder the in-memory scan uses, and no
+//! entry is decoded until a replay actually needs that process's
+//! payload (then it is decoded straight out of the mapped bytes).
+//!
+//! ## Segment layout (version 1)
+//!
+//! ```text
+//! ┌──────────────────────────────────────────────────────────────┐
+//! │ header   "PPDS" ver=1  proc  seq  base_seq        (varints)  │
+//! │ payload  entry … entry            (binio tagged wire format) │
+//! │ footer   payload_crc:u32le                                   │
+//! │          entry_count payload_len logical_bytes               │
+//! │          counts[6] min_time max_time                         │
+//! │          offsets (delta varints)  digest (pre/postlog events)│
+//! │ trailer  footer_len:u32le  footer_crc:u32le  "PPDF"          │
+//! └──────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Two CRC32s (IEEE) guard a segment, split so that open-time cost is
+//! proportional to the *footer*, not the log: the trailer's
+//! `footer_crc` covers the footer body and is checked when the
+//! directory is opened (a corrupt index must never be trusted), while
+//! the footer's `payload_crc` covers the header + payload and is
+//! checked by [`SegmentedLog::verify`] — the same deferred-payload
+//! split LSM stores use, so a gigabyte log opens without touching a
+//! gigabyte of bytes. A segment without a valid trailer is
+//! **unsealed**: if it is the last segment of its process it is
+//! dropped with a warning (the writer died mid-flush —
+//! truncated-tail recovery), anywhere else it is a hard corruption
+//! error.
+
+use crate::binio::{self, BinError, Reader};
+use crate::entry::LogEntry;
+use crate::index::{IntervalIndex, StructEvent};
+use crate::mmap::Mapping;
+use crate::store::{LogStore, ProcessLog};
+use ppd_lang::ProcId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+const SEG_MAGIC: &[u8; 4] = b"PPDS";
+const FOOT_MAGIC: &[u8; 4] = b"PPDF";
+/// Version byte written into (and accepted from) segment headers.
+pub const SEGMENT_VERSION: u8 = 1;
+/// footer_len (4) + footer_crc (4) + "PPDF" (4).
+const TRAILER_LEN: usize = 12;
+/// Default payload capacity before a segment seals.
+pub const DEFAULT_SEGMENT_BYTES: usize = 64 * 1024;
+/// The directory manifest file name.
+pub const MANIFEST_NAME: &str = "manifest.json";
+/// Fixed entry-kind order used by footer count tables (the binio tag
+/// order).
+pub const KIND_NAMES: [&str; 6] = ["prelog", "postlog", "shared", "input", "receive", "element"];
+
+// ---------------------------------------------------------------------
+// CRC32 (IEEE 802.3, reflected) — the dependency set vendors no crc
+// crate. Slice-by-8: eight const tables let the hot loop fold eight
+// bytes per iteration, which matters because `verify` checksums whole
+// payloads and `open` checksums every footer.
+// ---------------------------------------------------------------------
+
+const fn crc_tables() -> [[u32; 256]; 8] {
+    let mut t = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        t[0][i] = c;
+        i += 1;
+    }
+    let mut s = 1;
+    while s < 8 {
+        let mut i = 0;
+        while i < 256 {
+            t[s][i] = (t[s - 1][i] >> 8) ^ t[0][(t[s - 1][i] & 0xff) as usize];
+            i += 1;
+        }
+        s += 1;
+    }
+    t
+}
+
+static CRC_TABLES: [[u32; 256]; 8] = crc_tables();
+
+/// CRC32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let t = &CRC_TABLES;
+    let mut c = !0u32;
+    let mut chunks = bytes.chunks_exact(8);
+    for ch in &mut chunks {
+        let lo = u32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]]) ^ c;
+        let hi = u32::from_le_bytes([ch[4], ch[5], ch[6], ch[7]]);
+        c = t[7][(lo & 0xff) as usize]
+            ^ t[6][((lo >> 8) & 0xff) as usize]
+            ^ t[5][((lo >> 16) & 0xff) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xff) as usize]
+            ^ t[2][((hi >> 8) & 0xff) as usize]
+            ^ t[1][((hi >> 16) & 0xff) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        c = t[0][((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------
+// Errors, manifest, reports
+// ---------------------------------------------------------------------
+
+/// A segmented-log failure.
+#[derive(Debug)]
+pub enum SegError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The OS error.
+        err: std::io::Error,
+    },
+    /// A sealed segment's bytes are structurally invalid (bad magic,
+    /// CRC mismatch, inconsistent footer…).
+    Corrupt {
+        /// The offending segment file name.
+        file: String,
+        /// What exactly failed.
+        detail: String,
+    },
+    /// Entry payload failed to decode ([`BinError`] carries the byte
+    /// offset and segment context).
+    Decode(BinError),
+    /// The directory manifest is missing or malformed.
+    Manifest(String),
+}
+
+impl fmt::Display for SegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SegError::Io { path, err } => write!(f, "{}: {err}", path.display()),
+            SegError::Corrupt { file, detail } => write!(f, "corrupt segment {file}: {detail}"),
+            SegError::Decode(e) => write!(f, "segment payload: {e}"),
+            SegError::Manifest(d) => write!(f, "log directory manifest: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for SegError {}
+
+impl From<BinError> for SegError {
+    fn from(e: BinError) -> SegError {
+        SegError::Decode(e)
+    }
+}
+
+fn io_err(path: &Path, err: std::io::Error) -> SegError {
+    SegError::Io { path: path.to_path_buf(), err }
+}
+
+/// The `manifest.json` of a log directory: enough to know the process
+/// count (processes that logged nothing have no segment files).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Manifest {
+    format: String,
+    version: u8,
+    processes: usize,
+}
+
+/// What a [`SegmentWriter`] (or [`LogStore::write_dir`]) produced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SinkReport {
+    /// Sealed segment files written.
+    pub segments: u64,
+    /// Total file bytes written (headers + payloads + footers).
+    pub bytes: u64,
+    /// Entries appended.
+    pub entries: u64,
+}
+
+/// What `ppd log verify` / [`SegmentedLog::verify`] checked.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyReport {
+    /// Sealed segments whose CRC and payload decode were re-checked.
+    pub segments: usize,
+    /// Entries decoded and checked against footer metadata.
+    pub entries: u64,
+    /// Recovery warnings carried over from open (dropped unsealed
+    /// tails).
+    pub warnings: Vec<String>,
+}
+
+// ---------------------------------------------------------------------
+// Segment metadata (parsed header + footer)
+// ---------------------------------------------------------------------
+
+/// A prelog/postlog digest event with a segment-local entry position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct DigestEvent {
+    pub(crate) is_prelog: bool,
+    /// Entry position within this segment.
+    pub(crate) pos: u64,
+    pub(crate) eblock: u32,
+    pub(crate) instance: u64,
+    pub(crate) time: u64,
+}
+
+/// Everything a segment's header and footer say about it — parsed
+/// without touching the payload.
+#[derive(Debug, Clone)]
+pub struct SegmentMeta {
+    /// File name within the log directory.
+    pub file: String,
+    /// Owning process.
+    pub proc: u32,
+    /// Sequence number within the process (0-based, contiguous).
+    pub seq: u64,
+    /// Global entry index (within the process log) of this segment's
+    /// first entry.
+    pub base_seq: u64,
+    /// Entries in the payload.
+    pub entry_count: u64,
+    /// Payload byte length.
+    pub payload_len: u64,
+    /// Sum of the entries' logical [`LogEntry::size_bytes`].
+    pub logical_bytes: u64,
+    /// Entry counts in [`KIND_NAMES`] order.
+    pub counts: [u64; 6],
+    /// Smallest entry time (0 when empty).
+    pub min_time: u64,
+    /// Largest entry time (0 when empty).
+    pub max_time: u64,
+    /// File offset where the payload begins.
+    payload_start: usize,
+    /// CRC32 of header + payload, stored in the footer and checked by
+    /// [`SegmentedLog::verify`] (not at open).
+    payload_crc: u32,
+    /// Payload-relative byte offset of each entry.
+    offsets: Vec<u64>,
+    /// Prelog/postlog digest, in entry order.
+    digest: Vec<DigestEvent>,
+}
+
+impl SegmentMeta {
+    /// File offset of the payload within the segment.
+    pub fn payload_start(&self) -> usize {
+        self.payload_start
+    }
+
+    /// Payload-relative byte offset of entry `i`.
+    pub fn entry_offset(&self, i: usize) -> Option<u64> {
+        self.offsets.get(i).copied()
+    }
+}
+
+/// The canonical segment file name for `(proc, seq)`.
+pub fn segment_file_name(proc: u32, seq: u64) -> String {
+    format!("p{proc:04}-s{seq:06}.seg")
+}
+
+/// Parses a segment file name back to `(proc, seq)`.
+fn parse_file_name(name: &str) -> Option<(u32, u64)> {
+    let rest = name.strip_prefix('p')?.strip_suffix(".seg")?;
+    let (proc, seq) = rest.split_once("-s")?;
+    Some((proc.parse().ok()?, seq.parse().ok()?))
+}
+
+/// Parses header + footer of one sealed segment. `Err(detail)` means
+/// the bytes are not a sealed segment (the caller decides whether that
+/// is a recoverable truncated tail or hard corruption).
+fn parse_segment(file: &str, bytes: &[u8]) -> Result<SegmentMeta, String> {
+    if bytes.len() < SEG_MAGIC.len() + 1 + TRAILER_LEN {
+        return Err(format!("file too short ({} bytes) to be a sealed segment", bytes.len()));
+    }
+    if &bytes[..4] != SEG_MAGIC {
+        return Err("bad segment magic".into());
+    }
+    if bytes[4] != SEGMENT_VERSION {
+        return Err(format!("unsupported segment version {}", bytes[4]));
+    }
+    let trailer = &bytes[bytes.len() - TRAILER_LEN..];
+    if &trailer[8..12] != FOOT_MAGIC {
+        return Err("missing footer magic (unsealed segment)".into());
+    }
+    let footer_len = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]) as usize;
+    let stored_crc = u32::from_le_bytes([trailer[4], trailer[5], trailer[6], trailer[7]]);
+    let body_end = bytes.len() - TRAILER_LEN;
+    let footer_start = body_end
+        .checked_sub(footer_len)
+        .filter(|&s| s > SEG_MAGIC.len())
+        .ok_or_else(|| format!("footer length {footer_len} exceeds file"))?;
+    if footer_len < 4 {
+        return Err(format!("footer length {footer_len} too short for payload crc"));
+    }
+    // Open-time integrity covers exactly the bytes open relies on: the
+    // footer body. The payload crc stored inside it is deferred to
+    // `verify`, keeping open O(footer) instead of O(log).
+    let actual_crc = crc32(&bytes[footer_start..body_end]);
+    if actual_crc != stored_crc {
+        return Err(format!(
+            "footer crc mismatch (stored {stored_crc:#010x}, computed {actual_crc:#010x})"
+        ));
+    }
+    let payload_crc = u32::from_le_bytes([
+        bytes[footer_start],
+        bytes[footer_start + 1],
+        bytes[footer_start + 2],
+        bytes[footer_start + 3],
+    ]);
+    let err_str = |e: BinError| format!("footer decode failed: {e}");
+    // Header varints.
+    let mut h = Reader::with_base(&bytes[5..footer_start], 5);
+    let proc = h.varint().map_err(err_str)? as u32;
+    let seq = h.varint().map_err(err_str)?;
+    let base_seq = h.varint().map_err(err_str)?;
+    let payload_start = h.offset();
+    // Footer body (after the fixed-width payload crc).
+    let mut r = Reader::with_base(&bytes[footer_start + 4..body_end], footer_start + 4);
+    let entry_count = r.varint().map_err(err_str)?;
+    let payload_len = r.varint().map_err(err_str)?;
+    if payload_start + payload_len as usize != footer_start {
+        return Err(format!(
+            "payload length {payload_len} inconsistent with footer position {footer_start}"
+        ));
+    }
+    let logical_bytes = r.varint().map_err(err_str)?;
+    let mut counts = [0u64; 6];
+    for c in &mut counts {
+        *c = r.varint().map_err(err_str)?;
+    }
+    let min_time = r.varint().map_err(err_str)?;
+    let max_time = r.varint().map_err(err_str)?;
+    let n_offsets = r.varint().map_err(err_str)? as usize;
+    if n_offsets as u64 != entry_count {
+        return Err(format!("offset table has {n_offsets} entries, footer says {entry_count}"));
+    }
+    let mut offsets = Vec::with_capacity(n_offsets.min(1 << 20));
+    let mut at = 0u64;
+    for i in 0..n_offsets {
+        let delta = r.varint().map_err(err_str)?;
+        at = if i == 0 { delta } else { at + delta };
+        offsets.push(at);
+    }
+    let n_digest = r.varint().map_err(err_str)? as usize;
+    let mut digest = Vec::with_capacity(n_digest.min(1 << 20));
+    let mut prev_pos = 0u64;
+    for i in 0..n_digest {
+        let is_prelog = r.byte().map_err(err_str)? != 0;
+        let delta = r.varint().map_err(err_str)?;
+        let pos = if i == 0 { delta } else { prev_pos + delta };
+        prev_pos = pos;
+        digest.push(DigestEvent {
+            is_prelog,
+            pos,
+            eblock: r.varint().map_err(err_str)? as u32,
+            instance: r.varint().map_err(err_str)?,
+            time: r.varint().map_err(err_str)?,
+        });
+    }
+    if r.remaining() != 0 {
+        return Err(format!("{} trailing bytes after footer body", r.remaining()));
+    }
+    Ok(SegmentMeta {
+        file: file.to_string(),
+        proc,
+        seq,
+        base_seq,
+        entry_count,
+        payload_len,
+        logical_bytes,
+        counts,
+        min_time,
+        max_time,
+        payload_start,
+        payload_crc,
+        offsets,
+        digest,
+    })
+}
+
+/// Which count slot (in [`KIND_NAMES`] order) an entry falls in.
+fn kind_slot(e: &LogEntry) -> usize {
+    match e {
+        LogEntry::Prelog { .. } => 0,
+        LogEntry::Postlog { .. } => 1,
+        LogEntry::SharedSnapshot { .. } => 2,
+        LogEntry::Input { .. } => 3,
+        LogEntry::Receive { .. } => 4,
+        LogEntry::ElementRead { .. } => 5,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Writer (the runtime's streaming sink and `ppd log pack`)
+// ---------------------------------------------------------------------
+
+/// Per-process state of an in-progress segment.
+#[derive(Debug, Default)]
+struct ProcWriter {
+    seq: u64,
+    /// Global entry index of the current segment's first entry.
+    base_seq: u64,
+    /// Header + payload bytes accumulated so far.
+    buf: Vec<u8>,
+    payload_start: usize,
+    entries: u64,
+    offsets: Vec<u64>,
+    counts: [u64; 6],
+    logical_bytes: u64,
+    min_time: u64,
+    max_time: u64,
+    digest: Vec<DigestEvent>,
+}
+
+/// Streaming writer of a segmented log directory: entries are appended
+/// one at a time (the runtime calls it from every log write), and a
+/// segment is sealed — footer built, CRC stamped, file flushed — as
+/// soon as its payload reaches capacity, **while the program is still
+/// running**. [`SegmentWriter::finish`] seals the partial tails and
+/// (re)writes the manifest.
+#[derive(Debug)]
+pub struct SegmentWriter {
+    dir: PathBuf,
+    capacity: usize,
+    procs: Vec<ProcWriter>,
+    /// First I/O failure; once set, appends become no-ops so a full
+    /// disk cannot take the traced program down with it.
+    error: Option<String>,
+    report: SinkReport,
+}
+
+impl SegmentWriter {
+    /// Creates `dir` (if needed), writes the manifest, and prepares one
+    /// stream per process. `capacity` is the payload size at which a
+    /// segment seals; 0 means [`DEFAULT_SEGMENT_BYTES`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegError::Io`] if the directory or manifest cannot be
+    /// written.
+    pub fn create(
+        dir: &Path,
+        processes: usize,
+        capacity: usize,
+    ) -> Result<SegmentWriter, SegError> {
+        std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+        let capacity = if capacity == 0 { DEFAULT_SEGMENT_BYTES } else { capacity };
+        let mut w = SegmentWriter {
+            dir: dir.to_path_buf(),
+            capacity,
+            procs: (0..processes).map(|_| ProcWriter::default()).collect(),
+            error: None,
+            report: SinkReport::default(),
+        };
+        w.write_manifest(processes)?;
+        for p in 0..processes {
+            w.begin_segment(p);
+        }
+        Ok(w)
+    }
+
+    fn write_manifest(&self, processes: usize) -> Result<(), SegError> {
+        let manifest = Manifest {
+            format: "ppd-segmented-log".to_string(),
+            version: SEGMENT_VERSION,
+            processes,
+        };
+        let path = self.dir.join(MANIFEST_NAME);
+        let json =
+            serde_json::to_string(&manifest).map_err(|e| SegError::Manifest(e.to_string()))?;
+        std::fs::write(&path, json).map_err(|e| io_err(&path, e))
+    }
+
+    /// Starts a fresh segment buffer for process `p` (header only).
+    fn begin_segment(&mut self, p: usize) {
+        let pw = &mut self.procs[p];
+        pw.buf.clear();
+        pw.buf.extend_from_slice(SEG_MAGIC);
+        pw.buf.push(SEGMENT_VERSION);
+        binio::put_varint(&mut pw.buf, u64::from(p as u32));
+        binio::put_varint(&mut pw.buf, pw.seq);
+        binio::put_varint(&mut pw.buf, pw.base_seq);
+        pw.payload_start = pw.buf.len();
+        pw.entries = 0;
+        pw.offsets.clear();
+        pw.counts = [0; 6];
+        pw.logical_bytes = 0;
+        pw.min_time = u64::MAX;
+        pw.max_time = 0;
+        pw.digest.clear();
+    }
+
+    /// Appends one entry to `proc`'s stream, sealing the segment if it
+    /// reaches capacity. A no-op after the first I/O error.
+    pub fn append(&mut self, proc: ProcId, e: &LogEntry) {
+        if self.error.is_some() {
+            return;
+        }
+        let capacity = self.capacity;
+        let pw = &mut self.procs[proc.index()];
+        pw.offsets.push((pw.buf.len() - pw.payload_start) as u64);
+        binio::put_entry(&mut pw.buf, e);
+        pw.counts[kind_slot(e)] += 1;
+        pw.logical_bytes += e.size_bytes() as u64;
+        let t = e.time();
+        pw.min_time = pw.min_time.min(t);
+        pw.max_time = pw.max_time.max(t);
+        if let Some(ev) = StructEvent::of_entry(pw.entries as usize, e) {
+            pw.digest.push(DigestEvent {
+                is_prelog: ev.is_prelog,
+                pos: ev.pos as u64,
+                eblock: ev.eblock.0,
+                instance: ev.instance,
+                time: ev.time,
+            });
+        }
+        pw.entries += 1;
+        self.report.entries += 1;
+        if pw.buf.len() - pw.payload_start >= capacity {
+            self.seal(proc.index());
+        }
+    }
+
+    /// Seals process `p`'s current segment to disk and starts the next.
+    fn seal(&mut self, p: usize) {
+        if self.procs[p].entries == 0 {
+            return;
+        }
+        let file_bytes = {
+            let pw = &mut self.procs[p];
+            let mut footer = Vec::new();
+            // Payload crc first (fixed width): covers header + payload,
+            // i.e. everything already in `pw.buf`.
+            footer.extend_from_slice(&crc32(&pw.buf).to_le_bytes());
+            binio::put_varint(&mut footer, pw.entries);
+            binio::put_varint(&mut footer, (pw.buf.len() - pw.payload_start) as u64);
+            binio::put_varint(&mut footer, pw.logical_bytes);
+            for c in pw.counts {
+                binio::put_varint(&mut footer, c);
+            }
+            binio::put_varint(&mut footer, pw.min_time);
+            binio::put_varint(&mut footer, pw.max_time);
+            binio::put_varint(&mut footer, pw.offsets.len() as u64);
+            let mut prev = 0u64;
+            for (i, &off) in pw.offsets.iter().enumerate() {
+                binio::put_varint(&mut footer, if i == 0 { off } else { off - prev });
+                prev = off;
+            }
+            binio::put_varint(&mut footer, pw.digest.len() as u64);
+            let mut prev_pos = 0u64;
+            for (i, ev) in pw.digest.iter().enumerate() {
+                footer.push(u8::from(ev.is_prelog));
+                binio::put_varint(&mut footer, if i == 0 { ev.pos } else { ev.pos - prev_pos });
+                prev_pos = ev.pos;
+                binio::put_varint(&mut footer, u64::from(ev.eblock));
+                binio::put_varint(&mut footer, ev.instance);
+                binio::put_varint(&mut footer, ev.time);
+            }
+            let footer_crc = crc32(&footer);
+            let mut bytes = std::mem::take(&mut pw.buf);
+            bytes.extend_from_slice(&footer);
+            bytes.extend_from_slice(&(footer.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&footer_crc.to_le_bytes());
+            bytes.extend_from_slice(FOOT_MAGIC);
+            bytes
+        };
+        let name = segment_file_name(p as u32, self.procs[p].seq);
+        let path = self.dir.join(&name);
+        match std::fs::write(&path, &file_bytes) {
+            Ok(()) => {
+                self.report.segments += 1;
+                self.report.bytes += file_bytes.len() as u64;
+                ppd_obs::global().counter("log.segments_sealed").inc();
+                ppd_obs::global().counter("log.segment_bytes_written").add(file_bytes.len() as u64);
+            }
+            Err(e) => {
+                self.error = Some(format!("{}: {e}", path.display()));
+            }
+        }
+        let pw = &mut self.procs[p];
+        pw.seq += 1;
+        pw.base_seq += pw.entries;
+        self.begin_segment(p);
+    }
+
+    /// The first I/O failure, if any (appends were dropped from that
+    /// point on).
+    pub fn error(&self) -> Option<&str> {
+        self.error.as_deref()
+    }
+
+    /// Seals every partial tail segment and returns the write report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegError::Io`] if any write (including earlier,
+    /// already-recorded failures) occurred.
+    pub fn finish(mut self) -> Result<SinkReport, SegError> {
+        for p in 0..self.procs.len() {
+            self.seal(p);
+        }
+        match self.error.take() {
+            Some(detail) => {
+                Err(SegError::Io { path: self.dir.clone(), err: std::io::Error::other(detail) })
+            }
+            None => Ok(self.report),
+        }
+    }
+}
+
+/// Packs an in-memory store into `dir` as a segmented log.
+///
+/// # Errors
+///
+/// Returns [`SegError::Io`] if the directory or a segment cannot be
+/// written.
+pub fn write_store(store: &LogStore, dir: &Path, capacity: usize) -> Result<SinkReport, SegError> {
+    let mut span = ppd_obs::span("log", "segment_pack");
+    span.arg("procs", store.process_count());
+    let mut w = SegmentWriter::create(dir, store.process_count(), capacity)?;
+    for p in 0..store.process_count() {
+        let proc = ProcId(p as u32);
+        for e in &store.log(proc).entries {
+            w.append(proc, e);
+        }
+    }
+    w.finish()
+}
+
+// ---------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------
+
+/// One mapped, footer-verified segment.
+#[derive(Debug)]
+struct LoadedSegment {
+    map: Mapping,
+    meta: SegmentMeta,
+}
+
+/// An opened segmented log directory: every segment mapped and its
+/// footer verified, **no payload decoded**. Per-process entry vectors
+/// materialize lazily (and at most once) when a replay or raw-entry
+/// query actually touches that process.
+#[derive(Debug)]
+pub struct SegmentedLog {
+    dir: PathBuf,
+    /// Per process: its sealed segments in sequence order.
+    procs: Vec<Vec<LoadedSegment>>,
+    warnings: Vec<String>,
+    /// Lazily decoded per-process logs.
+    decoded: Vec<OnceLock<ProcessLog>>,
+    /// The footer-built interval index, cached after its first load.
+    index_cache: OnceLock<Arc<IntervalIndex>>,
+    /// How many entries have been decoded since open — the scan
+    /// counter the no-full-rescan acceptance test asserts on.
+    entries_decoded: AtomicU64,
+}
+
+impl SegmentedLog {
+    /// Opens a log directory: reads the manifest, maps every `.seg`
+    /// file, and parses/CRC-checks footers only. An unsealed **final**
+    /// segment of a process is dropped with a warning (the writer died
+    /// mid-flush); an invalid segment anywhere else is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegError`] on I/O failure, a missing/bad manifest, or
+    /// non-tail corruption.
+    pub fn open(dir: &Path) -> Result<SegmentedLog, SegError> {
+        let jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self::open_with_jobs(dir, jobs)
+    }
+
+    /// [`open`](Self::open) with an explicit worker count: segments are
+    /// mapped and their footers CRC-checked and parsed concurrently —
+    /// the per-segment work is independent, and at multi-GB sizes the
+    /// CRC pass dominates the open cost.
+    ///
+    /// # Errors
+    ///
+    /// As [`open`](Self::open).
+    pub fn open_with_jobs(dir: &Path, jobs: usize) -> Result<SegmentedLog, SegError> {
+        let mut span = ppd_obs::span("log", "segment_open");
+        span.arg("jobs", jobs);
+        let manifest_path = dir.join(MANIFEST_NAME);
+        let manifest_json =
+            std::fs::read_to_string(&manifest_path).map_err(|e| io_err(&manifest_path, e))?;
+        let manifest: Manifest =
+            serde_json::from_str(&manifest_json).map_err(|e| SegError::Manifest(e.to_string()))?;
+        if manifest.format != "ppd-segmented-log" {
+            return Err(SegError::Manifest(format!("unknown format `{}`", manifest.format)));
+        }
+        if manifest.version != SEGMENT_VERSION {
+            return Err(SegError::Manifest(format!(
+                "unsupported segmented-log version {}",
+                manifest.version
+            )));
+        }
+
+        // Collect segment files as (proc, seq, name), sorted numerically.
+        let mut files: Vec<(u32, u64, String)> = Vec::new();
+        let rd = std::fs::read_dir(dir).map_err(|e| io_err(dir, e))?;
+        for ent in rd {
+            let ent = ent.map_err(|e| io_err(dir, e))?;
+            let name = ent.file_name().to_string_lossy().into_owned();
+            if let Some((proc, seq)) = parse_file_name(&name) {
+                files.push((proc, seq, name));
+            }
+        }
+        files.sort();
+
+        // Map + parse every segment concurrently: each file's CRC check
+        // and footer decode is independent of the others.
+        enum FileParse {
+            Sealed(Box<(Mapping, SegmentMeta)>),
+            Io(std::io::Error),
+            Unsealed(String),
+        }
+        let parse_one = |name: &String| {
+            let path = dir.join(name);
+            match Mapping::open(&path) {
+                Err(e) => FileParse::Io(e),
+                Ok(map) => match parse_segment(name, &map) {
+                    Ok(meta) => FileParse::Sealed(Box::new((map, meta))),
+                    Err(detail) => FileParse::Unsealed(detail),
+                },
+            }
+        };
+        let names: Vec<String> = files.iter().map(|(_, _, name)| name.clone()).collect();
+        let parsed: Vec<FileParse> = if jobs <= 1 || names.len() <= 1 {
+            names.iter().map(parse_one).collect()
+        } else {
+            use rayon::prelude::*;
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(jobs.min(names.len()))
+                .build()
+                .expect("thread pool build is infallible");
+            pool.install(|| names.par_iter().map(parse_one).collect())
+        };
+
+        let mut procs: Vec<Vec<LoadedSegment>> =
+            (0..manifest.processes).map(|_| Vec::new()).collect();
+        let mut warnings = Vec::new();
+        for (i, ((proc, seq, name), outcome)) in files.iter().zip(parsed).enumerate() {
+            let is_proc_tail = files.get(i + 1).map(|f| f.0) != Some(*proc);
+            match outcome {
+                FileParse::Io(e) => return Err(io_err(&dir.join(name), e)),
+                FileParse::Sealed(boxed) => {
+                    let (map, meta) = *boxed;
+                    if meta.proc != *proc || meta.seq != *seq {
+                        return Err(SegError::Corrupt {
+                            file: name.clone(),
+                            detail: format!(
+                                "header says process {} segment {}, file name says process {proc} segment {seq}",
+                                meta.proc, meta.seq
+                            ),
+                        });
+                    }
+                    let slot = procs.get_mut(*proc as usize).ok_or_else(|| SegError::Corrupt {
+                        file: name.clone(),
+                        detail: format!(
+                            "process {proc} out of range (manifest has {})",
+                            manifest.processes
+                        ),
+                    })?;
+                    slot.push(LoadedSegment { map, meta });
+                }
+                FileParse::Unsealed(detail) if is_proc_tail => {
+                    // Truncated-tail recovery: the run was killed while
+                    // this segment was being flushed. Everything sealed
+                    // before it is intact.
+                    warnings.push(format!(
+                        "dropped unsealed tail segment {name} of process {proc}: {detail}"
+                    ));
+                }
+                FileParse::Unsealed(detail) => {
+                    return Err(SegError::Corrupt { file: name.clone(), detail })
+                }
+            }
+        }
+
+        // Per-process continuity: sequence numbers and base_seq chains.
+        for (p, segs) in procs.iter().enumerate() {
+            let mut expected_base = 0u64;
+            for (k, seg) in segs.iter().enumerate() {
+                if seg.meta.seq != k as u64 {
+                    return Err(SegError::Corrupt {
+                        file: seg.meta.file.clone(),
+                        detail: format!(
+                            "process {p} segment sequence gap: expected {k}, found {}",
+                            seg.meta.seq
+                        ),
+                    });
+                }
+                if seg.meta.base_seq != expected_base {
+                    return Err(SegError::Corrupt {
+                        file: seg.meta.file.clone(),
+                        detail: format!(
+                            "base entry index {} does not continue previous segments ({expected_base})",
+                            seg.meta.base_seq
+                        ),
+                    });
+                }
+                expected_base += seg.meta.entry_count;
+            }
+        }
+
+        let total_segments: usize = procs.iter().map(Vec::len).sum();
+        span.arg("files", total_segments);
+        span.arg("procs", manifest.processes);
+        ppd_obs::global().counter("log.segments_opened").add(total_segments as u64);
+        Ok(SegmentedLog {
+            dir: dir.to_path_buf(),
+            decoded: (0..manifest.processes).map(|_| OnceLock::new()).collect(),
+            procs,
+            warnings,
+            index_cache: OnceLock::new(),
+            entries_decoded: AtomicU64::new(0),
+        })
+    }
+
+    /// The directory this log was opened from.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of processes (from the manifest).
+    pub fn process_count(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Recovery warnings produced at open (dropped unsealed tails).
+    pub fn warnings(&self) -> &[String] {
+        &self.warnings
+    }
+
+    /// Sealed segment metadata, per process, in sequence order.
+    pub fn segments(&self, proc: ProcId) -> impl Iterator<Item = &SegmentMeta> {
+        self.procs[proc.index()].iter().map(|s| &s.meta)
+    }
+
+    /// Total entries, from footers alone.
+    pub fn total_entries(&self) -> u64 {
+        self.procs.iter().flatten().map(|s| s.meta.entry_count).sum()
+    }
+
+    /// Total logical log bytes (sum of [`LogEntry::size_bytes`]), from
+    /// footers alone.
+    pub fn total_logical_bytes(&self) -> u64 {
+        self.procs.iter().flatten().map(|s| s.meta.logical_bytes).sum()
+    }
+
+    /// Total on-disk file bytes across sealed segments.
+    pub fn total_file_bytes(&self) -> u64 {
+        self.procs.iter().flatten().map(|s| s.map.len() as u64).sum()
+    }
+
+    /// Entry counts in [`KIND_NAMES`] order, from footers alone.
+    pub fn counts_by_kind(&self) -> [u64; 6] {
+        let mut counts = [0u64; 6];
+        for s in self.procs.iter().flatten() {
+            for (slot, c) in s.meta.counts.iter().enumerate() {
+                counts[slot] += c;
+            }
+        }
+        counts
+    }
+
+    /// How many entries have been decoded from payloads since open.
+    /// Stays 0 across open + index load + structural queries — that is
+    /// the "no full rescan" guarantee, and the acceptance test asserts
+    /// exactly this.
+    pub fn entries_decoded(&self) -> u64 {
+        self.entries_decoded.load(Ordering::Relaxed)
+    }
+
+    /// Whether every mapped segment is backed by a real `mmap` (as
+    /// opposed to the heap-read fallback).
+    pub fn fully_mapped(&self) -> bool {
+        self.procs.iter().flatten().all(|s| s.map.is_mapped())
+    }
+
+    /// The footer-built interval index, cached after the first load.
+    pub fn index(&self) -> Arc<IntervalIndex> {
+        Arc::clone(self.index_cache.get_or_init(|| Arc::new(self.index_from_footers())))
+    }
+
+    /// The interval index, rebuilt from footer digests — no payload
+    /// bytes are touched. Identical to what a full entry scan would
+    /// build, because both feed the same stack-matching builder.
+    pub fn index_from_footers(&self) -> IntervalIndex {
+        // Streamed straight out of the decoded footers — at millions of
+        // intervals, materializing the events first costs more than the
+        // index build itself.
+        let streams = (0..self.procs.len())
+            .map(|p| {
+                let hint: usize = self.procs[p].iter().map(|seg| seg.meta.digest.len()).sum();
+                let events = self.procs[p].iter().flat_map(|seg| {
+                    seg.meta.digest.iter().map(|ev| StructEvent {
+                        pos: (seg.meta.base_seq + ev.pos) as usize,
+                        is_prelog: ev.is_prelog,
+                        eblock: ppd_analysis::EBlockId(ev.eblock),
+                        instance: ev.instance,
+                        time: ev.time,
+                    })
+                });
+                (ProcId(p as u32), hint, events)
+            })
+            .collect();
+        IntervalIndex::build_from_events(streams)
+    }
+
+    /// Decodes one process's payloads into an entry vector, straight
+    /// from the mapped bytes.
+    fn try_decode_proc(&self, proc: ProcId) -> Result<ProcessLog, SegError> {
+        let mut span = ppd_obs::span("log", "segment_decode");
+        span.arg("proc", proc.index());
+        let mut entries = Vec::new();
+        for seg in &self.procs[proc.index()] {
+            let payload_end = seg.meta.payload_start + seg.meta.payload_len as usize;
+            let payload = &seg.map[seg.meta.payload_start..payload_end];
+            let mut r = Reader::with_base(payload, seg.meta.payload_start);
+            for _ in 0..seg.meta.entry_count {
+                let e = binio::get_entry(&mut r)
+                    .map_err(|err| SegError::Decode(err.with_context(seg.meta.file.clone())))?;
+                entries.push(e);
+            }
+        }
+        span.arg("entries", entries.len());
+        self.entries_decoded.fetch_add(entries.len() as u64, Ordering::Relaxed);
+        ppd_obs::global().counter("log.segment_entries_decoded").add(entries.len() as u64);
+        Ok(ProcessLog { entries })
+    }
+
+    /// The decoded log of one process, materialized on first use and
+    /// cached. Panics on a decode failure *behind* a valid CRC — that
+    /// would be a writer bug, not an I/O accident; `verify()` reports
+    /// such states gracefully instead.
+    pub fn process_log(&self, proc: ProcId) -> &ProcessLog {
+        self.decoded[proc.index()].get_or_init(|| {
+            self.try_decode_proc(proc)
+                .unwrap_or_else(|e| panic!("segment payload decode failed after CRC pass: {e}"))
+        })
+    }
+
+    /// Decodes every process's payload concurrently on a work-stealing
+    /// pool of `jobs` threads (the `from_binary_par` analogue for
+    /// segment directories). Idempotent.
+    pub fn preload(&self, jobs: usize) {
+        if jobs <= 1 || self.procs.len() <= 1 {
+            for p in 0..self.procs.len() {
+                self.process_log(ProcId(p as u32));
+            }
+            return;
+        }
+        use rayon::prelude::*;
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(jobs)
+            .build()
+            .expect("thread pool build is infallible");
+        let procs: Vec<ProcId> = (0..self.procs.len()).map(|p| ProcId(p as u32)).collect();
+        let _: Vec<()> = pool.install(|| {
+            procs
+                .par_iter()
+                .map(|&p| {
+                    self.process_log(p);
+                })
+                .collect()
+        });
+    }
+
+    /// Full integrity check: checks every segment's payload CRC (open
+    /// only checks footer CRCs), decodes every payload, and
+    /// cross-checks footer metadata (entry counts, offset tables,
+    /// digests, time spans) against the decoded entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first inconsistency found.
+    pub fn verify(&self) -> Result<VerifyReport, SegError> {
+        let mut report = VerifyReport {
+            segments: self.procs.iter().map(Vec::len).sum(),
+            entries: 0,
+            warnings: self.warnings.clone(),
+        };
+        for segs in &self.procs {
+            for seg in segs {
+                let corrupt =
+                    |detail: String| SegError::Corrupt { file: seg.meta.file.clone(), detail };
+                let payload_end = seg.meta.payload_start + seg.meta.payload_len as usize;
+                let actual_crc = crc32(&seg.map[..payload_end]);
+                if actual_crc != seg.meta.payload_crc {
+                    return Err(corrupt(format!(
+                        "payload crc mismatch (stored {:#010x}, computed {actual_crc:#010x})",
+                        seg.meta.payload_crc
+                    )));
+                }
+                let payload = &seg.map[seg.meta.payload_start..payload_end];
+                let mut r = Reader::with_base(payload, seg.meta.payload_start);
+                let mut digest = seg.meta.digest.iter();
+                for i in 0..seg.meta.entry_count {
+                    let at = (r.offset() - seg.meta.payload_start) as u64;
+                    if seg.meta.offsets.get(i as usize) != Some(&at) {
+                        return Err(corrupt(format!(
+                            "entry {i} starts at payload offset {at}, footer says {:?}",
+                            seg.meta.offsets.get(i as usize)
+                        )));
+                    }
+                    let e = binio::get_entry(&mut r)
+                        .map_err(|err| SegError::Decode(err.with_context(seg.meta.file.clone())))?;
+                    if e.time() < seg.meta.min_time || e.time() > seg.meta.max_time {
+                        return Err(corrupt(format!(
+                            "entry {i} time {} outside footer span [{}, {}]",
+                            e.time(),
+                            seg.meta.min_time,
+                            seg.meta.max_time
+                        )));
+                    }
+                    if let Some(ev) = StructEvent::of_entry(i as usize, &e) {
+                        let expected = DigestEvent {
+                            is_prelog: ev.is_prelog,
+                            pos: i,
+                            eblock: ev.eblock.0,
+                            instance: ev.instance,
+                            time: ev.time,
+                        };
+                        if digest.next() != Some(&expected) {
+                            return Err(corrupt(format!(
+                                "digest disagrees with decoded entry {i}"
+                            )));
+                        }
+                    }
+                    report.entries += 1;
+                }
+                if r.remaining() != 0 {
+                    return Err(corrupt(format!(
+                        "{} payload bytes beyond the footer's entry count",
+                        r.remaining()
+                    )));
+                }
+                if digest.next().is_some() {
+                    return Err(corrupt("digest has events beyond the payload".to_string()));
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppd_analysis::EBlockId;
+    use ppd_lang::{Value, VarId};
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("ppd-segment-tests").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn prelog(b: u32, i: u64, t: u64) -> LogEntry {
+        LogEntry::Prelog { eblock: EBlockId(b), instance: i, values: vec![], time: t }
+    }
+
+    fn postlog(b: u32, i: u64, t: u64) -> LogEntry {
+        LogEntry::Postlog {
+            eblock: EBlockId(b),
+            instance: i,
+            values: vec![(VarId(0), Value::Int(t as i64))],
+            ret: None,
+            time: t,
+        }
+    }
+
+    /// Two processes, nested and open intervals, enough entries to
+    /// force several segments at a small capacity.
+    fn sample_store(rounds: u64) -> LogStore {
+        let mut s = LogStore::new(2);
+        let mut t = 0;
+        for i in 0..rounds {
+            t += 1;
+            s.push(ProcId(0), prelog(0, i, t));
+            t += 1;
+            s.push(ProcId(0), LogEntry::Input { value: -(i as i64), time: t });
+            t += 1;
+            s.push(ProcId(0), prelog(1, i, t));
+            t += 1;
+            s.push(ProcId(0), postlog(1, i, t));
+            t += 1;
+            s.push(ProcId(0), postlog(0, i, t));
+            t += 1;
+            s.push(ProcId(1), LogEntry::Receive { value: i as i64, time: t });
+            t += 1;
+            s.push(ProcId(1), prelog(2, i, t));
+        }
+        s
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn tiny_capacity_round_trips_across_many_segments() {
+        let dir = tmp_dir("many-segments");
+        let s = sample_store(40);
+        let report = write_store(&s, &dir, 64).unwrap();
+        assert!(report.segments > 4, "capacity 64 must split: {report:?}");
+        assert_eq!(report.entries, s.total_entries() as u64);
+        let seg = SegmentedLog::open(&dir).unwrap();
+        assert!(seg.warnings().is_empty());
+        for p in 0..2 {
+            let pid = ProcId(p);
+            assert_eq!(seg.process_log(pid).entries, s.log(pid).entries);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_and_index_decode_nothing() {
+        let dir = tmp_dir("no-rescan");
+        let s = sample_store(20);
+        write_store(&s, &dir, 256).unwrap();
+        let seg = SegmentedLog::open(&dir).unwrap();
+        let idx = seg.index();
+        assert_eq!(seg.entries_decoded(), 0, "open + index must not decode entries");
+        // The footer-built index equals the full-scan rebuild.
+        let scan = s.index();
+        for p in 0..2 {
+            let pid = ProcId(p);
+            assert_eq!(idx.intervals(pid), scan.intervals(pid));
+            assert_eq!(idx.open_intervals(pid), scan.open_intervals(pid));
+            assert_eq!(idx.top_level(pid), scan.top_level(pid));
+        }
+        // Touching a payload does decode — and only that process.
+        let n0 = seg.process_log(ProcId(0)).entries.len() as u64;
+        assert_eq!(seg.entries_decoded(), n0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn footer_stats_match_store() {
+        let dir = tmp_dir("footer-stats");
+        let s = sample_store(10);
+        write_store(&s, &dir, 512).unwrap();
+        let seg = SegmentedLog::open(&dir).unwrap();
+        assert_eq!(seg.total_entries(), s.total_entries() as u64);
+        assert_eq!(seg.total_logical_bytes(), s.total_bytes() as u64);
+        assert_eq!(seg.entries_decoded(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn footer_bit_flip_is_hard_corruption_at_open() {
+        let dir = tmp_dir("bit-flip-footer");
+        write_store(&sample_store(40), &dir, 64).unwrap();
+        // Flip one footer byte of process 0's first (non-tail) segment:
+        // the footer crc check at open must refuse it.
+        let victim = dir.join(segment_file_name(0, 0));
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let at = bytes.len() - TRAILER_LEN - 2;
+        bytes[at] ^= 0x40;
+        std::fs::write(&victim, &bytes).unwrap();
+        match SegmentedLog::open(&dir) {
+            Err(SegError::Corrupt { file, detail }) => {
+                assert_eq!(file, segment_file_name(0, 0), "error names the segment");
+                assert!(detail.contains("footer crc mismatch"), "{detail}");
+            }
+            other => panic!("expected corruption error, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn payload_bit_flip_opens_but_fails_verify() {
+        let dir = tmp_dir("bit-flip-payload");
+        write_store(&sample_store(40), &dir, 64).unwrap();
+        // Flip one payload byte: open only checks footers (that is the
+        // whole point of the crc split), so the store opens — and
+        // `verify` pins the damage to the payload crc.
+        let victim = dir.join(segment_file_name(0, 0));
+        let mut bytes = std::fs::read(&victim).unwrap();
+        bytes[SEG_MAGIC.len() + 8] ^= 0x40;
+        std::fs::write(&victim, &bytes).unwrap();
+        let seg = SegmentedLog::open(&dir).expect("payload damage must not block open");
+        match seg.verify() {
+            Err(SegError::Corrupt { file, detail }) => {
+                assert_eq!(file, segment_file_name(0, 0), "error names the segment");
+                assert!(detail.contains("payload crc mismatch"), "{detail}");
+            }
+            other => panic!("expected corruption error, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_tail_recovers_with_warning() {
+        let dir = tmp_dir("truncated-tail");
+        let s = sample_store(40);
+        write_store(&s, &dir, 64).unwrap();
+        // Truncate process 1's last segment mid-file, as if the writer
+        // died during the flush.
+        let last_seq =
+            SegmentedLog::open(&dir).unwrap().segments(ProcId(1)).map(|m| m.seq).max().unwrap();
+        let victim = dir.join(segment_file_name(1, last_seq));
+        let bytes = std::fs::read(&victim).unwrap();
+        std::fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
+        let seg = SegmentedLog::open(&dir).expect("tail truncation must be recoverable");
+        assert_eq!(seg.warnings().len(), 1);
+        assert!(
+            seg.warnings()[0].contains(&segment_file_name(1, last_seq)),
+            "{:?}",
+            seg.warnings()
+        );
+        // The surviving prefix still decodes and is a prefix of the
+        // original log.
+        let got = &seg.process_log(ProcId(1)).entries;
+        let full = &s.log(ProcId(1)).entries;
+        assert!(got.len() < full.len());
+        assert_eq!(got.as_slice(), &full[..got.len()]);
+        // Process 0 is untouched.
+        assert_eq!(seg.process_log(ProcId(0)).entries, s.log(ProcId(0)).entries);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verify_checks_payload_against_footer() {
+        let dir = tmp_dir("verify-good");
+        let s = sample_store(15);
+        write_store(&s, &dir, 128).unwrap();
+        let seg = SegmentedLog::open(&dir).unwrap();
+        let report = seg.verify().unwrap();
+        assert_eq!(report.entries, s.total_entries() as u64);
+        assert!(report.segments > 0);
+        assert!(report.warnings.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_manifest_is_an_error() {
+        let dir = tmp_dir("no-manifest");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(SegmentedLog::open(&dir), Err(SegError::Io { .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segment_file_names_parse_back() {
+        assert_eq!(parse_file_name(&segment_file_name(7, 42)), Some((7, 42)));
+        assert_eq!(parse_file_name("manifest.json"), None);
+        assert_eq!(parse_file_name("p0007.seg"), None);
+    }
+}

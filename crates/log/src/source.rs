@@ -1,0 +1,99 @@
+//! The [`LogSource`] abstraction: one query surface over in-memory and
+//! on-disk logs.
+//!
+//! The Controller, the replay engine, and the race scan only ever ask a
+//! log two kinds of questions: *structural* ones (intervals, nesting,
+//! covering spans — all answered by the [`IntervalIndex`]) and
+//! *payload* ones (the raw entry slice a replay consumes). `LogSource`
+//! captures exactly that surface, so an in-memory [`LogStore`] and a
+//! mapped [`SegmentedLog`] are interchangeable: the structural methods
+//! are provided once, in terms of `index()`, and therefore cannot
+//! diverge between backends.
+
+use crate::entry::LogEntry;
+use crate::index::IntervalIndex;
+use crate::segment::SegmentedLog;
+use crate::store::{IntervalRef, LogStore};
+use ppd_analysis::EBlockId;
+use ppd_lang::ProcId;
+use std::sync::Arc;
+
+/// A queryable log of one execution, independent of where the bytes
+/// live.
+pub trait LogSource {
+    /// Number of process logs.
+    fn process_count(&self) -> usize;
+
+    /// The entries of one process, materializing them if the backend
+    /// is on-disk.
+    fn entries(&self, proc: ProcId) -> &[LogEntry];
+
+    /// The interval index (cached by the backend).
+    fn index(&self) -> Arc<IntervalIndex>;
+
+    /// Total entry count — overridden by backends that know it without
+    /// materializing anything.
+    fn total_entries(&self) -> usize {
+        (0..self.process_count()).map(|p| self.entries(ProcId(p as u32)).len()).sum()
+    }
+
+    // ----- structural queries, provided uniformly via the index -----
+
+    /// All log intervals of `proc`, in prelog order (§5.1).
+    fn intervals(&self, proc: ProcId) -> Vec<IntervalRef> {
+        self.index().intervals(proc)
+    }
+
+    /// The intervals of `proc` still open at the halt, innermost last
+    /// (§5.3).
+    fn open_intervals(&self, proc: ProcId) -> Vec<IntervalRef> {
+        self.index().open_intervals(proc)
+    }
+
+    /// O(1) lookup of one dynamic e-block execution.
+    fn find_interval(&self, proc: ProcId, eblock: EBlockId, instance: u64) -> Option<IntervalRef> {
+        self.index().find(proc, eblock, instance)
+    }
+
+    /// The latest interval of `proc`/`eblock` covering logical time `t`
+    /// (§5.6).
+    fn interval_covering(&self, proc: ProcId, eblock: EBlockId, t: u64) -> Option<IntervalRef> {
+        self.index().interval_covering(proc, eblock, t)
+    }
+}
+
+impl LogSource for LogStore {
+    fn process_count(&self) -> usize {
+        LogStore::process_count(self)
+    }
+
+    fn entries(&self, proc: ProcId) -> &[LogEntry] {
+        &self.log(proc).entries
+    }
+
+    fn index(&self) -> Arc<IntervalIndex> {
+        LogStore::index(self)
+    }
+
+    fn total_entries(&self) -> usize {
+        LogStore::total_entries(self)
+    }
+}
+
+impl LogSource for SegmentedLog {
+    fn process_count(&self) -> usize {
+        SegmentedLog::process_count(self)
+    }
+
+    fn entries(&self, proc: ProcId) -> &[LogEntry] {
+        &self.process_log(proc).entries
+    }
+
+    fn index(&self) -> Arc<IntervalIndex> {
+        SegmentedLog::index(self)
+    }
+
+    fn total_entries(&self) -> usize {
+        SegmentedLog::total_entries(self) as usize
+    }
+}

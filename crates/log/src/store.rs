@@ -4,17 +4,25 @@
 //! [`LogStore`] owns every process's log; the Controller navigates it via
 //! [`IntervalRef`]s — the log intervals `I_i` of §5.1 — and a
 //! [`LogCursor`] that the replayer consumes entries from in order.
+//!
+//! A store has two backings behind one API: a plain in-memory entry
+//! vector per process (what the runtime fills during execution), or a
+//! mapped on-disk [`SegmentedLog`] opened from a `--log-dir` directory.
+//! On the segmented backing, structural queries are answered from
+//! footer metadata alone, and a process's entries are decoded from the
+//! mapped bytes only when first touched.
 
 use crate::entry::LogEntry;
 use crate::index::IntervalIndex;
+use crate::segment::{SegError, SegmentedLog, SinkReport, KIND_NAMES};
 use ppd_analysis::EBlockId;
 use ppd_lang::ProcId;
-use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use serde::{Content, DeError, Deserialize, Serialize};
+use std::path::Path;
 use std::sync::{Arc, OnceLock};
 
 /// The log of one process.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
 pub struct ProcessLog {
     /// Entries in chronological order.
     pub entries: Vec<LogEntry>,
@@ -45,15 +53,29 @@ pub struct IntervalRef {
     pub postlog_pos: Option<usize>,
 }
 
+/// Where a store's bytes live.
+#[derive(Debug)]
+enum Repr {
+    /// Plain per-process entry vectors (the runtime's write path).
+    Mem(Vec<ProcessLog>),
+    /// A mapped segment directory; entries decode lazily per process.
+    Seg(Arc<SegmentedLog>),
+}
+
 /// All logs of one execution.
-#[derive(Debug, Default, Serialize, Deserialize)]
+#[derive(Debug)]
 pub struct LogStore {
-    logs: Vec<ProcessLog>,
+    repr: Repr,
     /// The interval index, built lazily on first structural query and
     /// invalidated by [`LogStore::push`]. Never serialized: it is a pure
-    /// function of `logs`.
-    #[serde(skip)]
+    /// function of the entries.
     index: OnceLock<Arc<IntervalIndex>>,
+}
+
+impl Default for LogStore {
+    fn default() -> LogStore {
+        LogStore::new(0)
+    }
 }
 
 impl Clone for LogStore {
@@ -64,77 +86,208 @@ impl Clone for LogStore {
         if let Some(i) = self.index.get() {
             let _ = index.set(Arc::clone(i));
         }
-        LogStore { logs: self.logs.clone(), index }
+        let repr = match &self.repr {
+            Repr::Mem(logs) => Repr::Mem(logs.clone()),
+            Repr::Seg(seg) => Repr::Seg(Arc::clone(seg)),
+        };
+        LogStore { repr, index }
+    }
+}
+
+impl Serialize for LogStore {
+    fn to_content(&self) -> Content {
+        // The JSON shape predates the segmented backing: always
+        // `{"logs": [...]}`, materializing on-disk processes as needed.
+        let logs: Vec<Content> =
+            (0..self.process_count()).map(|p| self.log(ProcId(p as u32)).to_content()).collect();
+        Content::Map(vec![(Content::str_key("logs"), Content::Seq(logs))])
+    }
+}
+
+impl Deserialize for LogStore {
+    fn from_content(c: &Content) -> Result<LogStore, DeError> {
+        let entries = c.as_map().ok_or_else(|| DeError::msg("expected map for LogStore"))?;
+        let logs: Vec<ProcessLog> = serde::field(entries, "logs", "LogStore")?;
+        Ok(LogStore { repr: Repr::Mem(logs), index: OnceLock::new() })
     }
 }
 
 impl LogStore {
     /// A store for `processes` processes.
     pub fn new(processes: usize) -> LogStore {
-        LogStore { logs: vec![ProcessLog::default(); processes], index: OnceLock::new() }
+        LogStore { repr: Repr::Mem(vec![ProcessLog::default(); processes]), index: OnceLock::new() }
+    }
+
+    /// Opens a store over a segmented log directory: segments are
+    /// mapped and footers decoded, but **no entry payload is touched**
+    /// until a query needs it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SegError`] on I/O failure, a bad manifest, or
+    /// non-tail corruption (an unsealed tail segment is dropped with a
+    /// warning instead — see [`LogStore::recovery_warnings`]).
+    pub fn open_dir(dir: &Path) -> Result<LogStore, SegError> {
+        let seg = SegmentedLog::open(dir)?;
+        Ok(LogStore { repr: Repr::Seg(Arc::new(seg)), index: OnceLock::new() })
+    }
+
+    /// Packs this store's entries into `dir` as a segmented log
+    /// (`segment_bytes` = payload capacity per segment; 0 for the
+    /// default).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegError::Io`] if the directory or a segment cannot
+    /// be written.
+    pub fn write_dir(&self, dir: &Path, segment_bytes: usize) -> Result<SinkReport, SegError> {
+        crate::segment::write_store(self, dir, segment_bytes)
+    }
+
+    /// The segmented backing, if this store was opened from a log
+    /// directory.
+    pub fn segmented(&self) -> Option<&Arc<SegmentedLog>> {
+        match &self.repr {
+            Repr::Seg(seg) => Some(seg),
+            Repr::Mem(_) => None,
+        }
+    }
+
+    /// Whether this store reads from a mapped segment directory.
+    pub fn is_segmented(&self) -> bool {
+        matches!(self.repr, Repr::Seg(_))
+    }
+
+    /// Recovery warnings from opening the log directory (empty for
+    /// in-memory stores).
+    pub fn recovery_warnings(&self) -> &[String] {
+        match &self.repr {
+            Repr::Seg(seg) => seg.warnings(),
+            Repr::Mem(_) => &[],
+        }
+    }
+
+    /// Decodes every process eagerly, concurrently across `jobs`
+    /// threads — the segment-directory analogue of
+    /// [`from_binary_par`](Self::from_binary_par). A no-op for
+    /// in-memory stores.
+    pub fn preload(&self, jobs: usize) {
+        if let Repr::Seg(seg) = &self.repr {
+            seg.preload(jobs);
+        }
+    }
+
+    /// The in-memory entry vectors, converting a segment-backed store
+    /// by materializing every process first.
+    fn logs_mut(&mut self) -> &mut Vec<ProcessLog> {
+        if let Repr::Seg(seg) = &self.repr {
+            let logs = (0..seg.process_count())
+                .map(|p| seg.process_log(ProcId(p as u32)).clone())
+                .collect();
+            self.repr = Repr::Mem(logs);
+        }
+        match &mut self.repr {
+            Repr::Mem(logs) => logs,
+            Repr::Seg(_) => unreachable!("just materialized"),
+        }
     }
 
     /// Appends an entry to a process's log, invalidating the cached
-    /// interval index.
+    /// interval index. On a segment-backed store this materializes
+    /// every process into memory first (the write path is for live
+    /// executions, which always start from [`LogStore::new`]).
     pub fn push(&mut self, proc: ProcId, entry: LogEntry) {
         self.index.take();
-        self.logs[proc.index()].entries.push(entry);
+        self.logs_mut()[proc.index()].entries.push(entry);
     }
 
-    /// The interval index over the current entries (§5.1). Built once in
-    /// a single pass per process and cached; every structural query
+    /// The interval index over the current entries (§5.1). Built once
+    /// and cached; every structural query
     /// ([`intervals`](Self::intervals), [`open_intervals`](Self::open_intervals),
     /// [`find_interval`](Self::find_interval), nesting links) is a view
-    /// over it.
+    /// over it. In-memory stores build it by a single entry scan per
+    /// process; segment-backed stores load it from footer digests
+    /// without decoding any entry.
     pub fn index(&self) -> Arc<IntervalIndex> {
-        Arc::clone(self.index.get_or_init(|| Arc::new(IntervalIndex::build(self))))
+        Arc::clone(self.index.get_or_init(|| match &self.repr {
+            Repr::Mem(_) => Arc::new(IntervalIndex::build(self)),
+            Repr::Seg(seg) => seg.index(),
+        }))
     }
 
-    /// Like [`index`](Self::index), but a cold build is sharded by
-    /// process across `jobs` worker threads. The cached result (and any
-    /// already-cached one) is identical to the sequential build.
+    /// Like [`index`](Self::index), but a cold in-memory build is
+    /// sharded by process across `jobs` worker threads. The cached
+    /// result (and any already-cached one) is identical to the
+    /// sequential build. Segment-backed stores load from footers
+    /// either way.
     pub fn index_par(&self, jobs: usize) -> Arc<IntervalIndex> {
-        Arc::clone(self.index.get_or_init(|| Arc::new(IntervalIndex::build_par(self, jobs))))
+        Arc::clone(self.index.get_or_init(|| match &self.repr {
+            Repr::Mem(_) => Arc::new(IntervalIndex::build_par(self, jobs)),
+            Repr::Seg(seg) => seg.index(),
+        }))
     }
 
-    /// The log of one process.
+    /// The log of one process (decoded from mapped segments on first
+    /// touch, for segment-backed stores).
     pub fn log(&self, proc: ProcId) -> &ProcessLog {
-        &self.logs[proc.index()]
+        match &self.repr {
+            Repr::Mem(logs) => &logs[proc.index()],
+            Repr::Seg(seg) => seg.process_log(proc),
+        }
     }
 
     /// Number of process logs.
     pub fn process_count(&self) -> usize {
-        self.logs.len()
+        match &self.repr {
+            Repr::Mem(logs) => logs.len(),
+            Repr::Seg(seg) => seg.process_count(),
+        }
     }
 
     /// Total log volume in bytes across all processes (experiment E2).
+    /// Answered from footers alone on the segmented backing.
     pub fn total_bytes(&self) -> usize {
-        self.logs.iter().map(ProcessLog::size_bytes).sum()
+        match &self.repr {
+            Repr::Mem(logs) => logs.iter().map(ProcessLog::size_bytes).sum(),
+            Repr::Seg(seg) => seg.total_logical_bytes() as usize,
+        }
     }
 
-    /// Total entry count.
+    /// Total entry count. Answered from footers alone on the segmented
+    /// backing.
     pub fn total_entries(&self) -> usize {
-        self.logs.iter().map(|l| l.entries.len()).sum()
+        match &self.repr {
+            Repr::Mem(logs) => logs.iter().map(|l| l.entries.len()).sum(),
+            Repr::Seg(seg) => seg.total_entries() as usize,
+        }
     }
 
-    /// Entry counts by kind, for the statistics tables. First-seen order
-    /// is preserved; the per-kind lookup is a map, not a linear scan.
+    /// Entry counts by kind, for the statistics tables, in the fixed
+    /// wire-tag order of [`KIND_NAMES`] with zero-count kinds omitted —
+    /// identical across backings (footers answer it without a decode).
     pub fn counts_by_kind(&self) -> Vec<(&'static str, usize)> {
-        let mut counts: Vec<(&'static str, usize)> = Vec::new();
-        let mut slot: HashMap<&'static str, usize> = HashMap::new();
-        for log in &self.logs {
-            for e in &log.entries {
-                let name = e.kind_name();
-                match slot.get(name) {
-                    Some(&i) => counts[i].1 += 1,
-                    None => {
-                        slot.insert(name, counts.len());
-                        counts.push((name, 1));
+        let counts: [u64; 6] = match &self.repr {
+            Repr::Mem(logs) => {
+                let mut counts = [0u64; 6];
+                for log in logs {
+                    for e in &log.entries {
+                        let slot = KIND_NAMES
+                            .iter()
+                            .position(|&k| k == e.kind_name())
+                            .expect("every entry kind is named");
+                        counts[slot] += 1;
                     }
                 }
+                counts
             }
-        }
-        counts
+            Repr::Seg(seg) => seg.counts_by_kind(),
+        };
+        KIND_NAMES
+            .iter()
+            .zip(counts)
+            .filter(|&(_, c)| c > 0)
+            .map(|(&name, c)| (name, c as usize))
+            .collect()
     }
 
     /// All log intervals of `proc`, in prelog order (outer intervals
@@ -175,20 +328,17 @@ impl LogStore {
     /// A cursor positioned immediately after `interval`'s prelog, for
     /// replay to consume.
     pub fn cursor_at(&self, interval: IntervalRef) -> LogCursor<'_> {
-        LogCursor {
-            entries: &self.logs[interval.proc.index()].entries,
-            pos: interval.prelog_pos + 1,
-        }
+        LogCursor { entries: &self.log(interval.proc).entries, pos: interval.prelog_pos + 1 }
     }
 
     /// The prelog entry of an interval.
     pub fn prelog_of(&self, interval: IntervalRef) -> &LogEntry {
-        &self.logs[interval.proc.index()].entries[interval.prelog_pos]
+        &self.log(interval.proc).entries[interval.prelog_pos]
     }
 
     /// The postlog entry of an interval, if complete.
     pub fn postlog_of(&self, interval: IntervalRef) -> Option<&LogEntry> {
-        interval.postlog_pos.map(|p| &self.logs[interval.proc.index()].entries[p])
+        interval.postlog_pos.map(|p| &self.log(interval.proc).entries[p])
     }
 
     /// Serializes the store to JSON (the on-disk log-file format).
@@ -220,8 +370,9 @@ impl LogStore {
     ///
     /// # Errors
     ///
-    /// Returns a [`BinError`](crate::binio::BinError) on a bad magic
-    /// number, unknown version/tag, or truncated input.
+    /// Returns a [`BinError`](crate::binio::BinError) — carrying the
+    /// byte offset and process-frame context of the failure — on a bad
+    /// magic number, unknown version/tag, or truncated input.
     pub fn from_binary(bytes: &[u8]) -> Result<LogStore, crate::binio::BinError> {
         crate::binio::decode(bytes)
     }
@@ -421,5 +572,37 @@ mod tests {
         let counts = s.counts_by_kind();
         assert!(counts.contains(&("prelog", 2)));
         assert!(counts.contains(&("postlog", 2)));
+        // Fixed wire-tag order, zero-count kinds omitted.
+        assert_eq!(counts, vec![("prelog", 2), ("postlog", 2)]);
+    }
+
+    #[test]
+    fn dir_round_trip_preserves_entries_and_index() {
+        let dir = std::env::temp_dir().join("ppd-store-dir-roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = fig52_store();
+        let report = s.write_dir(&dir, 0).unwrap();
+        assert_eq!(report.entries, 4);
+        let back = LogStore::open_dir(&dir).unwrap();
+        assert!(back.is_segmented());
+        assert_eq!(back.total_entries(), 4);
+        assert_eq!(back.total_bytes(), s.total_bytes());
+        assert_eq!(back.counts_by_kind(), s.counts_by_kind());
+        assert_eq!(back.intervals(ProcId(0)), s.intervals(ProcId(0)));
+        assert_eq!(back.log(ProcId(0)).entries, s.log(ProcId(0)).entries);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn push_on_segment_backed_store_materializes() {
+        let dir = std::env::temp_dir().join("ppd-store-dir-push");
+        let _ = std::fs::remove_dir_all(&dir);
+        fig52_store().write_dir(&dir, 0).unwrap();
+        let mut back = LogStore::open_dir(&dir).unwrap();
+        back.push(ProcId(0), prelog(7, 0, 9));
+        assert!(!back.is_segmented());
+        assert_eq!(back.total_entries(), 5);
+        assert_eq!(back.open_intervals(ProcId(0)).last().unwrap().eblock, EBlockId(7));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -51,6 +51,15 @@ pub struct ExecConfig {
     /// clock twice per log write, which would perturb the very
     /// measurements experiment E1 makes.
     pub meter_logging: bool,
+    /// Stream logs to a segmented on-disk store in this directory while
+    /// the program runs: every log write is teed into a
+    /// [`ppd_log::SegmentWriter`], which seals and flushes full
+    /// segments during execution. `None` (the default) keeps logs
+    /// purely in memory. Only meaningful when a plan is supplied.
+    pub log_dir: Option<std::path::PathBuf>,
+    /// Segment capacity in payload bytes for [`log_dir`](Self::log_dir)
+    /// streaming; `0` uses [`ppd_log::DEFAULT_SEGMENT_BYTES`].
+    pub segment_bytes: usize,
 }
 
 impl Default for ExecConfig {
@@ -62,6 +71,8 @@ impl Default for ExecConfig {
             build_parallel_graph: true,
             breakpoints: Vec::new(),
             meter_logging: false,
+            log_dir: None,
+            segment_bytes: 0,
         }
     }
 }
@@ -155,6 +166,13 @@ pub struct ExecResult {
     /// Per-e-block logging cost, when [`ExecConfig::meter_logging`] was
     /// set (and a plan was supplied).
     pub log_meter: Option<LogMeter>,
+    /// What the streaming sink wrote, when [`ExecConfig::log_dir`] was
+    /// set and the sink finished cleanly.
+    pub sink_report: Option<ppd_log::SinkReport>,
+    /// The first error the streaming sink hit, if any: the run itself
+    /// still completes (in-memory logs stay authoritative), but the
+    /// on-disk store is incomplete and must not be trusted.
+    pub sink_error: Option<String>,
 }
 
 /// Result of an e-block replay.
@@ -331,6 +349,10 @@ pub struct Machine<'p> {
     max_steps: u64,
     events: u64,
     log_meter: Option<LogMeter>,
+    /// Streaming segment sink (§5.6 out-of-core logs): log writes are
+    /// teed here when [`ExecConfig::log_dir`] is set.
+    sink: Option<ppd_log::SegmentWriter>,
+    sink_error: Option<String>,
 }
 
 impl<'p> Machine<'p> {
@@ -348,6 +370,14 @@ impl<'p> Machine<'p> {
         let mut inputs: Vec<(Vec<i64>, usize)> =
             config.inputs.into_iter().map(|v| (v, 0)).collect();
         inputs.resize(nprocs, (Vec::new(), 0));
+        let mut sink = None;
+        let mut sink_error = None;
+        if let (Some(dir), true) = (config.log_dir.as_deref(), plan.is_some()) {
+            match ppd_log::SegmentWriter::create(dir, nprocs, config.segment_bytes) {
+                Ok(w) => sink = Some(w),
+                Err(e) => sink_error = Some(format!("cannot create log sink: {e}")),
+            }
+        }
         let mut m = Machine {
             rp,
             analyses,
@@ -373,6 +403,8 @@ impl<'p> Machine<'p> {
             max_steps: config.max_steps,
             events: 0,
             log_meter: (config.meter_logging && plan.is_some()).then(LogMeter::default),
+            sink,
+            sink_error,
         };
         for i in 0..nprocs {
             let pid = ProcId(i as u32);
@@ -483,6 +515,8 @@ impl<'p> Machine<'p> {
             max_steps,
             events: 0,
             log_meter: None,
+            sink: None,
+            sink_error: None,
         };
         // Restore the prelog: USED-set values at interval start (§5.1).
         if let LogEntry::Prelog { values, .. } = store.prelog_of(interval) {
@@ -526,6 +560,19 @@ impl<'p> Machine<'p> {
         self.clock
     }
 
+    /// Writes one log record: teed into the streaming segment sink (if
+    /// [`ExecConfig::log_dir`] was set) before landing in the in-memory
+    /// store, so both backings see the identical entry sequence. A
+    /// sink IO error disables the sink but never interrupts the run.
+    fn log_append(&mut self, pid: ProcId, entry: LogEntry) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.append(pid, &entry);
+        }
+        if let Some(logs) = self.logs.as_mut() {
+            logs.push(pid, entry);
+        }
+    }
+
     fn is_replay(&self) -> bool {
         self.replay.is_some()
     }
@@ -547,6 +594,14 @@ impl<'p> Machine<'p> {
         span.arg("logged", self.plan.is_some());
         let outcome = self.run_loop(tracer);
         span.arg("steps", self.steps);
+        let mut sink_report = None;
+        let mut sink_error = self.sink_error;
+        if let Some(sink) = self.sink {
+            match sink.finish() {
+                Ok(report) => sink_report = Some(report),
+                Err(e) => sink_error = sink_error.or_else(|| Some(e.to_string())),
+            }
+        }
         ExecResult {
             outcome,
             output: self.output,
@@ -555,6 +610,8 @@ impl<'p> Machine<'p> {
             steps: self.steps,
             events: self.events,
             log_meter: self.log_meter,
+            sink_report,
+            sink_error,
         }
     }
 
@@ -1254,9 +1311,9 @@ impl<'p> Machine<'p> {
                 // The sender's unit resumes now; snapshot at unblock.
                 self.unit_snapshot_point(msg.sender, Some(msg.send_stmt))?;
             }
-            if let Some(logs) = self.logs.as_mut() {
+            if self.logs.is_some() {
                 let t2 = self.clock;
-                logs.push(pid, LogEntry::Receive { value: msg.value, time: t2 });
+                self.log_append(pid, LogEntry::Receive { value: msg.value, time: t2 });
             }
             msg.value
         };
@@ -1387,9 +1444,9 @@ impl<'p> Machine<'p> {
                 // The sender's unit resumes now; snapshot at unblock.
                 self.unit_snapshot_point(msg.sender, Some(msg.send_stmt))?;
             }
-            if let Some(logs) = self.logs.as_mut() {
+            if self.logs.is_some() {
                 let t2 = self.clock;
-                logs.push(pid, LogEntry::Receive { value: msg.value, time: t2 });
+                self.log_append(pid, LogEntry::Receive { value: msg.value, time: t2 });
             }
             msg.value
         };
@@ -1482,9 +1539,9 @@ impl<'p> Machine<'p> {
                 g.add_sync_edge(cn, accept_node, SyncEdgeLabel::RendezvousEntry);
             }
         }
-        if let Some(logs) = self.logs.as_mut() {
+        if self.logs.is_some() {
             let t2 = self.clock;
-            logs.push(pid, LogEntry::Receive { value: call.value, time: t2 });
+            self.log_append(pid, LogEntry::Receive { value: call.value, time: t2 });
         }
         let var = self.rp.expr_var[param_expr];
         self.frame_mut(pid).locals.insert(var, Value::Int(call.value));
@@ -1627,9 +1684,9 @@ impl<'p> Machine<'p> {
                         return Err(RuntimeError::InputExhausted);
                     };
                     *pos += 1;
-                    if let Some(logs) = self.logs.as_mut() {
+                    if self.logs.is_some() {
                         let t = self.clock;
-                        logs.push(pid, LogEntry::Input { value: v, time: t });
+                        self.log_append(pid, LogEntry::Input { value: v, time: t });
                     }
                     v
                 };
@@ -1861,11 +1918,9 @@ impl<'p> Machine<'p> {
             };
             read_value(v, index)?
         };
-        if element_logged && !self.is_replay() {
-            if let Some(logs) = self.logs.as_mut() {
-                let t = self.clock;
-                logs.push(pid, LogEntry::ElementRead { value, time: t });
-            }
+        if element_logged && !self.is_replay() && self.logs.is_some() {
+            let t = self.clock;
+            self.log_append(pid, LogEntry::ElementRead { value, time: t });
         }
         let cell = CellRef { var, index: index.map(|i| i as usize) };
         self.frame_mut(pid).pending_reads.push(ReadSource::Cell(cell));
@@ -2020,9 +2075,7 @@ impl<'p> Machine<'p> {
         let t = self.tick();
         let entry = LogEntry::Prelog { eblock: eb, instance, values, time: t };
         let bytes = self.log_meter.as_ref().map(|_| entry.size_bytes() as u64);
-        if let Some(logs) = self.logs.as_mut() {
-            logs.push(pid, entry);
-        }
+        self.log_append(pid, entry);
         if let (Some(start), Some(bytes)) = (meter_start, bytes) {
             let ns = start.elapsed().as_nanos() as u64;
             if let Some(meter) = self.log_meter.as_mut() {
@@ -2046,9 +2099,7 @@ impl<'p> Machine<'p> {
         let t = self.tick();
         let entry = LogEntry::Prelog { eblock: eb, instance, values, time: t };
         let bytes = self.log_meter.as_ref().map(|_| entry.size_bytes() as u64);
-        if let Some(logs) = self.logs.as_mut() {
-            logs.push(pid, entry);
-        }
+        self.log_append(pid, entry);
         if let (Some(start), Some(bytes)) = (meter_start, bytes) {
             let ns = start.elapsed().as_nanos() as u64;
             if let Some(meter) = self.log_meter.as_mut() {
@@ -2079,9 +2130,7 @@ impl<'p> Machine<'p> {
         let t = self.tick();
         let entry = LogEntry::Prelog { eblock: eb, instance, values, time: t };
         let bytes = self.log_meter.as_ref().map(|_| entry.size_bytes() as u64);
-        if let Some(logs) = self.logs.as_mut() {
-            logs.push(pid, entry);
-        }
+        self.log_append(pid, entry);
         if let (Some(start), Some(bytes)) = (meter_start, bytes) {
             let ns = start.elapsed().as_nanos() as u64;
             if let Some(meter) = self.log_meter.as_mut() {
@@ -2104,9 +2153,7 @@ impl<'p> Machine<'p> {
         let entry =
             LogEntry::Postlog { eblock: eb, instance, values, ret: ret.map(Value::Int), time: t };
         let bytes = self.log_meter.as_ref().map(|_| entry.size_bytes() as u64);
-        if let Some(logs) = self.logs.as_mut() {
-            logs.push(pid, entry);
-        }
+        self.log_append(pid, entry);
         if let (Some(start), Some(bytes)) = (meter_start, bytes) {
             let ns = start.elapsed().as_nanos() as u64;
             if let Some(meter) = self.log_meter.as_mut() {
@@ -2156,9 +2203,7 @@ impl<'p> Machine<'p> {
             let t = self.tick();
             let entry = LogEntry::SharedSnapshot { at, values, time: t };
             let bytes = self.log_meter.as_ref().map(|_| entry.size_bytes() as u64);
-            if let Some(logs) = self.logs.as_mut() {
-                logs.push(pid, entry);
-            }
+            self.log_append(pid, entry);
             if let (Some(start), Some(bytes)) = (meter_start, bytes) {
                 let ns = start.elapsed().as_nanos() as u64;
                 if let Some(meter) = self.log_meter.as_mut() {

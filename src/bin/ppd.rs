@@ -7,6 +7,10 @@
 //! ppd debug  <file> [options]            run, then open the interactive debugger
 //! ppd races  <file> [--schedules N]      probe N random schedules for races
 //! ppd dot    <file> [options]            emit Graphviz (static | parallel | dynamic)
+//! ppd log    pack <file> <dir> [options] run and stream logs into a segment store
+//!            (or: pack <saved.json> <dir> to convert a --save record)
+//! ppd log    inspect <dir>               segment/footer summary, no entry decode
+//! ppd log    verify <dir>                full CRC + footer cross-check
 //!
 //! options:
 //!   --seed N            seeded-random scheduler (default: round-robin)
@@ -28,6 +32,15 @@
 //!                       a Chrome trace-event JSON loadable in Perfetto
 //!   --jobs N | -j N     worker threads for replay prefetch, race scan and
 //!                       lint passes (default: available parallelism)
+//!   --log-dir DIR       run/debug: stream logs into a segmented on-disk
+//!                       store in DIR during execution and debug over the
+//!                       mmap-backed reopened store; if DIR already holds
+//!                       a saved run, load it instead of executing.
+//!                       races: stream every probed schedule through
+//!                       DIR/seed-N before scanning it (results are
+//!                       bit-identical to the in-memory path)
+//!   --segment-bytes N   segment payload capacity for --log-dir and
+//!                       `ppd log pack` (default 65536)
 //!
 //! interactive debug commands include `stats` (counters so far) and
 //! `stats reset` (zero them, keeping cached traces warm, to measure a
@@ -57,6 +70,8 @@ struct Options {
     stats: bool,
     trace_out: Option<String>,
     jobs: usize,
+    log_dir: Option<String>,
+    segment_bytes: usize,
 }
 
 /// Default `--jobs`: every hardware thread the host will give us.
@@ -70,7 +85,9 @@ fn usage() -> ExitCode {
          [--seed N] [--inputs a,b,c]... [--break LINE]... \
          [--strategy subroutine|loops|split|merge] [--what static|parallel|dynamic] \
          [--schedules N] [--save FILE] [--load FILE] \
-         [--deny] [--no-check] [--format text|json|sarif] [--stats] [--trace-out FILE] [--jobs N]"
+         [--deny] [--no-check] [--format text|json|sarif] [--stats] [--trace-out FILE] [--jobs N] \
+         [--log-dir DIR] [--segment-bytes N]\n       \
+         ppd log <pack|inspect|verify> ... (see ppd log --help)"
     );
     ExitCode::from(2)
 }
@@ -94,6 +111,8 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<(String, Options
         stats: false,
         trace_out: None,
         jobs: default_jobs(),
+        log_dir: None,
+        segment_bytes: 0,
     };
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("{flag} needs a value"));
@@ -134,6 +153,11 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<(String, Options
                 let n: usize = value()?.parse().map_err(|_| "--jobs wants a number")?;
                 opts.jobs = n.max(1);
             }
+            "--log-dir" => opts.log_dir = Some(value()?),
+            "--segment-bytes" => {
+                opts.segment_bytes =
+                    value()?.parse().map_err(|_| "--segment-bytes wants a number")?;
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -141,7 +165,12 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<(String, Options
 }
 
 fn main() -> ExitCode {
-    let (cmd, opts) = match parse_args(std::env::args().skip(1)) {
+    let mut raw = std::env::args().skip(1).peekable();
+    if raw.peek().map(String::as_str) == Some("log") {
+        raw.next();
+        return cmd_log(raw);
+    }
+    let (cmd, opts) = match parse_args(raw) {
         Ok(x) => x,
         Err(e) => {
             eprintln!("error: {e}");
@@ -444,7 +473,48 @@ fn cmd_run(session: &PpdSession, opts: &Options, verbose: bool) -> (Execution, E
             }
         }
     }
-    let execution = session.execute(run_config(session, opts));
+    // `--log-dir` streams the run through the segmented on-disk store
+    // (or loads one a previous run left there): debugging then works
+    // over the mmap-backed, lazily decoded logs.
+    let execution = if let Some(dir) = &opts.log_dir {
+        let dir = std::path::Path::new(dir);
+        if dir.join("run.json").exists() {
+            match Execution::load_dir(dir) {
+                Ok(execution) => {
+                    if verbose {
+                        println!("loaded segmented log store from {}", dir.display());
+                        for w in execution.logs.recovery_warnings() {
+                            eprintln!("warning: {w}");
+                        }
+                        println!("outcome: {}", describe_outcome(session, &execution.outcome));
+                    }
+                    let code = match execution.outcome {
+                        Outcome::Completed | Outcome::Breakpoint { .. } => ExitCode::SUCCESS,
+                        _ => ExitCode::FAILURE,
+                    };
+                    return (execution, code);
+                }
+                Err(e) => {
+                    eprintln!("error: cannot open log dir {}: {e}", dir.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        match session.execute_streaming(run_config(session, opts), dir, opts.segment_bytes) {
+            Ok(execution) => {
+                if verbose {
+                    println!("logs streamed to {}", dir.display());
+                }
+                execution
+            }
+            Err(e) => {
+                eprintln!("error: cannot stream logs to {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
+    } else {
+        session.execute(run_config(session, opts))
+    };
     if let Some(path) = &opts.save {
         let written = execution
             .to_json()
@@ -519,11 +589,27 @@ fn describe_outcome(session: &PpdSession, outcome: &Outcome) -> String {
 fn cmd_races(session: &PpdSession, opts: &Options) -> ExitCode {
     let mut any = false;
     for seed in 0..opts.schedules {
-        let execution = session.execute(RunConfig {
+        let cfg = RunConfig {
             scheduler: SchedulerSpec::Random { seed },
             inputs: opts.inputs.clone(),
             ..RunConfig::default()
-        });
+        };
+        // With `--log-dir`, every probed schedule round-trips through
+        // the on-disk store before the scan — the printed results must
+        // be bit-identical to the in-memory path (CI diffs them).
+        let execution = match &opts.log_dir {
+            Some(dir) => {
+                let sub = std::path::Path::new(dir).join(format!("seed-{seed}"));
+                match session.execute_streaming(cfg, &sub, opts.segment_bytes) {
+                    Ok(e) => e,
+                    Err(e) => {
+                        eprintln!("error: cannot stream logs to {}: {e}", sub.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            None => session.execute(cfg),
+        };
         let mut controller = Controller::new(session, &execution);
         controller.set_jobs(opts.jobs);
         let races = controller.races();
@@ -685,6 +771,229 @@ fn render_stats(controller: &Controller<'_>, opts: &Options) -> String {
         controller.metrics_json()
     } else {
         controller.stats().render()
+    }
+}
+
+// ---------------------------------------------------------------------
+// `ppd log` — segmented-store tooling
+// ---------------------------------------------------------------------
+
+fn log_usage() -> ExitCode {
+    eprintln!(
+        "usage: ppd log pack <file.ppd|saved.json> <dir> \
+         [--seed N] [--inputs a,b,c]... [--strategy S] [--segment-bytes N]\n       \
+         ppd log inspect <dir>\n       \
+         ppd log verify <dir>"
+    );
+    ExitCode::from(2)
+}
+
+/// `ppd log pack | inspect | verify`: tooling over the segmented
+/// on-disk store, dispatched before the generic argument parser (these
+/// subcommands take a directory, not a source file).
+fn cmd_log(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let Some(sub) = args.next() else { return log_usage() };
+    match sub.as_str() {
+        "pack" => cmd_log_pack(args),
+        "inspect" => match args.next() {
+            Some(dir) => cmd_log_inspect(&dir),
+            None => log_usage(),
+        },
+        "verify" => match args.next() {
+            Some(dir) => cmd_log_verify(&dir),
+            None => log_usage(),
+        },
+        _ => log_usage(),
+    }
+}
+
+/// Runs a program (or converts a `--save` JSON record) into a segmented
+/// store at `dir`.
+fn cmd_log_pack(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let (Some(file), Some(dir)) = (args.next(), args.next()) else { return log_usage() };
+    let mut scheduler = SchedulerSpec::RoundRobin;
+    let mut inputs: Vec<Vec<i64>> = Vec::new();
+    let mut strategy = EBlockStrategy::per_subroutine();
+    let mut segment_bytes = 0usize;
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().ok_or_else(|| format!("{flag} needs a value"));
+        let parsed = (|| -> Result<(), String> {
+            match flag.as_str() {
+                "--seed" => {
+                    let seed = value()?.parse().map_err(|_| "--seed wants a number")?;
+                    scheduler = SchedulerSpec::Random { seed };
+                }
+                "--inputs" => {
+                    let stream: Result<Vec<i64>, _> =
+                        value()?.split(',').map(|s| s.trim().parse()).collect();
+                    inputs.push(stream.map_err(|_| "--inputs wants numbers")?);
+                }
+                "--strategy" => {
+                    strategy = match value()?.as_str() {
+                        "subroutine" => EBlockStrategy::per_subroutine(),
+                        "loops" => EBlockStrategy::with_loops(4),
+                        "split" => EBlockStrategy::with_split(4),
+                        "merge" => EBlockStrategy::with_leaf_merge(8),
+                        other => return Err(format!("unknown strategy `{other}`")),
+                    };
+                }
+                "--segment-bytes" => {
+                    segment_bytes =
+                        value()?.parse().map_err(|_| "--segment-bytes wants a number")?;
+                }
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = parsed {
+            eprintln!("error: {e}");
+            return log_usage();
+        }
+    }
+    let dir = std::path::Path::new(&dir);
+    // A `--save` record converts without re-running; source re-executes
+    // with the streaming sink attached.
+    if file.ends_with(".json") {
+        let loaded = std::fs::read_to_string(&file)
+            .map_err(|e| e.to_string())
+            .and_then(|j| Execution::from_json(&j).map_err(|e| e.to_string()));
+        let execution = match loaded {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("error: cannot load {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match execution.save_dir(dir, segment_bytes) {
+            Ok(report) => {
+                println!(
+                    "packed {} entries into {} segment(s), {} bytes, at {}",
+                    report.entries,
+                    report.segments,
+                    report.bytes,
+                    dir.display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let source = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let session = match PpdSession::prepare(&source, strategy) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("compile error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = RunConfig { scheduler, inputs, ..RunConfig::default() };
+    match session.execute_streaming(config, dir, segment_bytes) {
+        Ok(execution) => {
+            let seg = execution.logs.segmented().expect("streamed store is segment-backed");
+            println!(
+                "packed {} entries into {} segment(s), {} file bytes, at {} \
+                 (outcome: {})",
+                seg.total_entries(),
+                (0..seg.process_count())
+                    .map(|p| seg.segments(ppd::lang::ProcId(p as u32)).count())
+                    .sum::<usize>(),
+                seg.total_file_bytes(),
+                dir.display(),
+                describe_outcome(&session, &execution.outcome)
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Summarizes a store from its footers alone — no entry decode (the
+/// final line proves it).
+fn cmd_log_inspect(dir: &str) -> ExitCode {
+    let seg = match ppd::log::SegmentedLog::open(std::path::Path::new(dir)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for w in seg.warnings() {
+        eprintln!("warning: {w}");
+    }
+    println!(
+        "{}: {} process(es), {} entries, {} logical bytes in {} file bytes{}",
+        dir,
+        seg.process_count(),
+        seg.total_entries(),
+        seg.total_logical_bytes(),
+        seg.total_file_bytes(),
+        if seg.fully_mapped() { " (mmap)" } else { " (heap)" },
+    );
+    let counts = seg.counts_by_kind();
+    let kinds: Vec<String> = ppd::log::segment::KIND_NAMES
+        .iter()
+        .zip(counts)
+        .filter(|&(_, n)| n > 0)
+        .map(|(k, n)| format!("{k} {n}"))
+        .collect();
+    println!("entries by kind: {}", kinds.join(", "));
+    for p in 0..seg.process_count() {
+        let proc = ppd::lang::ProcId(p as u32);
+        for m in seg.segments(proc) {
+            println!(
+                "  {}: base seq {}, {} entries, {} payload bytes, time {}..{}",
+                m.file, m.base_seq, m.entry_count, m.payload_len, m.min_time, m.max_time
+            );
+        }
+    }
+    println!("entries decoded while inspecting: {} (footers only)", seg.entries_decoded());
+    ExitCode::SUCCESS
+}
+
+/// Full integrity pass: CRC re-check plus payload-vs-footer
+/// cross-validation of every sealed segment.
+fn cmd_log_verify(dir: &str) -> ExitCode {
+    let seg = match ppd::log::SegmentedLog::open(std::path::Path::new(dir)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match seg.verify() {
+        Ok(report) => {
+            for w in &report.warnings {
+                eprintln!("warning: {w}");
+            }
+            println!(
+                "ok: {} segment(s) verified, {} entries decoded and cross-checked \
+                 against footers{}",
+                report.segments,
+                report.entries,
+                if report.warnings.is_empty() {
+                    String::new()
+                } else {
+                    format!(" ({} recovery warning(s))", report.warnings.len())
+                },
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("corrupt: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 

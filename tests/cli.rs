@@ -198,6 +198,74 @@ fn save_and_load_execution_record() {
 }
 
 #[test]
+fn log_pack_inspect_verify_round_trip() {
+    let dir = std::env::temp_dir().join("ppd_cli_test").join("log-pack");
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_str().unwrap().to_owned();
+    let (stdout, stderr, ok) = run_ppd(&["log", "pack", "programs/bank.ppd", &dir_s]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("packed"), "{stdout}");
+    let (stdout, _, ok) = run_ppd(&["log", "inspect", &dir_s]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("entries decoded while inspecting: 0 (footers only)"), "{stdout}");
+    let (stdout, _, ok) = run_ppd(&["log", "verify", &dir_s]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("ok:"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn log_verify_flags_payload_corruption() {
+    let dir = std::env::temp_dir().join("ppd_cli_test").join("log-corrupt");
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_str().unwrap().to_owned();
+    let (_, stderr, ok) = run_ppd(&["log", "pack", "programs/bank.ppd", &dir_s]);
+    assert!(ok, "{stderr}");
+    // Flip a payload byte in the first segment of process 0.
+    let victim = dir.join("p0000-s000000.seg");
+    let mut bytes = std::fs::read(&victim).expect("segment exists");
+    bytes[12] ^= 0x40;
+    std::fs::write(&victim, &bytes).unwrap();
+    let (_, stderr, ok) = run_ppd(&["log", "verify", &dir_s]);
+    assert!(!ok, "corrupt store must fail verification");
+    assert!(stderr.contains("payload crc mismatch"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn races_over_log_dir_match_in_memory() {
+    // The CI smoke check in test form: probing schedules through
+    // on-disk stores must print byte-identical findings.
+    let dir = std::env::temp_dir().join("ppd_cli_test").join("races-dir");
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_str().unwrap().to_owned();
+    let (baseline, _, ok1) = run_ppd(&["races", "programs/bank.ppd", "--schedules", "3"]);
+    let (via_disk, _, ok2) =
+        run_ppd(&["races", "programs/bank.ppd", "--schedules", "3", "--log-dir", &dir_s]);
+    assert_eq!(ok1, ok2);
+    assert_eq!(baseline, via_disk, "race findings diverged between memory and disk");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn run_log_dir_streams_then_reloads() {
+    let dir = std::env::temp_dir().join("ppd_cli_test").join("run-dir");
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_str().unwrap().to_owned();
+    let (stdout, _, ok) =
+        run_ppd(&["run", "programs/overdraw.ppd", "--inputs", "50", "--log-dir", &dir_s]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("logs streamed to"), "{stdout}");
+    // Same command again: the store exists, so the run is replayed from
+    // disk instead of re-executed.
+    let (stdout, _, ok) =
+        run_ppd(&["run", "programs/overdraw.ppd", "--inputs", "50", "--log-dir", &dir_s]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("loaded segmented log store from"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn dot_pdg_outputs_full_static_graph() {
     let (stdout, _, ok) = run_ppd(&["dot", "programs/bank.ppd", "--what", "pdg"]);
     assert!(ok);

@@ -1,0 +1,322 @@
+//! Determinism and integrity suite for the out-of-core segmented log
+//! store.
+//!
+//! Everything the debugger answers over an on-disk store — dynamic
+//! graphs, flowback, slices, races — must be bit-identical to the
+//! in-memory execution it was saved from, across the corpus, the
+//! `programs/` directory, proptest-randomized schedules, and generated
+//! programs. The interval index rebuilt from segment footers must equal
+//! the index a full entry scan builds, and opening a store must decode
+//! zero entries (the no-rescan acceptance criterion).
+
+mod common;
+
+use common::Gen;
+use ppd::analysis::EBlockStrategy;
+use ppd::core::{Controller, Execution, PpdSession, RunConfig};
+use ppd::lang::{corpus, ProcId};
+use ppd::log::IntervalIndex;
+use ppd::runtime::SchedulerSpec;
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+
+/// Fresh per-test store directory under the system temp dir.
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("ppd-logstream-tests").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Small capacity so every workload spans multiple segments per process.
+const SEG_BYTES: usize = 512;
+
+/// The corpus + `programs/` workload sweep (mirrors the parallel
+/// backend determinism suite).
+fn workloads() -> Vec<(String, PpdSession, RunConfig)> {
+    let mut out = Vec::new();
+    let corpus_set: Vec<(&str, &str, Vec<Vec<i64>>)> = vec![
+        ("flowback_demo", corpus::FLOWBACK_DEMO.source, vec![vec![42, 10]]),
+        ("producer_consumer", corpus::PRODUCER_CONSUMER.source, vec![]),
+        ("fig41", corpus::FIG_4_1.source, vec![vec![5, 3, 2]]),
+        ("fig61", corpus::FIG_6_1.source, vec![]),
+        ("quicksort", corpus::QUICKSORT.source, vec![]),
+    ];
+    for (name, source, inputs) in corpus_set {
+        let session = PpdSession::prepare(source, EBlockStrategy::per_subroutine())
+            .expect("corpus program compiles");
+        out.push((name.to_owned(), session, RunConfig { inputs, ..RunConfig::default() }));
+    }
+    for entry in std::fs::read_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/programs"))
+        .expect("programs/ exists")
+    {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("ppd") {
+            continue;
+        }
+        let name = path.file_stem().unwrap().to_string_lossy().into_owned();
+        let source = std::fs::read_to_string(&path).expect("program reads");
+        let session = PpdSession::prepare(&source, EBlockStrategy::per_subroutine())
+            .expect("programs/ compiles");
+        let inputs = if name == "overdraw" { vec![vec![95]] } else { vec![] };
+        out.push((name, session, RunConfig { inputs, ..RunConfig::default() }));
+    }
+    out
+}
+
+/// A total, order-stable description of the dynamic graph.
+fn fingerprint(controller: &Controller<'_>) -> String {
+    use std::fmt::Write as _;
+    let graph = controller.graph();
+    let mut out = String::new();
+    for n in graph.nodes() {
+        let mut preds: Vec<String> =
+            graph.dependence_preds(n.id).iter().map(|(p, k)| format!("{}:{k:?}", p.0)).collect();
+        preds.sort();
+        let _ = writeln!(
+            out,
+            "#{} {:?} {} proc{} seq{} {:?} <- [{}]",
+            n.id.0,
+            n.kind,
+            n.label,
+            n.proc.0,
+            n.seq,
+            n.value,
+            preds.join(", ")
+        );
+    }
+    out
+}
+
+/// Full debug transcript: start + expand everything + flowback +
+/// slice + races — every answer a user could compare between the
+/// in-memory and the reopened-from-disk execution.
+fn transcript(session: &PpdSession, execution: &Execution) -> Vec<String> {
+    let mut c = Controller::new(session, execution);
+    let mut out = Vec::new();
+    match c.start() {
+        Ok(root) => {
+            loop {
+                let pending = c.unexpanded();
+                let before = c.graph().len();
+                for node in pending {
+                    let _ = c.expand(node);
+                }
+                if c.graph().len() == before {
+                    break;
+                }
+            }
+            out.push(fingerprint(&c));
+            out.push(format!("flowback: {:?}", c.flowback(root)));
+            out.push(format!("slice: {:?}", c.backward_slice(root)));
+        }
+        Err(e) => out.push(format!("start failed: {e}")),
+    }
+    let races: Vec<String> = c.races().into_iter().map(|r| r.description).collect();
+    out.push(format!("races: {races:?}"));
+    out
+}
+
+/// Saves `execution` to `dir` and reloads it, asserting the reload is
+/// segment-backed and per-process bit-identical before returning it.
+fn save_and_reload(name: &str, execution: &Execution, dir: &Path) -> Execution {
+    execution.save_dir(dir, SEG_BYTES).expect("save_dir succeeds");
+    let loaded = Execution::load_dir(dir).expect("load_dir succeeds");
+    assert!(loaded.logs.is_segmented(), "{name}: reload must be segment-backed");
+    for p in 0..execution.logs.process_count() {
+        let pid = ProcId(p as u32);
+        assert_eq!(
+            loaded.logs.log(pid).entries,
+            execution.logs.log(pid).entries,
+            "{name}: proc {p} entries diverged across the disk round-trip"
+        );
+    }
+    loaded
+}
+
+#[test]
+fn on_disk_transcripts_match_in_memory_across_corpus_and_programs() {
+    for (name, session, config) in workloads() {
+        let dir = tmp_dir(&format!("transcript-{name}"));
+        let execution = session.execute(config);
+        let loaded = save_and_reload(&name, &execution, &dir);
+        assert_eq!(
+            transcript(&session, &execution),
+            transcript(&session, &loaded),
+            "{name}: on-disk transcript diverged from in-memory"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn footer_index_matches_rebuilt_index() {
+    for (name, session, config) in workloads() {
+        let dir = tmp_dir(&format!("index-{name}"));
+        let execution = session.execute(config);
+        execution.save_dir(&dir, SEG_BYTES).expect("save_dir succeeds");
+        let loaded = Execution::load_dir(&dir).expect("load_dir succeeds");
+        let seg = loaded.logs.segmented().expect("segment-backed").clone();
+        // The index the footers give us, without touching a payload…
+        let from_footers = seg.index();
+        assert_eq!(seg.entries_decoded(), 0, "{name}: footer index decoded entries");
+        // …must equal the index a full scan of the original builds.
+        let rebuilt = IntervalIndex::build(&execution.logs);
+        assert_eq!(from_footers.process_count(), rebuilt.process_count(), "{name}");
+        for p in 0..rebuilt.process_count() {
+            let pid = ProcId(p as u32);
+            assert_eq!(
+                from_footers.intervals(pid),
+                rebuilt.intervals(pid),
+                "{name}: proc {p} interval lists diverged"
+            );
+            assert_eq!(
+                from_footers.open_intervals(pid),
+                rebuilt.open_intervals(pid),
+                "{name}: proc {p} open intervals diverged"
+            );
+            assert_eq!(
+                from_footers.top_level(pid),
+                rebuilt.top_level(pid),
+                "{name}: proc {p} top-level intervals diverged"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The no-rescan acceptance criterion: opening a store and answering
+/// structural queries decodes zero entries; only touching a payload
+/// decodes, and only that process's share.
+#[test]
+fn opening_a_store_decodes_no_entries() {
+    let session =
+        PpdSession::prepare(corpus::PRODUCER_CONSUMER.source, EBlockStrategy::per_subroutine())
+            .expect("corpus program compiles");
+    let execution = session.execute(RunConfig::default());
+    let dir = tmp_dir("no-rescan");
+    execution.save_dir(&dir, 256).expect("save_dir succeeds");
+    let loaded = Execution::load_dir(&dir).expect("load_dir succeeds");
+    let seg = loaded.logs.segmented().expect("segment-backed").clone();
+    assert!(seg.total_entries() > 0);
+    let idx = seg.index();
+    for p in 0..loaded.logs.process_count() {
+        let pid = ProcId(p as u32);
+        let _ = idx.open_intervals(pid);
+        let _ = idx.interval_count(pid);
+    }
+    assert_eq!(seg.entries_decoded(), 0, "structural queries must not decode entries");
+    let n0 = loaded.logs.log(ProcId(0)).entries.len() as u64;
+    assert_eq!(seg.entries_decoded(), n0, "touching proc 0 decodes exactly its entries");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Streaming-sink parity: a run that streams segments to disk as it
+/// executes must reopen to the same logs, transcripts and races as the
+/// purely in-memory run of the same schedule.
+#[test]
+fn streamed_runs_match_in_memory_runs() {
+    for (name, session, config) in workloads() {
+        let dir = tmp_dir(&format!("streamed-{name}"));
+        let in_memory = session.execute(config.clone());
+        let streamed =
+            session.execute_streaming(config, &dir, SEG_BYTES).expect("streaming run succeeds");
+        assert!(streamed.logs.is_segmented(), "{name}");
+        assert_eq!(streamed.outcome, in_memory.outcome, "{name}: outcomes diverged");
+        assert_eq!(
+            transcript(&session, &in_memory),
+            transcript(&session, &streamed),
+            "{name}: streamed transcript diverged from in-memory"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Truncated-tail recovery end to end: killing the tail segment of one
+/// process still loads (with a warning), and the surviving log is a
+/// prefix of the original.
+#[test]
+fn truncated_tail_still_loads_with_warning() {
+    let session = PpdSession::prepare(corpus::QUICKSORT.source, EBlockStrategy::per_subroutine())
+        .expect("corpus program compiles");
+    let execution = session.execute(RunConfig::default());
+    let dir = tmp_dir("truncated-tail");
+    execution.save_dir(&dir, 256).expect("save_dir succeeds");
+    // Truncate the highest-seq segment file of some process mid-file.
+    let mut segs: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".seg"))
+        .collect();
+    segs.sort();
+    let victim = dir.join(segs.last().expect("at least one segment"));
+    let bytes = std::fs::read(&victim).unwrap();
+    std::fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
+    let loaded = Execution::load_dir(&dir).expect("tail truncation must be recoverable");
+    let seg = loaded.logs.segmented().expect("segment-backed").clone();
+    assert_eq!(seg.warnings().len(), 1, "{:?}", seg.warnings());
+    for p in 0..execution.logs.process_count() {
+        let pid = ProcId(p as u32);
+        let got = &loaded.logs.log(pid).entries;
+        let full = &execution.logs.log(pid).entries;
+        assert!(got.len() <= full.len(), "proc {p}");
+        assert_eq!(got.as_slice(), &full[..got.len()], "proc {p} is not a prefix");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Randomized schedules and generated programs (proptest)
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Under proptest-randomized schedules, the disk round-trip changes
+    /// no debugger answer.
+    #[test]
+    fn randomized_schedules_round_trip_through_disk(
+        choice in any::<u8>(),
+        seed in 0u64..10_000,
+    ) {
+        let (source, inputs): (&str, Vec<Vec<i64>>) = match choice % 4 {
+            0 => (corpus::PRODUCER_CONSUMER.source, vec![]),
+            1 => (corpus::FIG_6_1.source, vec![]),
+            2 => (corpus::FLOWBACK_DEMO.source, vec![vec![42, 10]]),
+            _ => (corpus::QUICKSORT.source, vec![]),
+        };
+        let session = PpdSession::prepare(source, EBlockStrategy::per_subroutine())
+            .expect("corpus program compiles");
+        let execution = session.execute(RunConfig {
+            scheduler: SchedulerSpec::Random { seed },
+            inputs,
+            ..RunConfig::default()
+        });
+        let dir = tmp_dir(&format!("prop-{}-{seed}", choice % 4));
+        let loaded = save_and_reload("randomized", &execution, &dir);
+        prop_assert_eq!(
+            transcript(&session, &execution),
+            transcript(&session, &loaded),
+            "seed {} diverged across the disk round-trip",
+            seed
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Generated programs round-trip too — the store format carries
+    /// arbitrary entry shapes, not just the corpus's.
+    #[test]
+    fn generated_programs_round_trip_through_disk(bytes in proptest::collection::vec(any::<u8>(), 4..64)) {
+        let source = Gen::new(&bytes).program();
+        let session = PpdSession::prepare(&source, EBlockStrategy::per_subroutine())
+            .expect("generated program compiles");
+        let execution = session.execute(RunConfig::default());
+        let dir = tmp_dir(&format!("gen-{:02x}{:02x}-{}", bytes[0], bytes[1], bytes.len()));
+        let loaded = save_and_reload("generated", &execution, &dir);
+        prop_assert_eq!(
+            transcript(&session, &execution),
+            transcript(&session, &loaded),
+            "generated program diverged across the disk round-trip"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
