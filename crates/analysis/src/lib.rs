@@ -32,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+pub mod absint;
 pub mod callgraph;
 pub mod cfg;
 pub mod control_dep;
@@ -43,11 +44,13 @@ pub mod interproc;
 pub mod lint;
 pub mod liveness;
 pub mod mhp;
+pub mod ranges;
 pub mod reaching;
 pub mod syncunit;
 pub mod usedef;
 pub mod varset;
 
+pub use absint::{AbsInt, ArrayAccess};
 pub use callgraph::CallGraph;
 pub use cfg::{Cfg, CfgNodeKind, EdgeKind, NodeId};
 pub use control_dep::ControlDeps;
@@ -58,6 +61,7 @@ pub use interproc::ModRef;
 pub use lint::{Diagnostic, LintContext, LintPass, Note, RaceCandidates, Severity};
 pub use liveness::Liveness;
 pub use mhp::MhpAnalysis;
+pub use ranges::Interval;
 pub use reaching::{DefSite, ReachingDefs};
 pub use syncunit::{BodySyncUnits, SyncUnit, SyncUnits, UnitStart};
 pub use usedef::{ProgramEffects, StmtEffects};
@@ -152,6 +156,12 @@ pub struct Analyses {
     /// [`Analyses::mhp_candidates`]; equal to it when the program does
     /// not type-check (the untyped index is the sound fallback).
     pub typed_candidates: RaceCandidates,
+    /// The abstract-interpretation solution (intervals + constants).
+    pub absint: AbsInt,
+    /// Race candidates refined by element-granular index intervals — a
+    /// subset of [`Analyses::typed_candidates`] and the third static
+    /// pruning stage (`absint ⊆ typed ⊆ mhp ⊆ pruned ⊆ naive`).
+    pub absint_candidates: RaceCandidates,
 }
 
 impl Analyses {
@@ -206,6 +216,25 @@ impl Analyses {
             Some(mt) => mt.refine_candidates(rp, &effects, &modref, &mhp_candidates),
             None => mhp_candidates.clone(),
         };
+        let absint = AbsInt::compute(rp, &cfgs);
+        let absint_candidates = match &mhp_typed {
+            Some(mt) => absint.refine_candidates(rp, &effects, mt, &typed_candidates),
+            None => absint.refine_candidates(rp, &effects, &mhp, &typed_candidates),
+        };
+        if config.mhp_snapshot_trim {
+            // Element granularity sharpens the snapshot trim the same
+            // way it sharpens candidates: an array whose concurrent
+            // writes all land outside the unit's read regions needs no
+            // extra prelog.
+            sync_units.sharpen_with_absint(
+                rp,
+                &effects,
+                &modref,
+                &callgraph,
+                mhp_typed.as_ref().unwrap_or(&mhp),
+                &absint,
+            );
+        }
         let database = ProgramDatabase::build(rp, &effects, &modref, types.as_ref());
         Analyses {
             effects,
@@ -225,6 +254,8 @@ impl Analyses {
             types,
             mhp_typed,
             typed_candidates,
+            absint,
+            absint_candidates,
         }
     }
 

@@ -1,0 +1,185 @@
+//! `--explain` pages for the stable lint diagnostic codes.
+//!
+//! Every code a registered pass can emit has a short page here:
+//! what the diagnostic means, which static analysis produced it, and
+//! what to do about it. `ppd lint --explain PPDnnn` prints the page;
+//! a test asserts the table and [`super::default_passes`] stay in sync.
+
+/// One explain page: the code and its documentation text.
+type Page = (&'static str, &'static str);
+
+/// The explain pages, in code order.
+const PAGES: &[Page] = &[
+    (
+        "PPD001",
+        "PPD001: race-candidate\n\
+         \n\
+         Two statements in different processes have intersecting static\n\
+         shared READ/WRITE sets with at least one write, computed from the\n\
+         per-statement effects and the interprocedural GMOD/GREF closures\n\
+         (paper §5.1). These are exactly the pairs the dynamic race\n\
+         detector (Definition 6.4) must examine at run time; every other\n\
+         pair is provably non-conflicting.\n\
+         \n\
+         A candidate is not yet a race — synchronization may order the two\n\
+         accesses on every schedule. Guard the accesses with a common\n\
+         semaphore/lock or a channel handoff to discharge the candidate.",
+    ),
+    (
+        "PPD002",
+        "PPD002: unsync-shared-access\n\
+         \n\
+         A shared-variable access is reachable from process entry without\n\
+         crossing any synchronization operation (P/V, lock, send/recv,\n\
+         rendezvous) on some path. Such an access can interleave with any\n\
+         concurrent conflicting access.\n\
+         \n\
+         Place the access after an acquisition, or make the variable\n\
+         process-local if it is not meant to be shared.",
+    ),
+    (
+        "PPD003",
+        "PPD003: dead-store\n\
+         \n\
+         A value assigned to a local variable is never read on any path\n\
+         (from the liveness dataflow solution). The store has no effect\n\
+         and usually signals a logic slip — a result computed but not\n\
+         used, or an overwritten update.\n\
+         \n\
+         Delete the assignment or use the value it produces.",
+    ),
+    (
+        "PPD004",
+        "PPD004: uninit-read\n\
+         \n\
+         A local variable is read while only its initializer-less\n\
+         declaration reaches it (from the reaching-definitions solution),\n\
+         so the read observes the implicit 0. If 0 is intended, write the\n\
+         initializer explicitly; otherwise assign before reading.",
+    ),
+    (
+        "PPD005",
+        "PPD005: inconsistent-lock\n\
+         \n\
+         A shared variable is reached under disjoint must-locksets on two\n\
+         paths the may-happen-in-parallel relation deems concurrent —\n\
+         different locks, or one side holding none. The locks then do not\n\
+         order the accesses and a race remains possible.\n\
+         \n\
+         Guard every access to the variable with the same lock.",
+    ),
+    (
+        "PPD006",
+        "PPD006: type-confused-shared\n\
+         \n\
+         A shared global is written at incompatible inferred types from\n\
+         different processes (each write is re-inferred with a fresh type\n\
+         variable, so this fires even when `ppd check` would reject the\n\
+         program). Readers cannot rely on what the variable holds.\n\
+         \n\
+         Give the variable one role, or split it into distinct variables.",
+    ),
+    (
+        "PPD007",
+        "PPD007: dead-channel\n\
+         \n\
+         A channel has no reachable sender, no reachable receiver, or no\n\
+         uses at all (under the checker's typed channel-parameter aliasing\n\
+         when the program type-checks). A receive from a never-sent\n\
+         channel blocks forever; a channel nobody touches is clutter.\n\
+         \n\
+         Wire up the missing endpoint or delete the channel.",
+    ),
+    (
+        "PPD008",
+        "PPD008: potential-deadlock\n\
+         \n\
+         A static wait-for-graph cycle among processes the\n\
+         may-happen-in-parallel relation deems concurrent. Two shapes are\n\
+         reported:\n\
+         \n\
+         - circular semaphore acquisition: a cycle in the acquires-while-\n\
+         \x20 holding order (e.g. one process takes `a` then `b`, another\n\
+         \x20 takes `b` then `a`), with one witness site per cycle edge;\n\
+         - mutually blocking message waits: two concurrent blocking\n\
+         \x20 receive/rendezvous/accept sites where each side's only\n\
+         \x20 unblockers are sequenced after the opposing wait.\n\
+         \n\
+         The analysis is conservative: programs that alias channels\n\
+         through variables suppress the channel-wait check rather than\n\
+         guess. Acquire semaphores in one global order, or make one side\n\
+         send before it receives, to break the cycle.",
+    ),
+    (
+        "PPD009",
+        "PPD009: out-of-bounds\n\
+         \n\
+         The abstract interpreter's index interval for an array access has\n\
+         a finite endpoint outside `0 ..= len-1` for the array's declared\n\
+         length, so some abstract execution indexes out of bounds and the\n\
+         access can trap at run time. Unbounded endpoints (an unknown\n\
+         input, a widened counter) are not reported — `⊤` means \"no\n\
+         information\", not \"out of range\".\n\
+         \n\
+         Tighten the loop bound or clamp the index before the access.",
+    ),
+    (
+        "PPD010",
+        "PPD010: constant-condition\n\
+         \n\
+         A non-literal `if`/`while`/`for` condition that the abstract\n\
+         interpreter proves constant: the test always takes the same arm,\n\
+         so either the test is redundant or one arm is dead code (the dead\n\
+         arm is pointed out in a note). Syntactic literals like\n\
+         `while (true)` are an explicit choice and are skipped.\n\
+         \n\
+         Remove the redundant test or fix the invariant it was meant to\n\
+         observe.",
+    ),
+];
+
+/// The explain page for `code`, if one is registered.
+pub fn explain(code: &str) -> Option<&'static str> {
+    PAGES.iter().find(|(c, _)| *c == code).map(|(_, text)| *text)
+}
+
+/// Every code with an explain page, in code order.
+pub fn explained_codes() -> Vec<&'static str> {
+    PAGES.iter().map(|(c, _)| *c).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::default_passes;
+
+    #[test]
+    fn every_registered_pass_has_an_explain_page() {
+        for pass in default_passes() {
+            let page = explain(pass.code());
+            assert!(page.is_some(), "pass `{}` ({}) has no explain page", pass.name(), pass.code());
+            let page = page.unwrap();
+            assert!(
+                page.starts_with(&format!("{}: {}", pass.code(), pass.name())),
+                "page for {} must open with `{}: {}`, got:\n{page}",
+                pass.code(),
+                pass.code(),
+                pass.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_explain_page_belongs_to_a_registered_pass() {
+        let registered: Vec<&str> = default_passes().iter().map(|p| p.code()).collect();
+        for code in explained_codes() {
+            assert!(registered.contains(&code), "explain page for unregistered code {code}");
+        }
+    }
+
+    #[test]
+    fn unknown_codes_have_no_page() {
+        assert!(explain("PPD999").is_none());
+        assert!(explain("TYP001").is_none(), "TYP codes live in ppd-lang");
+    }
+}

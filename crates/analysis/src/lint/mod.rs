@@ -29,23 +29,40 @@
 //! - **PPD007** `dead-channel` — a channel with no reachable sender, no
 //!   reachable receiver, or no uses at all, under the checker's typed
 //!   channel-parameter aliasing when the program type-checks.
+//! - **PPD008** `potential-deadlock` — circular semaphore acquisition
+//!   orders and mutually blocking message waits among MHP-concurrent
+//!   processes (a static wait-for-graph cycle check).
+//! - **PPD009** `out-of-bounds` — an array access whose inferred index
+//!   interval (from the abstract interpreter) has a finite endpoint
+//!   outside the declared bounds.
+//! - **PPD010** `constant-condition` — a non-literal `if`/`while`/`for`
+//!   condition the abstract interpreter proves constant, with the dead
+//!   arm pointed out.
 //!
 //! Diagnostics carry a code, severity, a primary [`Span`] and labeled
 //! notes; [`Diagnostic::render`] produces compiler-style excerpts via
 //! [`ppd_lang::diag`].
 
+mod bounds;
 pub mod candidates;
+mod const_cond;
 mod dead_channel;
 mod dead_store;
+mod deadlock;
+mod explain;
 mod inconsistent_lock;
 mod race_candidate;
 mod type_confusion;
 mod uninit_read;
 mod unsync_shared;
 
+pub use bounds::BoundsPass;
 pub use candidates::RaceCandidates;
+pub use const_cond::ConstCondPass;
 pub use dead_channel::DeadChannelPass;
 pub use dead_store::DeadStorePass;
+pub use deadlock::DeadlockPass;
+pub use explain::{explain, explained_codes};
 pub use inconsistent_lock::InconsistentLockPass;
 pub use race_candidate::RaceCandidatePass;
 pub use type_confusion::TypeConfusionPass;
@@ -193,6 +210,9 @@ pub fn default_passes() -> Vec<BoxedLintPass> {
         Box::new(InconsistentLockPass),
         Box::new(TypeConfusionPass),
         Box::new(DeadChannelPass),
+        Box::new(DeadlockPass),
+        Box::new(BoundsPass),
+        Box::new(ConstCondPass),
     ]
 }
 

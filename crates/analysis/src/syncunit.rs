@@ -217,6 +217,86 @@ impl SyncUnits {
         }
     }
 
+    /// Drops *array* variables from unit snapshot read sets when the
+    /// interval analysis proves every cross-process write lands outside
+    /// the unit's read regions.
+    ///
+    /// The extra prelog records `v` because another process may have
+    /// changed the elements the unit reads (§5.5). With element
+    /// granularity the condition sharpens: if for every write event
+    /// `(q, sw)` of `v` by a process different from an executor of the
+    /// unit's body, the write region of `sw` is disjoint from the join
+    /// of the unit's read regions of `v`, then the read elements' values
+    /// are determined by the e-block prelog and the executing process's
+    /// own (replayed) writes — the snapshot carries no information.
+    /// Replay safety is structural, exactly as in
+    /// [`SyncUnits::trim_with_mhp`].
+    pub fn sharpen_with_absint(
+        &mut self,
+        rp: &ResolvedProgram,
+        effects: &ProgramEffects,
+        modref: &ModRef,
+        callgraph: &CallGraph,
+        mhp: &MhpAnalysis,
+        absint: &crate::absint::AbsInt,
+    ) {
+        use crate::ranges::Interval;
+        let universe = rp.var_count();
+        // All events writing each shared array, with their regions.
+        let mut write_events: HashMap<VarId, Vec<(ProcId, Interval)>> = HashMap::new();
+        for &(p, s) in mhp.events() {
+            let (_, writes) = stmt_shared_accesses(rp, effects, modref, s);
+            for v in writes {
+                if rp.vars[v.index()].size.is_some() {
+                    write_events.entry(v).or_default().push((p, absint.write_region(v, s)));
+                }
+            }
+        }
+        let mut executors: HashMap<BodyId, Vec<ProcId>> = HashMap::new();
+        for p in 0..rp.procs.len() as u32 {
+            for body in callgraph.reachable_from(BodyId::Proc(ProcId(p))) {
+                executors.entry(body).or_default().push(ProcId(p));
+            }
+        }
+        for (&body, units) in &mut self.per_body {
+            let Some(execs) = executors.get(&body) else { continue };
+            for unit in &mut units.units {
+                let kept: Vec<VarId> = unit
+                    .reads
+                    .to_vec()
+                    .into_iter()
+                    .filter(|&v| {
+                        if rp.vars[v.index()].size.is_none() {
+                            return true; // scalars: intervals cannot help
+                        }
+                        // Join of the unit's read regions of `v`: its
+                        // own statements plus every statement of every
+                        // body its calls may reach (the closure the
+                        // unit's read set was built from).
+                        let mut region = Interval::BOT;
+                        for &s in &unit.stmts {
+                            region = region.join(absint.read_region(v, s));
+                            for &callee in &effects.of(s).calls {
+                                for b in callgraph.reachable_from(BodyId::Func(callee)) {
+                                    ppd_lang::ast::walk_stmts(rp.body_block(b), &mut |cs| {
+                                        region = region.join(absint.read_region(v, cs.id));
+                                    });
+                                }
+                            }
+                        }
+                        // Keep `v` only if some cross-process write may
+                        // land inside what the unit reads.
+                        write_events.get(&v).is_some_and(|ws| {
+                            ws.iter()
+                                .any(|&(q, w)| execs.iter().any(|&p| p != q) && !w.disjoint(region))
+                        })
+                    })
+                    .collect();
+                unit.reads = VarSet::from_iter(universe, kept);
+            }
+        }
+    }
+
     /// The units of `body`.
     pub fn of(&self, body: BodyId) -> &BodySyncUnits {
         &self.per_body[&body]

@@ -8,10 +8,10 @@ use crate::workloads::{self, Workload};
 use ppd_analysis::{BitVarSet, EBlockStrategy, ListVarSet, VarSetRepr};
 use ppd_core::Controller;
 use ppd_graph::{
-    detect_races_indexed, detect_races_indexed_counted, detect_races_mhp, detect_races_mhp_counted,
-    detect_races_naive, detect_races_naive_counted, detect_races_par, detect_races_pruned,
-    detect_races_pruned_counted, detect_races_typed, detect_races_typed_counted, TransitiveClosure,
-    VectorClocks,
+    detect_races_absint, detect_races_absint_counted, detect_races_indexed,
+    detect_races_indexed_counted, detect_races_mhp, detect_races_mhp_counted, detect_races_naive,
+    detect_races_naive_counted, detect_races_par, detect_races_pruned, detect_races_pruned_counted,
+    detect_races_typed, detect_races_typed_counted, TransitiveClosure, VectorClocks,
 };
 use ppd_lang::{BodyId, ProcId, VarId};
 use ppd_runtime::CountingTracer;
@@ -153,7 +153,8 @@ fn snapshot_values(logs: &ppd_log::LogStore) -> usize {
 
 /// E4 — the §7 concern: the cost of ordering events and of finding all
 /// conflicting edge pairs — naive vs indexed vs GMOD/GREF-pruned vs
-/// MHP-pruned — and closure vs vector clocks for the ordering oracle.
+/// MHP-pruned vs typed vs interval-pruned — and closure vs vector
+/// clocks for the ordering oracle.
 pub fn e4_race_detection() -> Table {
     let mut t = Table::new(
         "E4 — event ordering & all-pairs race detection (§7)",
@@ -167,7 +168,9 @@ pub fn e4_race_detection() -> Table {
             "pruned",
             "mhp",
             "typed",
-            "pairs n/i/p/m/t",
+            "absint",
+            "pairs n/i/p/m/t/a",
+            "cands g/m/t/a",
             "snap skipped",
         ],
     );
@@ -176,12 +179,15 @@ pub fn e4_race_detection() -> Table {
         .map(|(n, iters)| workloads::racy_workers(n, iters))
         .chain([workloads::handoff(2, 8), workloads::handoff(4, 8)])
         .chain([workloads::typed_pipeline(2, 6), workloads::typed_pipeline(4, 6)])
+        .chain([workloads::disjoint_sweep(2, 16), workloads::disjoint_sweep(4, 16)])
+        .chain([workloads::deadlock_pair()])
         .collect();
     for w in sweep {
         let session = w.prepare(EBlockStrategy::per_subroutine());
         let cands = &session.analyses().race_candidates;
         let mhp_cands = &session.analyses().mhp_candidates;
         let typed_cands = &session.analyses().typed_candidates;
+        let absint_cands = &session.analyses().absint_candidates;
         let exec = session.execute(w.config());
         let g = &exec.pgraph;
         let t_closure = median_of(REPS, || TransitiveClosure::compute(g));
@@ -191,14 +197,18 @@ pub fn e4_race_detection() -> Table {
         let t_pruned = median_of(REPS, || detect_races_pruned(g, &ord, cands));
         let t_mhp = median_of(REPS, || detect_races_mhp(g, &ord, mhp_cands));
         let t_typed = median_of(REPS, || detect_races_typed(g, &ord, typed_cands));
+        let t_absint = median_of(REPS, || detect_races_absint(g, &ord, absint_cands));
         let (races, naive_pairs) = detect_races_naive_counted(g, &ord);
         let (_, indexed_pairs) = detect_races_indexed_counted(g, &ord);
         let (pruned_races, pruned_pairs) = detect_races_pruned_counted(g, &ord, cands);
         let (mhp_races, mhp_pairs) = detect_races_mhp_counted(g, &ord, mhp_cands);
         let (typed_races, typed_pairs) = detect_races_typed_counted(g, &ord, typed_cands);
+        let (absint_races, absint_pairs) = detect_races_absint_counted(g, &ord, absint_cands);
         assert_eq!(races, pruned_races, "pruning changed the race set");
         assert_eq!(races, mhp_races, "MHP pruning changed the race set");
         assert_eq!(races, typed_races, "typed-channel pruning changed the race set");
+        assert_eq!(races, absint_races, "interval pruning changed the race set");
+        assert!(absint_pairs <= typed_pairs, "absint examined more pairs than typed");
         // Snapshot entries the MHP trim avoided: same program prepared
         // without the trim logs this many more (variable, value) pairs.
         let untrimmed = ppd_core::PpdSession::prepare_with(
@@ -222,18 +232,34 @@ pub fn e4_race_detection() -> Table {
             fmt_duration(t_pruned),
             fmt_duration(t_mhp),
             fmt_duration(t_typed),
-            format!("{naive_pairs}/{indexed_pairs}/{pruned_pairs}/{mhp_pairs}/{typed_pairs}"),
+            fmt_duration(t_absint),
+            format!(
+                "{naive_pairs}/{indexed_pairs}/{pruned_pairs}/{mhp_pairs}/{typed_pairs}/{absint_pairs}"
+            ),
+            format!(
+                "{}/{}/{}/{}",
+                cands.len(),
+                mhp_cands.len(),
+                typed_cands.len(),
+                absint_cands.len()
+            ),
             skipped.to_string(),
         ]);
     }
     t.note("closure/vclock: time to build the §6.1 happened-before oracle;");
-    t.note("naive/pruned/mhp/typed: all-pairs conflict scan vs the GMOD/GREF");
+    t.note("naive/pruned/mhp/typed/absint: all-pairs conflict scan vs the GMOD/GREF");
     t.note("race-candidate index (`ppd lint` PPD001) vs the same index refined by the");
     t.note("static may-happen-in-parallel fixpoint, then by per-payload-type channel");
-    t.note("sync groups from `ppd check`. pairs n/i/p/m/t: distinct cross-process edge");
-    t.note("pairs examined by naive / per-variable index / GMOD-GREF / MHP / typed —");
-    t.note("identical races every time. snap skipped: shared-snapshot values the");
-    t.note("MHP trim proved statically ordered and kept out of the logs.");
+    t.note("sync groups from `ppd check`, then by flow-sensitive interval analysis");
+    t.note("(element-granular array regions). pairs n/i/p/m/t/a: distinct cross-process");
+    t.note("edge pairs examined per stage — identical races every time. cands g/m/t/a:");
+    t.note("static candidate-index sizes after each filter; on the disjoint_* sweeps the");
+    t.note("interval stage proves the per-process array slices disjoint and empties the");
+    t.note("index, the static counterpart of the cell-granular dynamic scan. The");
+    t.note("deadlock row scans the partial graph of a deadlocked run (every schedule of");
+    t.note("the corpus receive cycle deadlocks; `ppd lint` reports it statically as");
+    t.note("PPD008). snap skipped: shared-snapshot values the MHP trim proved");
+    t.note("statically ordered and kept out of the logs.");
     t
 }
 

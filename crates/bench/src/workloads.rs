@@ -126,6 +126,39 @@ pub fn typed_pipeline(n: u32, iters: u32) -> Workload {
     Workload { name: format!("typed_pipe_{n}x{iters}"), source: src, inputs: vec![] }
 }
 
+/// Disjoint-slice array sweep for the E4 absint columns: `n` processes
+/// each write and re-read their own `per`-element slice of one shared
+/// array, then fold the slice into a per-process total printed at the
+/// end. GMOD/GREF, MHP and typed analysis all see `n` processes
+/// writing one array and keep every process pair as a candidate; the
+/// interval stage proves the per-process index regions pairwise
+/// disjoint and drops the array from the candidate index entirely —
+/// the `cands` column collapses while the race set (empty) is
+/// preserved.
+pub fn disjoint_sweep(n: u32, per: u32) -> Workload {
+    let len = n * per;
+    let mut src = format!("shared int a[{len}];\n");
+    for i in 0..n {
+        let lo = i * per;
+        let hi = (i + 1) * per;
+        src.push_str(&format!(
+            "process S{i} {{\n    int k;\n    int total = 0;\n    \
+             for (k = {lo}; k < {hi}; k = k + 1) {{ a[k] = k * 3 + {i}; }}\n    \
+             for (k = {lo}; k < {hi}; k = k + 1) {{ total = total + a[k]; }}\n    \
+             print(total);\n}}\n"
+        ));
+    }
+    Workload { name: format!("disjoint_{n}x{per}"), source: src, inputs: vec![] }
+}
+
+/// The corpus cross-mailbox receive cycle as an E4 workload: every
+/// schedule deadlocks, so the race scan runs over the partial dynamic
+/// graph of a deadlocked execution (and `ppd lint` flags the cycle
+/// statically as PPD008).
+pub fn deadlock_pair() -> Workload {
+    fixed("deadlock", corpus::DEADLOCK.source, vec![])
+}
+
 /// Deep-call workloads for the E6 flowback-latency sweep.
 pub fn deep_calls(depth: u32) -> Workload {
     Workload {
@@ -150,13 +183,40 @@ mod tests {
 
     #[test]
     fn generated_workloads_run() {
-        for w in
-            [loop_heavy(50), racy_workers(3, 4), deep_calls(6), handoff(2, 4), typed_pipeline(2, 3)]
-        {
+        for w in [
+            loop_heavy(50),
+            racy_workers(3, 4),
+            deep_calls(6),
+            handoff(2, 4),
+            typed_pipeline(2, 3),
+            disjoint_sweep(3, 8),
+        ] {
             let session = w.prepare(EBlockStrategy::per_subroutine());
             let exec = session.execute(w.config());
             assert!(exec.outcome.is_success(), "{}: {:?}", w.name, exec.outcome);
         }
+    }
+
+    #[test]
+    fn deadlock_pair_deadlocks_every_schedule() {
+        let w = deadlock_pair();
+        let session = w.prepare(EBlockStrategy::per_subroutine());
+        let exec = session.execute(w.config());
+        assert!(exec.outcome.is_deadlock(), "{}: {:?}", w.name, exec.outcome);
+    }
+
+    #[test]
+    fn disjoint_sweep_prunes_the_array_only_at_the_absint_stage() {
+        let w = disjoint_sweep(4, 16);
+        let session = w.prepare(EBlockStrategy::per_subroutine());
+        let a = session.analyses();
+        assert!(!a.typed_candidates.is_empty(), "the array must survive the typed stage");
+        assert!(
+            a.absint_candidates.len() < a.typed_candidates.len(),
+            "interval analysis must prove the slices disjoint ({} vs {})",
+            a.absint_candidates.len(),
+            a.typed_candidates.len()
+        );
     }
 
     #[test]

@@ -13,9 +13,7 @@ use crate::replay::{DebugStats, ReplayEngine};
 use crate::session::{Execution, PpdSession};
 use crate::PpdError;
 use ppd_analysis::VarSetRepr;
-use ppd_graph::{
-    detect_races_mhp, detect_races_par, DynEdgeKind, DynNodeId, DynamicGraph, Race, VectorClocks,
-};
+use ppd_graph::{detect_races_par, DynEdgeKind, DynNodeId, DynamicGraph, Race, VectorClocks};
 use ppd_lang::{ProcId, VarId};
 use ppd_log::{IntervalRef, LogEntry};
 use ppd_runtime::Outcome;
@@ -362,7 +360,9 @@ impl<'p> Controller<'p> {
         let best = g
             .internal_edges()
             .iter()
-            .filter(|e| e.proc != reader_proc && e.writes.contains(var))
+            .filter(|e| {
+                e.proc != reader_proc && e.writes.to_vec().into_iter().any(|c| g.owner_of(c) == var)
+            })
             .filter(|e| g.node(e.from).time <= upper)
             .max_by_key(|e| g.node(e.from).time)
             .ok_or_else(|| {
@@ -470,18 +470,20 @@ impl<'p> Controller<'p> {
 
     /// Race detection over the execution instance (§6.4), pruned by the
     /// static candidate index refined with the may-happen-in-parallel
-    /// relation (neither GMOD/GREF nor a static MHP ordering can miss a
-    /// dynamic race, so the pruned result equals the naive scan's).
+    /// relation, channel payload types, and interval analysis (none of
+    /// GMOD/GREF, a static MHP ordering, or a disjoint access-region
+    /// proof can miss a dynamic race, so the pruned result equals the
+    /// naive scan's).
     pub fn races(&self) -> Vec<RaceReport> {
         let _q = self.engine.query_timer();
         let g = &self.execution.pgraph;
         let ord = VectorClocks::compute(g);
-        let mhp = &self.session.analyses().mhp_candidates;
+        let cands = &self.session.analyses().absint_candidates;
         let jobs = self.engine.jobs();
         let races = if jobs > 1 {
-            detect_races_par(g, &ord, Some(mhp), jobs)
+            detect_races_par(g, &ord, Some(cands), jobs)
         } else {
-            detect_races_mhp(g, &ord, mhp)
+            ppd_graph::detect_races_absint(g, &ord, cands)
         };
         races
             .into_iter()
@@ -495,6 +497,27 @@ impl<'p> Controller<'p> {
     /// Whether this execution instance is race-free (Definition 6.4).
     pub fn is_race_free(&self) -> bool {
         self.races().is_empty()
+    }
+
+    /// The number of cross-process edge pairs each detector stage
+    /// examines on this execution, in pruning order: `naive` (every
+    /// conflicting pair), `indexed` (grouped by accessed cell),
+    /// `pruned` (GMOD/GREF candidates), `mhp` (MHP-refined), `typed`
+    /// (payload-class-refined), `absint` (interval-region-refined).
+    /// Every stage returns the same race set — the counts measure how
+    /// much work each static layer removes (`ppd races --stats`).
+    pub fn race_stage_pairs(&self) -> Vec<(&'static str, usize)> {
+        let g = &self.execution.pgraph;
+        let ord = VectorClocks::compute(g);
+        let a = self.session.analyses();
+        vec![
+            ("naive", ppd_graph::detect_races_naive_counted(g, &ord).1),
+            ("indexed", ppd_graph::detect_races_indexed_counted(g, &ord).1),
+            ("pruned", ppd_graph::detect_races_pruned_counted(g, &ord, &a.race_candidates).1),
+            ("mhp", ppd_graph::detect_races_mhp_counted(g, &ord, &a.mhp_candidates).1),
+            ("typed", ppd_graph::detect_races_typed_counted(g, &ord, &a.typed_candidates).1),
+            ("absint", ppd_graph::detect_races_absint_counted(g, &ord, &a.absint_candidates).1),
+        ]
     }
 
     /// Wait-for cycle analysis (§6: the parallel dynamic graph "can also

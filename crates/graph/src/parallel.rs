@@ -156,6 +156,12 @@ pub struct ParallelGraph {
     #[serde(skip)]
     open: Vec<Option<OpenEdge>>,
     universe: usize,
+    /// Element-granular cell table: for each cell id, the owning
+    /// variable and element index (`None` for scalar cells). Empty in
+    /// graphs recorded before cell granularity existed; then every
+    /// cell is its own owner.
+    #[serde(default)]
+    cells: Vec<(VarId, Option<u32>)>,
 }
 
 #[derive(Debug, Clone)]
@@ -170,6 +176,25 @@ impl ParallelGraph {
     /// An empty graph over a program with `universe` variables.
     pub fn new(universe: usize) -> Self {
         ParallelGraph { universe, ..Self::default() }
+    }
+
+    /// An empty graph over an element-granular cell space. `cells`
+    /// maps each cell id to its owning variable and element index
+    /// (see `ppd_lang::CellMap::table`); `universe` is `cells.len()`.
+    pub fn with_cells(universe: usize, cells: Vec<(VarId, Option<u32>)>) -> Self {
+        ParallelGraph { universe, cells, ..Self::default() }
+    }
+
+    /// The variable that owns `cell`. Falls back to the identity for
+    /// graphs without a cell table (every cell is a whole variable).
+    pub fn owner_of(&self, cell: VarId) -> VarId {
+        self.cells.get(cell.index()).map(|c| c.0).unwrap_or(cell)
+    }
+
+    /// The element index of an array cell; `None` for scalar cells
+    /// and for graphs without a cell table.
+    pub fn element_of(&self, cell: VarId) -> Option<u32> {
+        self.cells.get(cell.index()).and_then(|c| c.1)
     }
 
     /// Starts a process: creates its `ProcessStart` node and opens its

@@ -51,6 +51,10 @@ impl fmt::Display for ConflictKind {
 pub struct Race {
     /// The shared variable raced on.
     pub var: VarId,
+    /// The array element raced on, when the graph records accesses at
+    /// element granularity; `None` for scalars (and legacy graphs).
+    #[serde(default)]
+    pub elem: Option<u32>,
     /// One conflicting edge (the smaller id).
     pub first: InternalEdgeId,
     /// The other conflicting edge.
@@ -59,8 +63,10 @@ pub struct Race {
     pub kind: ConflictKind,
 }
 
-/// Checks Definition 6.3 for one pair of edges, returning every variable
-/// conflict between them (empty = race-free pair).
+/// Checks Definition 6.3 for one pair of edges, returning every
+/// conflicting **cell** between them (empty = race-free pair). Cells
+/// are whole variables for scalars and per-element ids for arrays in
+/// cell-granular graphs; map back with [`ParallelGraph::owner_of`].
 pub fn pair_conflicts(
     graph: &ParallelGraph,
     a: InternalEdgeId,
@@ -139,8 +145,14 @@ pub fn detect_races_naive_counted(graph: &ParallelGraph, ord: &dyn Ordering) -> 
                 continue;
             }
             if simultaneous(graph, ord, a, b) {
-                for (var, kind) in conflicts {
-                    races.push(Race { var, first: a, second: b, kind });
+                for (cell, kind) in conflicts {
+                    races.push(Race {
+                        var: graph.owner_of(cell),
+                        elem: graph.element_of(cell),
+                        first: a,
+                        second: b,
+                        kind,
+                    });
                 }
             }
         }
@@ -255,6 +267,37 @@ pub fn detect_races_typed_counted(
     scan_indexed(graph, ord, Some(typed_candidates), true)
 }
 
+/// The interval-pruned detector: the indexed scan restricted to the
+/// **abstract-interpretation-refined** candidate index
+/// ([`ppd_analysis::Analyses::absint_candidates`]) — the fourth static
+/// filter. Flow-sensitive interval analysis turns array accesses into
+/// `(array, index interval)` regions; a `(variable, process pair)`
+/// combination whose write region is provably disjoint from every
+/// cross-process access region is dropped. Interval soundness (every
+/// concrete index lies inside its static interval, property-tested in
+/// `ppd-analysis`) means a dropped combination can never conflict on a
+/// cell-granular graph, so the refinement chain
+/// `absint ⊆ typed ⊆ mhp ⊆ gmod/gref` preserves the result: still
+/// **identical** to [`detect_races_naive`] (asserted over the corpus
+/// and randomized schedules in `tests/prune.rs`).
+pub fn detect_races_absint(
+    graph: &ParallelGraph,
+    ord: &dyn Ordering,
+    absint_candidates: &RaceCandidates,
+) -> Vec<Race> {
+    scan_indexed(graph, ord, Some(absint_candidates), false).0
+}
+
+/// [`detect_races_absint`] plus the number of distinct cross-process
+/// edge pairs that survived all four static filters and were examined.
+pub fn detect_races_absint_counted(
+    graph: &ParallelGraph,
+    ord: &dyn Ordering,
+    absint_candidates: &RaceCandidates,
+) -> (Vec<Race>, usize) {
+    scan_indexed(graph, ord, Some(absint_candidates), true)
+}
+
 /// The parallel detector: the MHP/GMOD/GREF-surviving candidate pairs
 /// are partitioned into chunks and order-checked across a work-stealing
 /// pool of `jobs` threads ([`rayon`]); per-chunk results are merged and
@@ -340,7 +383,8 @@ fn collect_candidate_pairs(
         }
     }
     let mut out = Vec::new();
-    for (&var, ws) in &writers {
+    for (&cell, ws) in &writers {
+        let (var, elem) = (graph.owner_of(cell), graph.element_of(cell));
         for i in 0..ws.len() {
             for j in (i + 1)..ws.len() {
                 let (a, b) = (ws[i], ws[j]);
@@ -353,11 +397,11 @@ fn collect_candidate_pairs(
                 }
                 let (first, second) = if a < b { (a, b) } else { (b, a) };
                 out.push(CandidatePair {
-                    race: Race { var, first, second, kind: ConflictKind::WriteWrite },
+                    race: Race { var, elem, first, second, kind: ConflictKind::WriteWrite },
                 });
             }
         }
-        if let Some(rs) = readers.get(&var) {
+        if let Some(rs) = readers.get(&cell) {
             for &w in ws {
                 for &r in rs {
                     if w == r {
@@ -367,12 +411,12 @@ fn collect_candidate_pairs(
                     if pw == pr || candidates.is_some_and(|c| !c.allows(var, pw, pr)) {
                         continue;
                     }
-                    if graph.internal_edge(r).writes.contains(var) {
+                    if graph.internal_edge(r).writes.contains(cell) {
                         continue;
                     }
                     let (first, second) = if w < r { (w, r) } else { (r, w) };
                     out.push(CandidatePair {
-                        race: Race { var, first, second, kind: ConflictKind::ReadWrite },
+                        race: Race { var, elem, first, second, kind: ConflictKind::ReadWrite },
                     });
                 }
             }
@@ -391,11 +435,12 @@ pub fn candidates_from_graph(graph: &ParallelGraph) -> RaceCandidates {
     let mut accessor_procs: HashMap<VarId, Vec<ppd_lang::ProcId>> = HashMap::new();
     for e in graph.internal_edges() {
         for v in e.writes.to_vec() {
-            writer_procs.entry(v).or_default().push(e.proc);
-            accessor_procs.entry(v).or_default().push(e.proc);
+            let owner = graph.owner_of(v);
+            writer_procs.entry(owner).or_default().push(e.proc);
+            accessor_procs.entry(owner).or_default().push(e.proc);
         }
         for v in e.reads.to_vec() {
-            accessor_procs.entry(v).or_default().push(e.proc);
+            accessor_procs.entry(graph.owner_of(v)).or_default().push(e.proc);
         }
     }
     let mut out = RaceCandidates::new();
@@ -438,7 +483,10 @@ fn scan_indexed(
             examined.insert(if a < b { (a, b) } else { (b, a) });
         }
     };
-    for (&var, ws) in &writers {
+    for (&cell, ws) in &writers {
+        // The static candidate index is keyed by declared variables, so
+        // array-element cells are filtered through their owner.
+        let (var, elem) = (graph.owner_of(cell), graph.element_of(cell));
         // write/write pairs
         for i in 0..ws.len() {
             for j in (i + 1)..ws.len() {
@@ -453,13 +501,13 @@ fn scan_indexed(
                 note(&mut examined, a, b);
                 if simultaneous(graph, ord, a, b) {
                     let (first, second) = if a < b { (a, b) } else { (b, a) };
-                    races.push(Race { var, first, second, kind: ConflictKind::WriteWrite });
+                    races.push(Race { var, elem, first, second, kind: ConflictKind::WriteWrite });
                 }
             }
         }
-        // read/write pairs; a reader that also writes the variable is
+        // read/write pairs; a reader that also writes the cell is
         // already covered by the write/write loop above.
-        if let Some(rs) = readers.get(&var) {
+        if let Some(rs) = readers.get(&cell) {
             for &w in ws {
                 for &r in rs {
                     if w == r {
@@ -469,13 +517,19 @@ fn scan_indexed(
                     if pw == pr || candidates.is_some_and(|c| !c.allows(var, pw, pr)) {
                         continue;
                     }
-                    if graph.internal_edge(r).writes.contains(var) {
+                    if graph.internal_edge(r).writes.contains(cell) {
                         continue;
                     }
                     note(&mut examined, w, r);
                     if simultaneous(graph, ord, w, r) {
                         let (first, second) = if w < r { (w, r) } else { (r, w) };
-                        races.push(Race { var, first, second, kind: ConflictKind::ReadWrite });
+                        races.push(Race {
+                            var,
+                            elem,
+                            first,
+                            second,
+                            kind: ConflictKind::ReadWrite,
+                        });
                     }
                 }
             }
@@ -495,10 +549,14 @@ pub fn is_race_free(graph: &ParallelGraph, ord: &dyn Ordering) -> bool {
 pub fn describe_race(graph: &ParallelGraph, rp: &ppd_lang::ResolvedProgram, race: &Race) -> String {
     let e1 = graph.internal_edge(race.first);
     let e2 = graph.internal_edge(race.second);
+    let target = match race.elem {
+        Some(i) => format!("{}[{i}]", rp.var_name(race.var)),
+        None => rp.var_name(race.var).to_string(),
+    };
     format!(
         "{} race on `{}` between {} (process {}) and {} (process {})",
         race.kind,
-        rp.var_name(race.var),
+        target,
         race.first,
         rp.proc_name(e1.proc),
         race.second,

@@ -1,0 +1,106 @@
+//! Element-granular cell numbering for dynamic access recording.
+//!
+//! The dynamic graph records which memory *cells* each edge reads and
+//! writes. Historically a cell was a whole variable ([`VarId`]), which
+//! made any two accesses to an array conflict even when they touch
+//! provably different elements. A [`CellMap`] extends the `VarId` index
+//! space so every array element gets its own cell:
+//!
+//! - a scalar keeps its own `VarId` as its (only) cell;
+//! - an array `a` with declared length `n` gets `n` cells appended
+//!   after `var_count` — one per element — while `a`'s own slot stays
+//!   unused (all runtime array accesses carry a concrete index).
+//!
+//! Cell ids share the `VarId` type so the existing `VarSet` machinery
+//! works unchanged; [`CellMap::owner`] maps a cell back to the declared
+//! variable and [`CellMap::element`] recovers the element index.
+
+use crate::resolve::{ResolvedProgram, VarId};
+
+/// The scalar/array-element cell layout of one program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellMap {
+    /// First cell id of each array variable (undefined for scalars).
+    base: Vec<u32>,
+    /// For each cell: the owning variable and the element index
+    /// (`None` for scalar cells).
+    cells: Vec<(VarId, Option<u32>)>,
+}
+
+impl CellMap {
+    /// Builds the layout for `rp`.
+    pub fn new(rp: &ResolvedProgram) -> CellMap {
+        let var_count = rp.var_count();
+        let mut base = vec![0u32; var_count];
+        let mut cells: Vec<(VarId, Option<u32>)> =
+            (0..var_count as u32).map(|i| (VarId(i), None)).collect();
+        for (i, info) in rp.vars.iter().enumerate() {
+            if let Some(n) = info.size {
+                base[i] = cells.len() as u32;
+                cells.extend((0..n as u32).map(|e| (VarId(i as u32), Some(e))));
+            }
+        }
+        CellMap { base, cells }
+    }
+
+    /// Total number of cells (the universe size for dynamic var sets).
+    pub fn total(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The cell of `var` at `index` (`None` for scalar accesses).
+    pub fn cell(&self, var: VarId, index: Option<usize>) -> VarId {
+        match index {
+            Some(i) => VarId(self.base[var.index()] + i as u32),
+            None => var,
+        }
+    }
+
+    /// The variable a cell belongs to.
+    pub fn owner(&self, cell: VarId) -> VarId {
+        self.cells[cell.index()].0
+    }
+
+    /// The element index of an array cell (`None` for scalar cells).
+    pub fn element(&self, cell: VarId) -> Option<u32> {
+        self.cells[cell.index()].1
+    }
+
+    /// The `(owner, element)` table, cell-indexed — the dynamic graph
+    /// stores a copy so race scans can resolve cells without the
+    /// program.
+    pub fn table(&self) -> Vec<(VarId, Option<u32>)> {
+        self.cells.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    #[test]
+    fn scalars_keep_their_var_id() {
+        let rp = compile("shared int g; shared int h; process M { g = h; }").unwrap();
+        let cm = CellMap::new(&rp);
+        let g = rp.shared_vars().next().unwrap();
+        assert_eq!(cm.cell(g, None), g);
+        assert_eq!(cm.owner(g), g);
+        assert_eq!(cm.element(g), None);
+    }
+
+    #[test]
+    fn array_elements_get_distinct_cells() {
+        let rp = compile("shared int a[3]; shared int g; process M { a[0] = g; }").unwrap();
+        let cm = CellMap::new(&rp);
+        let a = rp.shared_vars().find(|&v| rp.vars[v.index()].size.is_some()).unwrap();
+        assert_eq!(cm.total(), rp.var_count() + 3);
+        let c0 = cm.cell(a, Some(0));
+        let c2 = cm.cell(a, Some(2));
+        assert_ne!(c0, c2);
+        assert!(c0.index() >= rp.var_count());
+        assert_eq!(cm.owner(c0), a);
+        assert_eq!(cm.owner(c2), a);
+        assert_eq!(cm.element(c2), Some(2));
+    }
+}

@@ -372,6 +372,32 @@ process PhilB {
     may_deadlock: true,
 };
 
+/// The classic receive-receive cycle: two processes each wait for the
+/// other's greeting before sending their own, so every schedule parks
+/// both on their mailboxes. `ppd lint` reports the cycle statically as
+/// PPD008 (the wait-for graph over MHP-concurrent blocking waits), and
+/// bench E4 runs it to exercise the race scan over the partial dynamic
+/// graph a deadlocked execution leaves behind.
+pub const DEADLOCK: CorpusProgram = CorpusProgram {
+    name: "deadlock",
+    description: "cross-mailbox receive cycle (deadlocks every schedule; PPD008)",
+    source: r#"
+process Ping {
+    int greeting;
+    recv(greeting);
+    send(Pong, greeting + 1);
+}
+
+process Pong {
+    int greeting;
+    recv(greeting);
+    send(Ping, greeting + 1);
+}
+"#,
+    has_race: false,
+    may_deadlock: true,
+};
+
 /// A ring of three processes passing a token with blocking messages.
 pub const TOKEN_RING: CorpusProgram = CorpusProgram {
     name: "token_ring",
@@ -728,6 +754,7 @@ pub fn all() -> Vec<CorpusProgram> {
         BANK,
         BANK_RACY,
         DINING_PHILOSOPHERS,
+        DEADLOCK,
         TOKEN_RING,
         QUICKSORT,
         MATMUL,

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod cells;
 pub mod corpus;
 pub mod diag;
 pub mod error;
@@ -52,6 +53,7 @@ pub use ast::{
     BinOp, Block, Expr, ExprId, ExprKind, FuncDecl, GlobalDecl, Ident, Item, LValue, ProcessDecl,
     Program, SemDecl, SemKind, Stmt, StmtId, StmtKind, SyncStmt, UnOp,
 };
+pub use cells::CellMap;
 pub use diag::SourceFile;
 pub use error::{LangError, LangErrorKind};
 pub use parser::parse;

@@ -134,6 +134,55 @@ impl fmt::Display for TypeError {
     }
 }
 
+/// The `--explain` pages for the checker's stable diagnostic codes, in
+/// code order. A test asserts every [`TypeErrorKind`] code has one.
+const EXPLAIN_PAGES: &[(&str, &str)] = &[
+    (
+        "TYP001",
+        "TYP001: type mismatch\n\
+         \n\
+         Two sides of an inference constraint have incompatible types —\n\
+         an `int` where a `bool` is required, a scalar where an array is,\n\
+         or two channel payloads that disagree. The checker unifies the\n\
+         types it can see (paper-style Hindley-Milner over `int`, `bool`,\n\
+         arrays and channel payloads); the reported location is where the\n\
+         conflicting constraint arose. Unsolved parts render as `?`.\n\
+         \n\
+         Make both sides agree, or split the variable/channel into two\n\
+         with distinct roles.",
+    ),
+    (
+        "TYP002",
+        "TYP002: infinite type\n\
+         \n\
+         The occurs check failed: the only solution to a constraint would\n\
+         be a type containing itself (e.g. `send(q, q)` forces channel\n\
+         `q` to carry its own payload type). No finite type satisfies\n\
+         that, so inference stops here.\n\
+         \n\
+         Send a value, not the channel itself (or a different channel).",
+    ),
+    (
+        "TYP003",
+        "TYP003: scalar required\n\
+         \n\
+         A construct that consumes a single value — a condition, an\n\
+         `assert`, a `print` argument, a logical operand — received a\n\
+         non-scalar (an array or a channel). Index the array or receive\n\
+         from the channel to obtain the scalar first.",
+    ),
+];
+
+/// The `--explain` page for checker code `code`, if one exists.
+pub fn explain(code: &str) -> Option<&'static str> {
+    EXPLAIN_PAGES.iter().find(|(c, _)| *c == code).map(|(_, text)| *text)
+}
+
+/// Every checker code with an explain page, in code order.
+pub fn explained_codes() -> Vec<&'static str> {
+    EXPLAIN_PAGES.iter().map(|(c, _)| *c).collect()
+}
+
 /// The zonked result of a successful (or best-effort) inference run.
 ///
 /// Unsolved type variables default to `int`, so every entry is concrete.
@@ -858,6 +907,25 @@ mod tests {
     fn bool_int_mismatch_in_arith() {
         let tc = check_src("process P { int x = true + 1; }");
         assert_eq!(codes(&tc), vec!["TYP001"]);
+    }
+
+    #[test]
+    fn every_checker_code_has_an_explain_page() {
+        let kinds = [
+            TypeErrorKind::Mismatch { expected: "int".into(), found: "bool".into() },
+            TypeErrorKind::InfiniteType { ty: "chan<?0>".into() },
+            TypeErrorKind::NotScalar { found: "int[]".into(), context: "condition" },
+        ];
+        let mut codes = Vec::new();
+        for kind in kinds {
+            let e = TypeError { kind, span: Span::DUMMY };
+            let page = explain(e.code());
+            assert!(page.is_some(), "{} has no explain page", e.code());
+            assert!(page.unwrap().starts_with(e.code()), "page must open with its code");
+            codes.push(e.code());
+        }
+        assert_eq!(explained_codes(), codes, "no orphan explain pages");
+        assert!(explain("TYP999").is_none());
     }
 
     #[test]

@@ -25,7 +25,7 @@ use crate::sched::{Scheduler, SchedulerSpec};
 use ppd_analysis::{Analyses, EBlockId, EBlockPlan, Region, VarSet, VarSetRepr};
 use ppd_graph::parallel::{ParallelGraph, SyncEdgeLabel, SyncNodeId, SyncNodeKind};
 use ppd_lang::ast::*;
-use ppd_lang::{BodyId, ChanId, ChanRef, FuncId, ProcId, ResolvedProgram, Value, VarId};
+use ppd_lang::{BodyId, CellMap, ChanId, ChanRef, FuncId, ProcId, ResolvedProgram, Value, VarId};
 use ppd_log::{IntervalRef, LogCursor, LogEntry, LogStore};
 use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
@@ -344,6 +344,10 @@ pub struct Machine<'p> {
     replay_root: Option<ppd_lang::StmtId>,
     breakpoints: Vec<ppd_lang::StmtId>,
     hit_breakpoint: Option<(ProcId, ppd_lang::StmtId)>,
+    /// Element-granular cell layout: the parallel graph records array
+    /// accesses per element so race scans can distinguish `a[0]` from
+    /// `a[1]`.
+    cells: CellMap,
     clock: u64,
     steps: u64,
     max_steps: u64,
@@ -378,6 +382,7 @@ impl<'p> Machine<'p> {
                 Err(e) => sink_error = Some(format!("cannot create log sink: {e}")),
             }
         }
+        let cells = CellMap::new(rp);
         let mut m = Machine {
             rp,
             analyses,
@@ -391,7 +396,10 @@ impl<'p> Machine<'p> {
             scheduler: config.scheduler.build(),
             inputs,
             output: Vec::new(),
-            pgraph: config.build_parallel_graph.then(|| ParallelGraph::new(rp.var_count())),
+            pgraph: config
+                .build_parallel_graph
+                .then(|| ParallelGraph::with_cells(cells.total(), cells.table())),
+            cells,
             logs: plan.map(|_| LogStore::new(nprocs)),
             eb_counters: vec![HashMap::new(); nprocs],
             replay: None,
@@ -504,6 +512,7 @@ impl<'p> Machine<'p> {
             inputs: Vec::new(),
             output: Vec::new(),
             pgraph: None,
+            cells: CellMap::new(rp),
             logs: None,
             eb_counters: Vec::new(),
             replay: Some(ReplayState { cursor: store.cursor_at(interval), nested, what_if: false }),
@@ -1925,8 +1934,9 @@ impl<'p> Machine<'p> {
         let cell = CellRef { var, index: index.map(|i| i as usize) };
         self.frame_mut(pid).pending_reads.push(ReadSource::Cell(cell));
         if shared && !self.is_replay() {
+            let c = self.cells.cell(var, cell.index);
             if let Some(g) = self.pgraph.as_mut() {
-                g.record_read(pid, var);
+                g.record_read(pid, c);
             }
         }
         Ok(value)
@@ -1943,8 +1953,9 @@ impl<'p> Machine<'p> {
         if shared {
             write_value(&mut self.shared[var.index()], index, value)?;
             if !self.is_replay() {
+                let c = self.cells.cell(var, index.map(|i| i as usize));
                 if let Some(g) = self.pgraph.as_mut() {
-                    g.record_write(pid, var);
+                    g.record_write(pid, c);
                 }
             }
         } else {

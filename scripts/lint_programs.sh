@@ -13,13 +13,40 @@
 #
 # Any drift — a new diagnostic, a documented one disappearing, or a
 # program that stops type-checking — fails the script, so both
-# allowlists are forced to stay in sync with the analyses.
+# allowlists are forced to stay in sync with the analyses. Before the
+# per-program gates, both allowlists are themselves validated: an entry
+# naming a program that no longer exists, or a diagnostic code the lint
+# registry does not know (`ppd lint --explain` is the oracle), fails
+# the script — stale allowlist lines cannot silently rot.
 set -u
 
 PPD=${PPD:-target/debug/ppd}
 ALLOW=programs/lint-allow.txt
 CHECK_ALLOW=programs/check-allow.txt
 fail=0
+
+# --- allowlist hygiene ---------------------------------------------------
+while IFS= read -r line; do
+    case "$line" in ''|\#*) continue ;; esac
+    prog=${line%%:*}
+    if [ ! -f "programs/$prog" ]; then
+        echo "FAIL $ALLOW: stale entry for missing program $prog" >&2
+        fail=1
+    fi
+    for code in $(printf '%s' "${line#*:}" | tr ',' ' '); do
+        if ! "$PPD" lint --explain "$code" >/dev/null 2>&1; then
+            echo "FAIL $ALLOW: unknown diagnostic code $code (entry for $prog)" >&2
+            fail=1
+        fi
+    done
+done < "$ALLOW"
+while IFS= read -r line; do
+    case "$line" in ''|\#*) continue ;; esac
+    if [ ! -f "programs/$line" ]; then
+        echo "FAIL $CHECK_ALLOW: stale entry for missing program $line" >&2
+        fail=1
+    fi
+done < "$CHECK_ALLOW"
 
 for f in programs/*.ppd; do
     name=$(basename "$f")

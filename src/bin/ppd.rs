@@ -19,13 +19,19 @@
 //!   --strategy S        e-blocks: subroutine | loops | split | merge
 //!   --what W            dot target: static | parallel | dynamic
 //!   --deny              lint: exit nonzero on any diagnostic, not just errors
+//!   --explain CODE      lint/check: print the documentation page for a
+//!                       stable diagnostic code (PPDnnn / TYPnnn) and
+//!                       exit; no file operand is needed
 //!   --format F          check/lint output: text (default) | json | sarif
 //!   --no-check          lint/debug: proceed even if `ppd check` reports
 //!                       type errors (they gate both commands by default)
 //!   --stats             debug: print replay-engine counters (cache hits,
 //!                       replays, query timings) after the session; with
 //!                       `--format json`, emit the raw metrics registry
-//!                       as a JSON snapshot instead of the table
+//!                       as a JSON snapshot instead of the table.
+//!                       races: also print, per schedule, how many edge
+//!                       pairs each detector stage examined (naive →
+//!                       indexed → pruned → mhp → typed → absint)
 //!   --trace-out FILE    record hierarchical spans from every layer
 //!                       (runtime logging, log codec, replay, cache,
 //!                       race scan, lint passes, pool workers) and write
@@ -65,6 +71,7 @@ struct Options {
     save: Option<String>,
     load: Option<String>,
     deny: bool,
+    explain: Option<String>,
     no_check: bool,
     format: String,
     stats: bool,
@@ -85,7 +92,8 @@ fn usage() -> ExitCode {
          [--seed N] [--inputs a,b,c]... [--break LINE]... \
          [--strategy subroutine|loops|split|merge] [--what static|parallel|dynamic] \
          [--schedules N] [--save FILE] [--load FILE] \
-         [--deny] [--no-check] [--format text|json|sarif] [--stats] [--trace-out FILE] [--jobs N] \
+         [--deny] [--explain CODE] [--no-check] [--format text|json|sarif] [--stats] \
+         [--trace-out FILE] [--jobs N] \
          [--log-dir DIR] [--segment-bytes N]\n       \
          ppd log <pack|inspect|verify> ... (see ppd log --help)"
     );
@@ -94,7 +102,19 @@ fn usage() -> ExitCode {
 
 fn parse_args(mut args: impl Iterator<Item = String>) -> Result<(String, Options), String> {
     let cmd = args.next().ok_or("missing command")?;
-    let file = args.next().ok_or("missing file")?;
+    // `ppd lint --explain PPDnnn` takes no file operand: when the
+    // operand position holds a flag, re-process it as one and leave the
+    // file empty (`main` rejects the empty file unless `--explain` ran).
+    let mut deferred_flag = None;
+    let file = match args.next() {
+        Some(f) if f.starts_with("--") => {
+            deferred_flag = Some(f);
+            String::new()
+        }
+        Some(f) => f,
+        None => return Err("missing file".into()),
+    };
+    let mut args = deferred_flag.into_iter().chain(args);
     let mut opts = Options {
         file,
         scheduler: SchedulerSpec::RoundRobin,
@@ -106,6 +126,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<(String, Options
         save: None,
         load: None,
         deny: false,
+        explain: None,
         no_check: false,
         format: "text".into(),
         stats: false,
@@ -145,6 +166,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<(String, Options
             "--save" => opts.save = Some(value()?),
             "--load" => opts.load = Some(value()?),
             "--deny" => opts.deny = true,
+            "--explain" => opts.explain = Some(value()?),
             "--no-check" => opts.no_check = true,
             "--format" => opts.format = value()?,
             "--stats" => opts.stats = true,
@@ -177,6 +199,13 @@ fn main() -> ExitCode {
             return usage();
         }
     };
+    if let Some(code) = &opts.explain {
+        return cmd_explain(&cmd, code);
+    }
+    if opts.file.is_empty() {
+        eprintln!("error: missing file");
+        return usage();
+    }
     let source = match std::fs::read_to_string(&opts.file) {
         Ok(s) => s,
         Err(e) => {
@@ -226,6 +255,33 @@ fn main() -> ExitCode {
         }
     }
     code
+}
+
+/// `ppd lint --explain PPDnnn` / `ppd check --explain TYPnnn`: prints
+/// the documentation page for a stable diagnostic code. Exit 2 on a
+/// command that has no codes, 1 on an unknown code.
+fn cmd_explain(cmd: &str, code: &str) -> ExitCode {
+    let (page, known) = match cmd {
+        "lint" => (ppd::analysis::lint::explain(code), ppd::analysis::lint::explained_codes()),
+        "check" => (ppd::lang::types::explain(code), ppd::lang::types::explained_codes()),
+        _ => {
+            eprintln!(
+                "error: --explain applies to `ppd lint` (PPDnnn codes) \
+                 and `ppd check` (TYPnnn codes)"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match page {
+        Some(text) => {
+            println!("{text}");
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("error: no documentation page for `{code}` (known: {})", known.join(", "));
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn run_config(session: &PpdSession, opts: &Options) -> RunConfig {
@@ -425,6 +481,17 @@ fn cmd_lint(session: &PpdSession, opts: &Options, source: &str) -> ExitCode {
             } else {
                 println!("lint: {warnings} warning(s), {errors} error(s)");
             }
+            // The static race-candidate prune chain: each stage is a
+            // subset of the previous one, and the dynamic detector only
+            // ever examines combinations surviving the last stage.
+            let a = session.analyses();
+            println!(
+                "candidates: {} gmod/gref -> {} mhp -> {} typed -> {} absint",
+                a.race_candidates.len(),
+                a.mhp_candidates.len(),
+                a.typed_candidates.len(),
+                a.absint_candidates.len()
+            );
         }
         "json" => match diags_json(&diags, &file) {
             Ok(json) => println!("{json}"),
@@ -621,6 +688,16 @@ fn cmd_races(session: &PpdSession, opts: &Options) -> ExitCode {
             for r in races {
                 println!("    {}", r.description);
             }
+        }
+        if opts.stats {
+            // Every stage finds the identical race set; the counts show
+            // how many edge pairs each static pruning layer removed.
+            let stages: Vec<String> = controller
+                .race_stage_pairs()
+                .iter()
+                .map(|(name, pairs)| format!("{name} {pairs}"))
+                .collect();
+            println!("    pairs examined: {}", stages.join(" -> "));
         }
     }
     if any {

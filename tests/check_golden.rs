@@ -161,3 +161,26 @@ fn unknown_check_format_is_rejected() {
     assert!(!ok);
     assert!(stderr.contains("unknown --format"), "{stderr}");
 }
+
+#[test]
+fn explain_prints_a_page_for_every_checker_code() {
+    for code in ["TYP001", "TYP002", "TYP003"] {
+        let (stdout, stderr, ok) = run_ppd(&["check", "--explain", code]);
+        assert!(ok, "{code}: {stderr}");
+        assert!(stdout.starts_with(&format!("{code}: ")), "{code} page must lead with the code");
+    }
+}
+
+#[test]
+fn explain_rejects_unknown_checker_codes_and_commands() {
+    let (_, stderr, ok) = run_ppd(&["check", "--explain", "TYP999"]);
+    assert!(!ok);
+    assert!(stderr.contains("TYP999"), "{stderr}");
+    // Lint codes are not checker codes (and vice versa).
+    let (_, _, crossed) = run_ppd(&["check", "--explain", "PPD001"]);
+    assert!(!crossed, "PPD codes belong to `ppd lint`");
+    // Commands without diagnostic codes reject the flag outright.
+    let (_, stderr, ok) = run_ppd(&["races", "--explain", "PPD001"]);
+    assert!(!ok);
+    assert!(stderr.contains("--explain"), "{stderr}");
+}

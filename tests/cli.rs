@@ -45,7 +45,7 @@ fn run_succeeds_with_good_input() {
 fn races_detects_the_bank_race_and_exits_nonzero() {
     let (stdout, _, ok) = run_ppd(&["races", "programs/bank.ppd", "--schedules", "3"]);
     assert!(!ok);
-    assert!(stdout.contains("write/write race on `accounts`"), "{stdout}");
+    assert!(stdout.contains("write/write race on `accounts[0]`"), "{stdout}");
 }
 
 #[test]

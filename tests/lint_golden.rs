@@ -74,6 +74,90 @@ fn phils_lint_human() {
 }
 
 #[test]
+fn deadlock_lint_human() {
+    // The cross-mailbox wait cycle: PPD008 with the opposing wait as a
+    // related location, on a program with no shared-memory diagnostics.
+    let (stdout, _, ok) = run_ppd(&["lint", "programs/deadlock.ppd"]);
+    assert!(ok, "PPD008 is a warning and must not fail without --deny");
+    assert!(stdout.contains("warning[PPD008]"), "{stdout}");
+    assert!(stdout.contains("the opposing wait"), "{stdout}");
+    check_golden("deadlock.lint.txt", &stdout);
+}
+
+#[test]
+fn deadlock_lint_json() {
+    let (stdout, _, _) = run_ppd(&["lint", "programs/deadlock.ppd", "--format", "json"]);
+    check_golden("deadlock.lint.json", &stdout);
+}
+
+#[test]
+fn deadlock_lint_sarif() {
+    let (stdout, _, _) = run_ppd(&["lint", "programs/deadlock.ppd", "--format", "sarif"]);
+    assert!(stdout.contains("PPD008"), "{stdout}");
+    check_golden("deadlock.lint.sarif", &stdout);
+}
+
+#[test]
+fn bounds_lint_human() {
+    // The off-by-one flush: PPD009 pins the refined index range and the
+    // declaration site.
+    let (stdout, _, ok) = run_ppd(&["lint", "programs/bounds.ppd"]);
+    assert!(ok);
+    assert!(stdout.contains("warning[PPD009]"), "{stdout}");
+    assert!(stdout.contains("hist[8]"), "{stdout}");
+    check_golden("bounds.lint.txt", &stdout);
+}
+
+#[test]
+fn bounds_lint_json() {
+    let (stdout, _, _) = run_ppd(&["lint", "programs/bounds.ppd", "--format", "json"]);
+    check_golden("bounds.lint.json", &stdout);
+}
+
+#[test]
+fn constcond_lint_human() {
+    // All three PPD010 shapes: dead else, dead loop body, redundant test.
+    let (stdout, _, ok) = run_ppd(&["lint", "tests/fixtures/constcond.ppd"]);
+    assert!(ok);
+    assert!(stdout.contains("always true"), "{stdout}");
+    assert!(stdout.contains("always false"), "{stdout}");
+    check_golden("constcond.lint.txt", &stdout);
+}
+
+#[test]
+fn constcond_lint_json() {
+    let (stdout, _, _) = run_ppd(&["lint", "tests/fixtures/constcond.ppd", "--format", "json"]);
+    assert_eq!(stdout.matches("\"code\": \"PPD010\"").count(), 3, "{stdout}");
+    check_golden("constcond.lint.json", &stdout);
+}
+
+#[test]
+fn constcond_lint_sarif() {
+    let (stdout, _, _) = run_ppd(&["lint", "tests/fixtures/constcond.ppd", "--format", "sarif"]);
+    check_golden("constcond.lint.sarif", &stdout);
+}
+
+#[test]
+fn explain_prints_a_page_for_every_lint_code() {
+    for code in [
+        "PPD001", "PPD002", "PPD003", "PPD004", "PPD005", "PPD006", "PPD007", "PPD008", "PPD009",
+        "PPD010",
+    ] {
+        let (stdout, stderr, ok) = run_ppd(&["lint", "--explain", code]);
+        assert!(ok, "{code}: {stderr}");
+        assert!(stdout.starts_with(&format!("{code}: ")), "{code} page must lead with the code");
+    }
+}
+
+#[test]
+fn explain_rejects_unknown_codes() {
+    let (_, stderr, ok) = run_ppd(&["lint", "--explain", "PPD999"]);
+    assert!(!ok);
+    assert!(stderr.contains("PPD999"), "{stderr}");
+    assert!(stderr.contains("known:"), "the error must list the known codes: {stderr}");
+}
+
+#[test]
 fn lintdemo_exercises_every_pass() {
     let (stdout, _, ok) = run_ppd(&["lint", "programs/lintdemo.ppd"]);
     assert!(!ok, "PPD004 is an error and must fail the lint");

@@ -47,8 +47,14 @@ fn workloads() -> Vec<(String, PpdSession, RunConfig)> {
         let source = std::fs::read_to_string(&path).expect("program reads");
         let session = PpdSession::prepare(&source, EBlockStrategy::per_subroutine())
             .expect("programs/ compiles");
-        // overdraw.ppd reads one input (the CLI demos pass `--inputs 95`).
-        let inputs = if name == "overdraw" { vec![vec![95]] } else { vec![] };
+        // overdraw.ppd reads one input (the CLI demos pass `--inputs 95`);
+        // bounds.ppd's sampler probes one input (3 stays in bounds, so
+        // the run completes and every interval replays cleanly).
+        let inputs = match name.as_str() {
+            "overdraw" => vec![vec![95]],
+            "bounds" => vec![vec![3]],
+            _ => vec![],
+        };
         out.push((name, session, RunConfig { inputs, ..RunConfig::default() }));
     }
     out
