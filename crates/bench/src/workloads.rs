@@ -151,6 +151,50 @@ pub fn disjoint_sweep(n: u32, per: u32) -> Workload {
     Workload { name: format!("disjoint_{n}x{per}"), source: src, inputs: vec![] }
 }
 
+/// Shared-array stencil whose per-iteration intervals each carry a
+/// whole-array snapshot (the paper's §7 whole-array mode): one
+/// process smooths a `cells`-wide grid for `iters` sweeps while a
+/// checker samples it. Under a loop-splitting e-block strategy every
+/// sweep is its own interval, so consecutive postlogs snapshot
+/// near-identical array state — the log shape where E10's block
+/// compression pays (>= 2x), unlike scalar-only counter logs.
+pub fn stencil_state(cells: u32, iters: u32) -> Workload {
+    let last = cells - 1;
+    let mid = cells / 2;
+    let src = format!(
+        "shared int grid[{cells}];\n\
+         process Smoother {{\n    int it;\n    int j;\n    \
+         grid[0] = 100;\n    grid[{last}] = 50;\n    \
+         for (it = 0; it < {iters}; it = it + 1) {{\n        \
+         for (j = 1; j < {last}; j = j + 1) {{ grid[j] = (grid[j - 1] + grid[j + 1]) / 2; }}\n    \
+         }}\n    print(grid[{mid}]);\n}}\n\
+         process Checker {{\n    int it;\n    int s;\n    \
+         for (it = 0; it < {iters}; it = it + 1) {{ s = s + grid[it % {cells}]; }}\n    \
+         print(s);\n}}\n"
+    );
+    Workload { name: format!("stencil_{cells}x{iters}"), source: src, inputs: vec![] }
+}
+
+/// Multi-process shared-histogram rounds, the second E10 compression
+/// gate workload: `n` processes each fold `rounds` rounds of updates
+/// into their own `per`-element slice of one shared array, one
+/// interval per round under loop splitting, each snapshotting the
+/// slowly-evolving histogram.
+pub fn histogram_rounds(n: u32, per: u32, rounds: u32) -> Workload {
+    let len = n * per;
+    let mut src = format!("shared int hist[{len}];\n");
+    for i in 0..n {
+        let base = i * per;
+        src.push_str(&format!(
+            "process H{i} {{\n    int r;\n    int k;\n    \
+             for (r = 0; r < {rounds}; r = r + 1) {{\n        \
+             for (k = 0; k < {per}; k = k + 1) {{ hist[{base} + k] = hist[{base} + k] + (k % 7); }}\n    \
+             }}\n    print(hist[{base}]);\n}}\n"
+        ));
+    }
+    Workload { name: format!("hist_{n}x{per}x{rounds}"), source: src, inputs: vec![] }
+}
+
 /// The corpus cross-mailbox receive cycle as an E4 workload: every
 /// schedule deadlocks, so the race scan runs over the partial dynamic
 /// graph of a deadlocked execution (and `ppd lint` flags the cycle

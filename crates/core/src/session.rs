@@ -127,7 +127,23 @@ impl Execution {
         dir: &std::path::Path,
         segment_bytes: usize,
     ) -> Result<ppd_log::SinkReport, PpdError> {
-        let report = self.logs.write_dir(dir, segment_bytes)?;
+        self.save_dir_with(dir, segment_bytes, ppd_log::SegmentFormat::default())
+    }
+
+    /// [`save_dir`](Self::save_dir) with an explicit segment payload
+    /// format — [`ppd_log::SegmentFormat::V2Compressed`] for
+    /// `--compress` stores.
+    ///
+    /// # Errors
+    ///
+    /// As [`save_dir`](Self::save_dir).
+    pub fn save_dir_with(
+        &self,
+        dir: &std::path::Path,
+        segment_bytes: usize,
+        format: ppd_log::SegmentFormat,
+    ) -> Result<ppd_log::SinkReport, PpdError> {
+        let report = self.logs.write_dir_with(dir, segment_bytes, format)?;
         let record = RunRecord {
             outcome: self.outcome.clone(),
             output: self.output.clone(),
@@ -163,6 +179,21 @@ impl Execution {
             steps: record.steps,
             config: record.config,
         })
+    }
+
+    /// Re-opens this execution's log directory in place, picking up
+    /// segments (and live-tail entries) a still-running program has
+    /// appended since [`load_dir`](Self::load_dir): sealed segments
+    /// already loaded are reused, tail scans resume from their
+    /// high-water marks, and a built interval index is extended rather
+    /// than rebuilt. Returns `None` when the logs are in-memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpdError::Store`] if the directory can no longer be
+    /// opened.
+    pub fn refresh_logs(&mut self) -> Result<Option<ppd_log::RefreshStats>, PpdError> {
+        Ok(self.logs.refresh()?)
     }
 }
 
@@ -299,9 +330,28 @@ impl PpdSession {
         dir: &std::path::Path,
         segment_bytes: usize,
     ) -> Result<Execution, PpdError> {
+        self.execute_streaming_with(config, dir, segment_bytes, false)
+    }
+
+    /// [`execute_streaming`](Self::execute_streaming) with block
+    /// compression toggled: when `compress` is set, the sink seals
+    /// ~256 KiB payload blocks through the LZ77 compressor as the
+    /// program runs, so the store never exists uncompressed on disk.
+    ///
+    /// # Errors
+    ///
+    /// As [`execute_streaming`](Self::execute_streaming).
+    pub fn execute_streaming_with(
+        &self,
+        config: RunConfig,
+        dir: &std::path::Path,
+        segment_bytes: usize,
+        compress: bool,
+    ) -> Result<Execution, PpdError> {
         let mut exec = config.to_exec(true);
         exec.log_dir = Some(dir.to_path_buf());
         exec.segment_bytes = segment_bytes;
+        exec.compress = compress;
         let machine = Machine::new(&self.rp, &self.analyses, Some(&self.plan), exec);
         let result = machine.run(&mut NullTracer);
         if let Some(e) = result.sink_error {
@@ -439,6 +489,54 @@ mod tests {
         // The sidecar makes the directory self-contained.
         let reloaded = Execution::load_dir(&dir).unwrap();
         assert_eq!(reloaded.output, mem.output);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compressed_streaming_matches_raw_run() {
+        let session = PpdSession::prepare(
+            ppd_lang::corpus::PRODUCER_CONSUMER.source,
+            EBlockStrategy::per_subroutine(),
+        )
+        .unwrap();
+        let mem = session.execute(RunConfig::default());
+        let dir = std::env::temp_dir().join(format!("ppd-session-zstream-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let streamed =
+            session.execute_streaming_with(RunConfig::default(), &dir, 256, true).unwrap();
+        assert!(streamed.logs.is_segmented());
+        let seg = streamed.logs.segmented().unwrap();
+        assert!(
+            seg.segments(ppd_lang::ProcId(0)).all(|s| s.version == 2),
+            "compressed streaming writes v2 segments"
+        );
+        assert_eq!(streamed.outcome, mem.outcome);
+        for p in 0..mem.logs.process_count() {
+            let p = ProcId(p as u32);
+            assert_eq!(streamed.logs.log(p), mem.logs.log(p), "identical entries for {p:?}");
+            assert_eq!(streamed.logs.intervals(p), mem.logs.intervals(p));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn refresh_logs_is_a_noop_for_memory_and_cheap_for_dirs() {
+        let session = PpdSession::prepare(
+            ppd_lang::corpus::PRODUCER_CONSUMER.source,
+            EBlockStrategy::per_subroutine(),
+        )
+        .unwrap();
+        let mut mem = session.execute(RunConfig::default());
+        assert!(mem.refresh_logs().unwrap().is_none());
+        let dir = std::env::temp_dir().join(format!("ppd-session-refresh-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        mem.save_dir(&dir, 512).unwrap();
+        let mut loaded = Execution::load_dir(&dir).unwrap();
+        let before = loaded.logs.total_entries();
+        let stats = loaded.refresh_logs().unwrap().expect("segment-backed");
+        assert_eq!(stats.segments_parsed, 0, "unchanged dir reuses every sealed segment");
+        assert!(stats.segments_reused > 0);
+        assert_eq!(loaded.logs.total_entries(), before);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -14,7 +14,7 @@
 
 use crate::entry::LogEntry;
 use crate::index::IntervalIndex;
-use crate::segment::{SegError, SegmentedLog, SinkReport, KIND_NAMES};
+use crate::segment::{RefreshStats, SegError, SegmentFormat, SegmentedLog, SinkReport, KIND_NAMES};
 use ppd_analysis::EBlockId;
 use ppd_lang::ProcId;
 use serde::{Content, DeError, Deserialize, Serialize};
@@ -142,6 +142,41 @@ impl LogStore {
     /// be written.
     pub fn write_dir(&self, dir: &Path, segment_bytes: usize) -> Result<SinkReport, SegError> {
         crate::segment::write_store(self, dir, segment_bytes)
+    }
+
+    /// [`write_dir`](Self::write_dir) with an explicit payload format
+    /// (`ppd log pack --compress` writes
+    /// [`SegmentFormat::V2Compressed`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`write_dir`](Self::write_dir).
+    pub fn write_dir_with(
+        &self,
+        dir: &Path,
+        segment_bytes: usize,
+        format: SegmentFormat,
+    ) -> Result<SinkReport, SegError> {
+        crate::segment::write_store_with(self, dir, segment_bytes, format)
+    }
+
+    /// Re-opens a segment-backed store's directory in place — cheap when
+    /// a still-running program has appended since the last open: sealed
+    /// segments are reused by `(proc, seq)`, a previously recovered live
+    /// tail resumes scanning from its high-water mark, and a cached
+    /// interval index is extended with only the new events. A no-op for
+    /// in-memory stores (returns `None`).
+    ///
+    /// # Errors
+    ///
+    /// As [`open_dir`](Self::open_dir).
+    pub fn refresh(&mut self) -> Result<Option<RefreshStats>, SegError> {
+        let Repr::Seg(seg) = &self.repr else { return Ok(None) };
+        let fresh = seg.refresh()?;
+        let stats = fresh.refresh_stats().copied();
+        self.repr = Repr::Seg(Arc::new(fresh));
+        self.index.take();
+        Ok(stats)
     }
 
     /// The segmented backing, if this store was opened from a log

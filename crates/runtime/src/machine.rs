@@ -60,6 +60,11 @@ pub struct ExecConfig {
     /// Segment capacity in payload bytes for [`log_dir`](Self::log_dir)
     /// streaming; `0` uses [`ppd_log::DEFAULT_SEGMENT_BYTES`].
     pub segment_bytes: usize,
+    /// Compress streamed segment payloads block-by-block as they are
+    /// sealed ([`ppd_log::SegmentFormat::V2Compressed`]); off writes
+    /// raw-escape v2 frames. Only meaningful with
+    /// [`log_dir`](Self::log_dir).
+    pub compress: bool,
 }
 
 impl Default for ExecConfig {
@@ -73,6 +78,7 @@ impl Default for ExecConfig {
             meter_logging: false,
             log_dir: None,
             segment_bytes: 0,
+            compress: false,
         }
     }
 }
@@ -377,7 +383,12 @@ impl<'p> Machine<'p> {
         let mut sink = None;
         let mut sink_error = None;
         if let (Some(dir), true) = (config.log_dir.as_deref(), plan.is_some()) {
-            match ppd_log::SegmentWriter::create(dir, nprocs, config.segment_bytes) {
+            let format = if config.compress {
+                ppd_log::SegmentFormat::V2Compressed
+            } else {
+                ppd_log::SegmentFormat::default()
+            };
+            match ppd_log::SegmentWriter::create_with(dir, nprocs, config.segment_bytes, format) {
                 Ok(w) => sink = Some(w),
                 Err(e) => sink_error = Some(format!("cannot create log sink: {e}")),
             }

@@ -47,6 +47,10 @@
 //!                       bit-identical to the in-memory path)
 //!   --segment-bytes N   segment payload capacity for --log-dir and
 //!                       `ppd log pack` (default 65536)
+//!   --compress          run/debug/races/`ppd log pack`: compress segment
+//!                       payloads block-by-block (LZ77 frames, ~256 KiB
+//!                       blocks) as they are sealed; queries decompress
+//!                       only the blocks they touch
 //!
 //! interactive debug commands include `stats` (counters so far) and
 //! `stats reset` (zero them, keeping cached traces warm, to measure a
@@ -79,6 +83,7 @@ struct Options {
     jobs: usize,
     log_dir: Option<String>,
     segment_bytes: usize,
+    compress: bool,
 }
 
 /// Default `--jobs`: every hardware thread the host will give us.
@@ -94,7 +99,7 @@ fn usage() -> ExitCode {
          [--schedules N] [--save FILE] [--load FILE] \
          [--deny] [--explain CODE] [--no-check] [--format text|json|sarif] [--stats] \
          [--trace-out FILE] [--jobs N] \
-         [--log-dir DIR] [--segment-bytes N]\n       \
+         [--log-dir DIR] [--segment-bytes N] [--compress]\n       \
          ppd log <pack|inspect|verify> ... (see ppd log --help)"
     );
     ExitCode::from(2)
@@ -134,6 +139,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<(String, Options
         jobs: default_jobs(),
         log_dir: None,
         segment_bytes: 0,
+        compress: false,
     };
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("{flag} needs a value"));
@@ -180,6 +186,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<(String, Options
                 opts.segment_bytes =
                     value()?.parse().map_err(|_| "--segment-bytes wants a number")?;
             }
+            "--compress" => opts.compress = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -567,7 +574,12 @@ fn cmd_run(session: &PpdSession, opts: &Options, verbose: bool) -> (Execution, E
                 }
             }
         }
-        match session.execute_streaming(run_config(session, opts), dir, opts.segment_bytes) {
+        match session.execute_streaming_with(
+            run_config(session, opts),
+            dir,
+            opts.segment_bytes,
+            opts.compress,
+        ) {
             Ok(execution) => {
                 if verbose {
                     println!("logs streamed to {}", dir.display());
@@ -667,7 +679,7 @@ fn cmd_races(session: &PpdSession, opts: &Options) -> ExitCode {
         let execution = match &opts.log_dir {
             Some(dir) => {
                 let sub = std::path::Path::new(dir).join(format!("seed-{seed}"));
-                match session.execute_streaming(cfg, &sub, opts.segment_bytes) {
+                match session.execute_streaming_with(cfg, &sub, opts.segment_bytes, opts.compress) {
                     Ok(e) => e,
                     Err(e) => {
                         eprintln!("error: cannot stream logs to {}: {e}", sub.display());
@@ -763,7 +775,11 @@ fn cmd_debug(session: &PpdSession, opts: &Options) -> ExitCode {
     }
     if opts.stats {
         // Non-interactive runs (stdin closed) still see the counters for
-        // the initial query before the REPL exits.
+        // the initial query before the REPL exits — and any log-recovery
+        // warnings from an unsealed (crashed or still-running) store.
+        for w in execution.logs.recovery_warnings() {
+            println!("recovery: {w}");
+        }
         println!("\nreplay-engine stats after initial query:\n{}", render_stats(&controller, opts));
     }
     println!(
@@ -858,7 +874,7 @@ fn render_stats(controller: &Controller<'_>, opts: &Options) -> String {
 fn log_usage() -> ExitCode {
     eprintln!(
         "usage: ppd log pack <file.ppd|saved.json> <dir> \
-         [--seed N] [--inputs a,b,c]... [--strategy S] [--segment-bytes N]\n       \
+         [--seed N] [--inputs a,b,c]... [--strategy S] [--segment-bytes N] [--compress]\n       \
          ppd log inspect <dir>\n       \
          ppd log verify <dir>"
     );
@@ -892,6 +908,7 @@ fn cmd_log_pack(mut args: impl Iterator<Item = String>) -> ExitCode {
     let mut inputs: Vec<Vec<i64>> = Vec::new();
     let mut strategy = EBlockStrategy::per_subroutine();
     let mut segment_bytes = 0usize;
+    let mut compress = false;
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or_else(|| format!("{flag} needs a value"));
         let parsed = (|| -> Result<(), String> {
@@ -918,6 +935,7 @@ fn cmd_log_pack(mut args: impl Iterator<Item = String>) -> ExitCode {
                     segment_bytes =
                         value()?.parse().map_err(|_| "--segment-bytes wants a number")?;
                 }
+                "--compress" => compress = true,
                 other => return Err(format!("unknown flag `{other}`")),
             }
             Ok(())
@@ -941,7 +959,12 @@ fn cmd_log_pack(mut args: impl Iterator<Item = String>) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        return match execution.save_dir(dir, segment_bytes) {
+        let format = if compress {
+            ppd::log::SegmentFormat::V2Compressed
+        } else {
+            ppd::log::SegmentFormat::default()
+        };
+        return match execution.save_dir_with(dir, segment_bytes, format) {
             Ok(report) => {
                 println!(
                     "packed {} entries into {} segment(s), {} bytes, at {}",
@@ -973,7 +996,7 @@ fn cmd_log_pack(mut args: impl Iterator<Item = String>) -> ExitCode {
         }
     };
     let config = RunConfig { scheduler, inputs, ..RunConfig::default() };
-    match session.execute_streaming(config, dir, segment_bytes) {
+    match session.execute_streaming_with(config, dir, segment_bytes, compress) {
         Ok(execution) => {
             let seg = execution.logs.segmented().expect("streamed store is segment-backed");
             println!(
@@ -1026,12 +1049,38 @@ fn cmd_log_inspect(dir: &str) -> ExitCode {
         .map(|(k, n)| format!("{k} {n}"))
         .collect();
     println!("entries by kind: {}", kinds.join(", "));
+    let (payload, stored) = (seg.total_payload_bytes(), seg.total_stored_bytes());
+    if stored > 0 && stored != payload {
+        println!(
+            "compression: {payload} payload bytes stored as {stored} ({:.2}x)",
+            payload as f64 / stored as f64
+        );
+    }
+    if seg.recovered_entries() > 0 {
+        println!("recovered: {} entries from unsealed tail segment(s)", seg.recovered_entries());
+    }
     for p in 0..seg.process_count() {
         let proc = ppd::lang::ProcId(p as u32);
         for m in seg.segments(proc) {
+            let blocks = match m.block_count() {
+                0 => String::new(),
+                n => format!(
+                    " in {} stored ({:.2}x, {n} block(s))",
+                    m.stored_len,
+                    m.payload_len as f64 / (m.stored_len.max(1)) as f64
+                ),
+            };
             println!(
-                "  {}: base seq {}, {} entries, {} payload bytes, time {}..{}",
-                m.file, m.base_seq, m.entry_count, m.payload_len, m.min_time, m.max_time
+                "  {}: v{}, base seq {}, {} entries, {} payload bytes{blocks}, time {}..{}",
+                m.file, m.version, m.base_seq, m.entry_count, m.payload_len, m.min_time, m.max_time
+            );
+        }
+        if let Some(t) = seg.recovered_tail(proc) {
+            println!(
+                "  {}: unsealed tail, {} entries recovered ({})",
+                t.file(),
+                t.entry_count(),
+                t.detail()
             );
         }
     }

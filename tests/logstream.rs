@@ -15,10 +15,17 @@ use common::Gen;
 use ppd::analysis::EBlockStrategy;
 use ppd::core::{Controller, Execution, PpdSession, RunConfig};
 use ppd::lang::{corpus, ProcId};
-use ppd::log::IntervalIndex;
+use ppd::log::{IntervalIndex, LogStore, SegmentFormat, SegmentWriter};
 use ppd::runtime::SchedulerSpec;
 use proptest::prelude::*;
 use std::path::{Path, PathBuf};
+
+/// Every on-disk payload layout the store can read.
+const FORMATS: [(&str, SegmentFormat); 3] = [
+    ("v1", SegmentFormat::V1),
+    ("v2raw", SegmentFormat::V2Raw),
+    ("v2z", SegmentFormat::V2Compressed),
+];
 
 /// Fresh per-test store directory under the system temp dir.
 fn tmp_dir(name: &str) -> PathBuf {
@@ -261,6 +268,174 @@ fn truncated_tail_still_loads_with_warning() {
         assert!(got.len() <= full.len(), "proc {p}");
         assert_eq!(got.as_slice(), &full[..got.len()], "proc {p} is not a prefix");
     }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Bit-identical query transcripts across raw v1, raw v2 and compressed
+/// v2 stores of the same execution: the payload layout must never leak
+/// into a debugger answer.
+#[test]
+fn transcripts_identical_across_v1_v2raw_and_v2_compressed() {
+    for (name, session, config) in workloads() {
+        let execution = session.execute(config);
+        let base = transcript(&session, &execution);
+        for (tag, format) in FORMATS {
+            let dir = tmp_dir(&format!("fmt-{tag}-{name}"));
+            execution.save_dir_with(&dir, SEG_BYTES, format).expect("save_dir_with succeeds");
+            let loaded = Execution::load_dir(&dir).expect("load_dir succeeds");
+            for p in 0..execution.logs.process_count() {
+                let pid = ProcId(p as u32);
+                assert_eq!(
+                    loaded.logs.log(pid).entries,
+                    execution.logs.log(pid).entries,
+                    "{name}/{tag}: proc {p} entries diverged"
+                );
+            }
+            assert_eq!(
+                base,
+                transcript(&session, &loaded),
+                "{name}/{tag}: transcript diverged from in-memory"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// Live-tail recovery parity: a writer that flushed but never sealed
+/// (the still-running-program shape) leaves only unsealed tails, and the
+/// recovered store answers every query identically in all three formats.
+#[test]
+fn recovered_live_tails_answer_queries_identically_across_formats() {
+    let session = PpdSession::prepare(corpus::QUICKSORT.source, EBlockStrategy::per_subroutine())
+        .expect("corpus program compiles");
+    let execution = session.execute(RunConfig::default());
+    let base = transcript(&session, &execution);
+    let nprocs = execution.logs.process_count();
+    for (tag, format) in FORMATS {
+        let dir = tmp_dir(&format!("live-{tag}"));
+        let mut w = SegmentWriter::create_with(&dir, nprocs, 1 << 20, format)
+            .expect("writer creates")
+            .with_block_bytes(64);
+        for p in 0..nprocs {
+            let pid = ProcId(p as u32);
+            for e in &execution.logs.log(pid).entries {
+                w.append(pid, e);
+            }
+        }
+        w.flush(); // flushed, never sealed: every segment is a live tail
+        drop(w);
+        let logs = LogStore::open_dir(&dir).expect("live store opens");
+        let seg = logs.segmented().expect("segment-backed").clone();
+        assert_eq!(
+            seg.recovered_entries(),
+            execution.logs.total_entries() as u64,
+            "{tag}: every flushed entry is recoverable"
+        );
+        assert!(!logs.recovery_warnings().is_empty(), "{tag}: recovery warns");
+        let recovered = Execution {
+            outcome: execution.outcome.clone(),
+            output: execution.output.clone(),
+            logs,
+            pgraph: execution.pgraph.clone(),
+            steps: execution.steps,
+            config: execution.config.clone(),
+        };
+        assert_eq!(
+            base,
+            transcript(&session, &recovered),
+            "{tag}: recovered-tail transcript diverged from in-memory"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Truncating a compressed v2 segment mid-block (inside a stored frame)
+/// and at a frame boundary both recover an exact prefix of the
+/// in-memory log — never garbage, never a non-prefix.
+#[test]
+fn compressed_truncation_recovers_exact_prefix() {
+    let session = PpdSession::prepare(corpus::QUICKSORT.source, EBlockStrategy::per_subroutine())
+        .expect("corpus program compiles");
+    let execution = session.execute(RunConfig::default());
+    let nprocs = execution.logs.process_count();
+    // The victim: the process with the most entries.
+    let victim_proc =
+        (0..nprocs).max_by_key(|&p| execution.logs.log(ProcId(p as u32)).entries.len()).unwrap();
+    for cut_mid_frame in [true, false] {
+        // One big segment per process, framed into many tiny blocks so
+        // the cut lands well inside the frame sequence.
+        let dir = tmp_dir(&format!("zcut-{cut_mid_frame}"));
+        let mut w = SegmentWriter::create_with(&dir, nprocs, 1 << 20, SegmentFormat::V2Compressed)
+            .expect("writer creates")
+            .with_block_bytes(64);
+        for p in 0..nprocs {
+            let pid = ProcId(p as u32);
+            for e in &execution.logs.log(pid).entries {
+                w.append(pid, e);
+            }
+        }
+        w.finish().expect("finish seals");
+        let probe = ppd::log::SegmentedLog::open(&dir).expect("probe opens");
+        let meta = probe.segments(ProcId(victim_proc as u32)).next().expect("one segment").clone();
+        assert!(meta.block_count() >= 3, "expected many small frames, got {}", meta.block_count());
+        let block = meta.blocks().last().copied().expect("blocks");
+        drop(probe);
+        // Cut inside the last stored frame (mid-block), or exactly at
+        // its start (a frame boundary, splitting the record stream
+        // mid-record sequence): both must drop that frame's entries
+        // and keep every earlier one.
+        let cut = meta.payload_start()
+            + block.stored_off as usize
+            + if cut_mid_frame { (block.stored_len as usize) / 2 } else { 0 };
+        let victim = dir.join(&meta.file);
+        let bytes = std::fs::read(&victim).unwrap();
+        assert!(cut < bytes.len());
+        std::fs::write(&victim, &bytes[..cut]).unwrap();
+        let loaded = LogStore::open_dir(&dir).expect("truncated store recovers");
+        let seg = loaded.segmented().expect("segment-backed").clone();
+        assert_eq!(seg.warnings().len(), 1, "{:?}", seg.warnings());
+        let got = &loaded.log(ProcId(victim_proc as u32)).entries;
+        let full = &execution.logs.log(ProcId(victim_proc as u32)).entries;
+        assert!(!got.is_empty(), "earlier frames must survive the cut");
+        assert!(got.len() < full.len(), "truncation must lose the cut frame's entries");
+        assert_eq!(got.as_slice(), &full[..got.len()], "recovered tail is not a prefix");
+        // Untouched processes stay complete.
+        for p in 0..nprocs {
+            if p != victim_proc {
+                let pid = ProcId(p as u32);
+                assert_eq!(loaded.log(pid).entries, execution.logs.log(pid).entries);
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Regression: a directory whose manifest lists a process that has no
+/// segment files at all must fail with a positioned store error, not
+/// panic or silently produce an empty log.
+#[test]
+fn zero_segment_process_is_a_positioned_store_error() {
+    let session =
+        PpdSession::prepare(corpus::PRODUCER_CONSUMER.source, EBlockStrategy::per_subroutine())
+            .expect("corpus program compiles");
+    let execution = session.execute(RunConfig::default());
+    let dir = tmp_dir("zero-seg");
+    execution.save_dir(&dir, SEG_BYTES).expect("save_dir succeeds");
+    let victim = execution.logs.process_count() - 1;
+    let prefix = format!("p{victim:04}-");
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let name = entry.as_ref().unwrap().file_name().to_string_lossy().into_owned();
+        if name.starts_with(&prefix) && name.ends_with(".seg") {
+            std::fs::remove_file(entry.unwrap().path()).unwrap();
+        }
+    }
+    let err = Execution::load_dir(&dir).expect_err("missing process must be an error");
+    assert!(matches!(err, ppd::core::PpdError::Store(_)), "wrong error kind: {err:?}");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("no segment files") && msg.contains(&format!("process {victim}")),
+        "unpositioned error: {msg}"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

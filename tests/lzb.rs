@@ -1,0 +1,155 @@
+//! Property suite for the vendored `lzb` block compressor that segment
+//! format v2 frames its payloads with.
+//!
+//! Round-trip fidelity over adversarial input shapes (random,
+//! all-zero, repetitive, incompressible), the framing overhead bound,
+//! and rejection of damaged frames: every truncation and every
+//! single-byte corruption must fail with a *positioned* error — the
+//! store's recovery scan depends on a damaged frame never decoding to
+//! plausible garbage.
+
+use lzb::{compress, decompress, decompress_into, frame_sizes, LzbError, MAX_FRAME_OVERHEAD};
+use proptest::prelude::*;
+
+/// Deterministic xorshift bytes: effectively incompressible input.
+fn noise(seed: u64, len: usize) -> Vec<u8> {
+    let mut s = seed | 1;
+    (0..len)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 24) as u8
+        })
+        .collect()
+}
+
+fn assert_round_trip(input: &[u8]) {
+    let frame = compress(input);
+    assert!(
+        frame.len() <= input.len() + MAX_FRAME_OVERHEAD,
+        "frame for {} bytes expanded to {} (> input + MAX_FRAME_OVERHEAD)",
+        input.len(),
+        frame.len()
+    );
+    let (uncomp, total) = frame_sizes(&frame).expect("well-formed frame");
+    assert_eq!(total, frame.len(), "frame_sizes sees the whole frame");
+    assert_eq!(uncomp, input.len());
+    let back = decompress(&frame).expect("round trip decodes");
+    assert_eq!(back, input, "round trip must be lossless");
+}
+
+#[test]
+fn fixed_shapes_round_trip() {
+    assert_round_trip(b"");
+    assert_round_trip(b"a");
+    assert_round_trip(b"abcd");
+    assert_round_trip(&[0u8; 100_000]);
+    assert_round_trip(&b"the quick brown fox ".repeat(5_000));
+    assert_round_trip(&noise(42, 100_000));
+    // Compressible shapes actually compress.
+    assert!(compress(&[0u8; 100_000]).len() < 1_000, "zeros compress hard");
+    assert!(compress(&b"abcabcabc".repeat(10_000)).len() < 10_000, "repeats compress");
+}
+
+#[test]
+fn decompress_into_appends_and_reports_consumed_bytes() {
+    let a = b"first block first block first block".to_vec();
+    let b = noise(7, 300);
+    let mut frames = compress(&a);
+    frames.extend_from_slice(&compress(&b));
+    let mut out = Vec::new();
+    let used = decompress_into(&frames, &mut out).expect("first frame decodes");
+    assert_eq!(out, a);
+    let used2 = decompress_into(&frames[used..], &mut out).expect("second frame decodes");
+    assert_eq!(used + used2, frames.len());
+    assert_eq!(&out[a.len()..], &b[..], "second frame appended after the first");
+}
+
+/// Every proper prefix of a frame is rejected, and the reported offset
+/// points inside (or just past) the prefix we handed in.
+fn assert_truncations_rejected(input: &[u8]) {
+    let frame = compress(input);
+    // Sample prefixes densely at the edges, sparsely in the middle.
+    let len = frame.len();
+    let cuts: Vec<usize> = (0..len.min(8))
+        .chain((8..len).step_by((len / 37).max(1)))
+        .chain(len.saturating_sub(6)..len)
+        .collect();
+    for cut in cuts {
+        let mut out = Vec::new();
+        let e: LzbError =
+            decompress_into(&frame[..cut], &mut out).expect_err("truncated frame must not decode");
+        assert!(e.offset <= cut, "error offset {} beyond the {cut}-byte prefix", e.offset);
+        assert!(out.is_empty(), "failed decode must not leave partial output");
+    }
+}
+
+/// Every single-byte corruption is rejected: the CRC trailer (over the
+/// *decoded* bytes) backstops whatever the token stream fails to catch.
+fn assert_corruptions_rejected(input: &[u8]) {
+    let frame = compress(input);
+    let step = (frame.len() / 61).max(1);
+    for pos in (0..frame.len()).step_by(step) {
+        for flip in [0x01u8, 0x80] {
+            let mut bad = frame.clone();
+            bad[pos] ^= flip;
+            let mut out = Vec::new();
+            match decompress_into(&bad, &mut out) {
+                Err(e) => {
+                    assert!(
+                        e.offset <= bad.len(),
+                        "error offset {} beyond frame length {}",
+                        e.offset,
+                        bad.len()
+                    );
+                    assert!(out.is_empty(), "failed decode must truncate its output");
+                }
+                Ok(_) => panic!(
+                    "flip of bit {flip:#04x} at byte {pos} decoded successfully \
+                     ({}-byte frame)",
+                    frame.len()
+                ),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Random bytes of random length round-trip losslessly.
+    #[test]
+    fn random_input_round_trips(bytes in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        assert_round_trip(&bytes);
+    }
+
+    /// All-zero, repetitive and incompressible shapes round-trip at
+    /// every length.
+    #[test]
+    fn shaped_input_round_trips(len in 0usize..8192, seed in any::<u64>()) {
+        assert_round_trip(&vec![0u8; len]);
+        let unit = [(seed as u8), (seed >> 8) as u8, (seed >> 16) as u8];
+        let repetitive: Vec<u8> =
+            unit.iter().copied().cycle().take(len).collect();
+        assert_round_trip(&repetitive);
+        assert_round_trip(&noise(seed, len));
+    }
+
+    /// Truncated frames are rejected with positioned errors, whatever
+    /// the payload looked like.
+    #[test]
+    fn truncated_frames_rejected(bytes in proptest::collection::vec(any::<u8>(), 1..2048), seed in any::<u64>()) {
+        assert_truncations_rejected(&bytes);
+        assert_truncations_rejected(&vec![7u8; bytes.len()]);
+        assert_truncations_rejected(&noise(seed, bytes.len()));
+    }
+
+    /// Bit-flipped frames are rejected with positioned errors.
+    #[test]
+    fn corrupted_frames_rejected(bytes in proptest::collection::vec(any::<u8>(), 1..1024), seed in any::<u64>()) {
+        assert_corruptions_rejected(&bytes);
+        assert_corruptions_rejected(&b"ppd ppd ppd ppd ".repeat(1 + bytes.len() / 16));
+        assert_corruptions_rejected(&noise(seed, bytes.len()));
+    }
+}

@@ -1,0 +1,672 @@
+//! `lzb` — a dependency-free LZ77-style block compressor.
+//!
+//! This is a vendored stand-in in the same spirit as `vendor/rayon`: the
+//! offline build cannot pull `lz4`/`zstd` from crates.io, so the log store
+//! carries its own small, auditable codec. The format is LZ4-flavoured —
+//! token bytes with literal-run / match-length nibbles, 255-continuation
+//! length extensions, and 2-byte little-endian match offsets (64 KiB
+//! window) — produced by a greedy hash-chain matcher.
+//!
+//! Every compressed block is wrapped in a self-describing *frame*:
+//!
+//! ```text
+//! method:u8           0 = raw escape (stored bytes ARE the data)
+//!                     1 = lzb token stream
+//! uncompressed_len    varint (LEB128)
+//! stored_len          varint (LEB128)
+//! payload             stored_len bytes
+//! crc32:u32le         IEEE CRC-32 of the *uncompressed* bytes
+//! ```
+//!
+//! The raw escape guarantees a hard bound on expansion: a frame is never
+//! more than [`MAX_FRAME_OVERHEAD`] bytes larger than its input. The
+//! trailing checksum covers the decoded output, so truncated or bit-flipped
+//! frames are rejected deterministically — [`decompress_into`] never
+//! returns corrupt data, and every error carries the byte offset within the
+//! frame where decoding stopped.
+
+#![warn(missing_docs)]
+
+/// Frame method byte: payload is the uncompressed data, stored verbatim.
+pub const METHOD_RAW: u8 = 0;
+/// Frame method byte: payload is an lzb token stream.
+pub const METHOD_LZB: u8 = 1;
+
+/// Shortest possible match the encoder emits (LZ4's choice: below four
+/// bytes a match token costs more than the literals it replaces).
+pub const MIN_MATCH: usize = 4;
+
+/// Largest back-reference distance the 2-byte offset field can express.
+pub const MAX_OFFSET: usize = 65_535;
+
+/// Upper bound on `frame.len() - input.len()`: method byte, two 5-byte
+/// varints, and the 4-byte checksum.
+pub const MAX_FRAME_OVERHEAD: usize = 15;
+
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+/// How many chain links the matcher follows before settling; bounds
+/// worst-case compression time on degenerate inputs.
+const MAX_CHAIN: usize = 32;
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// What went wrong while decoding a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LzbErrorKind {
+    /// The frame ended before the declared payload / checksum.
+    Truncated,
+    /// The method byte is neither [`METHOD_RAW`] nor [`METHOD_LZB`].
+    BadMethod(u8),
+    /// A varint ran past 10 bytes or past the end of the frame.
+    BadVarint,
+    /// A match offset of zero or one pointing before the start of output.
+    BadMatchOffset {
+        /// The (invalid) encoded distance.
+        offset: usize,
+        /// Bytes of output produced so far.
+        produced: usize,
+    },
+    /// The token stream decoded to a different length than declared.
+    LengthMismatch {
+        /// Length declared in the frame header.
+        declared: usize,
+        /// Length actually produced.
+        produced: usize,
+    },
+    /// The CRC-32 of the decoded bytes does not match the frame trailer.
+    Checksum {
+        /// Checksum stored in the frame.
+        stored: u32,
+        /// Checksum computed over the decoded output.
+        computed: u32,
+    },
+}
+
+/// A positioned decode error: `kind` plus the byte offset *within the
+/// frame* at which decoding stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LzbError {
+    /// What went wrong.
+    pub kind: LzbErrorKind,
+    /// Byte offset within the frame where the error was detected.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for LzbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            LzbErrorKind::Truncated => write!(f, "frame truncated at byte {}", self.offset),
+            LzbErrorKind::BadMethod(m) => {
+                write!(f, "unknown frame method {m} at byte {}", self.offset)
+            }
+            LzbErrorKind::BadVarint => write!(f, "malformed varint at byte {}", self.offset),
+            LzbErrorKind::BadMatchOffset { offset, produced } => write!(
+                f,
+                "match offset {offset} exceeds {produced} produced bytes at frame byte {}",
+                self.offset
+            ),
+            LzbErrorKind::LengthMismatch { declared, produced } => write!(
+                f,
+                "decoded {produced} bytes where frame declared {declared} (at byte {})",
+                self.offset
+            ),
+            LzbErrorKind::Checksum { stored, computed } => write!(
+                f,
+                "checksum mismatch at byte {}: frame says {stored:#010x}, decoded data hashes to {computed:#010x}",
+                self.offset
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LzbError {}
+
+fn err<T>(kind: LzbErrorKind, offset: usize) -> Result<T, LzbError> {
+    Err(LzbError { kind, offset })
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE), slice-by-4 — self-contained so the crate stays
+// dependency-free.
+// ---------------------------------------------------------------------------
+
+const CRC_TABLES: [[u32; 256]; 4] = {
+    let mut t = [[0u32; 256]; 4];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        t[0][i] = c;
+        i += 1;
+    }
+    let mut j = 1;
+    while j < 4 {
+        let mut i = 0;
+        while i < 256 {
+            t[j][i] = (t[j - 1][i] >> 8) ^ t[0][(t[j - 1][i] & 0xFF) as usize];
+            i += 1;
+        }
+        j += 1;
+    }
+    t
+};
+
+/// IEEE CRC-32 of `bytes` (same polynomial as zlib / the segment store).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    let mut chunks = bytes.chunks_exact(4);
+    for c in &mut chunks {
+        crc ^= u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+        crc = CRC_TABLES[3][(crc & 0xFF) as usize]
+            ^ CRC_TABLES[2][((crc >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[1][((crc >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[0][(crc >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = CRC_TABLES[0][((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Varints (unsigned LEB128, shared convention with the store's binio codec)
+// ---------------------------------------------------------------------------
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn get_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, LzbError> {
+    let start = *pos;
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if *pos >= bytes.len() {
+            return err(LzbErrorKind::Truncated, start);
+        }
+        let b = bytes[*pos];
+        *pos += 1;
+        if shift >= 63 && b > 1 {
+            return err(LzbErrorKind::BadVarint, start);
+        }
+        v |= ((b & 0x7F) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return err(LzbErrorKind::BadVarint, start);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoder
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn hash4(bytes: &[u8], pos: usize) -> usize {
+    let v = u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Encode the LZ4-style token stream for `input` into `out`. Returns
+/// `false` (leaving `out` in an arbitrary state) if the stream would be at
+/// least as large as the input, in which case the caller should fall back
+/// to a raw frame.
+fn compress_tokens(input: &[u8], out: &mut Vec<u8>) -> bool {
+    let n = input.len();
+    if n < MIN_MATCH + 1 {
+        return false;
+    }
+    // head[h] / prev[i] store position+1 so 0 means "empty".
+    let mut head = vec![0u32; HASH_SIZE];
+    let mut prev = vec![0u32; n];
+    let mut pos = 0usize;
+    let mut literal_start = 0usize;
+    let limit = n - MIN_MATCH;
+
+    while pos <= limit {
+        if out.len() >= n {
+            return false;
+        }
+        let h = hash4(input, pos);
+        let first = head[h];
+        let mut cand = first as usize;
+        let mut best_len = 0usize;
+        let mut best_off = 0usize;
+        let mut chain = 0usize;
+        while cand != 0 && chain < MAX_CHAIN {
+            let c = cand - 1;
+            if pos - c <= MAX_OFFSET {
+                let max = n - pos;
+                let mut l = 0usize;
+                while l < max && input[c + l] == input[pos + l] {
+                    l += 1;
+                }
+                if l >= MIN_MATCH && l > best_len {
+                    best_len = l;
+                    best_off = pos - c;
+                    if l >= 128 {
+                        break; // long enough; stop searching
+                    }
+                }
+            } else {
+                break; // chain positions only get older
+            }
+            cand = prev[c] as usize;
+            chain += 1;
+        }
+        head[h] = (pos + 1) as u32;
+        prev[pos] = first;
+        if best_len == 0 {
+            pos += 1;
+            continue;
+        }
+
+        // Emit sequence: literals [literal_start, pos) + match.
+        let lit_len = pos - literal_start;
+        let match_extra = best_len - MIN_MATCH;
+        let token_lit = lit_len.min(15) as u8;
+        let token_match = match_extra.min(15) as u8;
+        out.push((token_lit << 4) | token_match);
+        if lit_len >= 15 {
+            put_len_ext(out, lit_len - 15);
+        }
+        out.extend_from_slice(&input[literal_start..pos]);
+        out.extend_from_slice(&(best_off as u16).to_le_bytes());
+        if match_extra >= 15 {
+            put_len_ext(out, match_extra - 15);
+        }
+
+        // Insert hash entries for the matched region (sparsely for speed).
+        let end = pos + best_len;
+        let mut p = pos + 1;
+        let step = if best_len > 64 { 4 } else { 1 };
+        while p < end.min(limit + 1) {
+            let h = hash4(input, p);
+            prev[p] = head[h];
+            head[h] = (p + 1) as u32;
+            p += step;
+        }
+        pos = end;
+        literal_start = pos;
+    }
+
+    // Final literal run (possibly empty token if input ended on a match).
+    let lit_len = n - literal_start;
+    let token_lit = lit_len.min(15) as u8;
+    out.push(token_lit << 4);
+    if lit_len >= 15 {
+        put_len_ext(out, lit_len - 15);
+    }
+    out.extend_from_slice(&input[literal_start..]);
+    out.len() < n
+}
+
+/// 255-continuation length extension (LZ4 style): emit `v / 255` bytes of
+/// 255 followed by `v % 255`.
+fn put_len_ext(out: &mut Vec<u8>, mut v: usize) {
+    while v >= 255 {
+        out.push(255);
+        v -= 255;
+    }
+    out.push(v as u8);
+}
+
+fn get_len_ext(bytes: &[u8], pos: &mut usize) -> Result<usize, LzbError> {
+    let mut v = 0usize;
+    loop {
+        if *pos >= bytes.len() {
+            return err(LzbErrorKind::Truncated, *pos);
+        }
+        let b = bytes[*pos];
+        *pos += 1;
+        v += b as usize;
+        if b != 255 {
+            return Ok(v);
+        }
+    }
+}
+
+/// Compress `input` into a fresh framed block. Incompressible inputs fall
+/// back to the raw escape, so the result is never more than
+/// [`MAX_FRAME_OVERHEAD`] bytes larger than `input`.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 32);
+    compress_into(input, &mut out);
+    out
+}
+
+/// Like [`compress`], but appends the frame to `out` (which is not
+/// cleared). Returns the number of frame bytes written.
+pub fn compress_into(input: &[u8], out: &mut Vec<u8>) -> usize {
+    let start = out.len();
+    let mut tokens = Vec::with_capacity(input.len());
+    let ok = compress_tokens(input, &mut tokens);
+    let (method, payload): (u8, &[u8]) =
+        if ok { (METHOD_LZB, &tokens) } else { (METHOD_RAW, input) };
+    out.push(method);
+    put_varint(out, input.len() as u64);
+    put_varint(out, payload.len() as u64);
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(input).to_le_bytes());
+    out.len() - start
+}
+
+/// Frame `input` with the raw escape unconditionally (no matcher pass).
+/// Appends the frame to `out` and returns the number of frame bytes
+/// written. Useful when the caller wants the framing (walkable sizes +
+/// checksum) without paying for compression.
+pub fn frame_raw_into(input: &[u8], out: &mut Vec<u8>) -> usize {
+    let start = out.len();
+    out.push(METHOD_RAW);
+    put_varint(out, input.len() as u64);
+    put_varint(out, input.len() as u64);
+    out.extend_from_slice(input);
+    out.extend_from_slice(&crc32(input).to_le_bytes());
+    out.len() - start
+}
+
+// ---------------------------------------------------------------------------
+// Decoder
+// ---------------------------------------------------------------------------
+
+/// Sizes declared by the frame starting at `frame[0]`: returns
+/// `(uncompressed_len, total_frame_len)` without decoding the payload.
+/// Use this to walk a byte stream of concatenated frames.
+pub fn frame_sizes(frame: &[u8]) -> Result<(usize, usize), LzbError> {
+    if frame.is_empty() {
+        return err(LzbErrorKind::Truncated, 0);
+    }
+    let method = frame[0];
+    if method != METHOD_RAW && method != METHOD_LZB {
+        return err(LzbErrorKind::BadMethod(method), 0);
+    }
+    let mut pos = 1usize;
+    let uncomp = get_varint(frame, &mut pos)? as usize;
+    let stored = get_varint(frame, &mut pos)? as usize;
+    let total = pos
+        .checked_add(stored)
+        .and_then(|v| v.checked_add(4))
+        .ok_or(LzbError { kind: LzbErrorKind::BadVarint, offset: pos })?;
+    if total > frame.len() {
+        return err(LzbErrorKind::Truncated, frame.len());
+    }
+    Ok((uncomp, total))
+}
+
+/// Decode one frame from the start of `frame`, appending the uncompressed
+/// bytes to `out`. Returns the number of frame bytes consumed, so callers
+/// can walk concatenated frames. On error `out` is truncated back to its
+/// original length — no partial data is ever exposed.
+pub fn decompress_into(frame: &[u8], out: &mut Vec<u8>) -> Result<usize, LzbError> {
+    let out_start = out.len();
+    let r = decompress_inner(frame, out);
+    if r.is_err() {
+        out.truncate(out_start);
+    }
+    r
+}
+
+fn decompress_inner(frame: &[u8], out: &mut Vec<u8>) -> Result<usize, LzbError> {
+    if frame.is_empty() {
+        return err(LzbErrorKind::Truncated, 0);
+    }
+    let method = frame[0];
+    if method != METHOD_RAW && method != METHOD_LZB {
+        return err(LzbErrorKind::BadMethod(method), 0);
+    }
+    let mut pos = 1usize;
+    let uncomp = get_varint(frame, &mut pos)? as usize;
+    let stored = get_varint(frame, &mut pos)? as usize;
+    let payload_start = pos;
+    if payload_start + stored + 4 > frame.len() {
+        return err(LzbErrorKind::Truncated, frame.len());
+    }
+    let payload = &frame[payload_start..payload_start + stored];
+    let crc_off = payload_start + stored;
+    let stored_crc = u32::from_le_bytes([
+        frame[crc_off],
+        frame[crc_off + 1],
+        frame[crc_off + 2],
+        frame[crc_off + 3],
+    ]);
+
+    let out_start = out.len();
+    match method {
+        METHOD_RAW => {
+            if stored != uncomp {
+                return err(
+                    LzbErrorKind::LengthMismatch { declared: uncomp, produced: stored },
+                    payload_start,
+                );
+            }
+            out.extend_from_slice(payload);
+        }
+        _ => decode_tokens(payload, payload_start, uncomp, out)?,
+    }
+    let produced = out.len() - out_start;
+    if produced != uncomp {
+        return err(LzbErrorKind::LengthMismatch { declared: uncomp, produced }, crc_off);
+    }
+    let computed = crc32(&out[out_start..]);
+    if computed != stored_crc {
+        return err(LzbErrorKind::Checksum { stored: stored_crc, computed }, crc_off);
+    }
+    Ok(crc_off + 4)
+}
+
+/// Decode an lzb token stream. `base` is the payload's offset within the
+/// frame, used to position errors in frame coordinates.
+fn decode_tokens(
+    payload: &[u8],
+    base: usize,
+    expect: usize,
+    out: &mut Vec<u8>,
+) -> Result<(), LzbError> {
+    let out_start = out.len();
+    let mut pos = 0usize;
+    while pos < payload.len() {
+        let token = payload[pos];
+        pos += 1;
+        let mut lit_len = (token >> 4) as usize;
+        if lit_len == 15 {
+            lit_len += get_len_ext(payload, &mut pos).map_err(|e| at(e, base))?;
+        }
+        if pos + lit_len > payload.len() {
+            return err(LzbErrorKind::Truncated, base + payload.len());
+        }
+        out.extend_from_slice(&payload[pos..pos + lit_len]);
+        pos += lit_len;
+        if pos == payload.len() {
+            // Final sequence carries no match — and must not promise
+            // one: the encoder always ends on a pure-literal token, so
+            // a nonzero match nibble here is corruption (every payload
+            // bit is load-bearing, there are no ignorable bits for
+            // damage to hide in).
+            if token & 0x0F != 0 {
+                return err(LzbErrorKind::Truncated, base + payload.len());
+            }
+            break;
+        }
+        if pos + 2 > payload.len() {
+            return err(LzbErrorKind::Truncated, base + payload.len());
+        }
+        let offset = u16::from_le_bytes([payload[pos], payload[pos + 1]]) as usize;
+        let tok_pos = pos;
+        pos += 2;
+        let mut match_len = (token & 0x0F) as usize;
+        if match_len == 15 {
+            match_len += get_len_ext(payload, &mut pos).map_err(|e| at(e, base))?;
+        }
+        match_len += MIN_MATCH;
+        let produced = out.len() - out_start;
+        if offset == 0 || offset > produced {
+            return err(LzbErrorKind::BadMatchOffset { offset, produced }, base + tok_pos);
+        }
+        if produced + match_len > expect {
+            // Would overrun the declared size — corrupt stream; stop with a
+            // positioned error instead of over-allocating.
+            return err(
+                LzbErrorKind::LengthMismatch { declared: expect, produced: produced + match_len },
+                base + tok_pos,
+            );
+        }
+        // Overlapping copies are the point (offset < match_len repeats a
+        // short pattern), so copy byte-wise from the output buffer.
+        let src = out.len() - offset;
+        for i in src..src + match_len {
+            let b = out[i];
+            out.push(b);
+        }
+    }
+    Ok(())
+}
+
+fn at(mut e: LzbError, base: usize) -> LzbError {
+    e.offset += base;
+    e
+}
+
+/// Decode one frame into a fresh buffer (convenience over
+/// [`decompress_into`]).
+pub fn decompress(frame: &[u8]) -> Result<Vec<u8>, LzbError> {
+    let mut out = Vec::new();
+    decompress_into(frame, &mut out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) {
+        let frame = compress(data);
+        assert!(frame.len() <= data.len() + MAX_FRAME_OVERHEAD, "expansion bound violated");
+        let back = decompress(&frame).expect("round trip");
+        assert_eq!(back, data);
+        let (uncomp, total) = frame_sizes(&frame).expect("sizes");
+        assert_eq!(uncomp, data.len());
+        assert_eq!(total, frame.len());
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        round_trip(b"");
+        round_trip(b"a");
+        round_trip(b"abcd");
+        round_trip(b"abcde");
+    }
+
+    #[test]
+    fn all_zero_compresses_hard() {
+        let data = vec![0u8; 1 << 16];
+        let frame = compress(&data);
+        assert!(frame.len() < data.len() / 100, "zeros should compress >100x, got {}", frame.len());
+        assert_eq!(decompress(&frame).unwrap(), data);
+    }
+
+    #[test]
+    fn repetitive_text() {
+        let data: Vec<u8> = b"the quick brown fox jumps over the lazy dog. "
+            .iter()
+            .copied()
+            .cycle()
+            .take(100_000)
+            .collect();
+        let frame = compress(&data);
+        assert!(frame.len() < data.len() / 4);
+        assert_eq!(decompress(&frame).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_uses_raw_escape() {
+        // A simple xorshift PRNG gives bytes no 4-byte match will tame.
+        let mut x = 0x1234_5678_9abc_def0u64;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 56) as u8
+            })
+            .collect();
+        let frame = compress(&data);
+        assert_eq!(frame[0], METHOD_RAW);
+        assert!(frame.len() <= data.len() + MAX_FRAME_OVERHEAD);
+        assert_eq!(decompress(&frame).unwrap(), data);
+    }
+
+    #[test]
+    fn overlapping_match_short_period() {
+        let mut data = b"ab".to_vec();
+        for _ in 0..2000 {
+            data.push(b'a');
+            data.push(b'b');
+        }
+        round_trip(&data);
+    }
+
+    #[test]
+    fn truncated_frames_are_positioned_errors() {
+        let data: Vec<u8> = (0..10_000u32).flat_map(|i| (i % 251).to_le_bytes()).collect();
+        let frame = compress(&data);
+        for cut in [0, 1, 2, frame.len() / 2, frame.len() - 1] {
+            let e = decompress(&frame[..cut]).expect_err("truncated frame must fail");
+            assert!(e.offset <= cut, "error offset {} beyond cut {}", e.offset, cut);
+        }
+    }
+
+    #[test]
+    fn bit_flips_fail_checksum() {
+        let data: Vec<u8> = b"abcabcabcabc1234".iter().copied().cycle().take(5000).collect();
+        let frame = compress(&data);
+        let mut flipped = 0;
+        for i in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x40;
+            if decompress(&bad).is_err() {
+                flipped += 1;
+            }
+        }
+        // Every single-bit corruption must be detected (method byte,
+        // lengths, payload, or checksum all feed the validation chain).
+        assert_eq!(flipped, frame.len());
+    }
+
+    #[test]
+    fn concatenated_frames_walk() {
+        let a = compress(b"first block first block first block");
+        let b = compress(b"second");
+        let mut stream = a.clone();
+        stream.extend_from_slice(&b);
+        let mut out = Vec::new();
+        let used = decompress_into(&stream, &mut out).unwrap();
+        assert_eq!(used, a.len());
+        let used2 = decompress_into(&stream[used..], &mut out).unwrap();
+        assert_eq!(used2, b.len());
+        assert_eq!(out, b"first block first block first blocksecond");
+    }
+
+    #[test]
+    fn crc_reference_vector() {
+        // Standard IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+}
