@@ -4,7 +4,7 @@
 //! (a debug build works but inflates absolute times).
 //!
 //! ```text
-//! --only e4,e6,e7     run a subset of experiments (ids: e1..e10 f41 f53 f61)
+//! --only e4,e6,e7     run a subset of experiments (ids: e1..e11 f41 f53 f61)
 //! --jobs N | -j N     thread ceiling for the E7 scaling sweep (default 8)
 //! --e10-bytes N       cap the E10 store-size sweep at N file bytes
 //!                     (default: the full sweep up to 1 GB; CI uses a
@@ -16,7 +16,9 @@
 //!                     E10 runs, its segmented-store report is written to
 //!                     BENCH_logstream.json beside FILE — so
 //!                     `--only e9,e10 --json BENCH_overhead.json` produces
-//!                     both artifacts.
+//!                     both artifacts. When E11 runs alongside E9, its
+//!                     telemetry-overhead report is spliced into
+//!                     BENCH_overhead.json under `"telemetry"`.
 //! ```
 
 use ppd_bench::experiments as ex;
@@ -62,7 +64,7 @@ fn main() {
             other => {
                 eprintln!("error: unknown flag `{other}`");
                 eprintln!(
-                    "usage: experiments [--only e4,e6,e7] [--jobs N] [--e10-bytes N] [--json FILE]"
+                    "usage: experiments [--only e4,e9,e11] [--jobs N] [--e10-bytes N] [--json FILE]"
                 );
                 std::process::exit(2);
             }
@@ -75,6 +77,9 @@ fn main() {
     let e9_report: Rc<RefCell<Option<String>>> = Rc::new(RefCell::new(None));
     // Same carriage for E10's BENCH_logstream.json body.
     let e10_report: Rc<RefCell<Option<String>>> = Rc::new(RefCell::new(None));
+    // And for E11's telemetry-overhead body (spliced into
+    // BENCH_overhead.json next to E9's).
+    let e11_report: Rc<RefCell<Option<String>>> = Rc::new(RefCell::new(None));
 
     type Entry = (&'static str, Box<dyn Fn() -> Table>);
     let suite: Vec<Entry> = vec![
@@ -98,6 +103,14 @@ fn main() {
             let slot = Rc::clone(&e10_report);
             Box::new(move || {
                 let (table, report) = ex::e10_logstream_full(e10_bytes);
+                *slot.borrow_mut() = Some(report);
+                table
+            })
+        }),
+        ("e11", {
+            let slot = Rc::clone(&e11_report);
+            Box::new(move || {
+                let (table, report) = ex::e11_telemetry_full();
                 *slot.borrow_mut() = Some(report);
                 table
             })
@@ -134,13 +147,28 @@ fn main() {
             write_or_die(&path, &body);
             eprintln!("wrote {path} ({} table(s))", json_tables.len());
         }
-        if let Some(report) = e9_report.borrow().as_ref() {
+        // E9 and E11 share BENCH_overhead.json: E11's telemetry body
+        // splices in under "telemetry" when both ran, and gets a thin
+        // standalone wrapper when it ran alone.
+        let overhead_body = match (e9_report.borrow().as_ref(), e11_report.borrow().as_ref()) {
+            (Some(e9), Some(e11)) => {
+                let head = e9.trim_end().strip_suffix('}').expect("E9 body is a JSON object");
+                Some(format!("{head},\"telemetry\":{}}}\n", e11.trim_end()))
+            }
+            (Some(e9), None) => Some(e9.clone()),
+            (None, Some(e11)) => Some(format!(
+                "{{\"generator\":\"ppd-bench experiments (overhead)\",\"telemetry\":{}}}\n",
+                e11.trim_end()
+            )),
+            (None, None) => None,
+        };
+        if let Some(report) = overhead_body {
             let overhead = std::path::Path::new(&path)
                 .with_file_name("BENCH_overhead.json")
                 .to_string_lossy()
                 .into_owned();
-            write_or_die(&overhead, report);
-            eprintln!("wrote {overhead} (E9 overhead report)");
+            write_or_die(&overhead, &report);
+            eprintln!("wrote {overhead} (overhead report)");
         }
         if let Some(report) = e10_report.borrow().as_ref() {
             let logstream = std::path::Path::new(&path)

@@ -770,6 +770,218 @@ fn span_self_overhead() -> f64 {
 }
 
 // ---------------------------------------------------------------------
+// E11: telemetry overhead — flight ring, query journal
+// ---------------------------------------------------------------------
+
+/// E11 compares µs-scale warm queries like [`span_self_overhead`], so
+/// it interleaves the same large rep count.
+const E11_REPS: usize = 101;
+
+/// Events per micro-benchmark batch for the per-event telemetry costs.
+const E11_BATCH: u64 = 4096;
+
+/// E11 — cost of the production-telemetry layer itself, held to the
+/// same §7 envelope as the logging it observes ([`PAPER_CLAIM_PCT`]):
+///
+/// - the E6-representative **cold** flowback query with a journal
+///   attached vs. bare (interleaved minima; the journal adds a
+///   baseline capture, one record build and one flushed JSONL write
+///   per query) — this is the asserted envelope number;
+/// - the fully-cached **warm** query as the honest worst case: a ~2 µs
+///   query against a ~0.7 µs flushed write (reported, not asserted —
+///   no real session is 100% warm-hit);
+/// - the per-event cost of a flight-recorder ring write and of a
+///   journal append alone.
+///
+/// The companion JSON body rides into `BENCH_overhead.json` under
+/// `"telemetry"` and asserts both the envelope and that summing the
+/// journal reproduces the engine's own `--stats` counters exactly
+/// (the `ppd obs report` acceptance invariant).
+pub fn e11_telemetry_full() -> (Table, String) {
+    let mut t = Table::new(
+        "E11 — telemetry overhead: always-on flight ring + query journal",
+        &["probe", "baseline", "instrumented", "ovh %", "per event"],
+    );
+    let w = workloads::deep_calls(32);
+    let session = w.prepare(EBlockStrategy::per_subroutine());
+    let exec = session.execute(w.config());
+    // Cold probe (the asserted one): a fresh Controller replays the
+    // halt interval from the log — E6's representative query. The
+    // journaled samples write into their own scratch journal.
+    let scratch_path =
+        std::env::temp_dir().join(format!("ppd-e11-cold-{}.jsonl", std::process::id()));
+    let scratch = ppd_obs::Journal::create(&scratch_path).expect("temp journal is writable");
+    let mut cold_offs: Vec<Duration> = Vec::with_capacity(E11_REPS);
+    let mut cold_ons: Vec<Duration> = Vec::with_capacity(E11_REPS);
+    for _ in 0..E11_REPS {
+        cold_offs.push(
+            time_once(|| {
+                let mut c = Controller::new(&session, &exec);
+                c.start_at(ProcId(0)).expect("starts")
+            })
+            .1,
+        );
+        cold_ons.push(
+            time_once(|| {
+                let mut c = Controller::new(&session, &exec);
+                c.set_journal(scratch.clone());
+                c.start_at(ProcId(0)).expect("starts")
+            })
+            .1,
+        );
+    }
+    let _ = std::fs::remove_file(&scratch_path);
+    // Minimum-of-N, not median: scheduler noise on a shared host only
+    // ever *adds* time, while the journal's flushed write is real work
+    // that survives in the floor — so interleaved minima isolate the
+    // telemetry cost where medians still drift with load.
+    cold_offs.sort_unstable();
+    cold_ons.sort_unstable();
+    let (cold_base, cold_logged) = (cold_offs[0], cold_ons[0]);
+    let cold_ovh = overhead_pct(cold_base, cold_logged);
+    t.row(vec![
+        "cold query, journal attached".into(),
+        fmt_duration(cold_base),
+        fmt_duration(cold_logged),
+        format!("{cold_ovh:+.1}%"),
+        "-".into(),
+    ]);
+    // Warm probe: two controllers over the same execution, one bare,
+    // one journaled from its very first query — so the journal covers
+    // every query the engine ever counted and its column sums must
+    // reproduce the engine's own `--stats` totals.
+    let journal_path = std::env::temp_dir().join(format!("ppd-e11-{}.jsonl", std::process::id()));
+    let journal = ppd_obs::Journal::create(&journal_path).expect("temp journal is writable");
+    let mut bare = Controller::new(&session, &exec);
+    let mut journaled = Controller::new(&session, &exec);
+    journaled.set_journal(journal.clone());
+    bare.start_at(ProcId(0)).expect("debugging starts");
+    journaled.start_at(ProcId(0)).expect("debugging starts");
+    // Interleaved sampling, as in `span_self_overhead`: the quantity is
+    // a per-query delta of a µs-scale query, so alternating samples
+    // cancel CPU warm-up drift that two back-to-back blocks would keep.
+    // The estimator is again minimum-of-N (see the cold probe above).
+    let mut offs: Vec<Duration> = Vec::with_capacity(E11_REPS);
+    let mut ons: Vec<Duration> = Vec::with_capacity(E11_REPS);
+    for _ in 0..E11_REPS {
+        offs.push(time_once(|| bare.start_at(ProcId(0)).expect("starts")).1);
+        ons.push(time_once(|| journaled.start_at(ProcId(0)).expect("starts")).1);
+    }
+    offs.sort_unstable();
+    ons.sort_unstable();
+    let (base, logged) = (offs[0], ons[0]);
+    let ovh = overhead_pct(base, logged);
+    t.row(vec![
+        "warm query (100% cache hit)".into(),
+        fmt_duration(base),
+        fmt_duration(logged),
+        format!("{ovh:+.1}%"),
+        "-".into(),
+    ]);
+    // Per-event micro-costs: a flight ring write, and a journal append.
+    let flight_note_ns = {
+        let (_, d) = time_once(|| {
+            for _ in 0..E11_BATCH {
+                ppd_obs::flight::note("bench", "e11_probe");
+            }
+        });
+        d.as_nanos() as u64 / E11_BATCH
+    };
+    t.row(vec![
+        "flight note (ring write)".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        format!("{flight_note_ns} ns"),
+    ]);
+    let journal_append_ns = {
+        let rec = ppd_obs::QueryRecord { kind: "bench".into(), ..ppd_obs::QueryRecord::default() };
+        let micro = ppd_obs::Journal::create(
+            std::env::temp_dir().join(format!("ppd-e11-micro-{}.jsonl", std::process::id())),
+        )
+        .expect("temp journal is writable");
+        let (_, d) = time_once(|| {
+            for _ in 0..E11_BATCH {
+                micro.append(&rec);
+            }
+        });
+        let _ = std::fs::remove_file(micro.path());
+        d.as_nanos() as u64 / E11_BATCH
+    };
+    t.row(vec![
+        "journal append (JSONL line)".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        format!("{journal_append_ns} ns"),
+    ]);
+    // The acceptance invariant behind `ppd obs report`: summing the
+    // journal's columns reproduces the engine's `--stats` aggregates.
+    let stats = journaled.stats();
+    let journal_text = std::fs::read_to_string(&journal_path).expect("journal readable");
+    let sum = |field: &str| json_field_sum(&journal_text, field);
+    let journal_matches_stats = journal.records() == stats.queries
+        && sum("replays") == stats.replays
+        && sum("trace_events") == stats.trace_events
+        && sum("log_entries_scanned") == stats.log_entries_scanned
+        && sum("cache_hits") == stats.cache_hits
+        && sum("cache_misses") == stats.cache_misses
+        && sum("cache_evictions") == stats.evictions;
+    let _ = std::fs::remove_file(&journal_path);
+    t.note(format!(
+        "journal overhead {cold_ovh:+.1}% on the E6-representative cold query (envelope: \
+         the paper's < {PAPER_CLAIM_PCT:.0}%); {ovh:+.1}% on a fully-cached ~µs warm query"
+    ));
+    t.note(format!(
+        "(worst case — one flushed JSONL write against a ~2 µs query; reported, not asserted). \
+         Flight ring write {flight_note_ns} ns/event, journal append {journal_append_ns} \
+         ns/record."
+    ));
+    t.note(format!(
+        "journal column sums reproduce the engine's --stats counters: {}.",
+        if journal_matches_stats { "yes (bit-for-bit)" } else { "NO — invariant broken" }
+    ));
+    let json = format!(
+        "{{\"generator\":\"ppd-bench experiments (E11 telemetry overhead)\",\
+         \"paper_claim_pct\":{PAPER_CLAIM_PCT:.1},\
+         \"workloads\":[{{\"name\":\"deep_calls32_cold_query\",\"baseline_ns\":{},\
+         \"journaled_ns\":{},\"overhead_pct\":{cold_ovh:.2}}},\
+         {{\"name\":\"deep_calls32_warm_query\",\"baseline_ns\":{},\
+         \"journaled_ns\":{},\"overhead_pct\":{ovh:.2}}}],\
+         \"flight_note_ns\":{flight_note_ns},\"journal_append_ns\":{journal_append_ns},\
+         \"cold_query_overhead_pct\":{cold_ovh:.2},\"warm_query_overhead_pct\":{ovh:.2},\
+         \"within_e9_envelope\":{},\
+         \"journal_matches_stats\":{journal_matches_stats}}}",
+        cold_base.as_nanos(),
+        cold_logged.as_nanos(),
+        base.as_nanos(),
+        logged.as_nanos(),
+        cold_ovh < PAPER_CLAIM_PCT,
+    );
+    (t, json)
+}
+
+/// E11, table only (the experiment-suite entry point).
+pub fn e11_telemetry() -> Table {
+    e11_telemetry_full().0
+}
+
+/// Sums every `"field":N` occurrence across a JSONL text — enough of a
+/// parser for the journal's flat fixed-order records.
+fn json_field_sum(text: &str, field: &str) -> u64 {
+    let needle = format!("\"{field}\":");
+    let mut total = 0u64;
+    for line in text.lines() {
+        if let Some(at) = line.find(&needle) {
+            let rest = &line[at + needle.len()..];
+            let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+            total += digits.parse::<u64>().unwrap_or(0);
+        }
+    }
+    total
+}
+
+// ---------------------------------------------------------------------
 // Figure reproductions
 // ---------------------------------------------------------------------
 

@@ -273,6 +273,21 @@ impl ShardedTraceCache {
         self.evictions.store(0, Ordering::Relaxed);
     }
 
+    /// Total hits across shards (lock-free; for per-query deltas).
+    pub fn hits_total(&self) -> u64 {
+        self.hits.iter().map(|h| h.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Total misses across shards (lock-free).
+    pub fn misses_total(&self) -> u64 {
+        self.misses.iter().map(|m| m.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Total evictions (lock-free).
+    pub fn evictions_total(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
     /// A snapshot of the counters and gauges.
     pub fn stats(&self) -> CacheStats {
         CacheStats {

@@ -86,6 +86,19 @@ impl<'p> Controller<'p> {
         self.engine.metrics_snapshot().to_json()
     }
 
+    /// The raw metrics snapshot ([`Controller::metrics_json`] without
+    /// the rendering), for alternative expositions (`--metrics-out`).
+    pub fn metrics_snapshot(&self) -> ppd_obs::Snapshot {
+        self.engine.metrics_snapshot()
+    }
+
+    /// Attaches a query journal: every completed top-level query from
+    /// now on appends one JSONL record with its kind, args, latency,
+    /// and cache/log cost deltas.
+    pub fn set_journal(&mut self, journal: ppd_obs::Journal) {
+        self.engine.set_journal(journal);
+    }
+
     /// Zeroes every debugging-phase counter (queries, replays, cache
     /// hit/miss/eviction tallies) while keeping cached traces warm, so
     /// an interactive session can measure a single query in isolation
@@ -127,7 +140,7 @@ impl<'p> Controller<'p> {
     ///
     /// Propagates the first (by batch position) replay failure.
     pub fn prefetch(&mut self, intervals: &[IntervalRef]) -> Result<usize, PpdError> {
-        let _q = self.engine.query_timer();
+        let _q = self.engine.query_timer_for("prefetch", format!("intervals={}", intervals.len()));
         self.engine.replay_intervals_par(intervals)?;
         Ok(intervals.len())
     }
@@ -183,7 +196,7 @@ impl<'p> Controller<'p> {
     ///
     /// Fails if the process logged no intervals.
     pub fn start_at(&mut self, proc: ProcId) -> Result<DynNodeId, PpdError> {
-        let _q = self.engine.query_timer();
+        let _q = self.engine.query_timer_for("start_at", format!("proc={}", proc.0));
         let open = self.engine.index().open_intervals(proc);
         let interval = open
             .last()
@@ -214,7 +227,13 @@ impl<'p> Controller<'p> {
         interval: IntervalRef,
         attach_to: Option<DynNodeId>,
     ) -> Result<crate::builder::FeedReport, PpdError> {
-        let _q = self.engine.query_timer();
+        let _q = self.engine.query_timer_for(
+            "materialize",
+            format!(
+                "proc={} eblock={} instance={}",
+                interval.proc.0, interval.eblock.0, interval.instance
+            ),
+        );
         let events = self.engine.replay_interval(interval)?;
         let body = self.session.plan().eblock(interval.eblock).region.body();
         let report = self.builder.feed(interval.proc, body, &events, attach_to);
@@ -234,7 +253,7 @@ impl<'p> Controller<'p> {
     /// Fails if the node is not an unexpanded node produced by this
     /// controller, or the nested interval cannot be located.
     pub fn expand(&mut self, node: DynNodeId) -> Result<crate::builder::FeedReport, PpdError> {
-        let _q = self.engine.query_timer();
+        let _q = self.engine.query_timer_for("expand", format!("node={node}"));
         let (parent, sub) = self
             .expansions
             .get(&node)
@@ -270,19 +289,19 @@ impl<'p> Controller<'p> {
 
     /// One flowback step (§1): the dependence predecessors of `node`.
     pub fn flowback(&self, node: DynNodeId) -> Vec<(DynNodeId, DynEdgeKind)> {
-        let _q = self.engine.query_timer();
+        let _q = self.engine.query_timer_for("flowback", format!("node={node}"));
         self.builder.graph().dependence_preds(node)
     }
 
     /// The full backward slice from `node`.
     pub fn backward_slice(&self, node: DynNodeId) -> Vec<DynNodeId> {
-        let _q = self.engine.query_timer();
+        let _q = self.engine.query_timer_for("backward_slice", format!("node={node}"));
         self.builder.graph().backward_slice(node)
     }
 
     /// One forward-flow step: the events `node` directly influenced.
     pub fn flow_forward(&self, node: DynNodeId) -> Vec<(DynNodeId, DynEdgeKind)> {
-        let _q = self.engine.query_timer();
+        let _q = self.engine.query_timer_for("flow_forward", format!("node={node}"));
         self.builder.graph().dependence_succs(node)
     }
 
@@ -291,7 +310,7 @@ impl<'p> Controller<'p> {
     /// determined by the screen size"): the inverted dependence tree of
     /// depth at most `depth` rooted at `root`, nodes in seq order.
     pub fn present(&self, root: DynNodeId, depth: usize) -> Vec<DynNodeId> {
-        let _q = self.engine.query_timer();
+        let _q = self.engine.query_timer_for("present", format!("root={root} depth={depth}"));
         let graph = self.builder.graph();
         let mut seen = std::collections::HashSet::new();
         let mut frontier = vec![root];
@@ -317,7 +336,7 @@ impl<'p> Controller<'p> {
 
     /// The full forward slice from `node` — everything it influenced.
     pub fn forward_slice(&self, node: DynNodeId) -> Vec<DynNodeId> {
-        let _q = self.engine.query_timer();
+        let _q = self.engine.query_timer_for("forward_slice", format!("node={node}"));
         self.builder.graph().forward_slice(node)
     }
 
@@ -341,7 +360,7 @@ impl<'p> Controller<'p> {
         node: DynNodeId,
         var: VarId,
     ) -> Result<DynNodeId, PpdError> {
-        let _q = self.engine.query_timer();
+        let _q = self.engine.query_timer_for("extend", format!("node={node} var={}", var.0));
         let reader_proc = self.builder.graph().node(node).proc;
         // Upper time bound: the end of the fragment the node belongs to.
         let upper = self
@@ -405,7 +424,7 @@ impl<'p> Controller<'p> {
     /// the real source. Returns `(var, writer_node)` pairs for the
     /// dependences that were resolved.
     pub fn auto_extend(&mut self, node: DynNodeId) -> Vec<(VarId, DynNodeId)> {
-        let _q = self.engine.query_timer();
+        let _q = self.engine.query_timer_for("auto_extend", format!("node={node}"));
         let rp = self.session.rp();
         let pending: Vec<VarId> = self
             .builder
@@ -446,7 +465,7 @@ impl<'p> Controller<'p> {
         &mut self,
         race: &ppd_graph::Race,
     ) -> Result<(DynNodeId, DynNodeId), PpdError> {
-        let _q = self.engine.query_timer();
+        let _q = self.engine.query_timer_for("explain_race", format!("var={}", race.var.0));
         let mut access_node = |edge: ppd_graph::InternalEdgeId| -> Result<DynNodeId, PpdError> {
             let g = &self.execution.pgraph;
             let e = g.internal_edge(edge);
@@ -475,7 +494,7 @@ impl<'p> Controller<'p> {
     /// proof can miss a dynamic race, so the pruned result equals the
     /// naive scan's).
     pub fn races(&self) -> Vec<RaceReport> {
-        let _q = self.engine.query_timer();
+        let _q = self.engine.query_timer_for("races", format!("jobs={}", self.engine.jobs()));
         let g = &self.execution.pgraph;
         let ord = VectorClocks::compute(g);
         let cands = &self.session.analyses().absint_candidates;

@@ -51,8 +51,9 @@ pub use binio::{BinError, BinErrorKind};
 pub use entry::LogEntry;
 pub use index::IntervalIndex;
 pub use segment::{
-    BlockMeta, RecoveredTail, RefreshStats, SegError, SegmentFormat, SegmentMeta, SegmentWriter,
-    SegmentedLog, SinkReport, VerifyReport, DEFAULT_BLOCK_BYTES, DEFAULT_SEGMENT_BYTES,
+    BlockMeta, HeatRecord, RecoveredTail, RefreshStats, SegError, SegmentFormat, SegmentMeta,
+    SegmentWriter, SegmentedLog, SinkReport, VerifyReport, DEFAULT_BLOCK_BYTES,
+    DEFAULT_SEGMENT_BYTES,
 };
 pub use source::LogSource;
 pub use store::{IntervalRef, LogCursor, LogStore, ProcessLog};

@@ -1190,8 +1190,42 @@ pub struct SegmentedLog {
     /// How many v2 payload blocks have been decompressed since open —
     /// the counter the block-seeking tests assert on.
     blocks_decompressed: AtomicU64,
+    /// How many stored payload bytes have been read (mapped v1 slices
+    /// or compressed v2 frames) since open.
+    bytes_read: AtomicU64,
+    /// Per process, per sealed segment: access-heatmap counters,
+    /// parallel to `procs`.
+    heat: Vec<Vec<SegHeat>>,
     /// Set when this log was produced by [`refresh`](Self::refresh).
     refreshed: Option<RefreshStats>,
+}
+
+/// Access counters for one sealed segment.
+#[derive(Debug, Default)]
+struct SegHeat {
+    entries: AtomicU64,
+    blocks: AtomicU64,
+    bytes: AtomicU64,
+}
+
+/// One sealed segment's access-heatmap counters: how much of it this
+/// session actually decoded. Segments never touched report all zeros —
+/// on a large store the non-zero rows show exactly which parts a
+/// debugging session paid for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeatRecord {
+    /// Segment file name.
+    pub file: String,
+    /// Owning process.
+    pub proc: u32,
+    /// Segment sequence number within the process.
+    pub seq: u64,
+    /// Entries decoded from this segment since open.
+    pub entries_decoded: u64,
+    /// Compressed blocks inflated from this segment since open.
+    pub blocks_inflated: u64,
+    /// Stored payload bytes read from this segment since open.
+    pub bytes_read: u64,
 }
 
 impl SegmentedLog {
@@ -1463,6 +1497,16 @@ impl SegmentedLog {
         span.arg("files", total_segments);
         span.arg("procs", manifest.processes);
         ppd_obs::global().counter("log.segments_opened").add(total_segments as u64);
+        ppd_obs::flight::note_with(
+            "log",
+            "segment_open",
+            format!("dir={} segments={total_segments} procs={}", dir.display(), manifest.processes),
+        );
+        for w in &warnings {
+            ppd_obs::flight::note_with("log", "recovery", w.clone());
+        }
+        let heat =
+            procs.iter().map(|segs| segs.iter().map(|_| SegHeat::default()).collect()).collect();
         let mut log = SegmentedLog {
             dir: dir.to_path_buf(),
             decoded: (0..manifest.processes).map(|_| OnceLock::new()).collect(),
@@ -1472,6 +1516,8 @@ impl SegmentedLog {
             index_cache: OnceLock::new(),
             entries_decoded: AtomicU64::new(0),
             blocks_decompressed: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+            heat,
             refreshed: None,
         };
         // Seed the index incrementally: everything the prior open had
@@ -1593,6 +1639,52 @@ impl SegmentedLog {
         self.blocks_decompressed.load(Ordering::Relaxed)
     }
 
+    /// Stored payload bytes read since open (mapped v1 slices and
+    /// compressed v2 frames actually consumed).
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+
+    /// The per-segment access heatmap: one record per sealed segment
+    /// (all processes, sequence order) with the entries / blocks /
+    /// bytes this session has decoded from it. Untouched segments
+    /// report zeros.
+    pub fn access_heatmap(&self) -> Vec<HeatRecord> {
+        self.procs
+            .iter()
+            .zip(&self.heat)
+            .flat_map(|(segs, heats)| {
+                segs.iter().zip(heats).map(|(seg, h)| HeatRecord {
+                    file: seg.meta.file.clone(),
+                    proc: seg.meta.proc,
+                    seq: seg.meta.seq,
+                    entries_decoded: h.entries.load(Ordering::Relaxed),
+                    blocks_inflated: h.blocks.load(Ordering::Relaxed),
+                    bytes_read: h.bytes.load(Ordering::Relaxed),
+                })
+            })
+            .collect()
+    }
+
+    /// Records a read of `entries` / `blocks` / `bytes` against one
+    /// segment's heatmap slot and the store-wide + global counters.
+    /// (`entries_decoded` totals are bumped by the callers, which also
+    /// count tail entries.)
+    fn note_read(&self, seg: &LoadedSegment, entries: u64, blocks: u64, bytes: u64) {
+        let h = &self.heat[seg.meta.proc as usize][seg.meta.seq as usize];
+        h.entries.fetch_add(entries, Ordering::Relaxed);
+        h.blocks.fetch_add(blocks, Ordering::Relaxed);
+        h.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.blocks_decompressed.fetch_add(blocks, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        if blocks > 0 {
+            ppd_obs::global().counter("log.segment_blocks_inflated").add(blocks);
+        }
+        if bytes > 0 {
+            ppd_obs::global().counter("log.segment_bytes_read").add(bytes);
+        }
+    }
+
     /// Whether every mapped segment is backed by a real `mmap` (as
     /// opposed to the heap-read fallback).
     pub fn fully_mapped(&self) -> bool {
@@ -1668,6 +1760,7 @@ impl SegmentedLog {
     fn segment_payload<'a>(&self, seg: &'a LoadedSegment) -> Result<Cow<'a, [u8]>, SegError> {
         if seg.meta.version == SEGMENT_VERSION_V1 {
             let end = seg.meta.payload_start + seg.meta.payload_len as usize;
+            self.note_read(seg, 0, 0, seg.meta.payload_len);
             return Ok(Cow::Borrowed(&seg.map[seg.meta.payload_start..end]));
         }
         let mut out = Vec::with_capacity(seg.meta.payload_len as usize);
@@ -1684,7 +1777,7 @@ impl SegmentedLog {
             }
             at += n;
         }
-        self.blocks_decompressed.fetch_add(seg.meta.blocks.len() as u64, Ordering::Relaxed);
+        self.note_read(seg, 0, seg.meta.blocks.len() as u64, seg.meta.stored_len);
         Ok(Cow::Owned(out))
     }
 
@@ -1703,6 +1796,7 @@ impl SegmentedLog {
                     .map_err(|err| SegError::Decode(err.with_context(seg.meta.file.clone())))?;
                 entries.push(e);
             }
+            self.note_read(seg, seg.meta.entry_count, 0, 0);
         }
         let sealed = entries.len();
         if let Some(t) = &self.tails[proc.index()] {
@@ -1770,11 +1864,13 @@ impl SegmentedLog {
                 for _ in lo..hi {
                     out.push(binio::get_entry(&mut r).map_err(decode_err)?);
                 }
+                self.note_read(seg, hi - lo, 0, to_off - from_off);
             } else {
                 let blocks = seg.meta.blocks();
                 let first = blocks.partition_point(|b| b.uncomp_off + b.uncomp_len <= from_off);
                 let mut data = Vec::new();
-                let mut at = seg.meta.payload_start + blocks[first].stored_off as usize;
+                let start_at = seg.meta.payload_start + blocks[first].stored_off as usize;
+                let mut at = start_at;
                 let mut k = first;
                 while k < blocks.len() && blocks[k].uncomp_off < to_off {
                     let n = lzb::decompress_into(&seg.map[at..], &mut data).map_err(|e| {
@@ -1786,7 +1882,7 @@ impl SegmentedLog {
                     at += n;
                     k += 1;
                 }
-                self.blocks_decompressed.fetch_add((k - first) as u64, Ordering::Relaxed);
+                self.note_read(seg, hi - lo, (k - first) as u64, (at - start_at) as u64);
                 let rel = (from_off - blocks[first].uncomp_off) as usize;
                 let rel_end = (to_off - blocks[first].uncomp_off) as usize;
                 let mut r = Reader::new(&data[rel..rel_end]);

@@ -202,6 +202,16 @@ impl LogStore {
         }
     }
 
+    /// The per-segment access heatmap (empty for in-memory stores):
+    /// what this session has decoded from each sealed segment. See
+    /// [`SegmentedLog::access_heatmap`].
+    pub fn access_heatmap(&self) -> Vec<crate::segment::HeatRecord> {
+        match &self.repr {
+            Repr::Seg(seg) => seg.access_heatmap(),
+            Repr::Mem(_) => Vec::new(),
+        }
+    }
+
     /// Decodes every process eagerly, concurrently across `jobs`
     /// threads — the segment-directory analogue of
     /// [`from_binary_par`](Self::from_binary_par). A no-op for

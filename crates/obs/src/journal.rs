@@ -1,0 +1,205 @@
+//! Structured query journal: one JSONL record per Controller query.
+//!
+//! A [`Journal`] is a cheaply clonable handle to an append-only JSONL
+//! file. Each completed top-level query appends one [`QueryRecord`]
+//! line capturing what the query was and exactly what it paid for —
+//! wall latency, cache hits/misses/evictions, log entries decoded,
+//! segment blocks inflated, and bytes read — so the paper's
+//! "pay only for what you touch" claim is auditable per query and
+//! across whole sessions (`ppd obs report` aggregates a journal).
+//!
+//! The record schema is versioned (`"v":1`) and field order is fixed,
+//! so journals diff cleanly and parse with any JSON-lines reader.
+
+use crate::metrics::json_string;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One journal line: a completed query and its costs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryRecord {
+    /// Query kind, e.g. `"flowback"`, `"races"`, `"materialize"`.
+    pub kind: String,
+    /// Compact `key=value` argument summary (may be empty).
+    pub args: String,
+    /// Query start, nanoseconds since the process obs epoch.
+    pub start_ns: u64,
+    /// Wall latency in nanoseconds.
+    pub latency_ns: u64,
+    /// Replays performed by this query.
+    pub replays: u64,
+    /// Trace events regenerated.
+    pub trace_events: u64,
+    /// Log entries scanned during replay.
+    pub log_entries_scanned: u64,
+    /// Trace-cache hits.
+    pub cache_hits: u64,
+    /// Trace-cache misses.
+    pub cache_misses: u64,
+    /// Trace-cache evictions.
+    pub cache_evictions: u64,
+    /// Segment-store log entries decoded.
+    pub entries_decoded: u64,
+    /// Compressed segment blocks inflated.
+    pub blocks_inflated: u64,
+    /// Bytes read from segment stores.
+    pub bytes_read: u64,
+}
+
+impl QueryRecord {
+    /// The single JSONL line for this record (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"v\":1,\"kind\":{},\"args\":{},\"start_ns\":{},\"latency_ns\":{},\
+             \"replays\":{},\"trace_events\":{},\"log_entries_scanned\":{},\
+             \"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\
+             \"entries_decoded\":{},\"blocks_inflated\":{},\"bytes_read\":{}}}",
+            json_string(&self.kind),
+            json_string(&self.args),
+            self.start_ns,
+            self.latency_ns,
+            self.replays,
+            self.trace_events,
+            self.log_entries_scanned,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+            self.entries_decoded,
+            self.blocks_inflated,
+            self.bytes_read
+        )
+    }
+}
+
+#[derive(Debug)]
+struct JournalInner {
+    path: PathBuf,
+    file: Mutex<std::fs::File>,
+    records: AtomicU64,
+    failed: AtomicBool,
+}
+
+/// A clonable handle to an append-only JSONL query journal.
+#[derive(Debug, Clone)]
+pub struct Journal {
+    inner: Arc<JournalInner>,
+}
+
+impl Journal {
+    /// Creates (truncating) the journal file at `path`.
+    pub fn create(path: impl Into<PathBuf>) -> std::io::Result<Journal> {
+        let path = path.into();
+        let file = std::fs::File::create(&path)?;
+        Ok(Journal {
+            inner: Arc::new(JournalInner {
+                path,
+                file: Mutex::new(file),
+                records: AtomicU64::new(0),
+                failed: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// Appends one record as a JSONL line and flushes it. A write
+    /// failure is reported to stderr once and the journal goes
+    /// quiet — telemetry must never take the session down.
+    pub fn append(&self, record: &QueryRecord) {
+        let mut line = record.to_json();
+        line.push('\n');
+        let mut file = self.inner.file.lock().unwrap();
+        let res = file.write_all(line.as_bytes()).and_then(|()| file.flush());
+        drop(file);
+        match res {
+            Ok(()) => {
+                self.inner.records.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                if !self.inner.failed.swap(true, Ordering::Relaxed) {
+                    eprintln!("journal: write to {} failed: {e}", self.inner.path.display());
+                }
+            }
+        }
+    }
+
+    /// Records appended so far.
+    pub fn records(&self) -> u64 {
+        self.inner.records.load(Ordering::Relaxed)
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.inner.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> QueryRecord {
+        QueryRecord {
+            kind: "flowback".to_string(),
+            args: "node=3 proc=1".to_string(),
+            start_ns: 12,
+            latency_ns: 3456,
+            replays: 2,
+            trace_events: 40,
+            log_entries_scanned: 17,
+            cache_hits: 1,
+            cache_misses: 2,
+            cache_evictions: 0,
+            entries_decoded: 99,
+            blocks_inflated: 3,
+            bytes_read: 4096,
+        }
+    }
+
+    #[test]
+    fn record_json_has_fixed_field_order() {
+        let json = sample().to_json();
+        assert!(
+            json.starts_with("{\"v\":1,\"kind\":\"flowback\",\"args\":\"node=3 proc=1\""),
+            "{json}"
+        );
+        let fields = [
+            "start_ns",
+            "latency_ns",
+            "replays",
+            "trace_events",
+            "log_entries_scanned",
+            "cache_hits",
+            "cache_misses",
+            "cache_evictions",
+            "entries_decoded",
+            "blocks_inflated",
+            "bytes_read",
+        ];
+        let mut pos = 0;
+        for f in fields {
+            let at =
+                json.find(&format!("\"{f}\":")).unwrap_or_else(|| panic!("missing {f}: {json}"));
+            assert!(at > pos, "field {f} out of order: {json}");
+            pos = at;
+        }
+        assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn journal_appends_flushed_lines() {
+        let dir = std::env::temp_dir().join(format!("ppd-journal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j.jsonl");
+        let j = Journal::create(&path).unwrap();
+        j.append(&sample());
+        j.append(&QueryRecord { kind: "races".to_string(), ..Default::default() });
+        assert_eq!(j.records(), 2);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], sample().to_json());
+        assert!(lines[1].contains("\"kind\":\"races\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

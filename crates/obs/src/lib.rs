@@ -11,6 +11,15 @@
 //! - a JSON metrics snapshot ([`metrics::Snapshot::to_json`]);
 //! - an in-terminal summary table ([`summary`]).
 //!
+//! On top of these sit three production-telemetry pieces:
+//!
+//! - an always-on [`flight`] recorder — a fixed ring of the last ~1k
+//!   coarse events, dumped on panic (black-box trace);
+//! - a structured query [`journal`] — one JSONL record per Controller
+//!   query with latency and byte/entry/cache accounting;
+//! - an [`openmetrics`] text exposition of any [`Registry`]
+//!   (`--metrics-out`, Prometheus-scrapeable).
+//!
 //! ## Cost model
 //!
 //! Span recording is globally gated by a single [`AtomicBool`]
@@ -48,11 +57,17 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod flight;
+pub mod journal;
 pub mod metrics;
+pub mod openmetrics;
 pub mod span;
 pub mod summary;
 
+pub use flight::{FlightEvent, FlightRecorder};
+pub use journal::{Journal, QueryRecord};
 pub use metrics::{global, Counter, Gauge, Histogram, Registry, Snapshot};
+pub use openmetrics::Exposition;
 pub use span::{
     enable_spans, instant, now_ns, record_span_since, reset_spans, set_thread_name, span, span_dyn,
     spans_enabled, take_spans, thread_names, SpanGuard, SpanRecord,

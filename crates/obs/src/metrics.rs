@@ -234,6 +234,14 @@ impl Registry {
         }
     }
 
+    /// Renders the registry in OpenMetrics / Prometheus text format
+    /// under `prefix` (see [`crate::openmetrics::Exposition`]).
+    pub fn to_openmetrics(&self, prefix: &str) -> String {
+        let mut exp = crate::openmetrics::Exposition::new(prefix);
+        exp.add_snapshot(&self.snapshot());
+        exp.render()
+    }
+
     /// A point-in-time snapshot of every registered metric.
     pub fn snapshot(&self) -> Snapshot {
         let m = self.metrics.lock().unwrap();
@@ -249,7 +257,9 @@ impl Registry {
                             sum: h.sum(),
                             mean: h.mean(),
                             p50: h.quantile_bound(0.50),
+                            p95: h.quantile_bound(0.95),
                             p99: h.quantile_bound(0.99),
+                            buckets: h.nonzero_buckets(),
                         },
                     };
                     (name.clone(), value)
@@ -282,8 +292,12 @@ pub enum SnapValue {
         mean: f64,
         /// Median upper bound.
         p50: u64,
+        /// 95th-percentile upper bound.
+        p95: u64,
         /// 99th-percentile upper bound.
         p99: u64,
+        /// Non-empty `(bucket_upper_bound, count)` pairs, bound-sorted.
+        buckets: Vec<(u64, u64)>,
     },
 }
 
@@ -315,14 +329,14 @@ impl Snapshot {
                     }
                     let _ = write!(gauges, "{}:{v}", json_string(name));
                 }
-                SnapValue::Histogram { count, sum, mean, p50, p99 } => {
+                SnapValue::Histogram { count, sum, mean, p50, p95, p99, .. } => {
                     if !hists.is_empty() {
                         hists.push(',');
                     }
                     let _ = write!(
                         hists,
                         "{}:{{\"count\":{count},\"sum\":{sum},\"mean\":{mean:.1},\
-                         \"p50\":{p50},\"p99\":{p99}}}",
+                         \"p50\":{p50},\"p95\":{p95},\"p99\":{p99}}}",
                         json_string(name)
                     );
                 }

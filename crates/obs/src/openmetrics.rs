@@ -1,0 +1,254 @@
+//! OpenMetrics / Prometheus text exposition of a metrics [`Snapshot`].
+//!
+//! The exposition follows the Prometheus text format (a strict subset
+//! of OpenMetrics): every metric family gets a `# HELP` and `# TYPE`
+//! line, counters are suffixed `_total`, and histograms render
+//! cumulative `_bucket{le="..."}` samples plus `_sum` / `_count`.
+//! Because our histograms are fixed power-of-two buckets
+//! ([`crate::metrics::HISTOGRAM_BUCKETS`]), each `le` bound is of the
+//! form `2^i - 1`; coarse quantile estimates (p50/p95/p99 upper
+//! bounds) are additionally exposed as a gauge family with a
+//! `quantile` label so dashboards get tail latency without PromQL
+//! `histogram_quantile` over 65 buckets.
+//!
+//! Metric names are sanitised to `[a-zA-Z_:][a-zA-Z0-9_:]*` (dots in
+//! registry names become underscores); help text and label values are
+//! escaped per the format rules. The output always terminates with
+//! `# EOF`.
+
+use crate::metrics::{SnapValue, Snapshot};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One metric family being assembled: its type, help text, and the
+/// already-rendered sample lines in insertion order.
+#[derive(Debug)]
+struct Family {
+    kind: &'static str,
+    help: String,
+    samples: Vec<String>,
+}
+
+/// Builder for an OpenMetrics text exposition.
+///
+/// Families render sorted by name, so output is deterministic for a
+/// given set of calls regardless of insertion order.
+#[derive(Debug)]
+pub struct Exposition {
+    prefix: String,
+    families: BTreeMap<String, Family>,
+}
+
+impl Exposition {
+    /// A new exposition whose metric names are all prefixed
+    /// `"<prefix>_"` (the prefix itself is name-sanitised).
+    pub fn new(prefix: &str) -> Exposition {
+        Exposition { prefix: sanitize_name(prefix), families: BTreeMap::new() }
+    }
+
+    /// Adds every metric in `snap` under this exposition's prefix.
+    /// Counters become `<name>_total`, gauges keep their name, and
+    /// histograms expand to `_bucket`/`_sum`/`_count` plus a
+    /// `<name>_approx{quantile="..."}` gauge family.
+    pub fn add_snapshot(&mut self, snap: &Snapshot) {
+        for (name, value) in &snap.entries {
+            match value {
+                SnapValue::Counter(v) => {
+                    self.counter(name, &format!("counter {name}"), &[], *v);
+                }
+                SnapValue::Gauge(v) => {
+                    self.gauge(name, &format!("gauge {name}"), &[], *v);
+                }
+                SnapValue::Histogram { count, sum, p50, p95, p99, buckets, .. } => {
+                    self.histogram(name, &format!("histogram {name}"), *count, *sum, buckets);
+                    let base = self.full_name(name);
+                    let fam = self.family(
+                        format!("{base}_approx"),
+                        "gauge",
+                        format!("quantile upper bounds (power-of-two) for {name}"),
+                    );
+                    for (q, v) in [("0.5", p50), ("0.95", p95), ("0.99", p99)] {
+                        fam.samples.push(format!("{base}_approx{{quantile=\"{q}\"}} {v}"));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Adds (or extends) the counter family `name` with one sample
+    /// carrying `labels`. The rendered sample name is
+    /// `<prefix>_<name>_total`.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        let base = self.full_name(name);
+        let sample = format!("{base}_total{} {value}", render_labels(labels));
+        self.family(base, "counter", escape_help(help)).samples.push(sample);
+    }
+
+    /// Adds (or extends) the gauge family `name` with one sample.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: i64) {
+        let base = self.full_name(name);
+        let sample = format!("{base}{} {value}", render_labels(labels));
+        self.family(base, "gauge", escape_help(help)).samples.push(sample);
+    }
+
+    /// Adds the histogram family `name` from non-cumulative
+    /// `(upper_bound, count)` pairs (bound-sorted, as produced by
+    /// [`crate::metrics::Histogram::nonzero_buckets`]). Bucket samples
+    /// are rendered cumulative and monotone, ending with `+Inf`.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        count: u64,
+        sum: u64,
+        buckets: &[(u64, u64)],
+    ) {
+        let base = self.full_name(name);
+        let fam = self.family(base.clone(), "histogram", escape_help(help));
+        let mut cum = 0u64;
+        for &(bound, c) in buckets {
+            cum = cum.saturating_add(c);
+            fam.samples.push(format!("{base}_bucket{{le=\"{bound}\"}} {cum}"));
+        }
+        // `count` and the buckets are read at slightly different times
+        // from live atomics; take the max so +Inf stays monotone.
+        fam.samples.push(format!("{base}_bucket{{le=\"+Inf\"}} {}", cum.max(count)));
+        fam.samples.push(format!("{base}_sum {sum}"));
+        fam.samples.push(format!("{base}_count {}", cum.max(count)));
+    }
+
+    /// Renders the exposition, families sorted by name, terminated by
+    /// `# EOF`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, fam) in &self.families {
+            let _ = writeln!(out, "# HELP {name} {}", fam.help);
+            let _ = writeln!(out, "# TYPE {name} {}", fam.kind);
+            for s in &fam.samples {
+                let _ = writeln!(out, "{s}");
+            }
+        }
+        out.push_str("# EOF\n");
+        out
+    }
+
+    fn full_name(&self, name: &str) -> String {
+        format!("{}_{}", self.prefix, sanitize_name(name))
+    }
+
+    fn family(&mut self, name: String, kind: &'static str, help: String) -> &mut Family {
+        self.families.entry(name).or_insert_with(|| Family { kind, help, samples: Vec::new() })
+    }
+}
+
+/// Maps `s` onto the metric-name alphabet `[a-zA-Z0-9_:]`, replacing
+/// everything else (dots included) with `_` and prefixing `_` if the
+/// result would start with a digit.
+pub fn sanitize_name(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() || out.as_bytes()[0].is_ascii_digit() {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Escapes help text: `\` and line feeds per the text format.
+pub fn escape_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a label value: `\`, `"`, and line feeds.
+pub fn escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}=\"{}\"", sanitize_name(k), escape_label(v));
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn renders_counters_gauges_and_eof() {
+        let reg = Registry::new();
+        reg.counter("cache.hits").add(3);
+        reg.gauge("cache.bytes").set(-1);
+        let text = reg.to_openmetrics("ppd");
+        assert!(text.contains("# TYPE ppd_cache_hits counter"), "{text}");
+        assert!(text.contains("ppd_cache_hits_total 3"), "{text}");
+        assert!(text.contains("# TYPE ppd_cache_bytes gauge"), "{text}");
+        assert!(text.contains("ppd_cache_bytes -1"), "{text}");
+        assert!(text.ends_with("# EOF\n"), "{text}");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_monotone() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat.ns");
+        for v in [1u64, 1, 2, 700] {
+            h.record(v);
+        }
+        let text = reg.to_openmetrics("ppd");
+        assert!(text.contains("ppd_lat_ns_bucket{le=\"1\"} 2"), "{text}");
+        assert!(text.contains("ppd_lat_ns_bucket{le=\"3\"} 3"), "{text}");
+        assert!(text.contains("ppd_lat_ns_bucket{le=\"1023\"} 4"), "{text}");
+        assert!(text.contains("ppd_lat_ns_bucket{le=\"+Inf\"} 4"), "{text}");
+        assert!(text.contains("ppd_lat_ns_sum 704"), "{text}");
+        assert!(text.contains("ppd_lat_ns_count 4"), "{text}");
+        assert!(text.contains("ppd_lat_ns_approx{quantile=\"0.5\"}"), "{text}");
+    }
+
+    #[test]
+    fn labels_and_escapes() {
+        let mut exp = Exposition::new("ppd");
+        exp.counter("seg.entries", "per-segment\nhelp \\ text", &[("file", "a\"b\\c\nd")], 7);
+        let text = exp.render();
+        assert!(text.contains("# HELP ppd_seg_entries per-segment\\nhelp \\\\ text"), "{text}");
+        assert!(text.contains("ppd_seg_entries_total{file=\"a\\\"b\\\\c\\nd\"} 7"), "{text}");
+    }
+
+    #[test]
+    fn name_sanitisation() {
+        assert_eq!(sanitize_name("a.b-c"), "a_b_c");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name(""), "_");
+    }
+}

@@ -390,7 +390,11 @@ impl<'p> Machine<'p> {
             };
             match ppd_log::SegmentWriter::create_with(dir, nprocs, config.segment_bytes, format) {
                 Ok(w) => sink = Some(w),
-                Err(e) => sink_error = Some(format!("cannot create log sink: {e}")),
+                Err(e) => {
+                    let err = format!("cannot create log sink: {e}");
+                    ppd_obs::flight::note_with("runtime", "sink_error", err.clone());
+                    sink_error = Some(err);
+                }
             }
         }
         let cells = CellMap::new(rp);
@@ -614,6 +618,11 @@ impl<'p> Machine<'p> {
         span.arg("logged", self.plan.is_some());
         let outcome = self.run_loop(tracer);
         span.arg("steps", self.steps);
+        ppd_obs::flight::note_with(
+            "runtime",
+            "execute_done",
+            format!("outcome={outcome:?} steps={}", self.steps),
+        );
         let mut sink_report = None;
         let mut sink_error = self.sink_error;
         if let Some(sink) = self.sink {
@@ -621,6 +630,9 @@ impl<'p> Machine<'p> {
                 Ok(report) => sink_report = Some(report),
                 Err(e) => sink_error = sink_error.or_else(|| Some(e.to_string())),
             }
+        }
+        if let Some(err) = &sink_error {
+            ppd_obs::flight::note_with("runtime", "sink_error", err.clone());
         }
         ExecResult {
             outcome,

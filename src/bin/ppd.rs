@@ -9,8 +9,11 @@
 //! ppd dot    <file> [options]            emit Graphviz (static | parallel | dynamic)
 //! ppd log    pack <file> <dir> [options] run and stream logs into a segment store
 //!            (or: pack <saved.json> <dir> to convert a --save record)
-//! ppd log    inspect <dir>               segment/footer summary, no entry decode
+//! ppd log    inspect <dir> [--format json]  segment/footer summary, no entry decode
 //! ppd log    verify <dir>                full CRC + footer cross-check
+//! ppd obs    report <journal> [--format json]  aggregate a --journal file:
+//!            per-kind latency percentiles, bytes/query, cache hit-rate trend
+//! ppd obs    flight <dump>               pretty-print a flight-recorder dump
 //!
 //! options:
 //!   --seed N            seeded-random scheduler (default: round-robin)
@@ -51,6 +54,20 @@
 //!                       payloads block-by-block (LZ77 frames, ~256 KiB
 //!                       blocks) as they are sealed; queries decompress
 //!                       only the blocks they touch
+//!   --journal FILE      debug/races: append one JSONL record per
+//!                       Controller query (kind, args, wall latency,
+//!                       cache hits/misses/evictions, log entries
+//!                       decoded, blocks inflated, bytes read); feed the
+//!                       file to `ppd obs report`
+//!   --metrics-out FILE  write an OpenMetrics/Prometheus text exposition
+//!                       of every counter/gauge/histogram (debug/races
+//!                       include the replay-engine registry and a
+//!                       per-segment access heatmap) when the command
+//!                       finishes
+//!   --flight-out FILE   dump the always-on flight recorder (a fixed
+//!                       ring of the last ~1k coarse events) to FILE at
+//!                       exit; on panic the ring is dumped there (or to
+//!                       ppd-flight-panic.json) automatically
 //!
 //! interactive debug commands include `stats` (counters so far) and
 //! `stats reset` (zero them, keeping cached traces warm, to measure a
@@ -84,6 +101,9 @@ struct Options {
     log_dir: Option<String>,
     segment_bytes: usize,
     compress: bool,
+    journal: Option<String>,
+    metrics_out: Option<String>,
+    flight_out: Option<String>,
 }
 
 /// Default `--jobs`: every hardware thread the host will give us.
@@ -99,8 +119,10 @@ fn usage() -> ExitCode {
          [--schedules N] [--save FILE] [--load FILE] \
          [--deny] [--explain CODE] [--no-check] [--format text|json|sarif] [--stats] \
          [--trace-out FILE] [--jobs N] \
-         [--log-dir DIR] [--segment-bytes N] [--compress]\n       \
-         ppd log <pack|inspect|verify> ... (see ppd log --help)"
+         [--log-dir DIR] [--segment-bytes N] [--compress] \
+         [--journal FILE] [--metrics-out FILE] [--flight-out FILE]\n       \
+         ppd log <pack|inspect|verify> ... (see ppd log --help)\n       \
+         ppd obs <report|flight> ... (see ppd obs --help)"
     );
     ExitCode::from(2)
 }
@@ -140,6 +162,9 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<(String, Options
         log_dir: None,
         segment_bytes: 0,
         compress: false,
+        journal: None,
+        metrics_out: None,
+        flight_out: None,
     };
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("{flag} needs a value"));
@@ -187,6 +212,9 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<(String, Options
                     value()?.parse().map_err(|_| "--segment-bytes wants a number")?;
             }
             "--compress" => opts.compress = true,
+            "--journal" => opts.journal = Some(value()?),
+            "--metrics-out" => opts.metrics_out = Some(value()?),
+            "--flight-out" => opts.flight_out = Some(value()?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -194,10 +222,18 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<(String, Options
 }
 
 fn main() -> ExitCode {
+    // The flight recorder is always on; the hook makes every panic
+    // leave a black-box dump behind (default ppd-flight-panic.json,
+    // or the --flight-out path once parsed below).
+    ppd::obs::flight::install_panic_hook();
     let mut raw = std::env::args().skip(1).peekable();
     if raw.peek().map(String::as_str) == Some("log") {
         raw.next();
         return cmd_log(raw);
+    }
+    if raw.peek().map(String::as_str) == Some("obs") {
+        raw.next();
+        return cmd_obs(raw);
     }
     let (cmd, opts) = match parse_args(raw) {
         Ok(x) => x,
@@ -206,6 +242,10 @@ fn main() -> ExitCode {
             return usage();
         }
     };
+    if let Some(path) = &opts.flight_out {
+        ppd::obs::flight::set_panic_dump_path(Some(path.into()));
+    }
+    ppd::obs::flight::note_with("cli", "command", format!("cmd={cmd} file={}", opts.file));
     if let Some(code) = &opts.explain {
         return cmd_explain(&cmd, code);
     }
@@ -261,7 +301,79 @@ fn main() -> ExitCode {
             }
         }
     }
+    // debug/races write --metrics-out themselves (they fold in the
+    // replay-engine registry and the segment heatmap); every other
+    // command exposes the global registry alone.
+    if !matches!(cmd.as_str(), "debug" | "races") {
+        if let Some(path) = &opts.metrics_out {
+            if !write_metrics_out(path, None, &[]) {
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = &opts.flight_out {
+        let recorder = ppd::obs::flight::global();
+        match std::fs::write(path, recorder.dump_json()) {
+            Ok(()) => eprintln!("flight: {} event(s) written to {path}", recorder.recorded()),
+            Err(e) => {
+                eprintln!("error: cannot write flight dump to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     code
+}
+
+/// Writes the OpenMetrics exposition for `--metrics-out`: the global
+/// registry, optionally a replay-engine snapshot, and the per-segment
+/// access heatmap as labeled counter families. Returns false (after
+/// printing) on I/O failure.
+fn write_metrics_out(
+    path: &str,
+    engine: Option<ppd::obs::Snapshot>,
+    heat: &[ppd::log::HeatRecord],
+) -> bool {
+    let mut exp = ppd::obs::Exposition::new("ppd");
+    exp.add_snapshot(&ppd::obs::global().snapshot());
+    if let Some(snap) = engine {
+        exp.add_snapshot(&snap);
+    }
+    for h in heat {
+        if h.entries_decoded == 0 && h.blocks_inflated == 0 && h.bytes_read == 0 {
+            continue;
+        }
+        let proc = h.proc.to_string();
+        let seq = h.seq.to_string();
+        let labels = [("file", h.file.as_str()), ("proc", proc.as_str()), ("seq", seq.as_str())];
+        exp.counter(
+            "log.segment_heat_entries_decoded",
+            "Entries decoded from this segment",
+            &labels,
+            h.entries_decoded,
+        );
+        exp.counter(
+            "log.segment_heat_blocks_inflated",
+            "Compressed blocks inflated from this segment",
+            &labels,
+            h.blocks_inflated,
+        );
+        exp.counter(
+            "log.segment_heat_bytes_read",
+            "Bytes read from this segment",
+            &labels,
+            h.bytes_read,
+        );
+    }
+    match std::fs::write(path, exp.render()) {
+        Ok(()) => {
+            eprintln!("metrics: OpenMetrics exposition written to {path}");
+            true
+        }
+        Err(e) => {
+            eprintln!("error: cannot write metrics to {path}: {e}");
+            false
+        }
+    }
 }
 
 /// `ppd lint --explain PPDnnn` / `ppd check --explain TYPnnn`: prints
@@ -667,6 +779,18 @@ fn describe_outcome(session: &PpdSession, outcome: &Outcome) -> String {
 
 fn cmd_races(session: &PpdSession, opts: &Options) -> ExitCode {
     let mut any = false;
+    // One journal across all probed schedules; records from successive
+    // seeds append to the same file.
+    let journal = match opts.journal.as_deref().map(ppd::obs::Journal::create) {
+        Some(Ok(j)) => Some(j),
+        Some(Err(e)) => {
+            eprintln!("error: cannot create journal {}: {e}", opts.journal.as_deref().unwrap());
+            return ExitCode::FAILURE;
+        }
+        None => None,
+    };
+    let mut last_metrics = None;
+    let mut last_heat = Vec::new();
     for seed in 0..opts.schedules {
         let cfg = RunConfig {
             scheduler: SchedulerSpec::Random { seed },
@@ -689,8 +813,16 @@ fn cmd_races(session: &PpdSession, opts: &Options) -> ExitCode {
             }
             None => session.execute(cfg),
         };
+        // Surface log-recovery warnings exactly like `ppd debug --stats`
+        // does rather than silently succeeding over a truncated store.
+        for w in execution.logs.recovery_warnings() {
+            println!("recovery: {w}");
+        }
         let mut controller = Controller::new(session, &execution);
         controller.set_jobs(opts.jobs);
+        if let Some(j) = &journal {
+            controller.set_journal(j.clone());
+        }
         let races = controller.races();
         if races.is_empty() {
             println!("seed {seed}: race-free ({})", describe_outcome(session, &execution.outcome));
@@ -710,6 +842,18 @@ fn cmd_races(session: &PpdSession, opts: &Options) -> ExitCode {
                 .map(|(name, pairs)| format!("{name} {pairs}"))
                 .collect();
             println!("    pairs examined: {}", stages.join(" -> "));
+        }
+        if opts.metrics_out.is_some() {
+            last_metrics = Some(controller.metrics_snapshot());
+            last_heat = execution.logs.access_heatmap();
+        }
+    }
+    if let Some(j) = &journal {
+        eprintln!("journal: {} record(s) appended to {}", j.records(), j.path().display());
+    }
+    if let Some(path) = &opts.metrics_out {
+        if !write_metrics_out(path, last_metrics, &last_heat) {
+            return ExitCode::FAILURE;
         }
     }
     if any {
@@ -760,6 +904,19 @@ fn cmd_debug(session: &PpdSession, opts: &Options) -> ExitCode {
     let (execution, _) = cmd_run(session, opts, true);
     let mut controller = Controller::new(session, &execution);
     controller.set_jobs(opts.jobs);
+    // Attach the journal before the first query so every Controller
+    // query of the session lands in it (start() below is query #1).
+    let journal = match opts.journal.as_deref().map(ppd::obs::Journal::create) {
+        Some(Ok(j)) => {
+            controller.set_journal(j.clone());
+            Some(j)
+        }
+        Some(Err(e)) => {
+            eprintln!("error: cannot create journal {}: {e}", opts.journal.as_deref().unwrap());
+            return ExitCode::FAILURE;
+        }
+        None => None,
+    };
     let root = match controller.start() {
         Ok(r) => r,
         Err(e) => {
@@ -854,6 +1011,15 @@ fn cmd_debug(session: &PpdSession, opts: &Options) -> ExitCode {
     if opts.stats {
         println!("\nreplay-engine stats at exit:\n{}", render_stats(&controller, opts));
     }
+    if let Some(j) = &journal {
+        eprintln!("journal: {} record(s) appended to {}", j.records(), j.path().display());
+    }
+    if let Some(path) = &opts.metrics_out {
+        let heat = execution.logs.access_heatmap();
+        if !write_metrics_out(path, Some(controller.metrics_snapshot()), &heat) {
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -875,7 +1041,7 @@ fn log_usage() -> ExitCode {
     eprintln!(
         "usage: ppd log pack <file.ppd|saved.json> <dir> \
          [--seed N] [--inputs a,b,c]... [--strategy S] [--segment-bytes N] [--compress]\n       \
-         ppd log inspect <dir>\n       \
+         ppd log inspect <dir> [--format text|json]\n       \
          ppd log verify <dir>"
     );
     ExitCode::from(2)
@@ -888,10 +1054,17 @@ fn cmd_log(mut args: impl Iterator<Item = String>) -> ExitCode {
     let Some(sub) = args.next() else { return log_usage() };
     match sub.as_str() {
         "pack" => cmd_log_pack(args),
-        "inspect" => match args.next() {
-            Some(dir) => cmd_log_inspect(&dir),
-            None => log_usage(),
-        },
+        "inspect" => {
+            let Some(dir) = args.next() else { return log_usage() };
+            let mut format = "text".to_owned();
+            while let Some(flag) = args.next() {
+                match (flag.as_str(), args.next()) {
+                    ("--format", Some(f)) => format = f,
+                    _ => return log_usage(),
+                }
+            }
+            cmd_log_inspect(&dir, &format)
+        }
         "verify" => match args.next() {
             Some(dir) => cmd_log_verify(&dir),
             None => log_usage(),
@@ -1020,8 +1193,9 @@ fn cmd_log_pack(mut args: impl Iterator<Item = String>) -> ExitCode {
 }
 
 /// Summarizes a store from its footers alone — no entry decode (the
-/// final line proves it).
-fn cmd_log_inspect(dir: &str) -> ExitCode {
+/// final line proves it). `--format json` emits the same facts as one
+/// machine-readable object with a per-segment array.
+fn cmd_log_inspect(dir: &str, format: &str) -> ExitCode {
     let seg = match ppd::log::SegmentedLog::open(std::path::Path::new(dir)) {
         Ok(s) => s,
         Err(e) => {
@@ -1029,6 +1203,14 @@ fn cmd_log_inspect(dir: &str) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    match format {
+        "text" | "human" => {}
+        "json" => return cmd_log_inspect_json(dir, &seg),
+        other => {
+            eprintln!("unknown --format `{other}` (text | json)");
+            return ExitCode::FAILURE;
+        }
+    }
     for w in seg.warnings() {
         eprintln!("warning: {w}");
     }
@@ -1088,6 +1270,81 @@ fn cmd_log_inspect(dir: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The `--format json` arm of `ppd log inspect`: store totals plus one
+/// object per sealed segment and recovered tail. Built by hand (the
+/// obs JSON string escaper) so the field order is stable for tooling.
+fn cmd_log_inspect_json(dir: &str, seg: &ppd::log::SegmentedLog) -> ExitCode {
+    use ppd::obs::metrics::json_string;
+    let ratio = |payload: u64, stored: u64| -> String {
+        if stored == 0 {
+            "null".into()
+        } else {
+            format!("{:.4}", payload as f64 / stored as f64)
+        }
+    };
+    let counts = seg.counts_by_kind();
+    let kinds: Vec<String> = ppd::log::segment::KIND_NAMES
+        .iter()
+        .zip(counts)
+        .map(|(k, n)| format!("{}:{n}", json_string(k)))
+        .collect();
+    let mut segments = Vec::new();
+    let mut tails = Vec::new();
+    for p in 0..seg.process_count() {
+        let proc = ppd::lang::ProcId(p as u32);
+        for m in seg.segments(proc) {
+            segments.push(format!(
+                "{{\"file\":{},\"proc\":{},\"seq\":{},\"version\":{},\"base_seq\":{},\
+                 \"entries\":{},\"payload_bytes\":{},\"stored_bytes\":{},\"blocks\":{},\
+                 \"compression_ratio\":{},\"min_time\":{},\"max_time\":{}}}",
+                json_string(&m.file),
+                m.proc,
+                m.seq,
+                m.version,
+                m.base_seq,
+                m.entry_count,
+                m.payload_len,
+                m.stored_len,
+                m.block_count(),
+                ratio(m.payload_len, m.stored_len),
+                m.min_time,
+                m.max_time,
+            ));
+        }
+        if let Some(t) = seg.recovered_tail(proc) {
+            tails.push(format!(
+                "{{\"file\":{},\"proc\":{p},\"entries\":{},\"detail\":{}}}",
+                json_string(t.file()),
+                t.entry_count(),
+                json_string(t.detail()),
+            ));
+        }
+    }
+    let warnings: Vec<String> = seg.warnings().iter().map(|w| json_string(w)).collect();
+    println!(
+        "{{\"dir\":{},\"processes\":{},\"entries\":{},\"logical_bytes\":{},\"file_bytes\":{},\
+         \"payload_bytes\":{},\"stored_bytes\":{},\"compression_ratio\":{},\"mapped\":{},\
+         \"recovered_entries\":{},\"entries_by_kind\":{{{}}},\"segments\":[{}],\
+         \"recovered_tails\":[{}],\"warnings\":[{}],\"entries_decoded_while_inspecting\":{}}}",
+        json_string(dir),
+        seg.process_count(),
+        seg.total_entries(),
+        seg.total_logical_bytes(),
+        seg.total_file_bytes(),
+        seg.total_payload_bytes(),
+        seg.total_stored_bytes(),
+        ratio(seg.total_payload_bytes(), seg.total_stored_bytes()),
+        seg.fully_mapped(),
+        seg.recovered_entries(),
+        kinds.join(","),
+        segments.join(","),
+        tails.join(","),
+        warnings.join(","),
+        seg.entries_decoded(),
+    );
+    ExitCode::SUCCESS
+}
+
 /// Full integrity pass: CRC re-check plus payload-vs-footer
 /// cross-validation of every sealed segment.
 fn cmd_log_verify(dir: &str) -> ExitCode {
@@ -1100,8 +1357,10 @@ fn cmd_log_verify(dir: &str) -> ExitCode {
     };
     match seg.verify() {
         Ok(report) => {
+            // Same `recovery:` surface as `ppd debug --stats` and
+            // `ppd races`, so truncated-tail stores are never silent.
             for w in &report.warnings {
-                eprintln!("warning: {w}");
+                println!("recovery: {w}");
             }
             println!(
                 "ok: {} segment(s) verified, {} entries decoded and cross-checked \
@@ -1121,6 +1380,301 @@ fn cmd_log_verify(dir: &str) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// `ppd obs` — telemetry tooling (journal reports, flight dumps)
+// ---------------------------------------------------------------------
+
+fn obs_usage() -> ExitCode {
+    eprintln!(
+        "usage: ppd obs report <journal.jsonl> [--format text|json]\n       \
+         ppd obs flight <dump.json>"
+    );
+    ExitCode::from(2)
+}
+
+/// `ppd obs report | flight`: offline profiling over the telemetry
+/// artifacts (`--journal` JSONL files, `--flight-out` dumps).
+fn cmd_obs(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let Some(sub) = args.next() else { return obs_usage() };
+    match sub.as_str() {
+        "report" => {
+            let Some(path) = args.next() else { return obs_usage() };
+            let mut format = "text".to_owned();
+            while let Some(flag) = args.next() {
+                match (flag.as_str(), args.next()) {
+                    ("--format", Some(f)) => format = f,
+                    _ => return obs_usage(),
+                }
+            }
+            cmd_obs_report(&path, &format)
+        }
+        "flight" => match args.next() {
+            Some(path) => cmd_obs_flight(&path),
+            None => obs_usage(),
+        },
+        _ => obs_usage(),
+    }
+}
+
+/// One parsed `--journal` line (schema `"v":1`). Owned scalar fields
+/// only: the vendored serde_derive stub handles exactly that shape.
+#[derive(serde::Deserialize)]
+struct JournalLine {
+    v: u64,
+    kind: String,
+    // Carried for tooling that slices by argument; the report itself
+    // rolls up by kind only.
+    #[allow(dead_code)]
+    args: String,
+    start_ns: u64,
+    latency_ns: u64,
+    replays: u64,
+    trace_events: u64,
+    log_entries_scanned: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_evictions: u64,
+    entries_decoded: u64,
+    blocks_inflated: u64,
+    bytes_read: u64,
+}
+
+/// Exact percentile over a sorted sample: the smallest value with at
+/// least `q` of the mass at or below it (nearest-rank).
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Aggregates a query journal: per-kind latency percentiles, aggregate
+/// totals (printed in the exact `--stats` line formats so a journal of
+/// a deterministic session reproduces `ppd debug --stats` bit-for-bit),
+/// bytes per query, and the cache hit-rate trend across the session.
+fn cmd_obs_report(path: &str, format: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut records: Vec<JournalLine> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<JournalLine>(line) {
+            Ok(r) if r.v == 1 => records.push(r),
+            Ok(r) => {
+                eprintln!("error: {path}:{}: unsupported journal version {}", i + 1, r.v);
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("error: {path}:{}: bad journal line: {e}", i + 1);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if records.is_empty() {
+        eprintln!("error: {path}: no journal records");
+        return ExitCode::FAILURE;
+    }
+    // Chronological order for the trend; records are appended in
+    // completion order but nested sessions may interleave starts.
+    records.sort_by_key(|r| r.start_ns);
+    let n = records.len() as u64;
+    let sum = |f: fn(&JournalLine) -> u64| records.iter().map(f).sum::<u64>();
+    let (hits, misses) = (sum(|r| r.cache_hits), sum(|r| r.cache_misses));
+    let latency_total = sum(|r| r.latency_ns);
+    let bytes_total = sum(|r| r.bytes_read);
+    let mut lat_sorted: Vec<u64> = records.iter().map(|r| r.latency_ns).collect();
+    lat_sorted.sort_unstable();
+    let (p50, p95, p99) = (
+        percentile(&lat_sorted, 0.50),
+        percentile(&lat_sorted, 0.95),
+        percentile(&lat_sorted, 0.99),
+    );
+    // Hit-rate trend: first half of the session vs the second — a warm
+    // cache shows up as a rising rate.
+    let half = records.len() / 2;
+    let rate = |rs: &[JournalLine]| -> f64 {
+        let h: u64 = rs.iter().map(|r| r.cache_hits).sum();
+        let m: u64 = rs.iter().map(|r| r.cache_misses).sum();
+        if h + m == 0 {
+            0.0
+        } else {
+            100.0 * h as f64 / (h + m) as f64
+        }
+    };
+    let (early, late) = (rate(&records[..half]), rate(&records[half..]));
+    // Per-kind rollup, by first appearance so the table is stable.
+    let mut kinds: Vec<(String, Vec<u64>, u64)> = Vec::new();
+    for r in &records {
+        match kinds.iter_mut().find(|(k, _, _)| *k == r.kind) {
+            Some((_, lats, bytes)) => {
+                lats.push(r.latency_ns);
+                *bytes += r.bytes_read;
+            }
+            None => kinds.push((r.kind.clone(), vec![r.latency_ns], r.bytes_read)),
+        }
+    }
+    for (_, lats, _) in &mut kinds {
+        lats.sort_unstable();
+    }
+    if format == "json" {
+        let by_kind: Vec<String> = kinds
+            .iter()
+            .map(|(k, lats, bytes)| {
+                format!(
+                    "{{\"kind\":{},\"queries\":{},\"latency_ns\":{{\"p50\":{},\"p95\":{},\
+                     \"p99\":{},\"total\":{}}},\"bytes_read\":{bytes}}}",
+                    ppd::obs::metrics::json_string(k),
+                    lats.len(),
+                    percentile(lats, 0.50),
+                    percentile(lats, 0.95),
+                    percentile(lats, 0.99),
+                    lats.iter().sum::<u64>(),
+                )
+            })
+            .collect();
+        println!(
+            "{{\"journal\":{},\"queries\":{n},\"latency_ns\":{{\"p50\":{p50},\"p95\":{p95},\
+             \"p99\":{p99},\"total\":{latency_total}}},\"replays\":{},\"trace_events\":{},\
+             \"log_entries_scanned\":{},\"cache_hits\":{hits},\"cache_misses\":{misses},\
+             \"cache_evictions\":{},\"entries_decoded\":{},\"blocks_inflated\":{},\
+             \"bytes_read\":{bytes_total},\"bytes_per_query\":{:.1},\
+             \"hit_rate_pct\":{:.4},\"hit_rate_first_half_pct\":{early:.4},\
+             \"hit_rate_second_half_pct\":{late:.4},\"by_kind\":[{}]}}",
+            ppd::obs::metrics::json_string(path),
+            sum(|r| r.replays),
+            sum(|r| r.trace_events),
+            sum(|r| r.log_entries_scanned),
+            sum(|r| r.cache_evictions),
+            sum(|r| r.entries_decoded),
+            sum(|r| r.blocks_inflated),
+            bytes_total as f64 / n as f64,
+            if hits + misses == 0 { 0.0 } else { 100.0 * hits as f64 / (hits + misses) as f64 },
+            by_kind.join(","),
+        );
+        return ExitCode::SUCCESS;
+    }
+    if format != "text" && format != "human" {
+        eprintln!("unknown --format `{format}` (text | json)");
+        return ExitCode::FAILURE;
+    }
+    let ms = |ns: u64| ns as f64 / 1e6;
+    println!("query journal report: {path}");
+    println!();
+    println!(
+        "{:<14} {:>7} {:>12} {:>12} {:>12} {:>12}",
+        "kind", "queries", "p50 ms", "p95 ms", "p99 ms", "bytes"
+    );
+    for (k, lats, bytes) in &kinds {
+        println!(
+            "{k:<14} {:>7} {:>12.3} {:>12.3} {:>12.3} {bytes:>12}",
+            lats.len(),
+            ms(percentile(lats, 0.50)),
+            ms(percentile(lats, 0.95)),
+            ms(percentile(lats, 0.99)),
+        );
+    }
+    println!();
+    println!("latency p50 / p95 / p99   {:.3} / {:.3} / {:.3} ms", ms(p50), ms(p95), ms(p99));
+    println!(
+        "bytes read per query      {:.1} ({bytes_total} total)",
+        bytes_total as f64 / n as f64
+    );
+    println!("blocks inflated           {}", sum(|r| r.blocks_inflated));
+    println!("entries decoded           {}", sum(|r| r.entries_decoded));
+    println!("hit rate trend            {early:.1}% (first half) -> {late:.1}% (second half)");
+    println!();
+    // The aggregate block mirrors `ppd debug --stats` line-for-line:
+    // on a deterministic run, summing a session's journal reproduces
+    // the session's own counters bit-for-bit.
+    println!("aggregates (same layout as ppd debug --stats):");
+    println!("replays performed     {}", sum(|r| r.replays));
+    let hr = if hits + misses == 0 { 0.0 } else { 100.0 * hits as f64 / (hits + misses) as f64 };
+    println!("cache hits / misses   {hits} / {misses} ({hr:.1}% hit rate)");
+    println!("evictions             {}", sum(|r| r.cache_evictions));
+    println!("trace events          {}", sum(|r| r.trace_events));
+    println!("log entries scanned   {}", sum(|r| r.log_entries_scanned));
+    println!(
+        "queries               {n} in {:.3}ms",
+        std::time::Duration::from_nanos(latency_total).as_secs_f64() * 1e3
+    );
+    ExitCode::SUCCESS
+}
+
+/// Flight-recorder dump shape (see `ppd_obs::flight`), parsed via the
+/// vendored serde stub for `ppd obs flight`.
+#[derive(serde::Deserialize)]
+struct FlightDumpFile {
+    format: String,
+    version: u64,
+    recorded: u64,
+    dropped: u64,
+    events: Vec<FlightDumpEvent>,
+}
+
+/// One event of a flight-recorder dump.
+#[derive(serde::Deserialize)]
+struct FlightDumpEvent {
+    seq: u64,
+    ts_ns: u64,
+    tid: u64,
+    cat: String,
+    name: String,
+    detail: String,
+}
+
+/// Pretty-prints a flight-recorder dump (from `--flight-out` or a
+/// panic) as a chronological table.
+fn cmd_obs_flight(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let dump: FlightDumpFile = match serde_json::from_str(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {path} is not a flight dump: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if dump.format != "ppd-flight" {
+        eprintln!("error: {path}: unknown dump format `{}`", dump.format);
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "flight dump {path}: v{}, {} event(s) recorded, {} dropped, {} shown",
+        dump.version,
+        dump.recorded,
+        dump.dropped,
+        dump.events.len()
+    );
+    let mut events = dump.events;
+    events.sort_by_key(|e| e.seq);
+    let t0 = events.iter().map(|e| e.ts_ns).min().unwrap_or(0);
+    for e in &events {
+        let detail = if e.detail.is_empty() { String::new() } else { format!("  {}", e.detail) };
+        println!(
+            "{:>6}  +{:>12.3}ms  t{:<3} [{:<8}] {}{detail}",
+            e.seq,
+            (e.ts_ns - t0) as f64 / 1e6,
+            e.tid,
+            e.cat,
+            e.name,
+        );
+    }
+    ExitCode::SUCCESS
 }
 
 fn print_node(controller: &Controller<'_>, id: DynNodeId) {

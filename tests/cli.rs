@@ -329,3 +329,131 @@ fn debug_repl_stats_reset_zeroes_counters_but_keeps_cache_warm() {
     // …while the memoized traces stay resident for warm re-queries.
     assert!(!after.contains("cached traces         0 (0 bytes)"), "cache was dropped: {after}");
 }
+
+#[test]
+fn debug_journal_feeds_obs_report_bit_for_bit() {
+    let dir = std::env::temp_dir().join("ppd_cli_test").join("journal");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("j.jsonl");
+    let journal_s = journal.to_str().unwrap();
+    let (stdout, stderr, ok) =
+        run_ppd(&["debug", "programs/bank.ppd", "--stats", "--journal", journal_s]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("journal: 1 record(s) appended"), "{stderr}");
+    let (report, rerr, rok) = run_ppd(&["obs", "report", journal_s]);
+    assert!(rok, "{rerr}");
+    // The acceptance invariant: the report's aggregate block reproduces
+    // the session's own `--stats` lines bit-for-bit (every counted site
+    // fires inside a journaled query on this deterministic run).
+    for prefix in [
+        "replays performed     ",
+        "cache hits / misses   ",
+        "evictions             ",
+        "trace events          ",
+        "log entries scanned   ",
+        "queries               ",
+    ] {
+        let stats_line = stdout
+            .lines()
+            .find(|l| l.starts_with(prefix))
+            .unwrap_or_else(|| panic!("missing `{prefix}` in --stats: {stdout}"));
+        assert!(
+            report.lines().any(|l| l == stats_line),
+            "report does not reproduce `{stats_line}`:\n{report}"
+        );
+    }
+    // And the JSON form parses as one object with the same totals.
+    let (json_report, _, jok) = run_ppd(&["obs", "report", journal_s, "--format", "json"]);
+    assert!(jok);
+    assert!(json_report.trim().starts_with('{'), "{json_report}");
+    assert!(json_report.contains("\"queries\":1"), "{json_report}");
+    assert!(json_report.contains("\"by_kind\":[{\"kind\":\"start_at\""), "{json_report}");
+}
+
+#[test]
+fn metrics_out_writes_openmetrics_families() {
+    let dir = std::env::temp_dir().join("ppd_cli_test").join("metrics");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("store");
+    let metrics = dir.join("m.txt");
+    let (_, stderr, ok) = run_ppd(&[
+        "debug",
+        "programs/bank.ppd",
+        "--log-dir",
+        store.to_str().unwrap(),
+        "--compress",
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    assert!(text.ends_with("# EOF\n"), "missing EOF terminator: {text}");
+    // Global log counters, engine registry families, histogram pieces,
+    // and the per-segment heatmap (with file/proc/seq labels) all land
+    // in one exposition.
+    for needle in [
+        "# TYPE ppd_log_segment_entries_decoded counter",
+        "ppd_log_segment_entries_decoded_total ",
+        "# TYPE ppd_query_latency_ns histogram",
+        "ppd_query_latency_ns_bucket{le=\"+Inf\"} ",
+        "ppd_query_latency_ns_approx{quantile=\"0.95\"} ",
+        "# TYPE ppd_replay_replays counter",
+        "ppd_log_segment_heat_entries_decoded_total{file=\"p0000-s000000.seg\",proc=\"0\",seq=\"0\"} ",
+    ] {
+        assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+    }
+}
+
+#[test]
+fn flight_out_dumps_and_pretty_prints() {
+    let dir = std::env::temp_dir().join("ppd_cli_test").join("flight");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let dump = dir.join("f.json");
+    let dump_s = dump.to_str().unwrap();
+    let (_, stderr, ok) = run_ppd(&["run", "programs/bank.ppd", "--flight-out", dump_s]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("flight:"), "{stderr}");
+    let text = std::fs::read_to_string(&dump).unwrap();
+    assert!(text.starts_with("{\"format\":\"ppd-flight\",\"version\":1"), "{text}");
+    let (pretty, perr, pok) = run_ppd(&["obs", "flight", dump_s]);
+    assert!(pok, "{perr}");
+    assert!(pretty.contains("flight dump"), "{pretty}");
+    // The always-on ring saw the CLI command and the runtime finishing.
+    assert!(pretty.contains("[cli     ] command"), "{pretty}");
+    assert!(pretty.contains("execute_done"), "{pretty}");
+}
+
+#[test]
+fn log_inspect_format_json_reports_per_segment_stats() {
+    let dir = std::env::temp_dir().join("ppd_cli_test").join("inspect-json");
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_str().unwrap().to_owned();
+    let (_, stderr, ok) = run_ppd(&[
+        "log",
+        "pack",
+        "programs/bank.ppd",
+        &dir_s,
+        "--compress",
+        "--segment-bytes",
+        "4096",
+    ]);
+    assert!(ok, "{stderr}");
+    let (stdout, _, ok) = run_ppd(&["log", "inspect", &dir_s, "--format", "json"]);
+    assert!(ok, "{stdout}");
+    let line = stdout.trim();
+    assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    for needle in [
+        "\"processes\":2",
+        "\"compression_ratio\":",
+        "\"entries_by_kind\":{\"prelog\":",
+        "\"segments\":[{\"file\":\"p0000-s000000.seg\",\"proc\":0,\"seq\":0,\"version\":2",
+        "\"blocks\":",
+        "\"recovered_tails\":[]",
+        "\"entries_decoded_while_inspecting\":0",
+    ] {
+        assert!(line.contains(needle), "missing `{needle}` in: {line}");
+    }
+}
